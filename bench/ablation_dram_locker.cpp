@@ -1,0 +1,180 @@
+// Ablation bench: the DRAM-Locker design choices DESIGN.md calls out.
+//
+//   A. Re-lock policy — Fig. 4(d) "lock follows data" vs. swap-back:
+//      mitigation cost (RowClone copies) against exposure (granted
+//      aggressor activations across unlock/relock cycles).
+//   B. Protection radius — radius 1 vs. 2 against a Half-Double attacker.
+//   C. Lock-table capacity — how many data rows can be protected before
+//      inserts are rejected, and what a capacity miss costs.
+#include <array>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "defense/dram_locker.hpp"
+#include "dram/controller.hpp"
+#include "rowhammer/attacker.hpp"
+#include "rowhammer/disturbance.hpp"
+
+namespace {
+
+using namespace dl;
+
+dram::Geometry geo() {
+  dram::Geometry g;
+  g.channels = 1;
+  g.ranks = 1;
+  g.banks = 2;
+  g.subarrays_per_bank = 4;
+  g.rows_per_subarray = 256;
+  g.row_bytes = 4096;
+  return g;
+}
+
+// --- A: re-lock policy ------------------------------------------------------
+
+struct PolicyOutcome {
+  std::uint64_t copies = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t victim_flips = 0;
+  double mitigation_us = 0.0;
+};
+
+PolicyOutcome run_policy(defense::RelockPolicy policy,
+                         std::uint64_t cycles) {
+  dram::Controller ctrl(geo(), dram::ddr4_2400());
+  rowhammer::DisturbanceConfig dcfg;
+  dcfg.t_rh = 30;  // ultra-low-threshold part: worst case for exposure
+  rowhammer::DisturbanceModel model(ctrl, dcfg, Rng(1));
+  ctrl.add_listener(&model);
+  defense::DramLockerConfig lcfg;
+  lcfg.protect_radius = 1;
+  lcfg.relock_rw_interval = 40;
+  lcfg.relock_policy = policy;
+  defense::DramLocker locker(ctrl, lcfg, Rng(2));
+  ctrl.set_gate(&locker);
+  locker.protect_data_row(10);
+
+  rowhammer::HammerAttacker attacker(ctrl, model);
+  PolicyOutcome o;
+  std::array<std::uint8_t, 4> buf{};
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    // Legitimate workload touches the locked neighbour (unlock SWAP); the
+    // attacker strikes inside the unlock window, before the filler traffic
+    // drives the re-lock tick.
+    ctrl.read(ctrl.mapper().row_base(9), buf, /*can_unlock=*/true);
+    const auto res = attacker.attack(
+        10, rowhammer::HammerPattern::kDoubleSided, /*act_budget=*/70);
+    o.granted += res.granted_acts;
+    o.victim_flips += res.flips_in_victim;
+    for (int i = 0; i < 45; ++i) {
+      ctrl.read(ctrl.mapper().row_base(100), buf);
+    }
+  }
+  o.copies = static_cast<std::uint64_t>(ctrl.stats().get("rowclones"));
+  o.mitigation_us = to_seconds(ctrl.defense_time()) * 1e6;
+  return o;
+}
+
+// --- B: protection radius ----------------------------------------------------
+
+struct RadiusOutcome {
+  std::uint64_t granted = 0;
+  std::uint64_t victim_flips = 0;
+};
+
+RadiusOutcome run_radius(std::uint32_t radius) {
+  dram::Controller ctrl(geo(), dram::ddr4_2400());
+  rowhammer::DisturbanceConfig dcfg;
+  dcfg.t_rh = 500;
+  dcfg.distance2_weight = 0.3;  // Half-Double coupling
+  rowhammer::DisturbanceModel model(ctrl, dcfg, Rng(3));
+  ctrl.add_listener(&model);
+  defense::DramLockerConfig lcfg;
+  lcfg.protect_radius = radius;
+  defense::DramLocker locker(ctrl, lcfg, Rng(4));
+  ctrl.set_gate(&locker);
+  locker.protect_data_row(10);
+
+  rowhammer::HammerAttacker attacker(ctrl, model);
+  const auto res = attacker.attack(
+      10, rowhammer::HammerPattern::kHalfDouble, /*act_budget=*/20000);
+  return {res.granted_acts, res.flips_in_victim};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::parse_scale(argc, argv);
+  bench::banner("Ablation", "DRAM-Locker design choices", scale);
+  const std::uint64_t cycles = scale == bench::Scale::kFast ? 20
+                               : scale == bench::Scale::kFull ? 500 : 100;
+
+  // A ------------------------------------------------------------------------
+  std::printf("A. re-lock policy (ultra-low T_RH=30, %llu unlock/relock "
+              "cycles)\n", static_cast<unsigned long long>(cycles));
+  dl::TextTable ta({"policy", "RowClone copies", "granted aggressor ACTs",
+                    "victim flips", "mitigation time (us)"});
+  const auto follow = run_policy(
+      defense::RelockPolicy::kRelockNewLocation, cycles);
+  const auto swapback = run_policy(defense::RelockPolicy::kSwapBack, cycles);
+  ta.add_row({"relock-new-location (Fig. 4d)", std::to_string(follow.copies),
+              std::to_string(follow.granted),
+              std::to_string(follow.victim_flips),
+              dl::TextTable::num(follow.mitigation_us, 1)});
+  ta.add_row({"swap-back", std::to_string(swapback.copies),
+              std::to_string(swapback.granted),
+              std::to_string(swapback.victim_flips),
+              dl::TextTable::num(swapback.mitigation_us, 1)});
+  std::printf("%s", ta.to_string().c_str());
+  std::printf("reading: every unlock opens a short window (granted ACTs); "
+              "the Fig. 4(d) policy lets several times more flips land "
+              "than swap-back, which pays 2x the RowClone copies.  Note the "
+              "residual swap-back flips: the defense's own RowClone "
+              "activations disturb the victim's neighbours — mitigation-"
+              "induced hammering on ultra-low-threshold parts.\n\n");
+
+  // B ------------------------------------------------------------------------
+  std::printf("B. protection radius vs Half-Double attacker\n");
+  dl::TextTable tb({"protect_radius", "granted ACTs", "victim flips"});
+  for (const std::uint32_t r : {1u, 2u}) {
+    const auto o = run_radius(r);
+    tb.add_row({std::to_string(r), std::to_string(o.granted),
+                std::to_string(o.victim_flips)});
+  }
+  std::printf("%s", tb.to_string().c_str());
+  std::printf("reading: radius 1 leaves distance-2 aggressors unlocked — "
+              "Half-Double flips land; radius 2 (library default) denies "
+              "them all.\n\n");
+
+  // C ------------------------------------------------------------------------
+  std::printf("C. lock-table capacity pressure\n");
+  {
+    dram::Controller ctrl(geo(), dram::ddr4_2400());
+    defense::DramLockerConfig lcfg;
+    lcfg.lock_table_entries = 64;
+    lcfg.protect_radius = 2;
+    defense::DramLocker locker(ctrl, lcfg, Rng(6));
+    ctrl.set_gate(&locker);
+    std::size_t protected_rows = 0;
+    std::size_t fully = 0;
+    // Spread data rows across the subarray until the table fills.
+    for (dram::GlobalRowId row = 8; row < 248; row += 6) {
+      const std::size_t locked = locker.protect_data_row(row);
+      ++protected_rows;
+      if (locked == 4) ++fully;
+      if (locker.lock_table().size() >= 64) break;
+    }
+    std::printf("table entries: %zu/%zu used; %zu data rows registered, "
+                "%zu fully protected, %llu inserts rejected\n",
+                locker.lock_table().size(), locker.lock_table().capacity(),
+                protected_rows, fully,
+                static_cast<unsigned long long>(
+                    locker.lock_table().rejected_inserts()));
+    std::printf("reading: a 64-entry table protects ~%zu data rows at "
+                "radius 2; the production 16384-entry (56 KB) table scales "
+                "that to ~4k rows = 32 MB of weights per bank group.\n",
+                fully);
+  }
+  return 0;
+}

@@ -1,0 +1,128 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "nn/models.hpp"
+#include "nn/train.hpp"
+
+namespace dl::bench {
+
+Scale parse_scale(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) return Scale::kFast;
+    if (std::strcmp(argv[i], "--full") == 0) return Scale::kFull;
+  }
+  return Scale::kDefault;
+}
+
+void banner(const std::string& artifact, const std::string& description,
+            Scale scale) {
+  const char* s = scale == Scale::kFast
+                      ? "fast"
+                      : (scale == Scale::kFull ? "full" : "default");
+  std::printf("==============================================================\n");
+  std::printf("Reproducing %s — %s\n", artifact.c_str(), description.c_str());
+  std::printf("scale: %s   (--fast / --full to change)\n", s);
+  std::printf("==============================================================\n");
+}
+
+VictimModel train_victim(const VictimConfig& config, bool verbose) {
+  dl::nn::SynthConfig synth = config.num_classes >= 100
+                                  ? dl::nn::synth_cifar100()
+                                  : dl::nn::synth_cifar10();
+  synth.num_classes = config.num_classes;
+  const dl::nn::Dataset train =
+      dl::nn::make_synth_cifar(synth, config.train_samples, config.seed + 1);
+
+  VictimModel v;
+  v.test = dl::nn::make_synth_cifar(synth, config.test_samples,
+                                    config.seed + 2);
+  v.sample = dl::nn::make_synth_cifar(synth, config.sample_samples,
+                                      config.seed + 3);
+
+  dl::Rng rng(config.seed);
+  v.model = config.arch == VictimConfig::Arch::kResNet20
+                ? dl::nn::make_resnet20(config.num_classes, config.width_mult,
+                                        rng)
+                : dl::nn::make_vgg11(config.num_classes, config.width_mult,
+                                     rng);
+  if (verbose) {
+    std::printf("[train] %s width=%.2f params=%zu train=%zu epochs=%zu\n",
+                config.arch == VictimConfig::Arch::kResNet20 ? "resnet20"
+                                                             : "vgg11",
+                static_cast<double>(config.width_mult), v.model.param_count(),
+                config.train_samples, config.epochs);
+  }
+  dl::nn::SgdConfig scfg;
+  scfg.epochs = config.epochs;
+  scfg.batch_size = 32;
+  scfg.lr = 0.08f;
+  scfg.lr_decay = 0.8f;
+  dl::nn::SgdTrainer trainer(v.model, scfg, dl::Rng(config.seed + 4));
+  trainer.fit(train, [&](const dl::nn::EpochStats& e) {
+    if (verbose) {
+      std::printf("[train] epoch %zu loss=%.3f acc=%.3f\n", e.epoch,
+                  static_cast<double>(e.mean_loss), e.train_accuracy);
+    }
+  });
+
+  v.qmodel = std::make_unique<dl::nn::QuantizedModel>(v.model);
+  v.clean_accuracy = dl::nn::evaluate_accuracy(v.model, v.test);
+  if (verbose) {
+    std::printf("[train] clean (int8) test accuracy: %.2f%%\n",
+                v.clean_accuracy * 100.0);
+  }
+  return v;
+}
+
+VictimConfig resnet20_cifar10(Scale scale) {
+  VictimConfig c;
+  c.arch = VictimConfig::Arch::kResNet20;
+  c.num_classes = 10;
+  switch (scale) {
+    case Scale::kFast:
+      c.width_mult = 0.25f;
+      c.train_samples = 256;
+      c.epochs = 3;
+      break;
+    case Scale::kDefault:
+      c.width_mult = 0.5f;
+      c.train_samples = 512;
+      c.epochs = 5;
+      break;
+    case Scale::kFull:
+      c.width_mult = 1.0f;
+      c.train_samples = 2048;
+      c.epochs = 8;
+      break;
+  }
+  return c;
+}
+
+VictimConfig vgg11_cifar100(Scale scale) {
+  VictimConfig c;
+  c.arch = VictimConfig::Arch::kVgg11;
+  c.num_classes = 100;
+  c.seed = 17;
+  switch (scale) {
+    case Scale::kFast:
+      c.width_mult = 0.125f;
+      c.train_samples = 400;
+      c.epochs = 3;
+      break;
+    case Scale::kDefault:
+      c.width_mult = 0.25f;
+      c.train_samples = 1200;
+      c.epochs = 6;
+      break;
+    case Scale::kFull:
+      c.width_mult = 1.0f;
+      c.train_samples = 4000;
+      c.epochs = 8;
+      break;
+  }
+  return c;
+}
+
+}  // namespace dl::bench

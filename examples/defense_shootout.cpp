@@ -1,0 +1,156 @@
+// Defense shoot-out: the same double-sided RowHammer campaign against
+// every mitigation in the library, side by side.
+//
+// Shows what each mechanism spends (mitigation traffic time) and what it
+// prevents (flips in the victim row), on an ultra-low-threshold part.
+//
+//   $ ./defense_shootout
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "common/table.hpp"
+#include "defense/dram_locker.hpp"
+#include "defense/row_swap.hpp"
+#include "defense/shadow.hpp"
+#include "defense/trackers.hpp"
+#include "dram/controller.hpp"
+#include "rowhammer/attacker.hpp"
+#include "rowhammer/disturbance.hpp"
+
+namespace {
+
+using namespace dl;
+
+struct Outcome {
+  std::uint64_t granted = 0;
+  std::uint64_t denied = 0;
+  std::uint64_t victim_flips = 0;
+  std::uint64_t collateral_flips = 0;
+  double mitigation_us = 0.0;
+};
+
+constexpr std::uint64_t kTrh = 1000;
+constexpr std::uint64_t kBudget = 50000;
+constexpr dram::GlobalRowId kVictim = 40;
+
+Outcome campaign(const std::function<void(dram::Controller&,
+                                          rowhammer::DisturbanceModel&)>&
+                     install_defense) {
+  dram::Geometry g;
+  g.channels = 1;
+  g.ranks = 1;
+  g.banks = 2;
+  g.subarrays_per_bank = 4;
+  g.rows_per_subarray = 256;
+  g.row_bytes = 4096;
+  dram::Controller ctrl(g, dram::ddr4_2400());
+  rowhammer::DisturbanceConfig dcfg;
+  dcfg.t_rh = kTrh;
+  rowhammer::DisturbanceModel model(ctrl, dcfg, Rng(1));
+  ctrl.add_listener(&model);
+  install_defense(ctrl, model);
+
+  rowhammer::HammerAttacker attacker(ctrl, model);
+  const auto res =
+      attacker.attack(kVictim, rowhammer::HammerPattern::kDoubleSided,
+                      kBudget);
+  Outcome o;
+  o.granted = res.granted_acts;
+  o.denied = res.denied_acts;
+  o.victim_flips = res.flips_in_victim;
+  o.collateral_flips = res.flips_elsewhere;
+  o.mitigation_us = to_seconds(ctrl.defense_time()) * 1e6;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dl;
+  TextTable table({"defense", "granted ACTs", "denied ACTs", "victim flips",
+                   "collateral flips", "mitigation time (us)"});
+
+  struct Entry {
+    const char* name;
+    std::function<void(dram::Controller&, rowhammer::DisturbanceModel&)>
+        install;
+  };
+  // Keep the defense objects alive for the duration of each campaign.
+  std::vector<std::unique_ptr<dram::ActivationListener>> keep;
+  std::unique_ptr<defense::DramLocker> locker;
+
+  const Entry entries[] = {
+      {"none", [](dram::Controller&, rowhammer::DisturbanceModel&) {}},
+      {"TRR (p=0.01)",
+       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
+         auto t = std::make_unique<defense::TrrSampler>(c, 0.01, 1, Rng(2));
+         c.add_listener(t.get());
+         keep.push_back(std::move(t));
+       }},
+      {"Counter per Row",
+       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
+         auto t = std::make_unique<defense::CounterPerRow>(c, kTrh / 2, 2);
+         c.add_listener(t.get());
+         keep.push_back(std::move(t));
+       }},
+      {"Graphene",
+       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
+         auto t = std::make_unique<defense::Graphene>(c, kTrh / 2, 64, 2);
+         c.add_listener(t.get());
+         keep.push_back(std::move(t));
+       }},
+      {"Hydra",
+       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
+         auto t = std::make_unique<defense::Hydra>(c, kTrh / 2, 64, 2);
+         c.add_listener(t.get());
+         keep.push_back(std::move(t));
+       }},
+      {"Counter Tree",
+       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
+         auto t = std::make_unique<defense::CounterTree>(c, kTrh / 2, 32, 2);
+         c.add_listener(t.get());
+         keep.push_back(std::move(t));
+       }},
+      {"RRS",
+       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
+         auto t = std::make_unique<defense::RowSwap>(
+             c, defense::RowSwapConfig{.threshold = kTrh,
+                                       .lazy_unswap = false},
+             Rng(3));
+         c.add_listener(t.get());
+         keep.push_back(std::move(t));
+       }},
+      {"SHADOW",
+       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
+         auto t = std::make_unique<defense::Shadow>(
+             c, defense::ShadowConfig{.threshold = kTrh}, Rng(4));
+         c.add_listener(t.get());
+         keep.push_back(std::move(t));
+       }},
+      {"DRAM-Locker",
+       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
+         defense::DramLockerConfig cfg;
+         cfg.protect_radius = 2;
+         locker = std::make_unique<defense::DramLocker>(c, cfg, Rng(5));
+         c.set_gate(locker.get());
+         locker->protect_data_row(kVictim);
+       }},
+  };
+
+  for (const auto& e : entries) {
+    const Outcome o = campaign(e.install);
+    table.add_row({e.name, std::to_string(o.granted),
+                   std::to_string(o.denied), std::to_string(o.victim_flips),
+                   std::to_string(o.collateral_flips),
+                   TextTable::num(o.mitigation_us, 1)});
+    keep.clear();
+    locker.reset();
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nreading: counter trackers stop the flips by spending "
+              "refresh traffic; swap defenses relocate data; DRAM-Locker "
+              "denies the activations outright — zero victim flips and "
+              "near-zero mitigation time.\n");
+  return 0;
+}

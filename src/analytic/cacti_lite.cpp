@@ -1,0 +1,60 @@
+#include "analytic/cacti_lite.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dl::analytic {
+
+CactiLite::CactiLite(TechParams tech) : tech_(tech) {
+  DL_REQUIRE(tech_.feature_nm > 0.0, "feature size must be positive");
+}
+
+double CactiLite::cell_area_f2(MacroKind kind) const {
+  switch (kind) {
+    case MacroKind::kSram: return tech_.sram_cell_f2;
+    case MacroKind::kCam:  return tech_.cam_cell_f2;
+    case MacroKind::kDram: return tech_.dram_cell_f2;
+  }
+  DL_ASSERT(false);
+}
+
+MacroEstimate CactiLite::estimate(MacroKind kind, std::uint64_t capacity_bits,
+                                  std::uint32_t word_bits) const {
+  DL_REQUIRE(capacity_bits > 0, "macro must have capacity");
+  DL_REQUIRE(word_bits > 0, "word width must be positive");
+  MacroEstimate e;
+  e.kind = kind;
+  e.capacity_bits = capacity_bits;
+
+  const double f_m = tech_.feature_nm * 1e-9;          // metres
+  const double cell_m2 = cell_area_f2(kind) * f_m * f_m;
+  e.area_mm2 = static_cast<double>(capacity_bits) * cell_m2 *
+               tech_.periphery_factor * 1e6;  // m² -> mm²
+
+  // Energy: word access (per-bit sense ~5 fJ SRAM / 18 fJ CAM match-line /
+  // 2 fJ DRAM) plus wire energy growing with sqrt(capacity).
+  const double per_bit_fj =
+      kind == MacroKind::kSram ? 5.0 : (kind == MacroKind::kCam ? 18.0 : 2.0);
+  const double wire_fj =
+      0.08 * std::sqrt(static_cast<double>(capacity_bits));
+  e.read_energy_pj =
+      (per_bit_fj * word_bits + wire_fj) * 1e-3;  // fJ -> pJ
+
+  // Latency: fixed decode+sense plus sqrt-capacity wire delay.  CAM searches
+  // the full array in one shot, so the base term is larger.
+  const double base_ns = kind == MacroKind::kCam ? 0.55 : 0.35;
+  e.read_latency_ns =
+      base_ns + 4e-4 * std::sqrt(static_cast<double>(capacity_bits));
+  return e;
+}
+
+double CactiLite::dram_die_area_mm2(std::uint64_t capacity_bytes) const {
+  // Commodity DRAM dies are cell-area-dominated; array efficiency ~55 %.
+  const double f_m = tech_.feature_nm * 1e-9;
+  const double cell_m2 = tech_.dram_cell_f2 * f_m * f_m;
+  const double bits = static_cast<double>(capacity_bytes) * 8.0;
+  return bits * cell_m2 / 0.55 * 1e6;
+}
+
+}  // namespace dl::analytic

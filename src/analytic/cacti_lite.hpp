@@ -1,0 +1,56 @@
+// CACTI-lite: first-order area / energy / latency model for the SRAM, CAM
+// and DRAM structures that RowHammer-mitigation frameworks add.
+//
+// This replaces the paper's "extensively modified CACTI" stage.  The model
+// is deliberately simple and fully documented: cell area in F² per bit-cell
+// type, a peripheral-overhead factor, and sqrt-capacity wire terms for
+// latency and energy — the level of fidelity needed to reproduce the
+// capacity/area overhead accounting of Table I.
+#pragma once
+
+#include <cstdint>
+
+namespace dl::analytic {
+
+enum class MacroKind { kSram, kCam, kDram };
+
+/// Technology assumptions (45 nm matches the paper's PDK).
+struct TechParams {
+  double feature_nm = 45.0;
+  double sram_cell_f2 = 146.0;  ///< 6T SRAM bit-cell area in F²
+  double cam_cell_f2 = 380.0;   ///< NOR CAM bit-cell area in F²
+  double dram_cell_f2 = 6.0;    ///< DRAM bit-cell area in F²
+  double periphery_factor = 1.35;  ///< decoder/sense/wiring overhead
+  double vdd = 1.1;
+};
+
+/// Result of sizing one memory macro.
+struct MacroEstimate {
+  MacroKind kind;
+  std::uint64_t capacity_bits = 0;
+  double area_mm2 = 0.0;
+  double read_energy_pj = 0.0;
+  double read_latency_ns = 0.0;
+};
+
+class CactiLite {
+ public:
+  explicit CactiLite(TechParams tech = {});
+
+  [[nodiscard]] MacroEstimate estimate(MacroKind kind,
+                                       std::uint64_t capacity_bits,
+                                       std::uint32_t word_bits) const;
+
+  /// Die area of a DRAM device holding `capacity_bytes` at this node; used
+  /// as the denominator of "area overhead %" figures.
+  [[nodiscard]] double dram_die_area_mm2(std::uint64_t capacity_bytes) const;
+
+  [[nodiscard]] const TechParams& tech() const { return tech_; }
+
+ private:
+  TechParams tech_;
+
+  [[nodiscard]] double cell_area_f2(MacroKind kind) const;
+};
+
+}  // namespace dl::analytic

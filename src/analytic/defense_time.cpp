@@ -1,0 +1,50 @@
+#include "analytic/defense_time.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dl::analytic {
+
+double swap_target_hit_probability(const DefenseTimeParams& p) {
+  DL_REQUIRE(p.copy_error_rate >= 0.0 && p.copy_error_rate < 1.0,
+             "copy error rate in [0,1)");
+  const double p_swap_fail = 1.0 - std::pow(1.0 - p.copy_error_rate, 3.0);
+  // The stray flip must hit the targeted bit *and* flip it the way the
+  // attacker needs (a flip in the already-desired direction is a no-op for
+  // a bit already at the target value: factor 2).
+  return p_swap_fail / (static_cast<double>(p.row_bits) * 2.0);
+}
+
+double dram_locker_defense_days(const DefenseTimeParams& p) {
+  const double p_hit = swap_target_hit_probability(p);
+  if (p_hit <= 0.0) return std::numeric_limits<double>::infinity();
+  // 1-(1-p_hit)^N = threshold  =>  N = log(1-threshold)/log(1-p_hit)
+  const double swaps =
+      std::log(1.0 - p.success_threshold) / std::log(1.0 - p_hit);
+  DL_REQUIRE(p.swaps_per_day > 0.0, "swap rate must be positive");
+  return swaps / p.swaps_per_day;
+}
+
+double shadow_defense_days(const DefenseTimeParams& p, std::uint64_t t_rh) {
+  DL_REQUIRE(p.attacker_attempts_per_day > 0.0,
+             "attack rate must be positive");
+  const double capacity =
+      p.shadow_capacity_per_1k_trh * static_cast<double>(t_rh) / 1000.0;
+  return capacity / p.attacker_attempts_per_day;
+}
+
+std::vector<DefenseTimeRow> fig7b_series(const DefenseTimeParams& p) {
+  std::vector<DefenseTimeRow> rows;
+  for (const std::uint64_t t_rh : {1000ULL, 2000ULL, 4000ULL, 8000ULL}) {
+    DefenseTimeRow r;
+    r.t_rh = t_rh;
+    r.shadow_days = shadow_defense_days(p, t_rh);
+    r.dram_locker_days = dram_locker_defense_days(p);
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace dl::analytic

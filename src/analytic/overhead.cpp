@@ -1,0 +1,175 @@
+#include "analytic/overhead.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "common/units.hpp"
+
+namespace dl::analytic {
+namespace {
+
+std::string human_bytes(std::uint64_t bytes) {
+  std::ostringstream os;
+  if (bytes == 0) {
+    os << "0";
+  } else if (bytes >= 1_MiB) {
+    os << static_cast<double>(bytes) / static_cast<double>(1_MiB) << "MB";
+  } else {
+    os << static_cast<double>(bytes) / static_cast<double>(1_KiB) << "KB";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string FrameworkOverhead::capacity_string() const {
+  std::ostringstream os;
+  bool first = true;
+  auto item = [&](std::uint64_t bytes, const char* tag) {
+    if (bytes == 0) return;
+    if (!first) os << " + ";
+    os << human_bytes(bytes) << tag;
+    first = false;
+  };
+  item(dram_bytes, " (DRAM)");
+  item(sram_bytes, " (SRAM)");
+  item(cam_bytes, " (CAM)");
+  if (first) os << "0";
+  return os.str();
+}
+
+std::uint64_t lock_table_bytes(const dl::dram::Geometry& geometry,
+                               std::uint64_t entries) {
+  // Entry: physical row address + valid bit + 5-bit state (swap bookkeeping).
+  // The 1k-R/W relock countdown is a single shared controller counter, not
+  // per-entry storage.
+  const auto addr_bits = static_cast<std::uint64_t>(
+      std::bit_width(geometry.total_rows() - 1));
+  const std::uint64_t entry_bits = addr_bits + 1 + 5;
+  return entries * entry_bits / 8;
+}
+
+std::vector<FrameworkOverhead> table1_overheads(
+    const dl::dram::Geometry& geometry, const OverheadConfig& config,
+    const CactiLite& cacti) {
+  std::vector<FrameworkOverhead> rows;
+  const std::uint64_t dram_bytes_total = geometry.total_bytes();
+  const double die_mm2 = cacti.dram_die_area_mm2(dram_bytes_total);
+
+  auto area_pct = [&](const FrameworkOverhead& f) {
+    double added = 0.0;
+    if (f.sram_bytes) {
+      added += cacti.estimate(MacroKind::kSram, f.sram_bytes * 8, 32).area_mm2;
+    }
+    if (f.cam_bytes) {
+      added += cacti.estimate(MacroKind::kCam, f.cam_bytes * 8, 32).area_mm2;
+    }
+    // In-DRAM storage reuses commodity cells: it costs capacity, not die
+    // area beyond the cells themselves (already part of the die).
+    return added / die_mm2 * 100.0;
+  };
+
+  // --- literature-reproduced rows (constants as reported in the paper's
+  // Table I for the same 32GB:16-bank DDR4 configuration) -------------------
+  {
+    FrameworkOverhead f{.name = "Graphene",
+                        .involved_memory = "CAM-SRAM",
+                        .sram_bytes = 1174405,   // 1.12 MB
+                        .cam_bytes = 555745,     // 0.53 MB
+                        .counters = 1};
+    f.area_pct = area_pct(f);
+    rows.push_back(f);
+  }
+  {
+    FrameworkOverhead f{.name = "Hydra",
+                        .involved_memory = "SRAM-DRAM",
+                        .dram_bytes = 4 * 1_MiB,
+                        .sram_bytes = 56 * 1_KiB,
+                        .counters = 1};
+    f.area_pct = area_pct(f);
+    rows.push_back(f);
+  }
+  {
+    FrameworkOverhead f{.name = "TWiCE",
+                        .involved_memory = "SRAM-CAM",
+                        .sram_bytes = 3313500,   // 3.16 MB
+                        .cam_bytes = 1677722,    // 1.6 MB
+                        .counters = 1};
+    f.area_pct = area_pct(f);
+    rows.push_back(f);
+  }
+
+  // --- derived rows ---------------------------------------------------------
+  {
+    // One counter per DRAM row, stored in DRAM; the update logic needs one
+    // arithmetic unit per counter *group* (8 rows share an updater).
+    FrameworkOverhead f{.name = "Counter per Row",
+                        .involved_memory = "DRAM",
+                        .derived = true};
+    f.dram_bytes = geometry.total_rows() * config.counter_bits / 8;
+    f.counters = geometry.rows_per_bank() / 8;
+    f.area_pct = area_pct(f);
+    rows.push_back(f);
+  }
+  {
+    FrameworkOverhead f{.name = "Counter Tree",
+                        .involved_memory = "DRAM",
+                        .derived = true};
+    // Per bank, a tree of `tree_counters` nodes; each node stores a count
+    // plus subtree pointers (64 B), all in DRAM (2 MB on this config).
+    f.dram_bytes = config.tree_counters * geometry.total_banks() * 64;
+    f.counters = config.tree_counters;
+    f.area_pct = area_pct(f);
+    rows.push_back(f);
+  }
+  {
+    FrameworkOverhead f{.name = "RRS",
+                        .involved_memory = "DRAM-SRAM",
+                        .dram_bytes = 4 * 1_MiB,
+                        .sram_bytes = 0,  // not reported in the source
+                        .counters = 0};
+    f.area_pct = area_pct(f);
+    rows.push_back(f);
+  }
+  {
+    FrameworkOverhead f{.name = "SRS",
+                        .involved_memory = "DRAM-SRAM",
+                        .dram_bytes = 1321206,  // 1.26 MB
+                        .sram_bytes = 0,        // not reported in the source
+                        .counters = 0};
+    f.area_pct = area_pct(f);
+    rows.push_back(f);
+  }
+  {
+    FrameworkOverhead f{.name = "SHADOW",
+                        .involved_memory = "DRAM",
+                        .dram_bytes = 167772,  // 0.16 MB
+                        .counters = 0};
+    f.area_pct = 0.6;  // reported: shuffle logic in the subarray periphery
+    rows.push_back(f);
+  }
+  {
+    FrameworkOverhead f{.name = "P-PIM",
+                        .involved_memory = "DRAM",
+                        .dram_bytes = 4325376,  // 4.125 MB
+                        .counters = 0};
+    f.area_pct = 0.34;  // reported: LUT/periphery additions
+    rows.push_back(f);
+  }
+  {
+    // DRAM-Locker: zero DRAM capacity, lock-table in SRAM, derived sizing.
+    FrameworkOverhead f{.name = "DRAM-Locker",
+                        .involved_memory = "DRAM-SRAM",
+                        .derived = true};
+    f.sram_bytes = lock_table_bytes(geometry, config.lock_entries);
+    f.counters = 0;
+    // Lock-table macro plus the Design-Compiler-synthesized sequencer /
+    // comparator logic in the controller (~1 mm² at 45 nm).
+    const double logic_mm2 = 1.05;
+    f.area_pct = area_pct(f) + logic_mm2 / die_mm2 * 100.0;
+    rows.push_back(f);
+  }
+  return rows;
+}
+
+}  // namespace dl::analytic

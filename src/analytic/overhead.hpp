@@ -1,0 +1,53 @@
+// Hardware-overhead accounting for Table I of the paper.
+//
+// For every framework the table compares, this module computes (or, where
+// the framework's sizing depends on internal constants published elsewhere,
+// reproduces with documented formulas) the storage added in DRAM / SRAM /
+// CAM and the resulting area overhead on a given DRAM configuration.
+//
+// DRAM-Locker's own overhead is derived from first principles: a lock-table
+// of `lock_entries` SRAM entries, each holding a physical row address plus a
+// valid bit and a 10-bit relock countdown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytic/cacti_lite.hpp"
+#include "dram/types.hpp"
+
+namespace dl::analytic {
+
+struct FrameworkOverhead {
+  std::string name;
+  std::string involved_memory;   ///< e.g. "DRAM-SRAM"
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t sram_bytes = 0;
+  std::uint64_t cam_bytes = 0;
+  std::uint64_t counters = 0;    ///< counter structures (0 = none)
+  double area_pct = 0.0;         ///< added area / DRAM die area
+  bool derived = false;          ///< true when computed from our formulas,
+                                 ///< false when reproduced from literature
+
+  [[nodiscard]] std::string capacity_string() const;
+};
+
+/// Sizing knobs for the frameworks whose overhead we derive.
+struct OverheadConfig {
+  std::uint64_t lock_entries = 16384;   ///< DRAM-Locker lock-table entries
+  std::uint64_t counter_bits = 64;      ///< Counter-per-Row counter width
+  std::uint64_t tree_counters = 1024;   ///< Counter-Tree node count
+};
+
+/// Computes all ten Table-I rows for the given DRAM geometry.
+[[nodiscard]] std::vector<FrameworkOverhead> table1_overheads(
+    const dl::dram::Geometry& geometry, const OverheadConfig& config = {},
+    const CactiLite& cacti = CactiLite{});
+
+/// DRAM-Locker lock-table sizing: entries × (row-address bits + valid +
+/// relock countdown), rounded up to bytes.
+[[nodiscard]] std::uint64_t lock_table_bytes(const dl::dram::Geometry& geometry,
+                                             std::uint64_t entries);
+
+}  // namespace dl::analytic

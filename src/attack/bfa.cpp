@@ -1,0 +1,183 @@
+#include "attack/bfa.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dl::attack {
+
+using dl::nn::BitAddress;
+using dl::nn::Dataset;
+using dl::nn::LossResult;
+using dl::nn::Tensor;
+
+ProgressiveBitSearch::ProgressiveBitSearch(dl::nn::Model& model,
+                                           dl::nn::QuantizedModel& qmodel,
+                                           BfaConfig config)
+    : model_(model), qmodel_(qmodel), config_(config) {
+  DL_REQUIRE(config_.layers_evaluated >= 1, "must evaluate at least 1 layer");
+}
+
+float ProgressiveBitSearch::compute_gradients(const Dataset& sample) {
+  model_.zero_grad();
+  const Tensor logits = model_.forward(sample.images, /*train=*/false);
+  const LossResult r = dl::nn::softmax_cross_entropy(logits, sample.labels);
+  model_.backward(r.grad);
+  return r.loss;
+}
+
+float ProgressiveBitSearch::flip_gain(std::int8_t q, unsigned bit, float grad,
+                                      float scale) {
+  // Two's-complement value change of flipping `bit`:
+  //   bit < 7 : +2^bit when the bit is 0, -2^bit when it is 1
+  //   bit = 7 : -128 when turning the sign bit on, +128 turning it off
+  const bool is_one = ((static_cast<std::uint8_t>(q) >> bit) & 1u) != 0;
+  float dq = static_cast<float>(1u << bit);
+  if (bit == 7) dq = 128.0f;
+  if (is_one) dq = -dq;
+  if (bit == 7) dq = -dq;
+  // First-order loss change: dL = g * dw = g * dq * scale.
+  return grad * dq * scale;
+}
+
+std::vector<ProgressiveBitSearch::Candidate>
+ProgressiveBitSearch::rank_candidates() {
+  std::vector<Candidate> best;
+  std::vector<Candidate> topk;  // per-layer top-k, kept sorted descending
+  for (std::size_t li = 0; li < qmodel_.layer_count(); ++li) {
+    const auto& layer = qmodel_.layer(li);
+    topk.clear();
+    for (std::size_t wi = 0; wi < layer.q.size(); ++wi) {
+      const float g = layer.target->grad[wi];
+      if (g == 0.0f) continue;
+      // Best non-attempted bit of this weight word: checking all 8 keeps
+      // the two's-complement arithmetic exact (sign bit included).
+      float best_gain = 0.0f;
+      unsigned best_bit = 0;
+      for (unsigned bit = 0; bit < 8; ++bit) {
+        const float gain = flip_gain(layer.q[wi], bit, g, layer.scale);
+        if (gain <= best_gain) continue;
+        if (attempted_.contains({li, wi, bit})) continue;
+        best_gain = gain;
+        best_bit = bit;
+      }
+      if (best_gain <= 0.0f) continue;
+      if (topk.size() == config_.candidates_per_layer &&
+          best_gain <= topk.back().predicted_gain) {
+        continue;
+      }
+      const Candidate c{{li, wi, best_bit}, best_gain};
+      const auto pos = std::upper_bound(
+          topk.begin(), topk.end(), c,
+          [](const Candidate& a, const Candidate& b) {
+            return a.predicted_gain > b.predicted_gain;
+          });
+      topk.insert(pos, c);
+      if (topk.size() > config_.candidates_per_layer) topk.pop_back();
+    }
+    best.insert(best.end(), topk.begin(), topk.end());
+  }
+  std::sort(best.begin(), best.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.predicted_gain > b.predicted_gain;
+            });
+  return best;
+}
+
+float ProgressiveBitSearch::evaluate_loss(const Dataset& sample,
+                                          std::size_t* correct) {
+  const Tensor logits = model_.forward(sample.images, /*train=*/false);
+  const LossResult r = dl::nn::softmax_cross_entropy(logits, sample.labels);
+  if (correct != nullptr) *correct = r.correct;
+  return r.loss;
+}
+
+BfaIteration ProgressiveBitSearch::step(const Dataset& sample,
+                                        const FlipGate& gate) {
+  BfaIteration it;
+  it.iteration = ++iteration_;
+  compute_gradients(sample);
+  const auto candidates = rank_candidates();
+
+  // Cross-layer phase: evaluate the top candidates by real forward loss.
+  const std::size_t evals =
+      std::min<std::size_t>(config_.layers_evaluated, candidates.size());
+  float best_loss = -1e30f;
+  std::optional<BitAddress> best_addr;
+  for (std::size_t i = 0; i < evals; ++i) {
+    const BitAddress addr = candidates[i].addr;
+    qmodel_.flip_bit(addr);
+    const float loss = evaluate_loss(sample, nullptr);
+    qmodel_.flip_bit(addr);  // undo
+    if (loss > best_loss) {
+      best_loss = loss;
+      best_addr = addr;
+    }
+  }
+
+  if (!best_addr) {
+    // No candidate improves the loss (or all attempted): attacker is stuck.
+    std::size_t correct = 0;
+    it.loss_after = evaluate_loss(sample, &correct);
+    it.accuracy_after =
+        static_cast<double>(correct) / static_cast<double>(sample.size());
+    return it;
+  }
+
+  attempted_.insert({best_addr->layer, best_addr->weight, best_addr->bit});
+  const bool landed = gate ? gate(*best_addr) : true;
+  if (landed) {
+    qmodel_.flip_bit(*best_addr);
+    it.flipped = *best_addr;
+  } else {
+    it.blocked = true;
+  }
+  std::size_t correct = 0;
+  it.loss_after = evaluate_loss(sample, &correct);
+  it.accuracy_after =
+      static_cast<double>(correct) / static_cast<double>(sample.size());
+  return it;
+}
+
+BfaResult ProgressiveBitSearch::run(const Dataset& sample,
+                                    const FlipGate& gate) {
+  BfaResult res;
+  for (std::size_t i = 0; i < config_.max_iterations; ++i) {
+    BfaIteration it = step(sample, gate);
+    if (it.flipped) {
+      ++res.flips_landed;
+    } else if (it.blocked) {
+      ++res.flips_blocked;
+    }
+    const double acc = it.accuracy_after;
+    const bool stuck = !it.flipped && !it.blocked;
+    res.iterations.push_back(std::move(it));
+    if (stuck) break;
+    if (acc <= config_.stop_below_accuracy) break;
+  }
+  return res;
+}
+
+RandomAttackResult random_bit_attack(dl::nn::Model& model,
+                                     dl::nn::QuantizedModel& qmodel,
+                                     const Dataset& sample, std::size_t flips,
+                                     dl::Rng& rng, const FlipGate& gate) {
+  RandomAttackResult res;
+  for (std::size_t i = 0; i < flips; ++i) {
+    BitAddress addr;
+    addr.layer = rng.next_below(qmodel.layer_count());
+    addr.weight = rng.next_below(qmodel.layer(addr.layer).weights());
+    addr.bit = static_cast<unsigned>(rng.next_below(8));
+    const bool landed = gate ? gate(addr) : true;
+    if (landed) qmodel.flip_bit(addr);
+    const dl::nn::Tensor logits =
+        model.forward(sample.images, /*train=*/false);
+    const dl::nn::LossResult r =
+        dl::nn::softmax_cross_entropy(logits, sample.labels);
+    res.accuracy_after.push_back(static_cast<double>(r.correct) /
+                                 static_cast<double>(sample.size()));
+  }
+  return res;
+}
+
+}  // namespace dl::attack

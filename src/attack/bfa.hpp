@@ -1,0 +1,102 @@
+// Bit-Flip Attack: progressive bit search (Rakin et al., ICCV'19).
+//
+// Each iteration: (1) compute weight gradients on the attacker's sample
+// batch, (2) inside every quantized layer rank candidate bits by the
+// first-order loss increase  g_i * Δw(bit)  a flip would cause, (3) across
+// the most promising layers, *evaluate* the actual post-flip loss with a
+// forward pass and commit the strongest flip.  The attacker degrades top-1
+// accuracy with remarkably few flips — tens of bits suffice to drive a
+// model to random-guess level (Fig. 1(a) / Fig. 8 of the paper).
+//
+// A `FlipGate` models the memory substrate: every selected flip is offered
+// to the gate, which realizes it (e.g. by RowHammering the weight's DRAM
+// row) or blocks it (DRAM-Locker).  Blocked bits are remembered so the
+// attacker moves on to its next candidate instead of retrying forever.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+#include "nn/quant.hpp"
+
+namespace dl::attack {
+
+/// Decides whether a selected bit flip actually lands in memory.
+/// Return true when the flip was realized.  The default gate always lands.
+using FlipGate = std::function<bool(const dl::nn::BitAddress&)>;
+
+struct BfaConfig {
+  std::size_t max_iterations = 100;
+  std::size_t candidates_per_layer = 1;  ///< top-n bits per layer
+  std::size_t layers_evaluated = 4;      ///< forward-evaluated layers/iter
+  double stop_below_accuracy = 0.0;      ///< stop early when acc drops below
+};
+
+struct BfaIteration {
+  std::size_t iteration = 0;
+  std::optional<dl::nn::BitAddress> flipped;  ///< nullopt if blocked/stuck
+  bool blocked = false;
+  float loss_after = 0.0f;
+  double accuracy_after = 0.0;  ///< on the attacker's sample batch
+};
+
+struct BfaResult {
+  std::vector<BfaIteration> iterations;
+  std::size_t flips_landed = 0;
+  std::size_t flips_blocked = 0;
+};
+
+class ProgressiveBitSearch {
+ public:
+  ProgressiveBitSearch(dl::nn::Model& model, dl::nn::QuantizedModel& qmodel,
+                       BfaConfig config);
+
+  /// Runs the attack against `sample` (images+labels the attacker drew from
+  /// the test set).  `gate` realizes or blocks each flip.
+  BfaResult run(const dl::nn::Dataset& sample, const FlipGate& gate = {});
+
+  /// One attack step; exposed for fine-grained experiment drivers.
+  BfaIteration step(const dl::nn::Dataset& sample, const FlipGate& gate);
+
+ private:
+  dl::nn::Model& model_;
+  dl::nn::QuantizedModel& qmodel_;
+  BfaConfig config_;
+  std::size_t iteration_ = 0;
+  std::set<std::tuple<std::size_t, std::size_t, unsigned>> attempted_;
+
+  struct Candidate {
+    dl::nn::BitAddress addr;
+    float predicted_gain = 0.0f;
+  };
+
+  /// Gradient pass; returns loss on the sample.
+  float compute_gradients(const dl::nn::Dataset& sample);
+
+  /// Ranks flip candidates from the current gradients.
+  std::vector<Candidate> rank_candidates();
+
+  /// Loss change caused by flipping bit `bit` of word `q` (two's
+  /// complement), to first order with weight gradient `grad` and `scale`.
+  [[nodiscard]] static float flip_gain(std::int8_t q, unsigned bit,
+                                       float grad, float scale);
+
+  float evaluate_loss(const dl::nn::Dataset& sample, std::size_t* correct);
+};
+
+/// Fig. 1(a) baseline: flips uniformly random bits of the quantized model.
+struct RandomAttackResult {
+  std::vector<double> accuracy_after;  ///< after each flip
+};
+
+RandomAttackResult random_bit_attack(dl::nn::Model& model,
+                                     dl::nn::QuantizedModel& qmodel,
+                                     const dl::nn::Dataset& sample,
+                                     std::size_t flips, dl::Rng& rng,
+                                     const FlipGate& gate = {});
+
+}  // namespace dl::attack

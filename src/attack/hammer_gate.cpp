@@ -1,0 +1,53 @@
+#include "attack/hammer_gate.hpp"
+
+#include "common/error.hpp"
+
+namespace dl::attack {
+
+HammerFlipGate::HammerFlipGate(dl::dram::Controller& ctrl,
+                               dl::rowhammer::DisturbanceModel& model,
+                               WeightBinding& binding,
+                               std::uint64_t act_budget,
+                               dl::rowhammer::HammerPattern pattern)
+    : ctrl_(ctrl),
+      model_(model),
+      binding_(binding),
+      act_budget_(act_budget),
+      pattern_(pattern) {}
+
+bool HammerFlipGate::operator()(const dl::nn::BitAddress& addr) {
+  const dl::dram::GlobalRowId victim =
+      binding_.row_of_weight(addr.layer, addr.weight);
+  dl::rowhammer::HammerAttacker attacker(ctrl_, model_);
+  const auto res =
+      attacker.attack(victim, pattern_, act_budget_, /*stop_after_flips=*/1);
+  total_acts_ += res.granted_acts;
+  total_denied_ += res.denied_acts;
+  if (res.flips_in_victim == 0) return false;
+
+  // Flip templating: the attacker's profiling converts "a flip landed in
+  // the row" into the precise targeted bit (threat-model item 2).
+  const dl::dram::PhysAddr paddr =
+      binding_.paddr_of_weight(addr.layer, addr.weight);
+  const dl::dram::GlobalRowId logical = ctrl_.mapper().row_of(paddr);
+  const dl::dram::GlobalRowId phys =
+      ctrl_.indirection().to_physical(logical);
+  const auto byte_in_row =
+      static_cast<std::uint32_t>(paddr % ctrl_.geometry().row_bytes);
+  ctrl_.data().flip_bit(phys, byte_in_row, addr.bit);
+  return true;
+}
+
+ResidualFlipGate::ResidualFlipGate(double land_probability, dl::Rng rng)
+    : p_(land_probability), rng_(rng) {
+  DL_REQUIRE(p_ >= 0.0 && p_ <= 1.0, "probability in [0,1]");
+}
+
+bool ResidualFlipGate::operator()(const dl::nn::BitAddress&) {
+  ++attempts_;
+  const bool land = rng_.chance(p_);
+  if (land) ++landed_;
+  return land;
+}
+
+}  // namespace dl::attack

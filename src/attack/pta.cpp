@@ -1,0 +1,95 @@
+#include "attack/pta.hpp"
+
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace dl::attack {
+
+using dl::dram::GlobalRowId;
+using dl::sys::FrameNumber;
+using dl::sys::kPageBytes;
+
+PageTableAttack::PageTableAttack(dl::dram::Controller& ctrl,
+                                 dl::rowhammer::DisturbanceModel& model,
+                                 dl::sys::FrameAllocator& frames,
+                                 PtaConfig config, dl::Rng rng)
+    : ctrl_(ctrl),
+      model_(model),
+      frames_(frames),
+      config_(config),
+      rng_(rng) {}
+
+std::optional<unsigned> PageTableAttack::pick_staging_frame(
+    FrameNumber victim_frame) {
+  // Try PFN bits from LSB up; the staging frame must exist and be free.
+  for (unsigned bit = 0; bit < 40; ++bit) {
+    const FrameNumber candidate = victim_frame ^ (FrameNumber{1} << bit);
+    if (candidate >= frames_.total_frames()) continue;
+    if (frames_.is_allocated(candidate)) continue;
+    frames_.allocate_exact(candidate);
+    staging_frame_ = candidate;
+    return bit;
+  }
+  return std::nullopt;
+}
+
+bool PageTableAttack::prepare(dl::sys::AddressSpace& attacker_space,
+                              FrameNumber victim_frame) {
+  if (staging_frame_) return true;  // already prepared
+  flip_bit_ = pick_staging_frame(victim_frame);
+  if (!flip_bit_) return false;
+  attacker_space.map_page(config_.attack_va, *staging_frame_,
+                          /*writable=*/true);
+  const auto pte_paddr = attacker_space.leaf_pte_paddr(config_.attack_va);
+  DL_ASSERT(pte_paddr.has_value());
+  pte_paddr_ = *pte_paddr;
+  pte_row_ = dl::dram::to_global(
+      ctrl_.geometry(), ctrl_.mapper().to_location(*pte_paddr).row);
+  return true;
+}
+
+PtaResult PageTableAttack::run(dl::sys::AddressSpace& attacker_space,
+                               FrameNumber victim_frame,
+                               std::span<const std::uint8_t> payload) {
+  PtaResult res;
+  if (!prepare(attacker_space, victim_frame)) return res;
+
+  // Phase 1: hammer the PTE row's neighbours until a flip lands in it.
+  dl::rowhammer::HammerAttacker attacker(ctrl_, model_);
+  const auto hammer = attacker.attack(*pte_row_, config_.pattern,
+                                      config_.act_budget,
+                                      /*stop_after_flips=*/1);
+  res.acts_granted = hammer.granted_acts;
+  res.acts_denied = hammer.denied_acts;
+  res.pte_flips = hammer.flips_in_victim;
+  if (res.pte_flips == 0) return res;  // defense held (or out of budget)
+
+  // Phase 2: flip templating.  A flip landed in the PTE row; the attacker's
+  // profiling places it on the targeted PFN bit of its own PTE.  The PTE
+  // word sits at a known byte offset inside the row.
+  const GlobalRowId pte_row_phys =
+      ctrl_.indirection().to_physical(*pte_row_);
+  const auto byte_in_row = static_cast<std::uint32_t>(
+      *pte_paddr_ % ctrl_.geometry().row_bytes);
+  // PFN field starts at PTE bit 12: byte 1, bit 4 within the little-endian
+  // 64-bit word.
+  const unsigned pte_bit = 12 + *flip_bit_;
+  ctrl_.data().flip_bit(pte_row_phys, byte_in_row + pte_bit / 8,
+                        pte_bit % 8);
+
+  // Verify the redirect took effect.
+  const auto pte = attacker_space.walk(config_.attack_va);
+  if (!pte || pte->pfn != victim_frame) return res;
+  res.redirected = true;
+
+  // Phase 3: overwrite victim data through the attacker's own mapping.
+  if (!payload.empty()) {
+    const auto w = attacker_space.write(config_.attack_va, payload);
+    res.payload_written = w.ok;
+  }
+  return res;
+}
+
+}  // namespace dl::attack

@@ -1,0 +1,84 @@
+// Page Table Attack (Fig. 3(b) of the paper; PT-Guard / PTHammer model).
+//
+// The attacker owns a virtual page and knows where its leaf PTE lives in
+// DRAM.  It chooses its own physical frame so that the victim frame's
+// number differs in exactly one PFN bit, then RowHammers the rows adjacent
+// to the PTE row.  Once a disturbance flip lands in the PTE row, the
+// attacker's precise flip-templating (threat-model item 2: "fast and
+// precise multi-bit-flip techniques") realizes the targeted PFN-bit flip —
+// the PTE now points at the victim's frame, and an ordinary user-level
+// write through the attacker's own virtual address overwrites victim data.
+//
+// With DRAM-Locker the rows adjacent to page-table rows are locked, the
+// hammering activations are denied, and the redirect never happens.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "dram/controller.hpp"
+#include "rowhammer/attacker.hpp"
+#include "sys/address_space.hpp"
+
+namespace dl::attack {
+
+struct PtaConfig {
+  std::uint64_t act_budget = 200000;  ///< hammer activations per PFN bit
+  dl::rowhammer::HammerPattern pattern =
+      dl::rowhammer::HammerPattern::kDoubleSided;
+  dl::sys::VirtAddr attack_va = 0x40000000;  ///< attacker's staging page
+};
+
+struct PtaResult {
+  bool redirected = false;       ///< PTE now points at the victim frame
+  bool payload_written = false;  ///< victim data overwritten
+  std::uint64_t acts_granted = 0;
+  std::uint64_t acts_denied = 0;
+  std::uint64_t pte_flips = 0;   ///< disturbance flips landed in the PTE row
+};
+
+class PageTableAttack {
+ public:
+  PageTableAttack(dl::dram::Controller& ctrl,
+                  dl::rowhammer::DisturbanceModel& model,
+                  dl::sys::FrameAllocator& frames, PtaConfig config,
+                  dl::Rng rng);
+
+  /// Attacks `victim_frame` through the given (attacker-owned) address
+  /// space: maps a staging page whose PFN is one bit away from the victim,
+  /// hammers the PTE row, and on success writes `payload` over the start of
+  /// the victim frame.
+  PtaResult run(dl::sys::AddressSpace& attacker_space,
+                dl::sys::FrameNumber victim_frame,
+                std::span<const std::uint8_t> payload);
+
+  /// The DRAM row holding the attacker's leaf PTE (what a defender should
+  /// protect).  Valid after prepare() / run().
+  [[nodiscard]] std::optional<dl::dram::GlobalRowId> pte_row() const {
+    return pte_row_;
+  }
+
+  /// Performs the setup (page placement) without hammering; used by
+  /// defenders in examples to decide what to protect before the attack.
+  bool prepare(dl::sys::AddressSpace& attacker_space,
+               dl::sys::FrameNumber victim_frame);
+
+ private:
+  dl::dram::Controller& ctrl_;
+  dl::rowhammer::DisturbanceModel& model_;
+  dl::sys::FrameAllocator& frames_;
+  PtaConfig config_;
+  dl::Rng rng_;
+  std::optional<dl::dram::GlobalRowId> pte_row_;
+  std::optional<dl::sys::FrameNumber> staging_frame_;
+  std::optional<unsigned> flip_bit_;
+  std::optional<std::uint64_t> pte_paddr_;
+
+  /// Picks a free frame differing from `victim_frame` in exactly one PFN
+  /// bit; returns the bit index.
+  std::optional<unsigned> pick_staging_frame(
+      dl::sys::FrameNumber victim_frame);
+};
+
+}  // namespace dl::attack

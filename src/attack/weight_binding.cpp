@@ -1,0 +1,96 @@
+#include "attack/weight_binding.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace dl::attack {
+
+using dl::dram::GlobalRowId;
+using dl::dram::PhysAddr;
+using dl::sys::kPageBytes;
+
+WeightBinding::WeightBinding(dl::dram::Controller& ctrl,
+                             dl::sys::AddressSpace& space,
+                             dl::nn::QuantizedModel& qmodel,
+                             dl::sys::VirtAddr base_va)
+    : ctrl_(ctrl),
+      space_(space),
+      qmodel_(qmodel),
+      base_va_(base_va),
+      image_size_(qmodel.total_weights()) {
+  DL_REQUIRE(dl::sys::page_offset(base_va) == 0,
+             "weight image must be page-aligned");
+}
+
+void WeightBinding::upload() {
+  const std::vector<std::uint8_t> image = qmodel_.serialize();
+  const std::size_t pages = (image.size() + kPageBytes - 1) / kPageBytes;
+  if (!mapped_) {
+    space_.map_contiguous(base_va_, pages, /*writable=*/true);
+    mapped_ = true;
+  }
+  for (std::size_t off = 0; off < image.size(); off += kPageBytes) {
+    const std::size_t len = std::min(kPageBytes, image.size() - off);
+    const auto res = space_.write(
+        base_va_ + off,
+        std::span<const std::uint8_t>(image.data() + off, len));
+    DL_REQUIRE(res.ok, "weight upload must succeed");
+  }
+}
+
+bool WeightBinding::sync_from_dram() {
+  DL_REQUIRE(mapped_, "upload() before sync_from_dram()");
+  std::vector<std::uint8_t> image(image_size_);
+  bool all_ok = true;
+  for (std::size_t off = 0; off < image.size(); off += kPageBytes) {
+    const std::size_t len = std::min(kPageBytes, image.size() - off);
+    const auto res = space_.read(
+        base_va_ + off, std::span<std::uint8_t>(image.data() + off, len));
+    all_ok = all_ok && res.ok;
+  }
+  qmodel_.deserialize(image);
+  return all_ok;
+}
+
+PhysAddr WeightBinding::paddr_of_weight(std::size_t layer,
+                                        std::size_t weight) {
+  DL_REQUIRE(mapped_, "upload() before address queries");
+  const std::size_t off = qmodel_.image_offset(layer, weight);
+  const dl::sys::VirtAddr va = va_of_offset(off);
+  const auto pte = space_.walk(va & ~(kPageBytes - 1));
+  DL_REQUIRE(pte.has_value(), "weight page must be mapped");
+  return pte->pfn * kPageBytes + dl::sys::page_offset(va);
+}
+
+GlobalRowId WeightBinding::row_of_weight(std::size_t layer,
+                                         std::size_t weight) {
+  return dl::dram::to_global(
+      ctrl_.geometry(),
+      ctrl_.mapper().to_location(paddr_of_weight(layer, weight)).row);
+}
+
+std::vector<GlobalRowId> WeightBinding::weight_rows() {
+  std::set<GlobalRowId> rows;
+  for (std::size_t li = 0; li < qmodel_.layer_count(); ++li) {
+    const std::size_t n = qmodel_.layer(li).weights();
+    // Row membership only changes at row boundaries; stride by row size.
+    const std::size_t stride = ctrl_.geometry().row_bytes;
+    for (std::size_t wi = 0; wi < n; wi += stride) {
+      rows.insert(row_of_weight(li, wi));
+    }
+    if (n > 0) rows.insert(row_of_weight(li, n - 1));
+  }
+  return {rows.begin(), rows.end()};
+}
+
+std::size_t WeightBinding::protect_all(dl::defense::DramLocker& locker) {
+  std::size_t locked = 0;
+  for (const GlobalRowId row : weight_rows()) {
+    locked += locker.protect_data_row(row);
+  }
+  return locked;
+}
+
+}  // namespace dl::attack

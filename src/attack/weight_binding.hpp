@@ -1,0 +1,64 @@
+// Binding between a quantized DNN's weight image and simulated DRAM.
+//
+// The victim process maps its weight tensors into virtual memory; the int8
+// weight words live in DRAM rows.  This class uploads the serialized
+// QuantizedModel image, tracks which DRAM rows hold which weight words (the
+// attacker's mapping file of threat-model item 4), reads the possibly
+// corrupted image back before inference, and can register every weight row
+// with DRAM-Locker for protection.
+#pragma once
+
+#include <vector>
+
+#include "defense/dram_locker.hpp"
+#include "dram/controller.hpp"
+#include "nn/quant.hpp"
+#include "sys/address_space.hpp"
+
+namespace dl::attack {
+
+class WeightBinding {
+ public:
+  WeightBinding(dl::dram::Controller& ctrl, dl::sys::AddressSpace& space,
+                dl::nn::QuantizedModel& qmodel, dl::sys::VirtAddr base_va);
+
+  /// Maps pages and writes the current weight image into DRAM.
+  void upload();
+
+  /// Reads the image back from DRAM and loads it into the model (bit flips
+  /// in DRAM become weight corruption).  Returns false if any read was
+  /// denied.
+  bool sync_from_dram();
+
+  /// Physical byte address of a weight word (via the page tables).
+  [[nodiscard]] dl::dram::PhysAddr paddr_of_weight(std::size_t layer,
+                                                   std::size_t weight);
+
+  /// Logical DRAM row holding a weight word (initial static mapping).
+  [[nodiscard]] dl::dram::GlobalRowId row_of_weight(std::size_t layer,
+                                                    std::size_t weight);
+
+  /// All distinct rows containing weight words.
+  [[nodiscard]] std::vector<dl::dram::GlobalRowId> weight_rows();
+
+  /// Registers every weight row with the defense (locks their neighbours).
+  /// Returns the number of rows newly locked.
+  std::size_t protect_all(dl::defense::DramLocker& locker);
+
+  [[nodiscard]] dl::sys::VirtAddr base_va() const { return base_va_; }
+  [[nodiscard]] std::size_t image_bytes() const { return image_size_; }
+
+ private:
+  dl::dram::Controller& ctrl_;
+  dl::sys::AddressSpace& space_;
+  dl::nn::QuantizedModel& qmodel_;
+  dl::sys::VirtAddr base_va_;
+  std::size_t image_size_;
+  bool mapped_ = false;
+
+  [[nodiscard]] dl::sys::VirtAddr va_of_offset(std::size_t offset) const {
+    return base_va_ + offset;
+  }
+};
+
+}  // namespace dl::attack

@@ -1,0 +1,65 @@
+#include "circuit/cell_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dl::circuit {
+
+double CellParams::bitline_swing() const {
+  // Charge sharing: the cell (precharged to VDD for a stored '1') shares
+  // charge with the bit-line precharged to VDD/2.
+  //   dV_ideal = (VDD/2) * C_cell / (C_cell + C_BL)
+  const double ratio = c_cell_f / (c_cell_f + c_bl_f);
+  const double dv_ideal = 0.5 * vdd * ratio;
+  // RC-limited transfer through the access transistor: the series cap is
+  // C_cell*C_BL/(C_cell+C_BL); shorter word-line pulses or weaker devices
+  // leave part of the charge behind.
+  const double c_series = c_cell_f * c_bl_f / (c_cell_f + c_bl_f);
+  const double tau = r_access_ohm * c_series;
+  const double transfer = 1.0 - std::exp(-t_share_s / tau);
+  return dv_ideal * transfer;
+}
+
+double CellParams::sense_margin() const {
+  return bitline_swing() - sense_offset_v;
+}
+
+VariationSampler::VariationSampler(CellParams nominal, double variation)
+    : nominal_(nominal), variation_(variation) {
+  DL_REQUIRE(variation >= 0.0 && variation <= 0.5,
+             "variation fraction out of the modelled range");
+}
+
+double VariationSampler::offset_sigma() const {
+  // Intrinsic mismatch floor plus a process-spread-proportional term,
+  // calibrated against the nominal 132 mV sensing margin so that the
+  // swap-error rates reproduce the paper's Spectre results
+  // (0% / 0.14% / 9.6% at ±0 / ±10 / ±20 % component variation).
+  return 0.013 + 0.245 * variation_;  // V of sigma at the sense-amp input
+}
+
+CellParams VariationSampler::sample(dl::Rng& rng) const {
+  // ±variation is a 3-sigma bound; draws are clamped at the corner values so
+  // a pathological tail sample cannot produce a non-physical component.
+  const double sigma = variation_ / 3.0;
+  auto draw = [&](double nominal) {
+    const double v = nominal * (1.0 + sigma * rng.normal());
+    const double lo = nominal * (1.0 - variation_);
+    const double hi = nominal * (1.0 + variation_);
+    return std::clamp(v, lo, hi);
+  };
+  CellParams p = nominal_;
+  if (variation_ > 0.0) {
+    p.c_cell_f = draw(nominal_.c_cell_f);
+    p.c_bl_f = draw(nominal_.c_bl_f);
+    p.r_access_ohm = draw(nominal_.r_access_ohm);
+    p.t_share_s = draw(nominal_.t_share_s);
+    p.vdd = draw(nominal_.vdd);
+    p.sense_offset_v = std::abs(rng.normal(0.0, offset_sigma()));
+  }
+  return p;
+}
+
+}  // namespace dl::circuit

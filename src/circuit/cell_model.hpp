@@ -1,0 +1,61 @@
+// Analytic electrical model of a DRAM cell / bit-line / sense-amplifier
+// chain, used to evaluate the in-DRAM SWAP (RowClone) under process
+// variation.
+//
+// This replaces the paper's Cadence Spectre + 45 nm NCSU PDK Monte-Carlo
+// (Sec. IV-D).  The model captures the mechanism that makes a RowClone copy
+// fail: charge sharing between the cell and the bit-line produces a small
+// differential voltage; RC-limited transfer through the access transistor
+// and sense-amplifier input offset erode the margin; when the margin goes
+// negative the sense amplifier latches the wrong value and the copied row is
+// corrupted.
+//
+// All first-order quantities use 45 nm-class DRAM values: VDD = 1.2 V,
+// C_cell ≈ 24 fF, C_BL ≈ 85 fF, access-transistor R_on ≈ 8 kΩ.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace dl::circuit {
+
+/// Nominal (mean) component values of the sensing chain.
+struct CellParams {
+  double vdd = 1.2;            ///< V
+  double c_cell_f = 24e-15;    ///< cell storage capacitance (F)
+  double c_bl_f = 85e-15;      ///< bit-line capacitance (F)
+  double r_access_ohm = 8e3;   ///< access transistor on-resistance (Ω)
+  double t_share_s = 4e-9;     ///< word-line pulse / charge-sharing time (s)
+  double sense_offset_v = 0.0; ///< sense-amp input-referred offset (V)
+
+  /// Differential bit-line swing after charge sharing, including the
+  /// RC-settling loss through the access transistor.
+  [[nodiscard]] double bitline_swing() const;
+
+  /// Margin left after subtracting the sense-amp offset.  Negative margin
+  /// means the sense amplifier resolves the wrong way: a copy error.
+  [[nodiscard]] double sense_margin() const;
+};
+
+/// Draws one Monte-Carlo instance of the chain at a given variation level.
+///
+/// `variation` is the ±X fraction of the paper (0.0, 0.10, 0.20, ...) and is
+/// interpreted as a 3-sigma bound on each component value, the conventional
+/// PDK corner interpretation.  The sense-amp offset is mismatch-driven and
+/// scales linearly with the same variation level.
+class VariationSampler {
+ public:
+  VariationSampler(CellParams nominal, double variation);
+
+  [[nodiscard]] CellParams sample(dl::Rng& rng) const;
+
+  [[nodiscard]] double variation() const { return variation_; }
+
+ private:
+  CellParams nominal_;
+  double variation_;
+
+  /// Input-referred sense-amp offset sigma at this variation level.
+  [[nodiscard]] double offset_sigma() const;
+};
+
+}  // namespace dl::circuit

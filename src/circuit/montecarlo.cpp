@@ -1,0 +1,41 @@
+#include "circuit/montecarlo.hpp"
+
+namespace dl::circuit {
+
+SwapMonteCarlo::SwapMonteCarlo(CellParams nominal, std::uint64_t seed)
+    : nominal_(nominal), rng_(seed) {}
+
+SwapErrorStats SwapMonteCarlo::run(double variation, std::uint64_t trials) {
+  const VariationSampler sampler(nominal_, variation);
+  SwapErrorStats stats;
+  stats.variation = variation;
+  stats.trials = trials;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    bool swap_failed = false;
+    for (int copy = 0; copy < kCopiesPerSwap; ++copy) {
+      const CellParams inst = sampler.sample(rng_);
+      if (inst.sense_margin() < 0.0) {
+        ++stats.copy_errors;
+        swap_failed = true;
+      }
+    }
+    if (swap_failed) ++stats.swap_errors;
+  }
+  return stats;
+}
+
+std::vector<SwapErrorStats> SwapMonteCarlo::sweep(
+    const std::vector<double>& variations, std::uint64_t trials) {
+  std::vector<SwapErrorStats> out;
+  out.reserve(variations.size());
+  for (const double v : variations) out.push_back(run(v, trials));
+  return out;
+}
+
+double SwapMonteCarlo::copy_error_probability(double variation,
+                                              std::uint64_t trials) {
+  const SwapErrorStats stats = run(variation, trials);
+  return stats.copy_error_rate();
+}
+
+}  // namespace dl::circuit

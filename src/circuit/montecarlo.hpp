@@ -1,0 +1,61 @@
+// Monte-Carlo engine for SWAP reliability under process variation
+// (reproduces Sec. IV-D of the paper).
+//
+// One SWAP = three RowClone copies (locked→buffer, unlocked→locked,
+// buffer→unlocked).  A trial samples a worst-case cell instance for each
+// copy step; the SWAP is erroneous if any step's sense margin is negative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/cell_model.hpp"
+#include "common/rng.hpp"
+
+namespace dl::circuit {
+
+/// Number of RowClone copies in one SWAP (Fig. 4(b) of the paper).
+inline constexpr int kCopiesPerSwap = 3;
+
+struct SwapErrorStats {
+  double variation = 0.0;      ///< ±fraction applied to every component
+  std::uint64_t trials = 0;
+  std::uint64_t copy_errors = 0;  ///< individual failed copy steps
+  std::uint64_t swap_errors = 0;  ///< trials where >=1 copy step failed
+
+  [[nodiscard]] double swap_error_rate() const {
+    return trials ? static_cast<double>(swap_errors) /
+                        static_cast<double>(trials)
+                  : 0.0;
+  }
+  [[nodiscard]] double copy_error_rate() const {
+    return trials ? static_cast<double>(copy_errors) /
+                        static_cast<double>(trials * kCopiesPerSwap)
+                  : 0.0;
+  }
+};
+
+class SwapMonteCarlo {
+ public:
+  explicit SwapMonteCarlo(CellParams nominal = {},
+                          std::uint64_t seed = 0xD1A);
+
+  /// Runs `trials` SWAP simulations at the given variation level.
+  [[nodiscard]] SwapErrorStats run(double variation,
+                                   std::uint64_t trials = 10000);
+
+  /// Runs the paper's sweep (±0 % … ±20 %) plus intermediate points.
+  [[nodiscard]] std::vector<SwapErrorStats> sweep(
+      const std::vector<double>& variations, std::uint64_t trials = 10000);
+
+  /// Single-copy error probability estimate at a variation level; used by
+  /// the defense-time analytic model (Fig. 7b).
+  [[nodiscard]] double copy_error_probability(double variation,
+                                              std::uint64_t trials = 20000);
+
+ private:
+  CellParams nominal_;
+  dl::Rng rng_;
+};
+
+}  // namespace dl::circuit

@@ -1,0 +1,45 @@
+// Minimal leveled logging.
+//
+// The simulator is mostly silent; logging is reserved for experiment drivers
+// (progress of long benches) and unexpected-but-recoverable situations.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is emitted (default: kInfo).
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Writes one line to stderr if `level` is at or above the global level.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log_line(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log_line(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace dl

@@ -1,0 +1,104 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dl {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DL_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  DL_REQUIRE(row.size() == header_.size(), "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << "\n";
+  };
+  emit(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+AsciiChart::AsciiChart(std::size_t width, std::size_t height)
+    : width_(width), height_(height) {
+  DL_REQUIRE(width >= 16 && height >= 4, "chart too small");
+}
+
+void AsciiChart::add_series(std::string name,
+                            std::vector<std::pair<double, double>> pts) {
+  series_.emplace_back(std::move(name), std::move(pts));
+}
+
+std::string AsciiChart::to_string() const {
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& [name, pts] : series_) {
+    for (const auto& [x, y] : pts) {
+      xmin = std::min(xmin, x);
+      xmax = std::max(xmax, x);
+      ymin = std::min(ymin, y);
+      ymax = std::max(ymax, y);
+    }
+  }
+  if (!(xmax > xmin)) xmax = xmin + 1.0;
+  if (!(ymax > ymin)) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  const char* marks = "*o+x#@%&";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const char mark = marks[s % 8];
+    for (const auto& [x, y] : series_[s].second) {
+      const auto cx = static_cast<std::size_t>(
+          (x - xmin) / (xmax - xmin) * static_cast<double>(width_ - 1));
+      const auto cy = static_cast<std::size_t>(
+          (y - ymin) / (ymax - ymin) * static_cast<double>(height_ - 1));
+      grid[height_ - 1 - cy][cx] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  os << std::setprecision(4);
+  os << "y: [" << ymin << ", " << ymax << "]  x: [" << xmin << ", " << xmax
+     << "]\n";
+  for (const auto& line : grid) os << "|" << line << "|\n";
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    os << "  '" << marks[s % 8] << "' = " << series_[s].first << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dl

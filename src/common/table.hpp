@@ -1,0 +1,49 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary reproduces one table or figure of the paper; TextTable
+// renders the same rows/series in aligned monospace so the output can be
+// compared against the publication directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dl {
+
+/// Column-aligned ASCII table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders with column separators and a rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an (x, series...) line chart as ASCII, used by figure benches to
+/// visualize the reproduced curves alongside the numeric dump.
+class AsciiChart {
+ public:
+  AsciiChart(std::size_t width, std::size_t height);
+
+  /// Adds a named series of (x, y) points.
+  void add_series(std::string name, std::vector<std::pair<double, double>> pts);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t width_, height_;
+  std::vector<std::pair<std::string, std::vector<std::pair<double, double>>>>
+      series_;
+};
+
+}  // namespace dl

@@ -1,0 +1,38 @@
+// Physical units used across the simulator.
+//
+// Time is tracked in integer picoseconds (std::int64_t) to keep DRAM timing
+// arithmetic exact; energy in picojoules as double; sizes in bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace dl {
+
+/// Simulation time in picoseconds.
+using Picoseconds = std::int64_t;
+
+constexpr Picoseconds operator""_ps(unsigned long long v) {
+  return static_cast<Picoseconds>(v);
+}
+constexpr Picoseconds operator""_ns(unsigned long long v) {
+  return static_cast<Picoseconds>(v) * 1000;
+}
+constexpr Picoseconds operator""_us(unsigned long long v) {
+  return static_cast<Picoseconds>(v) * 1000 * 1000;
+}
+constexpr Picoseconds operator""_ms(unsigned long long v) {
+  return static_cast<Picoseconds>(v) * 1000 * 1000 * 1000;
+}
+
+/// Converts picoseconds to (double) seconds for reporting.
+constexpr double to_seconds(Picoseconds t) { return static_cast<double>(t) * 1e-12; }
+
+/// Converts picoseconds to (double) nanoseconds for reporting.
+constexpr double to_nanoseconds(Picoseconds t) { return static_cast<double>(t) * 1e-3; }
+
+/// Sizes.
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+
+}  // namespace dl

@@ -1,0 +1,75 @@
+#include "core/system.hpp"
+
+#include "common/error.hpp"
+
+namespace dl::core {
+
+DramLockerSystem::DramLockerSystem(SystemConfig config)
+    : config_(config), rng_(config.seed) {
+  ctrl_ = std::make_unique<dl::dram::Controller>(
+      config_.geometry, config_.timing, config_.map_scheme);
+  disturbance_ = std::make_unique<dl::rowhammer::DisturbanceModel>(
+      *ctrl_, config_.disturbance, rng_.split());
+  ctrl_->add_listener(disturbance_.get());
+  frames_ = std::make_unique<dl::sys::FrameAllocator>(config_.geometry);
+}
+
+std::unique_ptr<dl::sys::AddressSpace>
+DramLockerSystem::make_address_space() {
+  return std::make_unique<dl::sys::AddressSpace>(*ctrl_, *frames_);
+}
+
+dl::Rng DramLockerSystem::make_rng() { return rng_.split(); }
+
+dl::defense::DramLocker& DramLockerSystem::enable_locker(
+    dl::defense::DramLockerConfig config) {
+  DL_REQUIRE(locker_ == nullptr, "locker already enabled");
+  locker_ = std::make_unique<dl::defense::DramLocker>(*ctrl_, config,
+                                                      rng_.split());
+  ctrl_->set_gate(locker_.get());
+  return *locker_;
+}
+
+dl::defense::Shadow& DramLockerSystem::enable_shadow(
+    dl::defense::ShadowConfig config) {
+  DL_REQUIRE(shadow_ == nullptr, "shadow already enabled");
+  shadow_ = std::make_unique<dl::defense::Shadow>(*ctrl_, config,
+                                                  rng_.split());
+  ctrl_->add_listener(shadow_.get());
+  return *shadow_;
+}
+
+void DramLockerSystem::disable_gate() { ctrl_->set_gate(nullptr); }
+
+std::size_t DramLockerSystem::protect_physical_range(dl::dram::PhysAddr base,
+                                                     std::uint64_t bytes) {
+  DL_REQUIRE(locker_ != nullptr, "enable_locker() first");
+  DL_REQUIRE(bytes > 0, "range must be non-empty");
+  const auto& g = config_.geometry;
+  std::size_t locked = 0;
+  // Walk the overlapped rows through the mapper to stay scheme-agnostic.
+  for (dl::dram::PhysAddr addr = base - (base % g.row_bytes);
+       addr < base + bytes; addr += g.row_bytes) {
+    locked += locker_->protect_data_row(ctrl_->mapper().row_of(addr));
+  }
+  return locked;
+}
+
+std::size_t DramLockerSystem::protect_virtual_range(
+    dl::sys::AddressSpace& space, dl::sys::VirtAddr va, std::uint64_t bytes) {
+  DL_REQUIRE(locker_ != nullptr, "enable_locker() first");
+  DL_REQUIRE(dl::sys::page_offset(va) == 0, "va must be page-aligned");
+  std::size_t locked = 0;
+  for (std::uint64_t off = 0; off < bytes; off += dl::sys::kPageBytes) {
+    const auto pte = space.walk(va + off);
+    DL_REQUIRE(pte.has_value(), "virtual range must be mapped");
+    const dl::dram::PhysAddr base =
+        pte->pfn * dl::sys::kPageBytes;
+    const std::uint64_t len =
+        std::min<std::uint64_t>(dl::sys::kPageBytes, bytes - off);
+    locked += protect_physical_range(base, len);
+  }
+  return locked;
+}
+
+}  // namespace dl::core

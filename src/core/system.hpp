@@ -1,0 +1,106 @@
+// DramLockerSystem: the top-level facade of the library.
+//
+// Wires together the DRAM controller, the RowHammer disturbance model, the
+// OS-lite layer (frames + page tables) and, optionally, a defense
+// (DRAM-Locker or a baseline) into one object with a small protection API:
+//
+//   DramLockerSystem sys(SystemConfig{});
+//   sys.enable_locker();                       // install DRAM-Locker
+//   sys.protect_physical_range(base, bytes);   // lock neighbours of a range
+//
+// Experiment drivers use the lower-level accessors (controller(),
+// disturbance(), locker(), ...) to stage attacks and measure outcomes.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "defense/dram_locker.hpp"
+#include "defense/shadow.hpp"
+#include "dram/controller.hpp"
+#include "rowhammer/attacker.hpp"
+#include "rowhammer/disturbance.hpp"
+#include "sys/address_space.hpp"
+#include "sys/allocator.hpp"
+
+namespace dl::core {
+
+struct SystemConfig {
+  dl::dram::Geometry geometry{
+      .channels = 1,
+      .ranks = 1,
+      .banks = 16,
+      .subarrays_per_bank = 64,
+      .rows_per_subarray = 1024,
+      .row_bytes = 8192,
+  };
+  dl::dram::Timing timing = dl::dram::ddr4_2400();
+  dl::dram::MapScheme map_scheme = dl::dram::MapScheme::kRowBankColumn;
+  dl::rowhammer::DisturbanceConfig disturbance{};
+  std::uint64_t seed = 0xD7A871;
+};
+
+class DramLockerSystem {
+ public:
+  explicit DramLockerSystem(SystemConfig config = {});
+
+  // Non-copyable/movable: components hold references into each other.
+  DramLockerSystem(const DramLockerSystem&) = delete;
+  DramLockerSystem& operator=(const DramLockerSystem&) = delete;
+
+  // -- component access ---------------------------------------------------
+
+  [[nodiscard]] dl::dram::Controller& controller() { return *ctrl_; }
+  [[nodiscard]] dl::rowhammer::DisturbanceModel& disturbance() {
+    return *disturbance_;
+  }
+  [[nodiscard]] dl::sys::FrameAllocator& frames() { return *frames_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+  /// Creates a fresh address space (victim process, attacker process, ...).
+  [[nodiscard]] std::unique_ptr<dl::sys::AddressSpace> make_address_space();
+
+  /// A derived deterministic RNG stream for experiment drivers.
+  [[nodiscard]] dl::Rng make_rng();
+
+  // -- defense management ----------------------------------------------------
+
+  /// Installs DRAM-Locker as the controller's access gate.
+  dl::defense::DramLocker& enable_locker(
+      dl::defense::DramLockerConfig config = {});
+
+  /// Installs the SHADOW baseline (activation listener; no gate).
+  dl::defense::Shadow& enable_shadow(dl::defense::ShadowConfig config = {});
+
+  /// Removes the active gate (keeps listeners registered — the controller
+  /// owns no listener lifetime; call before destroying a defense).
+  void disable_gate();
+
+  [[nodiscard]] dl::defense::DramLocker* locker() { return locker_.get(); }
+  [[nodiscard]] dl::defense::Shadow* shadow() { return shadow_.get(); }
+
+  // -- protection API ---------------------------------------------------------
+
+  /// Locks the neighbours of every DRAM row overlapped by
+  /// [base, base+bytes).  Requires an enabled locker.  Returns rows locked.
+  std::size_t protect_physical_range(dl::dram::PhysAddr base,
+                                     std::uint64_t bytes);
+
+  /// Locks the neighbours of the rows backing `pages` virtual pages of an
+  /// address space starting at `va` (e.g. a weight buffer or a page-table
+  /// page).  Returns rows locked.
+  std::size_t protect_virtual_range(dl::sys::AddressSpace& space,
+                                    dl::sys::VirtAddr va, std::uint64_t bytes);
+
+ private:
+  SystemConfig config_;
+  dl::Rng rng_;
+  std::unique_ptr<dl::dram::Controller> ctrl_;
+  std::unique_ptr<dl::rowhammer::DisturbanceModel> disturbance_;
+  std::unique_ptr<dl::sys::FrameAllocator> frames_;
+  std::unique_ptr<dl::defense::DramLocker> locker_;
+  std::unique_ptr<dl::defense::Shadow> shadow_;
+};
+
+}  // namespace dl::core

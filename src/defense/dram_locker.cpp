@@ -1,0 +1,207 @@
+#include "defense/dram_locker.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dl::defense {
+
+using dl::dram::from_global;
+using dl::dram::GlobalRowId;
+using dl::dram::RowAddress;
+using dl::dram::to_global;
+
+std::size_t DramLocker::SubarrayKeyHash::operator()(
+    const SubarrayKey& k) const {
+  std::size_t h = k.channel;
+  h = h * 1000003u + k.rank;
+  h = h * 1000003u + k.bank;
+  h = h * 1000003u + k.subarray;
+  return h;
+}
+
+DramLocker::DramLocker(dl::dram::Controller& ctrl, DramLockerConfig config,
+                       dl::Rng rng)
+    : ctrl_(ctrl),
+      config_(config),
+      table_(config.lock_table_entries),
+      sequencer_(ctrl, rng, config.copy_error_rate) {
+  DL_REQUIRE(config_.reserved_rows_per_subarray >= 2,
+             "need at least a buffer row and one free row per subarray");
+  DL_REQUIRE(config_.reserved_rows_per_subarray <
+                 ctrl.geometry().rows_per_subarray,
+             "reserved rows must leave space for data");
+  DL_REQUIRE(config_.relock_rw_interval > 0, "relock interval must be >0");
+}
+
+DramLocker::SubarrayKey DramLocker::key_of(const RowAddress& a) const {
+  return SubarrayKey{a.channel, a.rank, a.bank, a.subarray};
+}
+
+void DramLocker::build_reserved(const SubarrayKey& key) {
+  const auto& g = ctrl_.geometry();
+  ReservedRows r;
+  RowAddress a;
+  a.channel = key.channel;
+  a.rank = key.rank;
+  a.bank = key.bank;
+  a.subarray = key.subarray;
+  const std::uint32_t first =
+      g.rows_per_subarray - config_.reserved_rows_per_subarray;
+  for (std::uint32_t i = first; i < g.rows_per_subarray; ++i) {
+    a.row = i;
+    const GlobalRowId id = to_global(g, a);
+    reserved_set_.insert(id);
+    if (i + 1 == g.rows_per_subarray) {
+      r.buffer = id;  // last row of the subarray is the buffer row
+    } else {
+      r.free_pool.push_back(id);
+    }
+  }
+  reserved_.emplace(key, std::move(r));
+}
+
+DramLocker::ReservedRows& DramLocker::reserved_for(GlobalRowId physical_row) {
+  const SubarrayKey key = key_of(from_global(ctrl_.geometry(), physical_row));
+  auto it = reserved_.find(key);
+  if (it == reserved_.end()) {
+    build_reserved(key);
+    it = reserved_.find(key);
+  }
+  return it->second;
+}
+
+bool DramLocker::is_reserved(GlobalRowId physical_row) const {
+  if (reserved_set_.contains(physical_row)) return true;
+  // Rows in the reserved band of a not-yet-materialized subarray.
+  const auto& g = ctrl_.geometry();
+  const RowAddress a = from_global(g, physical_row);
+  return a.row >= g.rows_per_subarray - config_.reserved_rows_per_subarray;
+}
+
+std::size_t DramLocker::protect_data_row(GlobalRowId logical_row) {
+  const auto& g = ctrl_.geometry();
+  const GlobalRowId phys = ctrl_.indirection().to_physical(logical_row);
+  const RowAddress a = from_global(g, phys);
+  std::size_t locked = 0;
+  for (std::int64_t off = -static_cast<std::int64_t>(config_.protect_radius);
+       off <= static_cast<std::int64_t>(config_.protect_radius); ++off) {
+    if (off == 0) continue;  // the data row itself stays accessible
+    const std::int64_t r = static_cast<std::int64_t>(a.row) + off;
+    if (r < 0 || r >= static_cast<std::int64_t>(g.rows_per_subarray)) continue;
+    RowAddress nb = a;
+    nb.row = static_cast<std::uint32_t>(r);
+    const GlobalRowId nb_row = to_global(g, nb);
+    // Neighbours inside the defense-reserved band cannot (and need not) be
+    // locked: those rows never hold attacker-addressable data.
+    if (is_reserved(nb_row)) continue;
+    if (lock_physical_row(nb_row)) ++locked;
+  }
+  return locked;
+}
+
+bool DramLocker::lock_physical_row(GlobalRowId physical_row) {
+  DL_REQUIRE(!is_reserved(physical_row),
+             "defense-reserved rows cannot be locked");
+  return table_.lock(physical_row);
+}
+
+void DramLocker::unprotect_data_row(GlobalRowId logical_row) {
+  const auto& g = ctrl_.geometry();
+  const GlobalRowId phys = ctrl_.indirection().to_physical(logical_row);
+  const RowAddress a = from_global(g, phys);
+  for (std::int64_t off = -static_cast<std::int64_t>(config_.protect_radius);
+       off <= static_cast<std::int64_t>(config_.protect_radius); ++off) {
+    if (off == 0) continue;
+    const std::int64_t r = static_cast<std::int64_t>(a.row) + off;
+    if (r < 0 || r >= static_cast<std::int64_t>(g.rows_per_subarray)) continue;
+    RowAddress nb = a;
+    nb.row = static_cast<std::uint32_t>(r);
+    table_.unlock(to_global(g, nb));
+  }
+}
+
+bool DramLocker::unlock_swap(GlobalRowId locked_phys) {
+  ReservedRows& res = reserved_for(locked_phys);
+  if (res.free_pool.empty()) return false;
+  const GlobalRowId free_phys = res.free_pool.back();
+  res.free_pool.pop_back();
+
+  // Execute the Fig. 4(b) SWAP µprogram: locked -> buffer, free -> locked,
+  // buffer -> free.  After it, the locked row's data lives in `free_phys`.
+  dl::dram::DefenseScope scope(ctrl_);
+  sequencer_.load_reg(kRegLocked, locked_phys);
+  sequencer_.load_reg(kRegUnlocked, free_phys);
+  sequencer_.load_reg(kRegBuffer, res.buffer);
+  const SequencerResult sr = sequencer_.run(swap_program());
+  DL_ASSERT(sr.completed);
+  stats_.swap_copy_errors += sr.copy_errors;
+  ++stats_.unlock_swaps;
+
+  // Keep addressing stable: the logical row that pointed at locked_phys now
+  // resolves to free_phys (and vice versa).
+  const GlobalRowId logical_locked =
+      ctrl_.indirection().to_logical(locked_phys);
+  const GlobalRowId logical_free = ctrl_.indirection().to_logical(free_phys);
+  ctrl_.indirection().swap_logical(logical_locked, logical_free);
+
+  pending_.push_back({locked_phys, free_phys,
+                      stats_.rw_instructions + config_.relock_rw_interval});
+  return true;
+}
+
+void DramLocker::process_relocks() {
+  while (!pending_.empty() &&
+         pending_.front().due_at_rw <= stats_.rw_instructions) {
+    const PendingRelock p = pending_.front();
+    pending_.pop_front();
+    ++stats_.relocks;
+    switch (config_.relock_policy) {
+      case RelockPolicy::kRelockNewLocation: {
+        // Fig. 4(d): the data's new home inherits the lock; the old locked
+        // row (holding the former free-row contents) returns to the pool.
+        table_.relocate(p.old_phys, p.new_phys);
+        ReservedRows& res = reserved_for(p.old_phys);
+        res.free_pool.push_back(p.old_phys);
+        break;
+      }
+      case RelockPolicy::kSwapBack: {
+        dl::dram::DefenseScope scope(ctrl_);
+        ReservedRows& res = reserved_for(p.old_phys);
+        sequencer_.load_reg(kRegLocked, p.new_phys);
+        sequencer_.load_reg(kRegUnlocked, p.old_phys);
+        sequencer_.load_reg(kRegBuffer, res.buffer);
+        const SequencerResult sr = sequencer_.run(swap_program());
+        DL_ASSERT(sr.completed);
+        stats_.swap_copy_errors += sr.copy_errors;
+        const GlobalRowId la = ctrl_.indirection().to_logical(p.new_phys);
+        const GlobalRowId lb = ctrl_.indirection().to_logical(p.old_phys);
+        ctrl_.indirection().swap_logical(la, lb);
+        res.free_pool.push_back(p.new_phys);
+        break;
+      }
+    }
+  }
+}
+
+dl::dram::GateDecision DramLocker::before_access(
+    const dl::dram::AccessRequest& req, dl::dram::Controller& ctrl) {
+  ++stats_.rw_instructions;
+  process_relocks();
+
+  const GlobalRowId phys = ctrl.indirection().to_physical(req.logical_row);
+  if (!table_.is_locked(phys)) return dl::dram::GateDecision::kAllow;
+
+  if (!req.can_unlock) {
+    ++stats_.denied;
+    return dl::dram::GateDecision::kDeny;
+  }
+
+  if (!unlock_swap(phys)) {
+    ++stats_.pool_exhausted_denials;
+    return dl::dram::GateDecision::kDeny;
+  }
+  return dl::dram::GateDecision::kAllow;
+}
+
+}  // namespace dl::defense

@@ -1,0 +1,120 @@
+#include "defense/isa.hpp"
+
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace dl::defense {
+
+std::uint16_t Uop::encode() const {
+  std::uint64_t w = 0;
+  w = dl::deposit_bits(w, 14, 2, static_cast<std::uint64_t>(kind));
+  switch (kind) {
+    case UopKind::kCopy:
+      w = dl::deposit_bits(w, 7, 7, dst);
+      w = dl::deposit_bits(w, 0, 7, src);
+      break;
+    case UopKind::kBnez:
+      w = dl::deposit_bits(w, 7, 7, dst);
+      w = dl::deposit_bits(w, 0, 7,
+                           static_cast<std::uint8_t>(disp) & 0x7f);
+      break;
+    case UopKind::kDone:
+      break;
+  }
+  return static_cast<std::uint16_t>(w);
+}
+
+Uop Uop::decode(std::uint16_t word) {
+  Uop u;
+  const auto op = dl::extract_bits(word, 14, 2);
+  DL_REQUIRE(op != 0, "opcode 00 is reserved");
+  u.kind = static_cast<UopKind>(op);
+  switch (u.kind) {
+    case UopKind::kCopy:
+      u.dst = static_cast<std::uint8_t>(dl::extract_bits(word, 7, 7));
+      u.src = static_cast<std::uint8_t>(dl::extract_bits(word, 0, 7));
+      break;
+    case UopKind::kBnez: {
+      u.dst = static_cast<std::uint8_t>(dl::extract_bits(word, 7, 7));
+      // Sign-extend the 7-bit displacement.
+      auto d = static_cast<std::uint8_t>(dl::extract_bits(word, 0, 7));
+      if (d & 0x40) d |= 0x80;
+      u.disp = static_cast<std::int8_t>(d);
+      break;
+    }
+    case UopKind::kDone:
+      break;
+  }
+  return u;
+}
+
+std::string Uop::to_string() const {
+  std::ostringstream os;
+  switch (kind) {
+    case UopKind::kCopy:
+      os << "AAP r" << static_cast<int>(dst) << ", r" << static_cast<int>(src);
+      break;
+    case UopKind::kBnez:
+      os << "BNEZ r" << static_cast<int>(dst) << ", " << static_cast<int>(disp);
+      break;
+    case UopKind::kDone:
+      os << "DONE";
+      break;
+  }
+  return os.str();
+}
+
+Uop Uop::copy(std::uint8_t dst, std::uint8_t src) {
+  DL_REQUIRE(dst < kUopRegCount && src < kUopRegCount, "µReg out of range");
+  Uop u;
+  u.kind = UopKind::kCopy;
+  u.dst = dst;
+  u.src = src;
+  return u;
+}
+
+Uop Uop::bnez(std::uint8_t reg, std::int8_t disp) {
+  DL_REQUIRE(reg < kUopRegCount, "µReg out of range");
+  DL_REQUIRE(disp >= -64 && disp <= 63, "displacement must fit in 7 bits");
+  Uop u;
+  u.kind = UopKind::kBnez;
+  u.dst = reg;
+  u.disp = disp;
+  return u;
+}
+
+Uop Uop::done() {
+  Uop u;
+  u.kind = UopKind::kDone;
+  return u;
+}
+
+std::vector<Uop> swap_program() {
+  return {
+      Uop::copy(kRegBuffer, kRegLocked),    // 1: locked -> buffer
+      Uop::copy(kRegLocked, kRegUnlocked),  // 2: unlocked -> locked
+      Uop::copy(kRegUnlocked, kRegBuffer),  // 3: buffer -> unlocked
+      Uop::done(),
+  };
+}
+
+std::vector<Uop> repeated_swap_program(std::uint8_t counter_reg,
+                                       std::uint64_t times) {
+  DL_REQUIRE(counter_reg >= 3 && counter_reg < kUopRegCount,
+             "counter register must not alias the swap registers");
+  DL_REQUIRE(times >= 1, "loop must run at least once");
+  // The counter register is pre-loaded with (times - 1) by the sequencer
+  // caller; BNEZ branches back over the three copies while it is non-zero.
+  std::vector<Uop> prog = {
+      Uop::copy(kRegBuffer, kRegLocked),
+      Uop::copy(kRegLocked, kRegUnlocked),
+      Uop::copy(kRegUnlocked, kRegBuffer),
+      Uop::bnez(counter_reg, -3),
+      Uop::done(),
+  };
+  return prog;
+}
+
+}  // namespace dl::defense

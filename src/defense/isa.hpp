@@ -1,0 +1,64 @@
+// DRAM-Locker's 16-bit µISA (Fig. 5 of the paper).
+//
+// Two instruction classes compiled from upper-level code:
+//   OP = 01  AAP   row-copy (RowClone): activates µReg[src] then µReg[dst]
+//   OP = 10  BNEZ  branch if µReg[ctrl] != 0, decrementing it (loop control)
+//   OP = 11  DONE  terminate the µprogram
+// Encoding (16 bits): [15:14] OP | [13:7] dst | [6:0] src
+// For control ops the `dst` field carries the control register index and
+// `src` the (signed, 7-bit) branch displacement.
+//
+// µRegs hold physical row addresses loaded by the controller before the
+// program starts; the sequencer (sequencer.hpp) executes the stream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dl::defense {
+
+enum class UopKind : std::uint8_t {
+  kCopy = 0b01,   ///< AAP row copy, µReg[dst] <- µReg[src]
+  kBnez = 0b10,   ///< if (µReg[reg]-- != 0) pc += disp
+  kDone = 0b11,   ///< stop
+};
+
+inline constexpr unsigned kUopRegBits = 7;
+inline constexpr unsigned kUopRegCount = 1u << kUopRegBits;
+
+/// Decoded micro-instruction.
+struct Uop {
+  UopKind kind = UopKind::kDone;
+  std::uint8_t dst = 0;   ///< copy destination register / control register
+  std::uint8_t src = 0;   ///< copy source register
+  std::int8_t disp = 0;   ///< branch displacement (BNEZ only)
+
+  [[nodiscard]] std::uint16_t encode() const;
+  [[nodiscard]] static Uop decode(std::uint16_t word);
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] static Uop copy(std::uint8_t dst, std::uint8_t src);
+  [[nodiscard]] static Uop bnez(std::uint8_t reg, std::int8_t disp);
+  [[nodiscard]] static Uop done();
+};
+
+/// Builds the canonical 3-copy SWAP µprogram of Fig. 4(b):
+///   copy  buffer  <- locked      (step 1)
+///   copy  locked  <- unlocked    (step 2)
+///   copy  unlocked<- buffer      (step 3)
+///   done
+/// Register convention: r0 = locked row, r1 = unlocked row, r2 = buffer row.
+[[nodiscard]] std::vector<Uop> swap_program();
+
+/// Register indices used by swap_program().
+inline constexpr std::uint8_t kRegLocked = 0;
+inline constexpr std::uint8_t kRegUnlocked = 1;
+inline constexpr std::uint8_t kRegBuffer = 2;
+
+/// Builds a µprogram that repeats the SWAP `times` times using a BNEZ loop
+/// (exercises the control opcodes; used by tests and the micro bench).
+[[nodiscard]] std::vector<Uop> repeated_swap_program(std::uint8_t counter_reg,
+                                                     std::uint64_t times);
+
+}  // namespace dl::defense

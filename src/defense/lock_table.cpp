@@ -1,0 +1,58 @@
+#include "defense/lock_table.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dl::defense {
+
+LockTable::LockTable(std::size_t capacity) : capacity_(capacity) {
+  DL_REQUIRE(capacity > 0, "lock-table needs at least one entry");
+}
+
+bool LockTable::lock(dl::dram::GlobalRowId physical_row) {
+  if (rows_.contains(physical_row)) return false;
+  if (rows_.size() >= capacity_) {
+    ++rejected_;
+    return false;
+  }
+  rows_.emplace(physical_row, next_seq_++);
+  return true;
+}
+
+bool LockTable::unlock(dl::dram::GlobalRowId physical_row) {
+  return rows_.erase(physical_row) > 0;
+}
+
+bool LockTable::is_locked(dl::dram::GlobalRowId physical_row) const {
+  ++lookups_;
+  const bool hit = rows_.contains(physical_row);
+  if (hit) ++hits_;
+  return hit;
+}
+
+bool LockTable::relocate(dl::dram::GlobalRowId from, dl::dram::GlobalRowId to) {
+  const auto it = rows_.find(from);
+  if (it == rows_.end()) return false;
+  if (from == to) return true;
+  const std::uint64_t seq = it->second;
+  rows_.erase(it);
+  // Relocation cannot overflow: we just freed a slot.
+  rows_.emplace(to, seq);
+  return true;
+}
+
+std::vector<dl::dram::GlobalRowId> LockTable::locked_rows() const {
+  std::vector<std::pair<std::uint64_t, dl::dram::GlobalRowId>> order;
+  order.reserve(rows_.size());
+  for (const auto& [row, seq] : rows_) order.emplace_back(seq, row);
+  std::sort(order.begin(), order.end());
+  std::vector<dl::dram::GlobalRowId> out;
+  out.reserve(order.size());
+  for (const auto& [seq, row] : order) out.push_back(row);
+  return out;
+}
+
+void LockTable::clear() { rows_.clear(); }
+
+}  // namespace dl::defense

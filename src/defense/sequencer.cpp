@@ -1,0 +1,88 @@
+#include "defense/sequencer.hpp"
+
+#include "common/error.hpp"
+
+namespace dl::defense {
+
+Sequencer::Sequencer(dl::dram::Controller& ctrl, dl::Rng rng,
+                     double copy_error_rate)
+    : ctrl_(ctrl), rng_(rng), copy_error_rate_(copy_error_rate) {
+  set_copy_error_rate(copy_error_rate);
+}
+
+void Sequencer::set_copy_error_rate(double rate) {
+  DL_REQUIRE(rate >= 0.0 && rate <= 1.0, "error rate in [0,1]");
+  copy_error_rate_ = rate;
+}
+
+void Sequencer::load_reg(std::uint8_t reg, dl::dram::GlobalRowId row) {
+  DL_REQUIRE(reg < kUopRegCount, "µReg out of range");
+  regs_[reg] = row;
+}
+
+dl::dram::GlobalRowId Sequencer::reg(std::uint8_t r) const {
+  DL_REQUIRE(r < kUopRegCount, "µReg out of range");
+  return regs_[r];
+}
+
+void Sequencer::exec_copy(const Uop& u, SequencerResult& res) {
+  const bool corrupt = rng_.chance(copy_error_rate_);
+  std::uint32_t byte = 0;
+  unsigned bit = 0;
+  if (corrupt) {
+    byte = static_cast<std::uint32_t>(
+        rng_.next_below(ctrl_.geometry().row_bytes));
+    bit = static_cast<unsigned>(rng_.next_below(8));
+  }
+  ctrl_.row_clone(regs_[u.src], regs_[u.dst], corrupt, byte, bit);
+  ++res.copies;
+  if (corrupt) ++res.copy_errors;
+}
+
+SequencerResult Sequencer::run(const std::vector<Uop>& program,
+                               std::uint64_t fuel) {
+  SequencerResult res;
+  const Picoseconds start = ctrl_.now();
+  std::size_t pc = 0;
+  while (pc < program.size() && res.uops_executed < fuel) {
+    const Uop& u = program[pc];
+    ++res.uops_executed;
+    switch (u.kind) {
+      case UopKind::kCopy:
+        exec_copy(u, res);
+        ++pc;
+        break;
+      case UopKind::kBnez: {
+        dl::dram::GlobalRowId& r = regs_[u.dst];
+        if (r != 0) {
+          --r;
+          const auto target =
+              static_cast<std::int64_t>(pc) + static_cast<std::int64_t>(u.disp);
+          DL_REQUIRE(target >= 0 &&
+                         target < static_cast<std::int64_t>(program.size()),
+                     "branch target out of program");
+          pc = static_cast<std::size_t>(target);
+        } else {
+          ++pc;
+        }
+        break;
+      }
+      case UopKind::kDone:
+        res.completed = true;
+        res.elapsed = ctrl_.now() - start;
+        return res;
+    }
+  }
+  res.elapsed = ctrl_.now() - start;
+  return res;
+}
+
+SequencerResult Sequencer::run_encoded(const std::vector<std::uint16_t>& words,
+                                       std::uint64_t fuel) {
+  std::vector<Uop> program;
+  program.reserve(words.size());
+  for (const std::uint16_t w : words) program.push_back(Uop::decode(w));
+  return run(program, fuel);
+}
+
+}  // namespace dl::defense

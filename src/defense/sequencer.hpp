@@ -1,0 +1,61 @@
+// µOp sequencer: executes DRAM-Locker µprograms against the controller.
+//
+// The sequencer is the hardware block that receives compiled 16-bit
+// instructions (isa.hpp), keeps the µregister file of physical row
+// addresses, and drives RowClone copies.  Copy errors under process
+// variation are injected here: each AAP copy fails independently with the
+// configured probability, corrupting one random bit of the destination row
+// (the Monte-Carlo model of Sec. IV-D supplies the rate).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "defense/isa.hpp"
+#include "dram/controller.hpp"
+
+namespace dl::defense {
+
+/// Outcome of one µprogram execution.
+struct SequencerResult {
+  std::uint64_t uops_executed = 0;
+  std::uint64_t copies = 0;
+  std::uint64_t copy_errors = 0;   ///< AAP copies that corrupted data
+  bool completed = false;          ///< reached DONE within the fuel limit
+  Picoseconds elapsed = 0;
+};
+
+class Sequencer {
+ public:
+  Sequencer(dl::dram::Controller& ctrl, dl::Rng rng,
+            double copy_error_rate = 0.0);
+
+  /// Sets the per-copy error probability (from the circuit Monte Carlo).
+  void set_copy_error_rate(double rate);
+  [[nodiscard]] double copy_error_rate() const { return copy_error_rate_; }
+
+  /// Loads a physical row address into a µregister.
+  void load_reg(std::uint8_t reg, dl::dram::GlobalRowId row);
+  [[nodiscard]] dl::dram::GlobalRowId reg(std::uint8_t r) const;
+
+  /// Executes a decoded µprogram.  `fuel` bounds the number of µops to
+  /// protect against runaway loops in malformed programs.
+  SequencerResult run(const std::vector<Uop>& program,
+                      std::uint64_t fuel = 1 << 20);
+
+  /// Executes an encoded (16-bit word) program.
+  SequencerResult run_encoded(const std::vector<std::uint16_t>& words,
+                              std::uint64_t fuel = 1 << 20);
+
+ private:
+  dl::dram::Controller& ctrl_;
+  dl::Rng rng_;
+  double copy_error_rate_;
+  std::array<dl::dram::GlobalRowId, kUopRegCount> regs_{};
+
+  void exec_copy(const Uop& u, SequencerResult& res);
+};
+
+}  // namespace dl::defense

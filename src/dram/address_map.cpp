@@ -1,0 +1,81 @@
+#include "dram/address_map.hpp"
+
+#include "common/error.hpp"
+
+namespace dl::dram {
+
+AddressMapper::AddressMapper(const Geometry& geometry, MapScheme scheme)
+    : geometry_(geometry), scheme_(scheme) {}
+
+GlobalRowId AddressMapper::linear_row_to_global(std::uint64_t linear) const {
+  DL_REQUIRE(linear < geometry_.total_rows(), "linear row out of range");
+  switch (scheme_) {
+    case MapScheme::kRowBankColumn:
+      // Identity: linear row order == (channel, rank, bank, subarray, row).
+      return linear;
+    case MapScheme::kBankInterleaved: {
+      // Consecutive linear rows rotate across banks:
+      // linear = stripe * total_banks + bank_index, where a stripe walks the
+      // (subarray, row) space of one bank.
+      const std::uint64_t total_banks = geometry_.total_banks();
+      const std::uint64_t bank_index = linear % total_banks;
+      const std::uint64_t stripe = linear / total_banks;
+      RowAddress a;
+      a.row = static_cast<std::uint32_t>(stripe % geometry_.rows_per_subarray);
+      const std::uint64_t sa = stripe / geometry_.rows_per_subarray;
+      a.subarray = static_cast<std::uint32_t>(sa);
+      std::uint64_t b = bank_index;
+      a.bank = static_cast<std::uint32_t>(b % geometry_.banks);
+      b /= geometry_.banks;
+      a.rank = static_cast<std::uint32_t>(b % geometry_.ranks);
+      b /= geometry_.ranks;
+      a.channel = static_cast<std::uint32_t>(b);
+      return to_global(geometry_, a);
+    }
+  }
+  DL_ASSERT(false);
+}
+
+std::uint64_t AddressMapper::global_to_linear_row(GlobalRowId id) const {
+  switch (scheme_) {
+    case MapScheme::kRowBankColumn:
+      return id;
+    case MapScheme::kBankInterleaved: {
+      const RowAddress a = from_global(geometry_, id);
+      const std::uint64_t bank_index =
+          (static_cast<std::uint64_t>(a.channel) * geometry_.ranks + a.rank) *
+              geometry_.banks +
+          a.bank;
+      const std::uint64_t stripe =
+          static_cast<std::uint64_t>(a.subarray) * geometry_.rows_per_subarray +
+          a.row;
+      return stripe * geometry_.total_banks() + bank_index;
+    }
+  }
+  DL_ASSERT(false);
+}
+
+Location AddressMapper::to_location(PhysAddr addr) const {
+  DL_REQUIRE(addr < geometry_.total_bytes(), "physical address out of range");
+  const std::uint64_t linear_row = addr / geometry_.row_bytes;
+  Location loc;
+  loc.byte = static_cast<std::uint32_t>(addr % geometry_.row_bytes);
+  loc.row = from_global(geometry_, linear_row_to_global(linear_row));
+  return loc;
+}
+
+PhysAddr AddressMapper::to_phys(const Location& loc) const {
+  const GlobalRowId id = to_global(geometry_, loc.row);
+  DL_REQUIRE(loc.byte < geometry_.row_bytes, "byte offset out of row");
+  return global_to_linear_row(id) * geometry_.row_bytes + loc.byte;
+}
+
+GlobalRowId AddressMapper::row_of(PhysAddr addr) const {
+  return to_global(geometry_, to_location(addr).row);
+}
+
+PhysAddr AddressMapper::row_base(GlobalRowId row) const {
+  return global_to_linear_row(row) * geometry_.row_bytes;
+}
+
+}  // namespace dl::dram

@@ -1,0 +1,57 @@
+// Physical-address to DRAM-coordinate mapping.
+//
+// The OS layer hands the controller flat physical byte addresses; the mapper
+// splits them into (row coordinate, byte-offset-in-row) according to an
+// interleaving scheme.  Both schemes are exact bijections over the full
+// physical address space, which the property tests verify.
+#pragma once
+
+#include <cstdint>
+
+#include "dram/types.hpp"
+
+namespace dl::dram {
+
+using PhysAddr = std::uint64_t;
+
+/// Location of one byte inside the DRAM system.
+struct Location {
+  RowAddress row;
+  std::uint32_t byte = 0;  ///< byte offset within the row
+
+  auto operator<=>(const Location&) const = default;
+};
+
+/// Address interleaving scheme.
+enum class MapScheme {
+  kRowBankColumn,   ///< consecutive rows land in the same bank (simple)
+  kBankInterleaved, ///< consecutive rows rotate across banks (throughput)
+};
+
+class AddressMapper {
+ public:
+  AddressMapper(const Geometry& geometry, MapScheme scheme);
+
+  [[nodiscard]] const Geometry& geometry() const { return geometry_; }
+  [[nodiscard]] MapScheme scheme() const { return scheme_; }
+
+  /// Splits a flat physical byte address into a DRAM location.
+  [[nodiscard]] Location to_location(PhysAddr addr) const;
+
+  /// Inverse of to_location.
+  [[nodiscard]] PhysAddr to_phys(const Location& loc) const;
+
+  /// Row-granular helpers: the global row id that a physical address falls
+  /// into, and the base physical address of a global row.
+  [[nodiscard]] GlobalRowId row_of(PhysAddr addr) const;
+  [[nodiscard]] PhysAddr row_base(GlobalRowId row) const;
+
+ private:
+  Geometry geometry_;
+  MapScheme scheme_;
+
+  [[nodiscard]] GlobalRowId linear_row_to_global(std::uint64_t linear) const;
+  [[nodiscard]] std::uint64_t global_to_linear_row(GlobalRowId id) const;
+};
+
+}  // namespace dl::dram

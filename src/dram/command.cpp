@@ -1,0 +1,40 @@
+#include "dram/command.hpp"
+
+namespace dl::dram {
+
+const char* to_string(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kActivate:  return "ACT";
+    case CommandKind::kPrecharge: return "PRE";
+    case CommandKind::kRead:      return "RD";
+    case CommandKind::kWrite:     return "WR";
+    case CommandKind::kRefresh:   return "REF";
+    case CommandKind::kRowClone:  return "AAP";
+  }
+  return "?";
+}
+
+void CommandTrace::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (records_.size() > capacity_) {
+    dropped_ += records_.size() - capacity_;
+    records_.erase(records_.begin(),
+                   records_.end() - static_cast<std::ptrdiff_t>(capacity_));
+  }
+}
+
+void CommandTrace::record(const CommandRecord& rec) {
+  if (capacity_ == 0) return;
+  if (records_.size() == capacity_) {
+    records_.erase(records_.begin());
+    ++dropped_;
+  }
+  records_.push_back(rec);
+}
+
+void CommandTrace::clear() {
+  records_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace dl::dram

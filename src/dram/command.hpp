@@ -1,0 +1,56 @@
+// DRAM command vocabulary and optional command tracing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/types.hpp"
+
+namespace dl::dram {
+
+enum class CommandKind : std::uint8_t {
+  kActivate,
+  kPrecharge,
+  kRead,
+  kWrite,
+  kRefresh,      ///< targeted row refresh (defense-issued)
+  kRowClone,     ///< ACT-ACT intra-subarray bulk copy
+};
+
+[[nodiscard]] const char* to_string(CommandKind kind);
+
+/// One issued command, recorded by the trace when tracing is enabled.
+struct CommandRecord {
+  CommandKind kind;
+  GlobalRowId row = 0;       ///< physical row (src for RowClone)
+  GlobalRowId row2 = 0;      ///< RowClone destination, else 0
+  std::uint32_t byte = 0;    ///< column byte for RD/WR
+  bool defense_op = false;   ///< issued by a defense mechanism
+  Picoseconds issued_at = 0;
+};
+
+/// Bounded command trace; keeps the most recent `capacity` records.
+class CommandTrace {
+ public:
+  explicit CommandTrace(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] bool enabled() const { return capacity_ > 0; }
+
+  void record(const CommandRecord& rec);
+
+  [[nodiscard]] const std::vector<CommandRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<CommandRecord> records_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace dl::dram

@@ -1,0 +1,270 @@
+#include "dram/controller.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dl::dram {
+
+Controller::Controller(const Geometry& geometry, const Timing& timing,
+                       MapScheme scheme)
+    : geometry_(geometry),
+      timing_(timing),
+      mapper_(geometry, scheme),
+      data_(geometry),
+      indirection_(geometry),
+      open_row_(geometry.total_banks(), kNoOpenRow),
+      window_end_(timing.tREFW) {}
+
+void Controller::add_listener(ActivationListener* listener) {
+  DL_REQUIRE(listener != nullptr, "listener must not be null");
+  listeners_.push_back(listener);
+}
+
+void Controller::set_gate(AccessGate* gate) { gate_ = gate; }
+
+std::size_t Controller::bank_index(const RowAddress& a) const {
+  return (static_cast<std::size_t>(a.channel) * geometry_.ranks + a.rank) *
+             geometry_.banks +
+         a.bank;
+}
+
+void Controller::elapse(Picoseconds delta) {
+  DL_REQUIRE(delta >= 0, "time must not run backwards");
+  now_ += delta;
+  if (defense_depth_ > 0) defense_time_ += delta;
+  while (now_ >= window_end_) {
+    ++windows_;
+    // Advance the boundary *before* notifying listeners: a listener may
+    // consume time itself (e.g. SRS unswaps), which re-enters elapse().
+    const Picoseconds boundary = window_end_;
+    window_end_ += timing_.tREFW;
+    // Account the aggregate auto-refresh cost of one window: one REF of
+    // duration tRFC every tREFI.
+    const double refs =
+        static_cast<double>(timing_.tREFW) / static_cast<double>(timing_.tREFI);
+    stats_.add("auto_refresh_time_ps", refs * static_cast<double>(timing_.tRFC));
+    for (auto* l : listeners_) l->on_refresh_window(boundary);
+  }
+}
+
+void Controller::notify_activate(GlobalRowId phys) {
+  for (auto* l : listeners_) l->on_activate(phys, now_);
+}
+
+bool Controller::open_row(GlobalRowId phys, Picoseconds& latency) {
+  const RowAddress addr = from_global(geometry_, phys);
+  const std::size_t bank = bank_index(addr);
+  if (open_row_[bank] == phys) {
+    stats_.add("row_hits");
+    return true;
+  }
+  Picoseconds cost = 0;
+  if (open_row_[bank] != kNoOpenRow) {
+    cost += timing_.tRP;  // PRE the open row
+    stats_.add("precharges");
+    trace_.record({CommandKind::kPrecharge, open_row_[bank], 0, 0,
+                   defense_depth_ > 0, now_});
+  }
+  cost += timing_.tRCD;  // ACT the new row
+  open_row_[bank] = phys;
+  stats_.add("activates");
+  trace_.record(
+      {CommandKind::kActivate, phys, 0, 0, defense_depth_ > 0, now_});
+  latency += cost;
+  elapse(cost);
+  notify_activate(phys);
+  stats_.add("row_misses");
+  return false;
+}
+
+AccessResult Controller::access(PhysAddr addr, bool is_write,
+                                std::uint32_t len,
+                                std::span<std::uint8_t> out,
+                                std::span<const std::uint8_t> in,
+                                bool can_unlock, bool data_transfer) {
+  const Location loc = mapper_.to_location(addr);
+  DL_REQUIRE(loc.byte + len <= geometry_.row_bytes,
+             "access must not cross a row boundary");
+  const GlobalRowId logical = to_global(geometry_, loc.row);
+
+  AccessRequest req;
+  req.logical_row = logical;
+  req.byte = loc.byte;
+  req.len = len;
+  req.is_write = is_write;
+  req.can_unlock = can_unlock;
+
+  if (gate_ != nullptr &&
+      gate_->before_access(req, *this) == GateDecision::kDeny) {
+    // The instruction is skipped: no ACT reaches the array, no time is
+    // consumed on the bus (the lock-table lookup runs in parallel with
+    // command decode).
+    stats_.add("denied_accesses");
+    return {.granted = false, .row_hit = false, .latency = 0};
+  }
+
+  const GlobalRowId phys = indirection_.to_physical(logical);
+  AccessResult res;
+  res.row_hit = open_row(phys, res.latency);
+
+  if (data_transfer) {
+    Picoseconds cost = timing_.tCAS + timing_.tBURST;
+    if (is_write) {
+      data_.write(phys, loc.byte, in);
+      cost += timing_.tWR;
+      stats_.add("writes");
+      trace_.record({CommandKind::kWrite, phys, 0, loc.byte,
+                     defense_depth_ > 0, now_});
+    } else {
+      data_.read(phys, loc.byte, out);
+      stats_.add("reads");
+      trace_.record({CommandKind::kRead, phys, 0, loc.byte,
+                     defense_depth_ > 0, now_});
+    }
+    res.latency += cost;
+    elapse(cost);
+  }
+  return res;
+}
+
+AccessResult Controller::read(PhysAddr addr, std::span<std::uint8_t> out,
+                              bool can_unlock) {
+  return access(addr, /*is_write=*/false,
+                static_cast<std::uint32_t>(out.size()), out, {}, can_unlock,
+                /*data_transfer=*/true);
+}
+
+AccessResult Controller::write(PhysAddr addr,
+                               std::span<const std::uint8_t> in,
+                               bool can_unlock) {
+  return access(addr, /*is_write=*/true, static_cast<std::uint32_t>(in.size()),
+                {}, in, can_unlock, /*data_transfer=*/true);
+}
+
+AccessResult Controller::read_bulk(PhysAddr addr, std::span<std::uint8_t> out,
+                                   bool can_unlock) {
+  AccessResult total{.granted = true, .row_hit = false, .latency = 0};
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const PhysAddr cur = addr + done;
+    const std::size_t in_row =
+        geometry_.row_bytes - static_cast<std::size_t>(cur % geometry_.row_bytes);
+    const std::size_t chunk = std::min(in_row, out.size() - done);
+    const AccessResult r = read(cur, out.subspan(done, chunk), can_unlock);
+    total.granted = total.granted && r.granted;
+    total.latency += r.latency;
+    done += chunk;
+  }
+  return total;
+}
+
+AccessResult Controller::write_bulk(PhysAddr addr,
+                                    std::span<const std::uint8_t> in,
+                                    bool can_unlock) {
+  AccessResult total{.granted = true, .row_hit = false, .latency = 0};
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const PhysAddr cur = addr + done;
+    const std::size_t in_row =
+        geometry_.row_bytes - static_cast<std::size_t>(cur % geometry_.row_bytes);
+    const std::size_t chunk = std::min(in_row, in.size() - done);
+    const AccessResult r = write(cur, in.subspan(done, chunk), can_unlock);
+    total.granted = total.granted && r.granted;
+    total.latency += r.latency;
+    done += chunk;
+  }
+  return total;
+}
+
+AccessResult Controller::hammer(PhysAddr addr, bool can_unlock) {
+  // An ACT+PRE pair with no column command; force a row-buffer conflict so
+  // every call produces a fresh activation (the attacker interleaves two
+  // rows or uses explicit PRE to achieve this on real hardware).
+  const Location loc = mapper_.to_location(addr);
+  const GlobalRowId logical = to_global(geometry_, loc.row);
+
+  AccessRequest req;
+  req.logical_row = logical;
+  req.byte = loc.byte;
+  req.len = 0;
+  req.is_write = false;
+  req.can_unlock = can_unlock;
+
+  if (gate_ != nullptr &&
+      gate_->before_access(req, *this) == GateDecision::kDeny) {
+    stats_.add("denied_accesses");
+    return {.granted = false, .row_hit = false, .latency = 0};
+  }
+
+  const GlobalRowId phys = indirection_.to_physical(logical);
+  const RowAddress a = from_global(geometry_, phys);
+  const std::size_t bank = bank_index(a);
+  Picoseconds cost = 0;
+  if (open_row_[bank] != kNoOpenRow) {
+    cost += timing_.tRP;
+    stats_.add("precharges");
+  }
+  cost += timing_.tRAS;  // row must stay open tRAS before the next PRE
+  open_row_[bank] = kNoOpenRow;  // attacker immediately precharges
+  stats_.add("activates");
+  stats_.add("hammer_acts");
+  trace_.record({CommandKind::kActivate, phys, 0, 0, defense_depth_ > 0, now_});
+  AccessResult res;
+  res.latency = cost;
+  elapse(cost);
+  notify_activate(phys);
+  return res;
+}
+
+void Controller::row_clone(GlobalRowId src_phys, GlobalRowId dst_phys,
+                           bool corrupt, std::uint32_t corrupt_byte,
+                           unsigned corrupt_bit) {
+  const RowAddress src = from_global(geometry_, src_phys);
+  const RowAddress dst = from_global(geometry_, dst_phys);
+  DL_REQUIRE(same_subarray(src, dst),
+             "RowClone requires source and destination in one subarray");
+  const std::size_t bank = bank_index(src);
+  Picoseconds cost = 0;
+  if (open_row_[bank] != kNoOpenRow) {
+    cost += timing_.tRP;
+    stats_.add("precharges");
+  }
+  // Back-to-back ACT(src), ACT(dst) without intervening PRE, then PRE.
+  cost += timing_.tAAP + timing_.tRP;
+  open_row_[bank] = kNoOpenRow;
+  data_.copy_row(src_phys, dst_phys);
+  if (corrupt) {
+    data_.flip_bit(dst_phys, corrupt_byte % geometry_.row_bytes,
+                   corrupt_bit % 8);
+    stats_.add("rowclone_corruptions");
+  }
+  stats_.add("rowclones");
+  stats_.add("activates", 2);
+  trace_.record({CommandKind::kRowClone, src_phys, dst_phys, 0,
+                 defense_depth_ > 0, now_});
+  elapse(cost);
+  notify_activate(src_phys);
+  notify_activate(dst_phys);
+}
+
+void Controller::refresh_row(GlobalRowId physical_row) {
+  DL_REQUIRE(physical_row < geometry_.total_rows(), "row out of range");
+  const Picoseconds cost = timing_.row_cycle();
+  stats_.add("targeted_refreshes");
+  trace_.record({CommandKind::kRefresh, physical_row, 0, 0,
+                 defense_depth_ > 0, now_});
+  elapse(cost);
+  for (auto* l : listeners_) l->on_row_refresh(physical_row);
+}
+
+void Controller::advance_time(Picoseconds delta) { elapse(delta); }
+
+void Controller::push_defense_scope() { ++defense_depth_; }
+
+void Controller::pop_defense_scope() {
+  DL_REQUIRE(defense_depth_ > 0, "unbalanced defense scope");
+  --defense_depth_;
+}
+
+}  // namespace dl::dram

@@ -1,0 +1,87 @@
+#include "dram/data_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace dl::dram {
+
+DataStore::DataStore(const Geometry& geometry) : geometry_(geometry) {}
+
+void DataStore::check(GlobalRowId row, std::uint32_t offset,
+                      std::size_t len) const {
+  DL_REQUIRE(row < geometry_.total_rows(), "row id out of range");
+  DL_REQUIRE(offset + len <= geometry_.row_bytes,
+             "access crosses row boundary");
+}
+
+std::vector<std::uint8_t>& DataStore::row_data(GlobalRowId row) {
+  auto it = rows_.find(row);
+  if (it == rows_.end()) {
+    it = rows_.emplace(row, std::vector<std::uint8_t>(geometry_.row_bytes, 0))
+             .first;
+  }
+  return it->second;
+}
+
+void DataStore::read(GlobalRowId row, std::uint32_t offset,
+                     std::span<std::uint8_t> out) const {
+  check(row, offset, out.size());
+  const auto it = rows_.find(row);
+  if (it == rows_.end()) {
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    return;
+  }
+  std::memcpy(out.data(), it->second.data() + offset, out.size());
+}
+
+void DataStore::write(GlobalRowId row, std::uint32_t offset,
+                      std::span<const std::uint8_t> in) {
+  check(row, offset, in.size());
+  auto& data = row_data(row);
+  std::memcpy(data.data() + offset, in.data(), in.size());
+}
+
+std::uint8_t DataStore::read_byte(GlobalRowId row, std::uint32_t offset) const {
+  std::uint8_t b = 0;
+  read(row, offset, std::span<std::uint8_t>(&b, 1));
+  return b;
+}
+
+void DataStore::write_byte(GlobalRowId row, std::uint32_t offset,
+                           std::uint8_t value) {
+  write(row, offset, std::span<const std::uint8_t>(&value, 1));
+}
+
+std::uint8_t DataStore::flip_bit(GlobalRowId row, std::uint32_t offset,
+                                 unsigned bit) {
+  check(row, offset, 1);
+  DL_REQUIRE(bit < 8, "bit index within a byte");
+  auto& data = row_data(row);
+  data[offset] = dl::flip_bit(data[offset], bit);
+  return data[offset];
+}
+
+void DataStore::copy_row(GlobalRowId src, GlobalRowId dst) {
+  check(src, 0, 0);
+  check(dst, 0, 0);
+  if (src == dst) return;
+  const auto it = rows_.find(src);
+  if (it == rows_.end()) {
+    // Source is all-zero; materialize destination as zero only if it exists.
+    auto dit = rows_.find(dst);
+    if (dit != rows_.end()) {
+      std::fill(dit->second.begin(), dit->second.end(), std::uint8_t{0});
+    }
+    return;
+  }
+  row_data(dst) = it->second;
+}
+
+bool DataStore::materialized(GlobalRowId row) const {
+  return rows_.contains(row);
+}
+
+}  // namespace dl::dram

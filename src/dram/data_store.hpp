@@ -1,0 +1,58 @@
+// Sparse backing store for DRAM row contents.
+//
+// Only rows that have been written (or disturbed) are materialized; untouched
+// rows read as zero.  The store is keyed by *physical* global row id — swap
+// defenses move data between physical rows via RowClone, and the indirection
+// layer (indirection.hpp) keeps logical addresses stable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/types.hpp"
+
+namespace dl::dram {
+
+class DataStore {
+ public:
+  explicit DataStore(const Geometry& geometry);
+
+  [[nodiscard]] const Geometry& geometry() const { return geometry_; }
+
+  /// Reads `out.size()` bytes starting at byte `offset` of row `row`.
+  void read(GlobalRowId row, std::uint32_t offset, std::span<std::uint8_t> out) const;
+
+  /// Writes `in.size()` bytes starting at byte `offset` of row `row`.
+  void write(GlobalRowId row, std::uint32_t offset, std::span<const std::uint8_t> in);
+
+  /// Reads one byte.
+  [[nodiscard]] std::uint8_t read_byte(GlobalRowId row, std::uint32_t offset) const;
+
+  /// Writes one byte.
+  void write_byte(GlobalRowId row, std::uint32_t offset, std::uint8_t value);
+
+  /// Flips bit `bit` (0..7) of byte `offset` in row `row`; used by the
+  /// RowHammer fault-injection model.  Returns the new byte value.
+  std::uint8_t flip_bit(GlobalRowId row, std::uint32_t offset, unsigned bit);
+
+  /// Copies the full contents of row `src` over row `dst` (RowClone
+  /// semantics: destination is overwritten).
+  void copy_row(GlobalRowId src, GlobalRowId dst);
+
+  /// True if the row has been materialized (written at least once).
+  [[nodiscard]] bool materialized(GlobalRowId row) const;
+
+  /// Number of materialized rows (memory-footprint introspection).
+  [[nodiscard]] std::size_t materialized_rows() const { return rows_.size(); }
+
+ private:
+  Geometry geometry_;
+  mutable std::unordered_map<GlobalRowId, std::vector<std::uint8_t>> rows_;
+
+  std::vector<std::uint8_t>& row_data(GlobalRowId row);
+  void check(GlobalRowId row, std::uint32_t offset, std::size_t len) const;
+};
+
+}  // namespace dl::dram

@@ -1,0 +1,48 @@
+#include "dram/indirection.hpp"
+
+#include "common/error.hpp"
+
+namespace dl::dram {
+
+RowIndirection::RowIndirection(const Geometry& geometry)
+    : geometry_(geometry) {}
+
+GlobalRowId RowIndirection::to_physical(GlobalRowId logical) const {
+  DL_REQUIRE(logical < geometry_.total_rows(), "logical row out of range");
+  const auto it = fwd_.find(logical);
+  return it == fwd_.end() ? logical : it->second;
+}
+
+GlobalRowId RowIndirection::to_logical(GlobalRowId physical) const {
+  DL_REQUIRE(physical < geometry_.total_rows(), "physical row out of range");
+  const auto it = rev_.find(physical);
+  return it == rev_.end() ? physical : it->second;
+}
+
+void RowIndirection::set_pair(GlobalRowId logical, GlobalRowId physical) {
+  if (logical == physical) {
+    fwd_.erase(logical);
+    rev_.erase(physical);
+  } else {
+    fwd_[logical] = physical;
+    rev_[physical] = logical;
+  }
+}
+
+void RowIndirection::swap_logical(GlobalRowId logical_a, GlobalRowId logical_b) {
+  DL_REQUIRE(logical_a < geometry_.total_rows() &&
+                 logical_b < geometry_.total_rows(),
+             "logical row out of range");
+  if (logical_a == logical_b) return;
+  const GlobalRowId phys_a = to_physical(logical_a);
+  const GlobalRowId phys_b = to_physical(logical_b);
+  set_pair(logical_a, phys_b);
+  set_pair(logical_b, phys_a);
+}
+
+void RowIndirection::reset() {
+  fwd_.clear();
+  rev_.clear();
+}
+
+}  // namespace dl::dram

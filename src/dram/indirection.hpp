@@ -1,0 +1,45 @@
+// Logical-to-physical row indirection.
+//
+// Swap-based RowHammer defenses (DRAM-Locker, SHADOW, RRS/SRS) relocate row
+// *contents* between physical rows while keeping the addresses the rest of
+// the system uses stable.  RowIndirection maintains that remap as a sparse
+// bijection: logical rows map identity unless a swap has displaced them.
+//
+// Invariant: the mapping is a permutation of the global row space at all
+// times (checked by swap()).
+#pragma once
+
+#include <unordered_map>
+
+#include "dram/types.hpp"
+
+namespace dl::dram {
+
+class RowIndirection {
+ public:
+  explicit RowIndirection(const Geometry& geometry);
+
+  /// Physical row currently holding logical row `logical`.
+  [[nodiscard]] GlobalRowId to_physical(GlobalRowId logical) const;
+
+  /// Logical row whose contents currently live in physical row `physical`.
+  [[nodiscard]] GlobalRowId to_logical(GlobalRowId physical) const;
+
+  /// Exchanges the physical locations of two logical rows.
+  void swap_logical(GlobalRowId logical_a, GlobalRowId logical_b);
+
+  /// Number of rows currently displaced from their identity location.
+  [[nodiscard]] std::size_t displaced_rows() const { return fwd_.size(); }
+
+  /// Resets every row to its identity mapping.
+  void reset();
+
+ private:
+  Geometry geometry_;
+  std::unordered_map<GlobalRowId, GlobalRowId> fwd_;  ///< logical -> physical
+  std::unordered_map<GlobalRowId, GlobalRowId> rev_;  ///< physical -> logical
+
+  void set_pair(GlobalRowId logical, GlobalRowId physical);
+};
+
+}  // namespace dl::dram

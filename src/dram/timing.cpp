@@ -1,0 +1,64 @@
+#include "dram/timing.hpp"
+
+namespace dl::dram {
+
+Timing ddr4_2400() {
+  Timing t;
+  t.tCK = 833;
+  t.tRCD = 13750;
+  t.tRP = 13750;
+  t.tRAS = 32000;
+  t.tCAS = 13750;
+  t.tWR = 15000;
+  t.tRFC = 350000;
+  t.tREFI = 7800000;
+  t.tREFW = 64000000000;
+  t.tBURST = 3333;
+  t.tAAP = 49000;
+  return t;
+}
+
+Timing ddr3_1600() {
+  Timing t;
+  t.tCK = 1250;
+  t.tRCD = 13750;
+  t.tRP = 13750;
+  t.tRAS = 35000;
+  t.tCAS = 13750;
+  t.tWR = 15000;
+  t.tRFC = 260000;
+  t.tREFI = 7800000;
+  t.tREFW = 64000000000;
+  t.tBURST = 5000;
+  t.tAAP = 52000;
+  return t;
+}
+
+Timing lpddr4_3200() {
+  Timing t;
+  t.tCK = 625;
+  t.tRCD = 18000;
+  t.tRP = 18000;
+  t.tRAS = 42000;
+  t.tCAS = 18000;
+  t.tWR = 18000;
+  t.tRFC = 180000;
+  t.tREFI = 3900000;
+  t.tREFW = 32000000000;
+  t.tBURST = 2500;
+  t.tAAP = 60000;
+  return t;
+}
+
+std::vector<GenerationProfile> generation_survey() {
+  std::vector<GenerationProfile> v;
+  v.push_back({"DDR3 (old)", ddr3_1600(), 139000, 139000, 139000});
+  v.push_back({"DDR3 (new)", ddr3_1600(), 22400, 22400, 22400});
+  v.push_back({"DDR4 (old)", ddr4_2400(), 17500, 17500, 17500});
+  v.push_back({"DDR4 (new)", ddr4_2400(), 10000, 10000, 10000});
+  v.push_back({"LPDDR4 (old)", lpddr4_3200(), 16800, 16800, 16800});
+  v.push_back({"LPDDR4 (new)", lpddr4_3200(), 6900, 4800, 9000});
+  return v;
+}
+
+}  // namespace dl::dram

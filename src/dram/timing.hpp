@@ -1,0 +1,67 @@
+// DRAM timing parameters and per-generation presets.
+//
+// Timings are the JEDEC-style analytic latencies a trace-driven controller
+// needs; the presets approximate the datasheet values for each generation
+// evaluated in the paper.  RowHammer thresholds (T_RH) per generation follow
+// Fig. 1(b) of the paper (values from Kim et al., ISCA'20 / Woo et al.).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace dl::dram {
+
+/// Analytic command latencies (integer picoseconds).
+struct Timing {
+  Picoseconds tCK = 833;       ///< clock period
+  Picoseconds tRCD = 13750;    ///< ACT -> column command
+  Picoseconds tRP = 13750;     ///< PRE -> ACT
+  Picoseconds tRAS = 32000;    ///< ACT -> PRE (min row-open time)
+  Picoseconds tCAS = 13750;    ///< column command -> data (CL)
+  Picoseconds tWR = 15000;     ///< write recovery
+  Picoseconds tRFC = 350000;   ///< refresh command duration
+  Picoseconds tREFI = 7800000; ///< refresh interval (per-command)
+  Picoseconds tREFW = 64000000000;  ///< refresh window (64 ms)
+  Picoseconds tBURST = 3333;   ///< data burst (BL8)
+  Picoseconds tAAP = 49000;    ///< back-to-back ACT-ACT RowClone step
+                               ///< (intra-subarray copy, <100 ns total)
+
+  [[nodiscard]] Picoseconds row_cycle() const { return tRAS + tRP; }  ///< tRC
+
+  /// Read latency for a row-buffer miss: ACT + CAS + burst.
+  [[nodiscard]] Picoseconds miss_latency() const {
+    return tRCD + tCAS + tBURST;
+  }
+  /// Read latency for a row-buffer hit: CAS + burst.
+  [[nodiscard]] Picoseconds hit_latency() const { return tCAS + tBURST; }
+};
+
+/// One DRAM generation as surveyed in Fig. 1(b): name, timing, and the
+/// RowHammer threshold (activations within one refresh window needed to
+/// flip bits in a neighbouring victim row).
+struct GenerationProfile {
+  std::string name;
+  Timing timing;
+  std::uint64_t t_rh = 0;        ///< representative threshold
+  std::uint64_t t_rh_low = 0;    ///< low end when the source reports a range
+  std::uint64_t t_rh_high = 0;   ///< high end when the source reports a range
+};
+
+/// DDR4-2400 timing preset (default for all experiments).
+[[nodiscard]] Timing ddr4_2400();
+
+/// DDR3-1600 timing preset.
+[[nodiscard]] Timing ddr3_1600();
+
+/// LPDDR4-3200 timing preset.
+[[nodiscard]] Timing lpddr4_3200();
+
+/// The six generations of Fig. 1(b), in publication order:
+/// DDR3 (old) 139K, DDR3 (new) 22.4K, DDR4 (old) 17.5K, DDR4 (new) 10K,
+/// LPDDR4 (old) 16.8K, LPDDR4 (new) 4.8K–9K.
+[[nodiscard]] std::vector<GenerationProfile> generation_survey();
+
+}  // namespace dl::dram

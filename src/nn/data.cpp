@@ -1,0 +1,103 @@
+#include "nn/data.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace dl::nn {
+
+namespace {
+
+/// Bilinear upsample of a `grid x grid` pattern to `size x size`.
+void upsample(const std::vector<float>& grid_vals, std::size_t grid,
+              std::size_t size, float* out) {
+  const float scale = static_cast<float>(grid - 1) /
+                      static_cast<float>(size - 1);
+  for (std::size_t y = 0; y < size; ++y) {
+    const float gy = static_cast<float>(y) * scale;
+    const auto y0 = static_cast<std::size_t>(gy);
+    const std::size_t y1 = std::min(y0 + 1, grid - 1);
+    const float fy = gy - static_cast<float>(y0);
+    for (std::size_t x = 0; x < size; ++x) {
+      const float gx = static_cast<float>(x) * scale;
+      const auto x0 = static_cast<std::size_t>(gx);
+      const std::size_t x1 = std::min(x0 + 1, grid - 1);
+      const float fx = gx - static_cast<float>(x0);
+      const float v00 = grid_vals[y0 * grid + x0];
+      const float v01 = grid_vals[y0 * grid + x1];
+      const float v10 = grid_vals[y1 * grid + x0];
+      const float v11 = grid_vals[y1 * grid + x1];
+      out[y * size + x] = v00 * (1 - fy) * (1 - fx) + v01 * (1 - fy) * fx +
+                          v10 * fy * (1 - fx) + v11 * fy * fx;
+    }
+  }
+}
+
+}  // namespace
+
+Dataset make_synth_cifar(const SynthConfig& config, std::size_t count,
+                         std::uint64_t sample_seed) {
+  DL_REQUIRE(config.num_classes > 0 && config.image_size >= 8 &&
+                 config.grid >= 2,
+             "invalid SynthConfig");
+  const std::size_t s = config.image_size;
+  const std::size_t img = 3 * s * s;
+
+  // Class prototypes, deterministic in config.seed.
+  dl::Rng proto_rng(config.seed);
+  std::vector<std::vector<float>> prototypes(config.num_classes,
+                                             std::vector<float>(img));
+  std::vector<float> grid_vals(config.grid * config.grid);
+  for (auto& proto : prototypes) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      for (auto& g : grid_vals) {
+        g = static_cast<float>(proto_rng.uniform(-1.0, 1.0));
+      }
+      upsample(grid_vals, config.grid, s, proto.data() + c * s * s);
+    }
+  }
+
+  dl::Rng rng(sample_seed);
+  Dataset data;
+  data.num_classes = config.num_classes;
+  data.images = Tensor({count, 3, s, s});
+  data.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto label =
+        static_cast<std::uint16_t>(rng.next_below(config.num_classes));
+    data.labels[i] = label;
+    const float gain =
+        1.0f + config.jitter * static_cast<float>(rng.normal());
+    float* dst = data.images.data() + i * img;
+    const float* proto = prototypes[label].data();
+    for (std::size_t p = 0; p < img; ++p) {
+      dst[p] = gain * proto[p] +
+               config.noise_sigma * static_cast<float>(rng.normal());
+    }
+  }
+  return data;
+}
+
+SynthConfig synth_cifar10() {
+  SynthConfig c;
+  c.num_classes = 10;
+  // Tuned so small CNNs land near the paper's ~91 % clean accuracy instead
+  // of saturating the (otherwise separable) synthetic distribution.
+  c.noise_sigma = 0.55f;
+  c.jitter = 0.2f;
+  c.seed = 0xC1FA10;
+  return c;
+}
+
+SynthConfig synth_cifar100() {
+  SynthConfig c;
+  c.num_classes = 100;
+  // Heavier noise keeps the trained model away from saturated margins, so
+  // accuracies (and bit-flip sensitivity) resemble a natural dataset
+  // rather than a linearly-separable toy.
+  c.noise_sigma = 0.45f;
+  c.jitter = 0.25f;
+  c.seed = 0xC1FA100;
+  return c;
+}
+
+}  // namespace dl::nn

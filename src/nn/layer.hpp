@@ -1,0 +1,35 @@
+// Layer interface for the inference/training stack.
+//
+// Layers own their parameters and cache whatever they need from the forward
+// pass for the subsequent backward pass.  backward() receives dL/d(output)
+// and returns dL/d(input), accumulating parameter gradients into
+// Param::grad.  Training code zeroes gradients between steps.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace dl::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// `train` toggles batch-norm statistics accumulation.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Propagates gradient; must be called after forward on the same input.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace dl::nn

@@ -1,0 +1,378 @@
+#include "nn/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dl::nn {
+
+// -------------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(std::size_t in_ch, std::size_t out_ch, std::size_t kernel,
+               std::size_t stride, std::size_t pad, dl::Rng& rng)
+    : in_ch_(in_ch),
+      out_ch_(out_ch),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      weight_("conv.w") {
+  weight_.init(Tensor::kaiming({out_ch, in_ch, kernel, kernel},
+                               in_ch * kernel * kernel, rng));
+}
+
+void Conv2d::im2col(const Tensor& x, std::size_t n,
+                    std::vector<float>& cols) const {
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  const std::size_t ho = out_size(h), wo = out_size(w);
+  const std::size_t patch = in_ch_ * kernel_ * kernel_;
+  cols.assign(patch * ho * wo, 0.0f);
+  for (std::size_t c = 0; c < in_ch_; ++c) {
+    for (std::size_t kh = 0; kh < kernel_; ++kh) {
+      for (std::size_t kw = 0; kw < kernel_; ++kw) {
+        const std::size_t prow = (c * kernel_ + kh) * kernel_ + kw;
+        float* dst = cols.data() + prow * ho * wo;
+        for (std::size_t oh = 0; oh < ho; ++oh) {
+          const std::int64_t ih =
+              static_cast<std::int64_t>(oh * stride_ + kh) -
+              static_cast<std::int64_t>(pad_);
+          if (ih < 0 || ih >= static_cast<std::int64_t>(h)) {
+            dst += wo;
+            continue;
+          }
+          for (std::size_t ow = 0; ow < wo; ++ow) {
+            const std::int64_t iw =
+                static_cast<std::int64_t>(ow * stride_ + kw) -
+                static_cast<std::int64_t>(pad_);
+            *dst++ = (iw < 0 || iw >= static_cast<std::int64_t>(w))
+                         ? 0.0f
+                         : x.at4(n, c, static_cast<std::size_t>(ih),
+                                 static_cast<std::size_t>(iw));
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const std::vector<float>& cols, std::size_t n,
+                    Tensor& grad_in) const {
+  const std::size_t h = grad_in.dim(2), w = grad_in.dim(3);
+  const std::size_t ho = out_size(h), wo = out_size(w);
+  for (std::size_t c = 0; c < in_ch_; ++c) {
+    for (std::size_t kh = 0; kh < kernel_; ++kh) {
+      for (std::size_t kw = 0; kw < kernel_; ++kw) {
+        const std::size_t prow = (c * kernel_ + kh) * kernel_ + kw;
+        const float* src = cols.data() + prow * ho * wo;
+        for (std::size_t oh = 0; oh < ho; ++oh) {
+          const std::int64_t ih =
+              static_cast<std::int64_t>(oh * stride_ + kh) -
+              static_cast<std::int64_t>(pad_);
+          if (ih < 0 || ih >= static_cast<std::int64_t>(h)) {
+            src += wo;
+            continue;
+          }
+          for (std::size_t ow = 0; ow < wo; ++ow) {
+            const std::int64_t iw =
+                static_cast<std::int64_t>(ow * stride_ + kw) -
+                static_cast<std::int64_t>(pad_);
+            const float v = *src++;
+            if (iw >= 0 && iw < static_cast<std::int64_t>(w)) {
+              grad_in.at4(n, c, static_cast<std::size_t>(ih),
+                          static_cast<std::size_t>(iw)) += v;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool) {
+  DL_REQUIRE(x.rank() == 4 && x.dim(1) == in_ch_, "conv input shape mismatch");
+  cached_input_ = x;
+  const std::size_t batch = x.dim(0);
+  const std::size_t ho = out_size(x.dim(2)), wo = out_size(x.dim(3));
+  Tensor y({batch, out_ch_, ho, wo});
+  const std::size_t patch = in_ch_ * kernel_ * kernel_;
+  std::vector<float> cols;
+  for (std::size_t n = 0; n < batch; ++n) {
+    im2col(x, n, cols);
+    // y[n] = W[out_ch, patch] * cols[patch, ho*wo]
+    gemm(out_ch_, patch, ho * wo, weight_.value.data(), cols.data(),
+         y.data() + n * out_ch_ * ho * wo);
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t batch = x.dim(0);
+  const std::size_t ho = out_size(x.dim(2)), wo = out_size(x.dim(3));
+  const std::size_t patch = in_ch_ * kernel_ * kernel_;
+  Tensor grad_in(x.shape());
+  std::vector<float> cols;
+  std::vector<float> dcols(patch * ho * wo);
+  for (std::size_t n = 0; n < batch; ++n) {
+    im2col(x, n, cols);
+    const float* dy = grad_out.data() + n * out_ch_ * ho * wo;
+    // dW[out_ch, patch] += dy[out_ch, ho*wo] * cols[patch, ho*wo]^T
+    gemm_bt(out_ch_, ho * wo, patch, dy, cols.data(), weight_.grad.data(),
+            /*accumulate=*/true);
+    // dcols[patch, ho*wo] = W^T[patch, out_ch] * dy[out_ch, ho*wo]
+    gemm_at(patch, out_ch_, ho * wo, weight_.value.data(), dy, dcols.data());
+    col2im(dcols, n, grad_in);
+  }
+  return grad_in;
+}
+
+// -------------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               dl::Rng& rng)
+    : in_f_(in_features),
+      out_f_(out_features),
+      weight_("linear.w"),
+      bias_("linear.b") {
+  weight_.init(Tensor::kaiming({out_features, in_features}, in_features, rng));
+  bias_.init(Tensor::zeros({out_features}));
+}
+
+Tensor Linear::forward(const Tensor& x, bool) {
+  DL_REQUIRE(x.rank() == 2 && x.dim(1) == in_f_, "linear input mismatch");
+  cached_input_ = x;
+  const std::size_t batch = x.dim(0);
+  Tensor y({batch, out_f_});
+  // y = x[batch, in] * W^T[in, out]
+  gemm_bt(batch, in_f_, out_f_, x.data(), weight_.value.data(), y.data());
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t o = 0; o < out_f_; ++o) y.at2(n, o) += bias_.value[o];
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t batch = x.dim(0);
+  // dW[out, in] += dy^T[out, batch] * x[batch, in]
+  gemm_at(out_f_, batch, in_f_, grad_out.data(), x.data(),
+          weight_.grad.data(), /*accumulate=*/true);
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t o = 0; o < out_f_; ++o) {
+      bias_.grad[o] += grad_out.at2(n, o);
+    }
+  }
+  Tensor grad_in({batch, in_f_});
+  // dx = dy[batch, out] * W[out, in]
+  gemm(batch, out_f_, in_f_, grad_out.data(), weight_.value.data(),
+       grad_in.data());
+  return grad_in;
+}
+
+// --------------------------------------------------------------- BatchNorm2d
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_("bn.gamma"),
+      beta_("bn.beta"),
+      running_mean_(Tensor::zeros({channels})),
+      running_var_(Tensor::zeros({channels})) {
+  Tensor g({channels});
+  g.fill(1.0f);
+  gamma_.init(std::move(g));
+  beta_.init(Tensor::zeros({channels}));
+  running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  DL_REQUIRE(x.rank() == 4 && x.dim(1) == channels_, "bn input mismatch");
+  const std::size_t batch = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t count = batch * h * w;
+  Tensor y(x.shape());
+  cached_xhat_ = Tensor(x.shape());
+  cached_invstd_.assign(channels_, 0.0f);
+  cached_count_ = count;
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    float mean, var;
+    if (train) {
+      double sum = 0.0, sq = 0.0;
+      for (std::size_t n = 0; n < batch; ++n) {
+        for (std::size_t i = 0; i < h * w; ++i) {
+          const float v = x.data()[x.index4(n, c, 0, 0) + i];
+          sum += v;
+          sq += static_cast<double>(v) * v;
+        }
+      }
+      mean = static_cast<float>(sum / static_cast<double>(count));
+      var = static_cast<float>(sq / static_cast<double>(count)) - mean * mean;
+      var = std::max(var, 0.0f);
+      running_mean_[c] = (1 - momentum_) * running_mean_[c] + momentum_ * mean;
+      running_var_[c] = (1 - momentum_) * running_var_[c] + momentum_ * var;
+    } else {
+      mean = running_mean_[c];
+      var = running_var_[c];
+    }
+    const float invstd = 1.0f / std::sqrt(var + eps_);
+    cached_invstd_[c] = invstd;
+    const float g = gamma_.value[c], b = beta_.value[c];
+    for (std::size_t n = 0; n < batch; ++n) {
+      const std::size_t base = x.index4(n, c, 0, 0);
+      for (std::size_t i = 0; i < h * w; ++i) {
+        const float xh = (x.data()[base + i] - mean) * invstd;
+        cached_xhat_.data()[base + i] = xh;
+        y.data()[base + i] = g * xh + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  const std::size_t batch = grad_out.dim(0), h = grad_out.dim(2),
+                    w = grad_out.dim(3);
+  const auto count = static_cast<float>(cached_count_);
+  Tensor grad_in(grad_out.shape());
+  for (std::size_t c = 0; c < channels_; ++c) {
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t n = 0; n < batch; ++n) {
+      const std::size_t base = grad_out.index4(n, c, 0, 0);
+      for (std::size_t i = 0; i < h * w; ++i) {
+        const float dy = grad_out.data()[base + i];
+        sum_dy += dy;
+        sum_dy_xhat += static_cast<double>(dy) * cached_xhat_.data()[base + i];
+      }
+    }
+    gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+    beta_.grad[c] += static_cast<float>(sum_dy);
+    const float g = gamma_.value[c];
+    const float invstd = cached_invstd_[c];
+    const auto mean_dy = static_cast<float>(sum_dy / count);
+    const auto mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
+    for (std::size_t n = 0; n < batch; ++n) {
+      const std::size_t base = grad_out.index4(n, c, 0, 0);
+      for (std::size_t i = 0; i < h * w; ++i) {
+        const float dy = grad_out.data()[base + i];
+        const float xh = cached_xhat_.data()[base + i];
+        grad_in.data()[base + i] =
+            g * invstd * (dy - mean_dy - xh * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------- ReLU
+
+Tensor ReLU::forward(const Tensor& x, bool) {
+  Tensor y(x.shape());
+  mask_.assign(x.numel(), 0);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    if (x[i] > 0.0f) {
+      y[i] = x[i];
+      mask_[i] = 1;
+    }
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor grad_in(grad_out.shape());
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in[i] = mask_[i] ? grad_out[i] : 0.0f;
+  }
+  return grad_in;
+}
+
+// ----------------------------------------------------------------- MaxPool2d
+
+Tensor MaxPool2d::forward(const Tensor& x, bool) {
+  const std::size_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2),
+                    w = x.dim(3);
+  DL_REQUIRE(h % 2 == 0 && w % 2 == 0, "maxpool needs even spatial dims");
+  in_shape_ = x.shape();
+  Tensor y({batch, ch, h / 2, w / 2});
+  argmax_.assign(y.numel(), 0);
+  std::size_t oi = 0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      for (std::size_t oh = 0; oh < h / 2; ++oh) {
+        for (std::size_t ow = 0; ow < w / 2; ++ow, ++oi) {
+          float best = -1e30f;
+          std::size_t best_idx = 0;
+          for (std::size_t dh = 0; dh < 2; ++dh) {
+            for (std::size_t dw = 0; dw < 2; ++dw) {
+              const std::size_t idx =
+                  x.index4(n, c, oh * 2 + dh, ow * 2 + dw);
+              if (x[idx] > best) {
+                best = x[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          y[oi] = best;
+          argmax_[oi] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_);
+  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
+    grad_in[argmax_[i]] += grad_out[i];
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------- GlobalAvgPool
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool) {
+  const std::size_t batch = x.dim(0), ch = x.dim(1), h = x.dim(2),
+                    w = x.dim(3);
+  in_shape_ = x.shape();
+  Tensor y({batch, ch});
+  const float scale = 1.0f / static_cast<float>(h * w);
+  for (std::size_t n = 0; n < batch; ++n) {
+    for (std::size_t c = 0; c < ch; ++c) {
+      float sum = 0.0f;
+      const std::size_t base = x.index4(n, c, 0, 0);
+      for (std::size_t i = 0; i < h * w; ++i) sum += x.data()[base + i];
+      y.at2(n, c) = sum * scale;
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_);
+  const std::size_t h = in_shape_[2], w = in_shape_[3];
+  const float scale = 1.0f / static_cast<float>(h * w);
+  for (std::size_t n = 0; n < in_shape_[0]; ++n) {
+    for (std::size_t c = 0; c < in_shape_[1]; ++c) {
+      const float g = grad_out.at2(n, c) * scale;
+      const std::size_t base = grad_in.index4(n, c, 0, 0);
+      for (std::size_t i = 0; i < h * w; ++i) grad_in.data()[base + i] = g;
+    }
+  }
+  return grad_in;
+}
+
+// ------------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& x, bool) {
+  in_shape_ = x.shape();
+  Tensor y = x;
+  y.reshape({x.dim(0), x.numel() / x.dim(0)});
+  return y;
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  Tensor grad_in = grad_out;
+  grad_in.reshape(in_shape_);
+  return grad_in;
+}
+
+}  // namespace dl::nn

@@ -1,0 +1,112 @@
+#include "nn/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dl::nn {
+
+Tensor Model::forward(const Tensor& x, bool train) {
+  Tensor cur = x;
+  for (auto& layer : layers_) cur = layer->forward(cur, train);
+  return cur;
+}
+
+void Model::backward(const Tensor& grad_loss) {
+  Tensor cur = grad_loss;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+}
+
+std::vector<Param*> Model::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) {
+    const auto p = layer->params();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+void Model::zero_grad() {
+  for (Param* p : params()) p->grad.zero();
+}
+
+std::size_t Model::param_count() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->value.numel();
+  return n;
+}
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::uint16_t>& labels) {
+  DL_REQUIRE(logits.rank() == 2 && logits.dim(0) == labels.size(),
+             "logits/labels mismatch");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  LossResult res;
+  res.grad = Tensor(logits.shape());
+  double total = 0.0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    float maxv = -1e30f;
+    std::size_t argmax = 0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      if (logits.at2(n, c) > maxv) {
+        maxv = logits.at2(n, c);
+        argmax = c;
+      }
+    }
+    if (argmax == labels[n]) ++res.correct;
+    double denom = 0.0;
+    for (std::size_t c = 0; c < classes; ++c) {
+      denom += std::exp(static_cast<double>(logits.at2(n, c) - maxv));
+    }
+    const double logden = std::log(denom);
+    const double logp =
+        static_cast<double>(logits.at2(n, labels[n]) - maxv) - logden;
+    total -= logp;
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double p =
+          std::exp(static_cast<double>(logits.at2(n, c) - maxv)) / denom;
+      res.grad.at2(n, c) =
+          (static_cast<float>(p) - (c == labels[n] ? 1.0f : 0.0f)) * inv_batch;
+    }
+  }
+  res.loss = static_cast<float>(total / static_cast<double>(batch));
+  return res;
+}
+
+std::pair<Tensor, std::vector<std::uint16_t>> Dataset::batch(
+    const std::vector<std::size_t>& indices) const {
+  DL_REQUIRE(images.rank() == 4, "dataset images must be NCHW");
+  const std::size_t c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  const std::size_t img = c * h * w;
+  Tensor out({indices.size(), c, h, w});
+  std::vector<std::uint16_t> lab(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    DL_REQUIRE(indices[i] < size(), "batch index out of dataset");
+    std::copy_n(images.data() + indices[i] * img, img, out.data() + i * img);
+    lab[i] = labels[indices[i]];
+  }
+  return {std::move(out), std::move(lab)};
+}
+
+double evaluate_accuracy(Model& model, const Dataset& data,
+                         std::size_t chunk) {
+  std::size_t correct = 0;
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < data.size(); start += chunk) {
+    const std::size_t end = std::min(start + chunk, data.size());
+    idx.clear();
+    for (std::size_t i = start; i < end; ++i) idx.push_back(i);
+    auto [x, y] = data.batch(idx);
+    const Tensor logits = model.forward(x, /*train=*/false);
+    const LossResult r = softmax_cross_entropy(logits, y);
+    correct += r.correct;
+  }
+  return data.size() ? static_cast<double>(correct) /
+                           static_cast<double>(data.size())
+                     : 0.0;
+}
+
+}  // namespace dl::nn

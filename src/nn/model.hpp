@@ -1,0 +1,62 @@
+// Sequential model container, loss, and dataset types.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace dl::nn {
+
+/// A feed-forward stack of layers (residual blocks are composite layers).
+class Model {
+ public:
+  Model() = default;
+
+  void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor forward(const Tensor& x, bool train = false);
+  void backward(const Tensor& grad_loss);
+
+  [[nodiscard]] std::vector<Param*> params();
+  void zero_grad();
+
+  [[nodiscard]] std::size_t param_count();
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// Softmax cross-entropy over logits [N, classes].
+struct LossResult {
+  float loss = 0.0f;            ///< mean over the batch
+  Tensor grad;                  ///< dL/dlogits
+  std::size_t correct = 0;      ///< top-1 hits in the batch
+};
+
+[[nodiscard]] LossResult softmax_cross_entropy(
+    const Tensor& logits, const std::vector<std::uint16_t>& labels);
+
+/// Classification dataset: images [N,3,H,W] plus labels.
+struct Dataset {
+  Tensor images;
+  std::vector<std::uint16_t> labels;
+  std::size_t num_classes = 0;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+
+  /// Copies the subset at `indices` into a contiguous batch.
+  [[nodiscard]] std::pair<Tensor, std::vector<std::uint16_t>> batch(
+      const std::vector<std::size_t>& indices) const;
+};
+
+/// Top-1 accuracy of `model` on `data`, evaluated in `chunk`-sized batches.
+[[nodiscard]] double evaluate_accuracy(Model& model, const Dataset& data,
+                                       std::size_t chunk = 64);
+
+}  // namespace dl::nn

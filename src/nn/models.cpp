@@ -1,0 +1,70 @@
+#include "nn/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "nn/residual.hpp"
+
+namespace dl::nn {
+
+std::size_t scaled_channels(std::size_t base, float width_mult) {
+  DL_REQUIRE(width_mult > 0.0f && width_mult <= 4.0f,
+             "width multiplier out of range");
+  const auto scaled = static_cast<std::size_t>(
+      std::lround(static_cast<float>(base) * width_mult));
+  return std::max<std::size_t>(4, scaled);
+}
+
+Model make_resnet20(std::size_t num_classes, float width_mult, dl::Rng& rng) {
+  Model m;
+  const std::size_t w16 = scaled_channels(16, width_mult);
+  const std::size_t w32 = scaled_channels(32, width_mult);
+  const std::size_t w64 = scaled_channels(64, width_mult);
+
+  m.add(std::make_unique<Conv2d>(3, w16, 3, 1, 1, rng));
+  m.add(std::make_unique<BatchNorm2d>(w16));
+  m.add(std::make_unique<ReLU>());
+
+  auto stage = [&](std::size_t in_ch, std::size_t out_ch,
+                   std::size_t stride) {
+    m.add(std::make_unique<BasicBlock>(in_ch, out_ch, stride, rng));
+    m.add(std::make_unique<BasicBlock>(out_ch, out_ch, 1, rng));
+    m.add(std::make_unique<BasicBlock>(out_ch, out_ch, 1, rng));
+  };
+  stage(w16, w16, 1);
+  stage(w16, w32, 2);
+  stage(w32, w64, 2);
+
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Linear>(w64, num_classes, rng));
+  return m;
+}
+
+Model make_vgg11(std::size_t num_classes, float width_mult, dl::Rng& rng) {
+  Model m;
+  // -1 encodes a maxpool stage.
+  const int cfg[] = {64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1};
+  std::size_t in_ch = 3;
+  std::size_t last = 3;
+  for (const int c : cfg) {
+    if (c < 0) {
+      m.add(std::make_unique<MaxPool2d>());
+      continue;
+    }
+    const std::size_t out_ch =
+        scaled_channels(static_cast<std::size_t>(c), width_mult);
+    m.add(std::make_unique<Conv2d>(in_ch, out_ch, 3, 1, 1, rng));
+    m.add(std::make_unique<BatchNorm2d>(out_ch));
+    m.add(std::make_unique<ReLU>());
+    in_ch = out_ch;
+    last = out_ch;
+  }
+  // After five 2x pools a 32x32 input is 1x1 spatially.
+  m.add(std::make_unique<Flatten>());
+  m.add(std::make_unique<Linear>(last, num_classes, rng));
+  return m;
+}
+
+}  // namespace dl::nn

@@ -1,0 +1,28 @@
+// Model builders for the two architectures the paper evaluates.
+//
+// ResNet-20 (CIFAR variant): 3x3 stem, three stages of three basic blocks
+// at widths {16, 32, 64}·width_mult, global average pool, linear head.
+// VGG-11 (CIFAR conv-BN variant): conv cfg
+//   [64, M, 128, M, 256, 256, M, 512, 512, M, 512, 512, M]
+// with widths scaled by width_mult and a single linear classifier.
+//
+// `width_mult` < 1 shrinks channel counts for single-core runtime; the
+// topology (depth, strides, shortcut structure) is unchanged, which is what
+// the bit-flip-attack behaviour depends on.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+
+namespace dl::nn {
+
+[[nodiscard]] Model make_resnet20(std::size_t num_classes, float width_mult,
+                                  dl::Rng& rng);
+
+[[nodiscard]] Model make_vgg11(std::size_t num_classes, float width_mult,
+                               dl::Rng& rng);
+
+/// Channel scaling helper shared by the builders (min width 4).
+[[nodiscard]] std::size_t scaled_channels(std::size_t base, float width_mult);
+
+}  // namespace dl::nn

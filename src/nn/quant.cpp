@@ -1,0 +1,115 @@
+#include "nn/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+
+namespace dl::nn {
+
+QuantizedModel::QuantizedModel(Model& model) {
+  for (Param* p : model.params()) {
+    if (p->name.find("conv.w") == std::string::npos &&
+        p->name.find("linear.w") == std::string::npos) {
+      continue;
+    }
+    QuantizedLayer l;
+    l.target = p;
+    l.name = p->name;
+    float maxabs = 0.0f;
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      maxabs = std::max(maxabs, std::abs(p->value[i]));
+    }
+    l.scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+    l.q.resize(p->value.numel());
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      const float scaled = p->value[i] / l.scale;
+      const long rounded = std::lround(scaled);
+      l.q[i] = static_cast<std::int8_t>(
+          std::clamp<long>(rounded, -128, 127));
+    }
+    layers_.push_back(std::move(l));
+  }
+  DL_REQUIRE(!layers_.empty(), "model has no quantizable weights");
+  pristine_.reserve(layers_.size());
+  for (const auto& l : layers_) pristine_.push_back(l.q);
+  apply();
+}
+
+void QuantizedModel::apply_layer(QuantizedLayer& l) {
+  for (std::size_t i = 0; i < l.q.size(); ++i) {
+    l.target->value[i] = static_cast<float>(l.q[i]) * l.scale;
+  }
+}
+
+void QuantizedModel::apply() {
+  for (auto& l : layers_) apply_layer(l);
+}
+
+void QuantizedModel::restore() {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].q = pristine_[i];
+  }
+  apply();
+}
+
+std::size_t QuantizedModel::total_weights() const {
+  std::size_t n = 0;
+  for (const auto& l : layers_) n += l.q.size();
+  return n;
+}
+
+void QuantizedModel::flip_bit(const BitAddress& addr) {
+  QuantizedLayer& l = layers_.at(addr.layer);
+  DL_REQUIRE(addr.weight < l.q.size() && addr.bit < 8,
+             "bit address out of range");
+  auto u = static_cast<std::uint8_t>(l.q[addr.weight]);
+  u = dl::flip_bit(u, addr.bit);
+  l.q[addr.weight] = static_cast<std::int8_t>(u);
+  l.target->value[addr.weight] =
+      static_cast<float>(l.q[addr.weight]) * l.scale;
+}
+
+std::int8_t QuantizedModel::weight_word(std::size_t layer,
+                                        std::size_t weight) const {
+  return layers_.at(layer).q.at(weight);
+}
+
+void QuantizedModel::set_weight_word(std::size_t layer, std::size_t weight,
+                                     std::int8_t value) {
+  QuantizedLayer& l = layers_.at(layer);
+  l.q.at(weight) = value;
+  l.target->value[weight] = static_cast<float>(value) * l.scale;
+}
+
+std::vector<std::uint8_t> QuantizedModel::serialize() const {
+  std::vector<std::uint8_t> image;
+  image.reserve(total_weights());
+  for (const auto& l : layers_) {
+    for (const std::int8_t v : l.q) {
+      image.push_back(static_cast<std::uint8_t>(v));
+    }
+  }
+  return image;
+}
+
+void QuantizedModel::deserialize(const std::vector<std::uint8_t>& image) {
+  DL_REQUIRE(image.size() == total_weights(),
+             "image size must match weight count");
+  std::size_t off = 0;
+  for (auto& l : layers_) {
+    for (auto& v : l.q) v = static_cast<std::int8_t>(image[off++]);
+    apply_layer(l);
+  }
+}
+
+std::size_t QuantizedModel::image_offset(std::size_t layer,
+                                         std::size_t weight) const {
+  DL_REQUIRE(layer < layers_.size(), "layer out of range");
+  DL_REQUIRE(weight < layers_[layer].q.size(), "weight out of range");
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < layer; ++i) off += layers_[i].q.size();
+  return off + weight;
+}
+
+}  // namespace dl::nn

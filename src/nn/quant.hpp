@@ -1,0 +1,82 @@
+// 8-bit symmetric weight quantization and bit-level access.
+//
+// The BFA threat model (Rakin et al., ICCV'19) flips bits of two's-
+// complement int8 weight words.  QuantizedModel snapshots every conv/linear
+// weight tensor of a trained model into int8 (per-tensor symmetric scale)
+// and re-materializes the float weights as q * scale, so inference always
+// runs on exactly the values an int8 accelerator would use.  Flipping a
+// stored bit and re-applying reproduces the attack's effect; the same int8
+// bytes are what gets placed into simulated DRAM rows by the attack layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace dl::nn {
+
+/// One quantized weight tensor bound to its float parameter.
+struct QuantizedLayer {
+  Param* target = nullptr;       ///< float weights rewritten by apply()
+  std::vector<std::int8_t> q;    ///< two's-complement weight words
+  float scale = 1.0f;
+  std::string name;
+
+  [[nodiscard]] std::size_t weights() const { return q.size(); }
+};
+
+/// Address of a single bit within a quantized model.
+struct BitAddress {
+  std::size_t layer = 0;
+  std::size_t weight = 0;
+  unsigned bit = 0;  ///< 0 = LSB ... 7 = sign bit
+
+  bool operator==(const BitAddress&) const = default;
+};
+
+class QuantizedModel {
+ public:
+  /// Quantizes every parameter whose name contains "conv.w" or "linear.w".
+  explicit QuantizedModel(Model& model);
+
+  /// Rewrites the float model weights from the current int8 state.
+  void apply();
+
+  /// Restores the int8 state captured at construction and re-applies.
+  void restore();
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+  [[nodiscard]] const QuantizedLayer& layer(std::size_t i) const {
+    return layers_.at(i);
+  }
+  [[nodiscard]] std::size_t total_weights() const;
+  [[nodiscard]] std::size_t total_bits() const { return total_weights() * 8; }
+
+  /// Flips one bit and re-applies that layer's weights.
+  void flip_bit(const BitAddress& addr);
+
+  [[nodiscard]] std::int8_t weight_word(std::size_t layer,
+                                        std::size_t weight) const;
+  void set_weight_word(std::size_t layer, std::size_t weight,
+                       std::int8_t value);
+
+  /// Serializes all int8 weights layer-by-layer (the DRAM image).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Overwrites the int8 state from a serialized image and re-applies.
+  void deserialize(const std::vector<std::uint8_t>& image);
+
+  /// Byte offset of a weight word within the serialized image.
+  [[nodiscard]] std::size_t image_offset(std::size_t layer,
+                                         std::size_t weight) const;
+
+ private:
+  std::vector<QuantizedLayer> layers_;
+  std::vector<std::vector<std::int8_t>> pristine_;
+
+  void apply_layer(QuantizedLayer& l);
+};
+
+}  // namespace dl::nn

@@ -1,0 +1,34 @@
+// ResNet basic block: conv-bn-relu-conv-bn + shortcut, final ReLU.
+//
+// The shortcut is identity when shapes match and a 1x1 strided projection
+// conv + BN otherwise (ResNet option B).
+#pragma once
+
+#include <memory>
+
+#include "nn/layers.hpp"
+
+namespace dl::nn {
+
+class BasicBlock final : public Layer {
+ public:
+  BasicBlock(std::size_t in_ch, std::size_t out_ch, std::size_t stride,
+             dl::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override;
+  [[nodiscard]] std::string name() const override { return "basic_block"; }
+
+ private:
+  Conv2d conv1_;
+  BatchNorm2d bn1_;
+  ReLU relu1_;
+  Conv2d conv2_;
+  BatchNorm2d bn2_;
+  std::unique_ptr<Conv2d> proj_;       // nullptr for identity shortcut
+  std::unique_ptr<BatchNorm2d> proj_bn_;
+  std::vector<std::uint8_t> relu_mask_;  // final ReLU mask
+};
+
+}  // namespace dl::nn

@@ -1,0 +1,114 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace dl::nn {
+
+namespace {
+std::size_t shape_numel(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) n *= d;
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {
+  DL_REQUIRE(!shape_.empty(), "tensor needs a shape");
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::kaiming(std::vector<std::size_t> shape, std::size_t fan_in,
+                       dl::Rng& rng) {
+  Tensor t(std::move(shape));
+  DL_REQUIRE(fan_in > 0, "fan_in must be positive");
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in));
+  for (auto& v : t.data_) {
+    v = static_cast<float>(rng.uniform(-bound, bound));
+  }
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  DL_REQUIRE(i < shape_.size(), "dimension index out of rank");
+  return shape_[i];
+}
+
+std::size_t Tensor::index4(std::size_t n, std::size_t c, std::size_t h,
+                           std::size_t w) const {
+  return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::reshape(std::vector<std::size_t> shape) {
+  DL_REQUIRE(shape_numel(shape) == data_.size(),
+             "reshape must preserve element count");
+  shape_ = std::move(shape);
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * n;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate) {
+  // a is stored k x m; computes C[m,n] = sum_p a[p,i] * b[p,j].
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate) {
+  // b is stored n x k; computes C[m,n] = sum_p a[i,p] * b[j,p].
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace dl::nn

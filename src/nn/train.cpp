@@ -1,0 +1,72 @@
+#include "nn/train.hpp"
+
+#include <algorithm>
+
+namespace dl::nn {
+
+SgdTrainer::SgdTrainer(Model& model, SgdConfig config, dl::Rng rng)
+    : model_(model), config_(config), rng_(rng), lr_(config.lr) {
+  for (Param* p : model_.params()) {
+    velocity_.push_back(Tensor::zeros(p->value.shape()));
+  }
+}
+
+void SgdTrainer::step() {
+  const auto params = model_.params();
+  DL_ASSERT(params.size() == velocity_.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param* p = params[i];
+    Tensor& v = velocity_[i];
+    for (std::size_t j = 0; j < p->value.numel(); ++j) {
+      const float g =
+          p->grad[j] + config_.weight_decay * p->value[j];
+      v[j] = config_.momentum * v[j] - lr_ * g;
+      p->value[j] += v[j];
+    }
+  }
+}
+
+EpochStats SgdTrainer::train_epoch(const Dataset& data) {
+  EpochStats stats;
+  stats.epoch = ++epoch_;
+  const auto order = rng_.permutation(data.size());
+  double loss_sum = 0.0;
+  std::size_t batches = 0;
+  std::size_t correct = 0;
+  std::vector<std::size_t> idx;
+  for (std::size_t start = 0; start < order.size();
+       start += config_.batch_size) {
+    const std::size_t end =
+        std::min(start + config_.batch_size, order.size());
+    idx.assign(order.begin() + static_cast<std::ptrdiff_t>(start),
+               order.begin() + static_cast<std::ptrdiff_t>(end));
+    auto [x, y] = data.batch(idx);
+    model_.zero_grad();
+    const Tensor logits = model_.forward(x, /*train=*/true);
+    const LossResult r = softmax_cross_entropy(logits, y);
+    model_.backward(r.grad);
+    step();
+    loss_sum += r.loss;
+    correct += r.correct;
+    ++batches;
+  }
+  stats.mean_loss =
+      batches ? static_cast<float>(loss_sum / static_cast<double>(batches))
+              : 0.0f;
+  stats.train_accuracy =
+      data.size() ? static_cast<double>(correct) /
+                        static_cast<double>(data.size())
+                  : 0.0;
+  if (epoch_ >= 1) lr_ *= config_.lr_decay;
+  return stats;
+}
+
+void SgdTrainer::fit(const Dataset& data,
+                     const std::function<void(const EpochStats&)>& on_epoch) {
+  for (std::size_t e = 0; e < config_.epochs; ++e) {
+    const EpochStats stats = train_epoch(data);
+    if (on_epoch) on_epoch(stats);
+  }
+}
+
+}  // namespace dl::nn

@@ -1,0 +1,50 @@
+// SGD-with-momentum trainer.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+
+namespace dl::nn {
+
+struct SgdConfig {
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  std::size_t batch_size = 32;
+  std::size_t epochs = 4;
+  float lr_decay = 0.5f;  ///< multiplied into lr each epoch after the first
+};
+
+struct EpochStats {
+  std::size_t epoch = 0;
+  float mean_loss = 0.0f;
+  double train_accuracy = 0.0;
+};
+
+class SgdTrainer {
+ public:
+  SgdTrainer(Model& model, SgdConfig config, dl::Rng rng);
+
+  /// One pass over `data` in shuffled minibatches.
+  EpochStats train_epoch(const Dataset& data);
+
+  /// Full training run; invokes `on_epoch` (if set) after every epoch.
+  void fit(const Dataset& data,
+           const std::function<void(const EpochStats&)>& on_epoch = nullptr);
+
+  [[nodiscard]] const SgdConfig& config() const { return config_; }
+
+ private:
+  Model& model_;
+  SgdConfig config_;
+  dl::Rng rng_;
+  float lr_;
+  std::size_t epoch_ = 0;
+  std::vector<Tensor> velocity_;
+
+  void step();
+};
+
+}  // namespace dl::nn

@@ -1,0 +1,88 @@
+#include "rowhammer/attacker.hpp"
+
+#include "common/error.hpp"
+
+namespace dl::rowhammer {
+
+using dl::dram::GlobalRowId;
+using dl::dram::RowAddress;
+
+const char* to_string(HammerPattern p) {
+  switch (p) {
+    case HammerPattern::kSingleSided: return "single-sided";
+    case HammerPattern::kDoubleSided: return "double-sided";
+    case HammerPattern::kManySided:   return "many-sided";
+    case HammerPattern::kHalfDouble:  return "half-double";
+  }
+  return "?";
+}
+
+HammerAttacker::HammerAttacker(dl::dram::Controller& ctrl,
+                               DisturbanceModel& model)
+    : ctrl_(ctrl), model_(model) {}
+
+std::vector<GlobalRowId> HammerAttacker::aggressors_for(
+    GlobalRowId victim_logical, HammerPattern pattern) const {
+  const auto& g = ctrl_.geometry();
+  const RowAddress v = dl::dram::from_global(g, victim_logical);
+  std::vector<std::int64_t> offsets;
+  switch (pattern) {
+    case HammerPattern::kSingleSided: offsets = {+1}; break;
+    case HammerPattern::kDoubleSided: offsets = {-1, +1}; break;
+    case HammerPattern::kManySided:   offsets = {-2, -1, +1, +2}; break;
+    case HammerPattern::kHalfDouble:  offsets = {-2, +2}; break;
+  }
+  std::vector<GlobalRowId> rows;
+  for (const std::int64_t off : offsets) {
+    const std::int64_t r = static_cast<std::int64_t>(v.row) + off;
+    if (r < 0 || r >= static_cast<std::int64_t>(g.rows_per_subarray)) continue;
+    RowAddress a = v;
+    a.row = static_cast<std::uint32_t>(r);
+    rows.push_back(dl::dram::to_global(g, a));
+  }
+  return rows;
+}
+
+HammerResult HammerAttacker::attack(GlobalRowId victim_logical,
+                                    HammerPattern pattern,
+                                    std::uint64_t act_budget,
+                                    std::uint64_t stop_after_flips) {
+  const auto aggressors = aggressors_for(victim_logical, pattern);
+  DL_REQUIRE(!aggressors.empty(), "victim has no addressable aggressors");
+
+  HammerResult res;
+  const Picoseconds start = ctrl_.now();
+
+  // Count flips that land in the row currently holding the victim's data.
+  std::uint64_t victim_flips = 0;
+  std::uint64_t other_flips = 0;
+  model_.set_flip_callback([&](const FlipEvent& ev) {
+    const GlobalRowId victim_phys =
+        ctrl_.indirection().to_physical(victim_logical);
+    if (ev.victim_row == victim_phys) {
+      ++victim_flips;
+    } else {
+      ++other_flips;
+    }
+  });
+
+  for (std::uint64_t i = 0; i < act_budget; ++i) {
+    const GlobalRowId aggressor = aggressors[i % aggressors.size()];
+    const dl::dram::PhysAddr addr = ctrl_.mapper().row_base(aggressor);
+    const auto out = ctrl_.hammer(addr, /*can_unlock=*/false);
+    if (out.granted) {
+      ++res.granted_acts;
+    } else {
+      ++res.denied_acts;
+    }
+    if (stop_after_flips > 0 && victim_flips >= stop_after_flips) break;
+  }
+
+  model_.set_flip_callback(nullptr);
+  res.flips_in_victim = victim_flips;
+  res.flips_elsewhere = other_flips;
+  res.elapsed = ctrl_.now() - start;
+  return res;
+}
+
+}  // namespace dl::rowhammer

@@ -1,0 +1,80 @@
+#include "rowhammer/disturbance.hpp"
+
+#include "common/error.hpp"
+
+namespace dl::rowhammer {
+
+using dl::dram::GlobalRowId;
+using dl::dram::RowAddress;
+
+DisturbanceModel::DisturbanceModel(dl::dram::Controller& ctrl,
+                                   DisturbanceConfig config, dl::Rng rng)
+    : ctrl_(ctrl), config_(config), rng_(rng) {
+  DL_REQUIRE(config_.t_rh > 0, "T_RH must be positive");
+  DL_REQUIRE(config_.distance2_weight >= 0.0 && config_.distance2_weight <= 1.0,
+             "distance-2 weight in [0,1]");
+}
+
+void DisturbanceModel::on_activate(GlobalRowId physical_row, Picoseconds now) {
+  const auto& g = ctrl_.geometry();
+  const RowAddress a = dl::dram::from_global(g, physical_row);
+  // Neighbours at distance 1 and (optionally) 2, staying inside the subarray.
+  struct Neighbour {
+    std::int64_t offset;
+    double weight;
+  };
+  const Neighbour neighbours[] = {
+      {-1, 1.0}, {+1, 1.0},
+      {-2, config_.distance2_weight}, {+2, config_.distance2_weight}};
+  for (const auto& nb : neighbours) {
+    if (nb.weight <= 0.0) continue;
+    const std::int64_t r = static_cast<std::int64_t>(a.row) + nb.offset;
+    if (r < 0 || r >= static_cast<std::int64_t>(g.rows_per_subarray)) continue;
+    RowAddress victim = a;
+    victim.row = static_cast<std::uint32_t>(r);
+    add_disturbance(dl::dram::to_global(g, victim), nb.weight, now);
+  }
+}
+
+void DisturbanceModel::add_disturbance(GlobalRowId victim, double amount,
+                                       Picoseconds now) {
+  double& acc = accum_[victim];
+  acc += amount;
+  if (acc >= static_cast<double>(config_.t_rh)) {
+    inject_flips(victim, now);
+    acc = 0.0;  // the disturbed cells have discharged; accumulation restarts
+  }
+}
+
+void DisturbanceModel::inject_flips(GlobalRowId victim, Picoseconds now) {
+  const auto& g = ctrl_.geometry();
+  for (unsigned i = 0; i < config_.max_flips_per_event; ++i) {
+    FlipEvent ev;
+    ev.victim_row = victim;
+    ev.at = now;
+    if (config_.deterministic_bits) {
+      ev.byte = 0;
+      ev.bit = 0;
+    } else {
+      ev.byte = static_cast<std::uint32_t>(rng_.next_below(g.row_bytes));
+      ev.bit = static_cast<unsigned>(rng_.next_below(8));
+    }
+    ctrl_.data().flip_bit(ev.victim_row, ev.byte, ev.bit);
+    flips_.push_back(ev);
+    ++total_flips_;
+    if (callback_) callback_(ev);
+  }
+}
+
+void DisturbanceModel::on_refresh_window(Picoseconds) { accum_.clear(); }
+
+void DisturbanceModel::on_row_refresh(GlobalRowId physical_row) {
+  accum_.erase(physical_row);
+}
+
+double DisturbanceModel::disturbance(GlobalRowId row) const {
+  const auto it = accum_.find(row);
+  return it == accum_.end() ? 0.0 : it->second;
+}
+
+}  // namespace dl::rowhammer

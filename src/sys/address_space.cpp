@@ -1,0 +1,127 @@
+#include "sys/address_space.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dl::sys {
+
+AddressSpace::AddressSpace(dl::dram::Controller& ctrl, FrameAllocator& frames)
+    : ctrl_(ctrl), frames_(frames) {
+  const FrameNumber root = frames_.allocate();
+  root_paddr_ = frames_.frame_base(root);
+  // Zero the root table so every entry decodes as not-present.
+  const std::vector<std::uint8_t> zeros(kPageBytes, 0);
+  ctrl_.write_bulk(root_paddr_, std::span<const std::uint8_t>(zeros),
+                   /*can_unlock=*/true);
+}
+
+std::uint64_t AddressSpace::read_pte_raw(std::uint64_t paddr) {
+  std::uint8_t buf[8] = {};
+  ctrl_.read(paddr, std::span<std::uint8_t>(buf, 8), /*can_unlock=*/true);
+  std::uint64_t raw = 0;
+  std::memcpy(&raw, buf, 8);
+  return raw;
+}
+
+void AddressSpace::write_pte_raw(std::uint64_t paddr, std::uint64_t raw) {
+  std::uint8_t buf[8];
+  std::memcpy(buf, &raw, 8);
+  ctrl_.write(paddr, std::span<const std::uint8_t>(buf, 8),
+              /*can_unlock=*/true);
+}
+
+std::optional<std::uint64_t> AddressSpace::l2_table_base(VirtAddr va,
+                                                         bool create) {
+  const std::uint64_t l1_paddr = root_paddr_ + l1_index(va) * 8;
+  Pte l1 = Pte::decode(read_pte_raw(l1_paddr));
+  if (!l1.valid) {
+    if (!create) return std::nullopt;
+    const FrameNumber table = frames_.allocate();
+    const std::uint64_t base = frames_.frame_base(table);
+    const std::vector<std::uint8_t> zeros(kPageBytes, 0);
+    ctrl_.write_bulk(base, std::span<const std::uint8_t>(zeros),
+                     /*can_unlock=*/true);
+    l1.valid = true;
+    l1.writable = true;
+    l1.pfn = table;
+    write_pte_raw(l1_paddr, l1.encode());
+  }
+  return frames_.frame_base(l1.pfn);
+}
+
+void AddressSpace::map_page(VirtAddr va, FrameNumber frame, bool writable) {
+  DL_REQUIRE(page_offset(va) == 0, "virtual address must be page-aligned");
+  const auto l2_base = l2_table_base(va, /*create=*/true);
+  DL_ASSERT(l2_base.has_value());
+  Pte leaf;
+  leaf.valid = true;
+  leaf.writable = writable;
+  leaf.user = true;
+  leaf.pfn = frame;
+  write_pte_raw(*l2_base + l2_index(va) * 8, leaf.encode());
+}
+
+FrameNumber AddressSpace::map_contiguous(VirtAddr va, std::uint64_t pages,
+                                         bool writable) {
+  DL_REQUIRE(pages > 0, "must map at least one page");
+  const FrameNumber first = frames_.allocate_contiguous(pages);
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    map_page(va + i * kPageBytes, first + i, writable);
+  }
+  return first;
+}
+
+std::optional<Pte> AddressSpace::walk(VirtAddr va) {
+  const auto l2_base = l2_table_base(va, /*create=*/false);
+  if (!l2_base) return std::nullopt;
+  const Pte leaf = Pte::decode(read_pte_raw(*l2_base + l2_index(va) * 8));
+  if (!leaf.valid) return std::nullopt;
+  return leaf;
+}
+
+std::optional<std::uint64_t> AddressSpace::leaf_pte_paddr(VirtAddr va) {
+  const auto l2_base = l2_table_base(va, /*create=*/false);
+  if (!l2_base) return std::nullopt;
+  return *l2_base + l2_index(va) * 8;
+}
+
+void AddressSpace::set_leaf_pte(VirtAddr va, const Pte& pte) {
+  const auto l2_base = l2_table_base(va, /*create=*/true);
+  DL_ASSERT(l2_base.has_value());
+  write_pte_raw(*l2_base + l2_index(va) * 8, pte.encode());
+}
+
+VmAccess AddressSpace::read(VirtAddr va, std::span<std::uint8_t> out) {
+  const auto pte = walk(va);
+  VmAccess res;
+  if (!pte) {
+    res.translation_fault = true;
+    return res;
+  }
+  DL_REQUIRE(page_offset(va) + out.size() <= kPageBytes,
+             "virtual access must not cross a page boundary");
+  res.paddr = frames_.frame_base(pte->pfn) + page_offset(va);
+  const auto acc = ctrl_.read_bulk(res.paddr, out, /*can_unlock=*/false);
+  res.ok = acc.granted;
+  return res;
+}
+
+VmAccess AddressSpace::write(VirtAddr va, std::span<const std::uint8_t> in) {
+  const auto pte = walk(va);
+  VmAccess res;
+  if (!pte) {
+    res.translation_fault = true;
+    return res;
+  }
+  if (!pte->writable) return res;
+  DL_REQUIRE(page_offset(va) + in.size() <= kPageBytes,
+             "virtual access must not cross a page boundary");
+  res.paddr = frames_.frame_base(pte->pfn) + page_offset(va);
+  const auto acc = ctrl_.write_bulk(res.paddr, in, /*can_unlock=*/false);
+  res.ok = acc.granted;
+  return res;
+}
+
+}  // namespace dl::sys

@@ -1,0 +1,75 @@
+// Per-process virtual address space with DRAM-resident page tables.
+//
+// Translation walks two levels of tables whose entries live in simulated
+// DRAM rows: corrupting those rows (RowHammer) corrupts translation, which
+// is the substrate the Page Table Attack needs.  The walker itself models a
+// trusted hardware page-table walker: it reads PTEs with kernel privilege
+// (can_unlock), consistent with the paper's assumption that kernel and OS
+// are trusted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "dram/controller.hpp"
+#include "sys/allocator.hpp"
+#include "sys/page_table.hpp"
+
+namespace dl::sys {
+
+/// Result of a virtual-memory access.
+struct VmAccess {
+  bool ok = false;          ///< translation valid and access granted
+  bool translation_fault = false;  ///< invalid / non-present PTE
+  std::uint64_t paddr = 0;  ///< resolved physical address (when ok)
+};
+
+class AddressSpace {
+ public:
+  AddressSpace(dl::dram::Controller& ctrl, FrameAllocator& frames);
+
+  /// Maps `pages` consecutive virtual pages starting at `va` (page-aligned)
+  /// to freshly allocated physically-consecutive frames.  Returns the first
+  /// frame number.
+  FrameNumber map_contiguous(VirtAddr va, std::uint64_t pages,
+                             bool writable = true);
+
+  /// Maps one virtual page to a specific frame (attacker primitive: place a
+  /// page at a chosen physical location, e.g. adjacent to a victim row).
+  void map_page(VirtAddr va, FrameNumber frame, bool writable = true);
+
+  /// Walks the tables for `va`.  Returns the PTE found at the leaf level
+  /// (which may have been corrupted in DRAM) or nullopt on a fault.
+  [[nodiscard]] std::optional<Pte> walk(VirtAddr va);
+
+  /// Virtual read/write through translation.  Accesses go to whatever
+  /// physical frame the (possibly corrupted) leaf PTE points at.
+  VmAccess read(VirtAddr va, std::span<std::uint8_t> out);
+  VmAccess write(VirtAddr va, std::span<const std::uint8_t> in);
+
+  /// Physical DRAM address of the leaf PTE for `va` — what the PTA attacker
+  /// targets with RowHammer.
+  [[nodiscard]] std::optional<std::uint64_t> leaf_pte_paddr(VirtAddr va);
+
+  /// Physical address of the root (L1) table.
+  [[nodiscard]] std::uint64_t root_paddr() const { return root_paddr_; }
+
+  /// Rewrites the leaf PTE for `va` (kernel-privileged; used by tests and
+  /// by the attacker *on its own address space*, threat model item 5).
+  void set_leaf_pte(VirtAddr va, const Pte& pte);
+
+ private:
+  dl::dram::Controller& ctrl_;
+  FrameAllocator& frames_;
+  std::uint64_t root_paddr_;
+
+  [[nodiscard]] std::uint64_t read_pte_raw(std::uint64_t paddr);
+  void write_pte_raw(std::uint64_t paddr, std::uint64_t raw);
+
+  /// Returns the physical base of the L2 table for `va`, creating it on
+  /// demand (when `create` is set).
+  std::optional<std::uint64_t> l2_table_base(VirtAddr va, bool create);
+};
+
+}  // namespace dl::sys

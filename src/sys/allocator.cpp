@@ -1,0 +1,74 @@
+#include "sys/allocator.hpp"
+
+#include "common/error.hpp"
+
+namespace dl::sys {
+
+FrameAllocator::FrameAllocator(const dl::dram::Geometry& geometry)
+    : total_frames_(geometry.total_bytes() / kPageBytes),
+      frames_per_row_(geometry.row_bytes / kPageBytes) {
+  DL_REQUIRE(geometry.row_bytes % kPageBytes == 0 ||
+                 kPageBytes % geometry.row_bytes == 0,
+             "row size and page size must tile");
+  if (frames_per_row_ == 0) frames_per_row_ = 1;
+}
+
+FrameNumber FrameAllocator::allocate() {
+  for (FrameNumber f = next_hint_; f < total_frames_; ++f) {
+    if (!allocated_.contains(f)) {
+      allocated_.insert(f);
+      next_hint_ = f + 1;
+      return f;
+    }
+  }
+  // Wrap-around scan for frames freed below the hint.
+  for (FrameNumber f = 0; f < next_hint_; ++f) {
+    if (!allocated_.contains(f)) {
+      allocated_.insert(f);
+      return f;
+    }
+  }
+  throw dl::Error("out of physical frames");
+}
+
+FrameNumber FrameAllocator::allocate_contiguous(std::uint64_t count) {
+  DL_REQUIRE(count > 0, "must allocate at least one frame");
+  for (FrameNumber start = 0; start + count <= total_frames_; ++start) {
+    bool ok = true;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      if (allocated_.contains(start + i)) {
+        ok = false;
+        start += i;  // skip past the conflict
+        break;
+      }
+    }
+    if (ok) {
+      for (std::uint64_t i = 0; i < count; ++i) allocated_.insert(start + i);
+      return start;
+    }
+  }
+  throw dl::Error("no contiguous frame run of the requested size");
+}
+
+void FrameAllocator::allocate_exact(FrameNumber frame) {
+  DL_REQUIRE(frame < total_frames_, "frame out of range");
+  DL_REQUIRE(!allocated_.contains(frame), "frame already allocated");
+  allocated_.insert(frame);
+}
+
+void FrameAllocator::free(FrameNumber frame) {
+  DL_REQUIRE(allocated_.contains(frame), "double free of frame");
+  allocated_.erase(frame);
+  if (frame < next_hint_) next_hint_ = frame;
+}
+
+bool FrameAllocator::is_allocated(FrameNumber frame) const {
+  return allocated_.contains(frame);
+}
+
+std::uint64_t FrameAllocator::frame_base(FrameNumber frame) const {
+  DL_REQUIRE(frame < total_frames_, "frame out of range");
+  return frame * kPageBytes;
+}
+
+}  // namespace dl::sys

@@ -1,0 +1,25 @@
+#include "sys/page_table.hpp"
+
+#include "common/bits.hpp"
+
+namespace dl::sys {
+
+std::uint64_t Pte::encode() const {
+  std::uint64_t raw = 0;
+  raw = dl::deposit_bits(raw, 0, 1, valid ? 1 : 0);
+  raw = dl::deposit_bits(raw, 1, 1, writable ? 1 : 0);
+  raw = dl::deposit_bits(raw, 2, 1, user ? 1 : 0);
+  raw = dl::deposit_bits(raw, 12, 40, pfn);
+  return raw;
+}
+
+Pte Pte::decode(std::uint64_t raw) {
+  Pte p;
+  p.valid = dl::extract_bits(raw, 0, 1) != 0;
+  p.writable = dl::extract_bits(raw, 1, 1) != 0;
+  p.user = dl::extract_bits(raw, 2, 1) != 0;
+  p.pfn = dl::extract_bits(raw, 12, 40);
+  return p;
+}
+
+}  // namespace dl::sys

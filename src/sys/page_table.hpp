@@ -1,0 +1,63 @@
+// Page-table entry layout and helpers.
+//
+// The OS-lite layer stores its page tables *inside the simulated DRAM* so
+// that RowHammer-induced bit flips in page-table rows genuinely corrupt
+// address translation — the mechanism behind the paper's Page Table Attack
+// (PTA) threat model (Fig. 3(b)).
+//
+// Layout (64-bit little-endian PTE):
+//   bit  0      valid
+//   bit  1      writable
+//   bit  2      user-accessible
+//   bits 12..51 physical frame number (PFN)
+// A flip of any PFN bit silently redirects the virtual page to a different
+// physical frame, which is exactly the attack primitive of PTHammer /
+// PT-Guard's adversary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace dl::sys {
+
+inline constexpr std::uint64_t kPageBytes = 4096;
+inline constexpr unsigned kPageShift = 12;
+/// Entries per table level: one 4 KiB frame of 8-byte PTEs.
+inline constexpr std::uint64_t kEntriesPerTable = kPageBytes / 8;
+inline constexpr unsigned kLevelBits = 9;  // log2(kEntriesPerTable)
+
+using VirtAddr = std::uint64_t;
+using FrameNumber = std::uint64_t;
+
+/// Decoded view of one PTE.
+struct Pte {
+  bool valid = false;
+  bool writable = false;
+  bool user = false;
+  FrameNumber pfn = 0;
+
+  [[nodiscard]] std::uint64_t encode() const;
+  [[nodiscard]] static Pte decode(std::uint64_t raw);
+};
+
+/// Index of the L1 (root) entry for a virtual address.
+[[nodiscard]] constexpr std::uint64_t l1_index(VirtAddr va) {
+  return (va >> (kPageShift + kLevelBits)) & (kEntriesPerTable - 1);
+}
+
+/// Index of the L2 (leaf) entry for a virtual address.
+[[nodiscard]] constexpr std::uint64_t l2_index(VirtAddr va) {
+  return (va >> kPageShift) & (kEntriesPerTable - 1);
+}
+
+/// Byte offset within the page.
+[[nodiscard]] constexpr std::uint64_t page_offset(VirtAddr va) {
+  return va & (kPageBytes - 1);
+}
+
+/// Virtual page number.
+[[nodiscard]] constexpr std::uint64_t vpn(VirtAddr va) {
+  return va >> kPageShift;
+}
+
+}  // namespace dl::sys

@@ -1,0 +1,78 @@
+// Property tests for the physical-address mapper.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dram/address_map.hpp"
+
+namespace {
+
+using namespace dl::dram;
+
+class MapperBijection
+    : public ::testing::TestWithParam<std::tuple<Geometry, MapScheme>> {};
+
+TEST_P(MapperBijection, PhysToLocationRoundTrip) {
+  const auto& [g, scheme] = GetParam();
+  const AddressMapper m(g, scheme);
+  const std::uint64_t total = g.total_bytes();
+  const std::uint64_t step = std::max<std::uint64_t>(1, total / 1009) | 1;
+  for (PhysAddr addr = 0; addr < total; addr += step) {
+    const Location loc = m.to_location(addr);
+    EXPECT_EQ(m.to_phys(loc), addr);
+  }
+  EXPECT_EQ(m.to_phys(m.to_location(total - 1)), total - 1);
+}
+
+TEST_P(MapperBijection, RowBaseIsInverseOfRowOf) {
+  const auto& [g, scheme] = GetParam();
+  const AddressMapper m(g, scheme);
+  const std::uint64_t rows = g.total_rows();
+  const std::uint64_t step = std::max<std::uint64_t>(1, rows / 499);
+  for (GlobalRowId row = 0; row < rows; row += step) {
+    const PhysAddr base = m.row_base(row);
+    EXPECT_EQ(m.row_of(base), row);
+    EXPECT_EQ(m.row_of(base + g.row_bytes - 1), row);
+  }
+}
+
+TEST_P(MapperBijection, ConsecutiveBytesShareRow) {
+  const auto& [g, scheme] = GetParam();
+  const AddressMapper m(g, scheme);
+  const PhysAddr base = 3 * g.row_bytes;
+  const Location first = m.to_location(base);
+  const Location last = m.to_location(base + g.row_bytes - 1);
+  EXPECT_EQ(first.row, last.row);
+  EXPECT_EQ(first.byte, 0u);
+  EXPECT_EQ(last.byte, g.row_bytes - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndGeometries, MapperBijection,
+    ::testing::Combine(::testing::Values(Geometry::tiny(),
+                                         Geometry::ddr4_32gb_16bank()),
+                       ::testing::Values(MapScheme::kRowBankColumn,
+                                         MapScheme::kBankInterleaved)));
+
+TEST(AddressMapper, InterleavingSpreadsRowsAcrossBanks) {
+  const Geometry g = Geometry::tiny();
+  const AddressMapper m(g, MapScheme::kBankInterleaved);
+  // Consecutive rows land in different banks under interleaving.
+  const Location r0 = m.to_location(0);
+  const Location r1 = m.to_location(g.row_bytes);
+  EXPECT_NE(r0.row.bank, r1.row.bank);
+
+  const AddressMapper lin(g, MapScheme::kRowBankColumn);
+  const Location l0 = lin.to_location(0);
+  const Location l1 = lin.to_location(g.row_bytes);
+  EXPECT_EQ(l0.row.bank, l1.row.bank);
+  EXPECT_EQ(l1.row.row, l0.row.row + 1);
+}
+
+TEST(AddressMapper, OutOfRangeRejected) {
+  const Geometry g = Geometry::tiny();
+  const AddressMapper m(g, MapScheme::kRowBankColumn);
+  EXPECT_THROW(m.to_location(g.total_bytes()), dl::Error);
+}
+
+}  // namespace

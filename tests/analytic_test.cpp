@@ -1,0 +1,150 @@
+// Tests for CACTI-lite, Table-I overhead accounting and the Fig. 7(b)
+// defense-time model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/cacti_lite.hpp"
+#include "analytic/defense_time.hpp"
+#include "analytic/overhead.hpp"
+#include "common/units.hpp"
+#include "dram/types.hpp"
+
+namespace {
+
+using namespace dl::analytic;
+using dl::dram::Geometry;
+
+TEST(CactiLite, AreaMonotoneInCapacity) {
+  const CactiLite c;
+  const auto small = c.estimate(MacroKind::kSram, 8 * 1024 * 8, 32);
+  const auto big = c.estimate(MacroKind::kSram, 1024 * 1024 * 8, 32);
+  EXPECT_GT(big.area_mm2, small.area_mm2 * 10);
+}
+
+TEST(CactiLite, CamCostsMoreThanSramPerBit) {
+  const CactiLite c;
+  const auto sram = c.estimate(MacroKind::kSram, 1 << 20, 32);
+  const auto cam = c.estimate(MacroKind::kCam, 1 << 20, 32);
+  EXPECT_GT(cam.area_mm2, sram.area_mm2);
+  EXPECT_GT(cam.read_energy_pj, sram.read_energy_pj);
+}
+
+TEST(CactiLite, DramCellsAreDensest) {
+  const CactiLite c;
+  const auto dram = c.estimate(MacroKind::kDram, 1 << 20, 32);
+  const auto sram = c.estimate(MacroKind::kSram, 1 << 20, 32);
+  EXPECT_LT(dram.area_mm2, sram.area_mm2 / 10);
+}
+
+TEST(CactiLite, LatencyGrowsWithCapacity) {
+  const CactiLite c;
+  EXPECT_LT(c.estimate(MacroKind::kSram, 1 << 12, 32).read_latency_ns,
+            c.estimate(MacroKind::kSram, 1 << 24, 32).read_latency_ns);
+}
+
+TEST(LockTable, SizingMatchesPaper) {
+  // 32 GB geometry, 16384 entries -> 56 KB of SRAM (Table I).
+  const Geometry g = Geometry::ddr4_32gb_16bank();
+  const std::uint64_t bytes = lock_table_bytes(g, 16384);
+  EXPECT_NEAR(static_cast<double>(bytes), 56.0 * 1024.0, 2048.0);
+}
+
+TEST(Table1, HasAllTenFrameworks) {
+  const auto rows = table1_overheads(Geometry::ddr4_32gb_16bank());
+  ASSERT_EQ(rows.size(), 10u);
+  EXPECT_EQ(rows.front().name, "Graphene");
+  EXPECT_EQ(rows.back().name, "DRAM-Locker");
+}
+
+TEST(Table1, DramLockerHasNoDramCapacityOverhead) {
+  const auto rows = table1_overheads(Geometry::ddr4_32gb_16bank());
+  const auto& dl_row = rows.back();
+  EXPECT_EQ(dl_row.dram_bytes, 0u);
+  EXPECT_GT(dl_row.sram_bytes, 0u);
+  EXPECT_EQ(dl_row.cam_bytes, 0u);
+  EXPECT_EQ(dl_row.counters, 0u);
+}
+
+TEST(Table1, DramLockerAreaMatchesPaper) {
+  const auto rows = table1_overheads(Geometry::ddr4_32gb_16bank());
+  const auto& dl_row = rows.back();
+  // Paper: 0.02 % area overhead (lock-table macro + synthesized sequencer
+  // logic), far below the CAM/SRAM tracker structures.
+  EXPECT_NEAR(dl_row.area_pct, 0.02, 0.015);
+  for (const auto& row : rows) {
+    if (row.name == "Graphene" || row.name == "TWiCE") {
+      EXPECT_LT(dl_row.area_pct, row.area_pct);
+    }
+    if (row.name == "SHADOW" || row.name == "P-PIM") {
+      // The in-DRAM designs report 0.6 % / 0.34 % periphery additions.
+      EXPECT_LT(dl_row.area_pct, row.area_pct);
+    }
+  }
+}
+
+TEST(Table1, CounterPerRowMatchesDerivation) {
+  // 32 GiB / 8 KiB rows = 4 Mi rows x 8 B counters = 32 MB in DRAM.
+  const auto rows = table1_overheads(Geometry::ddr4_32gb_16bank());
+  const auto& cpr = rows[3];
+  EXPECT_EQ(cpr.name, "Counter per Row");
+  EXPECT_EQ(cpr.dram_bytes, 32ull * 1024 * 1024);
+}
+
+TEST(Table1, CapacityStringsReadable) {
+  const auto rows = table1_overheads(Geometry::ddr4_32gb_16bank());
+  for (const auto& row : rows) {
+    EXPECT_FALSE(row.capacity_string().empty());
+  }
+}
+
+TEST(DefenseTime, SwapHitProbabilityMatchesClosedForm) {
+  DefenseTimeParams p;
+  p.copy_error_rate = 0.10;
+  const double p_swap_fail = 1.0 - 0.9 * 0.9 * 0.9;
+  EXPECT_NEAR(swap_target_hit_probability(p),
+              p_swap_fail / (65536.0 * 2.0), 1e-12);
+}
+
+TEST(DefenseTime, PaperTextBound500Days) {
+  // Paper: ">500 days under the 1K threshold" with 10 % copy error; that
+  // corresponds to ~10 unlock SWAPs/day on the victim row.
+  DefenseTimeParams p;
+  p.copy_error_rate = 0.10;
+  p.swaps_per_day = 9.0;
+  EXPECT_GT(dram_locker_defense_days(p), 500.0);
+}
+
+TEST(DefenseTime, DefaultExceedsFigureCap) {
+  // Fig. 7(b) plots DRAM-Locker as ">4000" days.
+  EXPECT_GT(dram_locker_defense_days(DefenseTimeParams{}), 4000.0);
+}
+
+TEST(DefenseTime, PerfectSwapIsInvulnerable) {
+  DefenseTimeParams p;
+  p.copy_error_rate = 0.0;
+  EXPECT_TRUE(std::isinf(dram_locker_defense_days(p)));
+}
+
+TEST(DefenseTime, ShadowGrowsWithThresholdButStaysBounded) {
+  const DefenseTimeParams p;
+  const double d1k = shadow_defense_days(p, 1000);
+  const double d8k = shadow_defense_days(p, 8000);
+  EXPECT_LT(d1k, d8k);
+  EXPECT_NEAR(d1k, 290.0, 30.0);    // calibrated operating point
+  EXPECT_LT(d8k, 2600.0);           // bounded, under the DL bar
+}
+
+TEST(DefenseTime, Fig7bSeriesOrdering) {
+  const auto series = fig7b_series();
+  ASSERT_EQ(series.size(), 4u);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    // DRAM-Locker beats SHADOW at every threshold.
+    EXPECT_GT(series[i].dram_locker_days, series[i].shadow_days);
+    if (i > 0) {
+      EXPECT_GT(series[i].shadow_days, series[i - 1].shadow_days);
+    }
+  }
+}
+
+}  // namespace

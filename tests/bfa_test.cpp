@@ -1,0 +1,176 @@
+// Tests for the progressive bit search and random attack.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "attack/bfa.hpp"
+#include "nn/data.hpp"
+#include "nn/layers.hpp"
+#include "nn/train.hpp"
+
+namespace {
+
+using namespace dl::attack;
+using namespace dl::nn;
+
+/// Small trained model + data shared by the attack tests.
+struct Fixture {
+  SynthConfig cfg;
+  Dataset train, sample;
+  Model model;
+  std::unique_ptr<QuantizedModel> qmodel;
+  double clean_acc = 0.0;
+
+  Fixture() {
+    cfg = synth_cifar10();
+    cfg.num_classes = 4;
+    train = make_synth_cifar(cfg, 128, 11);
+    sample = make_synth_cifar(cfg, 32, 12);
+    dl::Rng rng(21);
+    model.add(std::make_unique<Conv2d>(3, 8, 3, 2, 1, rng));
+    model.add(std::make_unique<BatchNorm2d>(8));
+    model.add(std::make_unique<ReLU>());
+    model.add(std::make_unique<Conv2d>(8, 8, 3, 2, 1, rng));
+    model.add(std::make_unique<BatchNorm2d>(8));
+    model.add(std::make_unique<ReLU>());
+    model.add(std::make_unique<GlobalAvgPool>());
+    model.add(std::make_unique<Linear>(8, 4, rng));
+    SgdConfig scfg;
+    scfg.epochs = 6;
+    scfg.batch_size = 16;
+    scfg.lr = 0.08f;
+    SgdTrainer trainer(model, scfg, dl::Rng(22));
+    trainer.fit(train);
+    qmodel = std::make_unique<QuantizedModel>(model);
+    clean_acc = evaluate_accuracy(model, sample);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;  // train once for the whole suite
+  return f;
+}
+
+TEST(Bfa, FixtureTrainsAboveChance) {
+  EXPECT_GT(fixture().clean_acc, 0.6);
+}
+
+TEST(Bfa, ProgressiveSearchDegradesAccuracy) {
+  Fixture& f = fixture();
+  f.qmodel->restore();
+  BfaConfig cfg;
+  cfg.max_iterations = 15;
+  cfg.layers_evaluated = 3;
+  ProgressiveBitSearch pbs(f.model, *f.qmodel, cfg);
+  const BfaResult res = pbs.run(f.sample);
+  EXPECT_GT(res.flips_landed, 0u);
+  ASSERT_FALSE(res.iterations.empty());
+  const double final_acc = res.iterations.back().accuracy_after;
+  EXPECT_LT(final_acc, f.clean_acc - 0.2);
+  f.qmodel->restore();
+}
+
+TEST(Bfa, LossIsNonDecreasingUnderAttack) {
+  Fixture& f = fixture();
+  f.qmodel->restore();
+  BfaConfig cfg;
+  cfg.max_iterations = 5;
+  ProgressiveBitSearch pbs(f.model, *f.qmodel, cfg);
+  float prev_loss = -1e9f;
+  int non_increases = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto it = pbs.step(f.sample, {});
+    if (it.loss_after < prev_loss) ++non_increases;
+    prev_loss = it.loss_after;
+  }
+  // The greedy search occasionally plateaus but must trend upward.
+  EXPECT_LE(non_increases, 1);
+  f.qmodel->restore();
+}
+
+TEST(Bfa, BlockedGateStopsDegradation) {
+  Fixture& f = fixture();
+  f.qmodel->restore();
+  BfaConfig cfg;
+  cfg.max_iterations = 8;
+  ProgressiveBitSearch pbs(f.model, *f.qmodel, cfg);
+  const BfaResult res =
+      pbs.run(f.sample, [](const BitAddress&) { return false; });
+  EXPECT_EQ(res.flips_landed, 0u);
+  EXPECT_EQ(res.flips_blocked, res.iterations.size());
+  const double final_acc = res.iterations.back().accuracy_after;
+  EXPECT_NEAR(final_acc, f.clean_acc, 0.08);
+  f.qmodel->restore();
+}
+
+TEST(Bfa, BlockedBitsAreNotRetried) {
+  Fixture& f = fixture();
+  f.qmodel->restore();
+  BfaConfig cfg;
+  cfg.max_iterations = 4;
+  ProgressiveBitSearch pbs(f.model, *f.qmodel, cfg);
+  std::set<std::tuple<std::size_t, std::size_t, unsigned>> offered;
+  pbs.run(f.sample, [&](const BitAddress& a) {
+    const auto key = std::make_tuple(a.layer, a.weight, a.bit);
+    EXPECT_FALSE(offered.contains(key)) << "bit offered twice";
+    offered.insert(key);
+    return false;
+  });
+  f.qmodel->restore();
+}
+
+TEST(Bfa, StopBelowAccuracyShortCircuits) {
+  Fixture& f = fixture();
+  f.qmodel->restore();
+  BfaConfig cfg;
+  cfg.max_iterations = 50;
+  cfg.stop_below_accuracy = 0.99;  // any accuracy triggers the stop
+  ProgressiveBitSearch pbs(f.model, *f.qmodel, cfg);
+  const BfaResult res = pbs.run(f.sample);
+  EXPECT_EQ(res.iterations.size(), 1u);
+  f.qmodel->restore();
+}
+
+TEST(Bfa, TwosComplementFlipArithmetic) {
+  // The candidate ranking relies on exact two's-complement flip deltas;
+  // verify them through QuantizedModel::flip_bit on a single-weight model.
+  dl::Rng rng(31);
+  Model m;
+  m.add(std::make_unique<Linear>(1, 1, rng));
+  QuantizedModel q(m);
+  q.set_weight_word(0, 0, 0);
+  q.flip_bit({0, 0, 6});
+  EXPECT_EQ(q.weight_word(0, 0), 64);    // +2^6
+  q.flip_bit({0, 0, 7});
+  EXPECT_EQ(q.weight_word(0, 0), -64);   // sign bit on: 64 - 128
+  q.flip_bit({0, 0, 6});
+  EXPECT_EQ(q.weight_word(0, 0), -128);  // -64 - 64
+}
+
+TEST(RandomAttack, ManyFlipsBarelyMoveAccuracy) {
+  Fixture& f = fixture();
+  f.qmodel->restore();
+  dl::Rng rng(41);
+  const RandomAttackResult res =
+      random_bit_attack(f.model, *f.qmodel, f.sample, 20, rng);
+  ASSERT_EQ(res.accuracy_after.size(), 20u);
+  // Fig. 1(a): random flips are far less damaging than targeted ones.
+  // With ~5k weights, 20 random bit flips rarely hit anything critical.
+  EXPECT_GT(res.accuracy_after.back(), f.clean_acc - 0.35);
+  f.qmodel->restore();
+}
+
+TEST(RandomAttack, GateBlocksFlips) {
+  Fixture& f = fixture();
+  f.qmodel->restore();
+  const auto image = f.qmodel->serialize();
+  dl::Rng rng(43);
+  random_bit_attack(f.model, *f.qmodel, f.sample, 10, rng,
+                    [](const BitAddress&) { return false; });
+  EXPECT_EQ(f.qmodel->serialize(), image);
+  f.qmodel->restore();
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Tests for the circuit-level SWAP Monte-Carlo (Sec. IV-D reproduction).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/cell_model.hpp"
+#include "circuit/montecarlo.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using dl::circuit::CellParams;
+using dl::circuit::SwapMonteCarlo;
+using dl::circuit::VariationSampler;
+
+TEST(CellModel, NominalMarginIsHealthy) {
+  const CellParams p;
+  // ~132 mV of bit-line swing at the 45 nm design point.
+  EXPECT_GT(p.bitline_swing(), 0.10);
+  EXPECT_LT(p.bitline_swing(), 0.20);
+  EXPECT_GT(p.sense_margin(), 0.10);
+}
+
+TEST(CellModel, OffsetReducesMargin) {
+  CellParams p;
+  const double clean = p.sense_margin();
+  p.sense_offset_v = 0.05;
+  EXPECT_NEAR(p.sense_margin(), clean - 0.05, 1e-12);
+}
+
+TEST(CellModel, WeakTransferReducesSwing) {
+  CellParams p;
+  const double healthy = p.bitline_swing();
+  p.r_access_ohm = 1e6;   // nearly-off access transistor
+  p.t_share_s = 1e-10;    // and a very short word-line pulse
+  EXPECT_LT(p.bitline_swing(), healthy * 0.5);
+}
+
+TEST(VariationSampler, ZeroVariationIsDeterministic) {
+  const VariationSampler sampler(CellParams{}, 0.0);
+  dl::Rng rng(1);
+  const CellParams a = sampler.sample(rng);
+  const CellParams b = sampler.sample(rng);
+  EXPECT_DOUBLE_EQ(a.c_cell_f, b.c_cell_f);
+  EXPECT_DOUBLE_EQ(a.sense_offset_v, 0.0);
+}
+
+TEST(VariationSampler, SamplesStayWithinCorners) {
+  const CellParams nominal;
+  const VariationSampler sampler(nominal, 0.20);
+  dl::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const CellParams s = sampler.sample(rng);
+    EXPECT_GE(s.c_cell_f, nominal.c_cell_f * 0.8 - 1e-21);
+    EXPECT_LE(s.c_cell_f, nominal.c_cell_f * 1.2 + 1e-21);
+    EXPECT_GE(s.c_bl_f, nominal.c_bl_f * 0.8 - 1e-21);
+    EXPECT_LE(s.c_bl_f, nominal.c_bl_f * 1.2 + 1e-21);
+    EXPECT_GE(s.sense_offset_v, 0.0);
+  }
+}
+
+TEST(VariationSampler, RejectsAbsurdVariation) {
+  EXPECT_THROW(VariationSampler(CellParams{}, 0.9), dl::Error);
+  EXPECT_THROW(VariationSampler(CellParams{}, -0.1), dl::Error);
+}
+
+TEST(SwapMonteCarlo, ZeroVariationHasNoErrors) {
+  SwapMonteCarlo mc;
+  const auto stats = mc.run(0.0, 10000);
+  EXPECT_EQ(stats.swap_errors, 0u);
+  EXPECT_EQ(stats.copy_errors, 0u);
+  EXPECT_DOUBLE_EQ(stats.swap_error_rate(), 0.0);
+}
+
+TEST(SwapMonteCarlo, PaperCalibrationBands) {
+  // Paper (Sec. IV-D): 0 % at ±0 %, 0.14 % at ±10 %, 9.6 % at ±20 %.
+  SwapMonteCarlo mc;
+  const auto at10 = mc.run(0.10, 20000);
+  EXPECT_GT(at10.swap_error_rate(), 0.0002);
+  EXPECT_LT(at10.swap_error_rate(), 0.01);
+  const auto at20 = mc.run(0.20, 20000);
+  EXPECT_GT(at20.swap_error_rate(), 0.05);
+  EXPECT_LT(at20.swap_error_rate(), 0.16);
+}
+
+class MonotoneVariation : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonotoneVariation, HigherVariationNeverReducesErrors) {
+  const double v = GetParam();
+  SwapMonteCarlo mc;
+  const auto low = mc.run(v, 8000);
+  const auto high = mc.run(v + 0.05, 8000);
+  EXPECT_GE(high.swap_error_rate() + 1e-4, low.swap_error_rate());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MonotoneVariation,
+                         ::testing::Values(0.0, 0.05, 0.10, 0.15));
+
+TEST(SwapMonteCarlo, DeterministicAcrossInstances) {
+  SwapMonteCarlo a(CellParams{}, 99), b(CellParams{}, 99);
+  const auto ra = a.run(0.2, 4000);
+  const auto rb = b.run(0.2, 4000);
+  EXPECT_EQ(ra.swap_errors, rb.swap_errors);
+  EXPECT_EQ(ra.copy_errors, rb.copy_errors);
+}
+
+TEST(SwapMonteCarlo, SweepReturnsAllPoints) {
+  SwapMonteCarlo mc;
+  const auto sweep = mc.sweep({0.0, 0.1, 0.2}, 2000);
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_DOUBLE_EQ(sweep[0].variation, 0.0);
+  EXPECT_DOUBLE_EQ(sweep[2].variation, 0.2);
+  EXPECT_EQ(sweep[1].trials, 2000u);
+}
+
+TEST(SwapMonteCarlo, CopyErrorProbabilityConsistent) {
+  SwapMonteCarlo mc;
+  const double p = mc.copy_error_probability(0.20, 20000);
+  // Swap error ≈ 1-(1-p)^3 for small p; cross-check the relationship.
+  const auto stats = mc.run(0.20, 20000);
+  const double predicted = 1.0 - std::pow(1.0 - p, 3.0);
+  EXPECT_NEAR(stats.swap_error_rate(), predicted, 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Tests for the DRAM-Locker defense mechanism.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "defense/dram_locker.hpp"
+#include "rowhammer/attacker.hpp"
+#include "rowhammer/disturbance.hpp"
+
+namespace {
+
+using namespace dl::defense;
+using namespace dl::dram;
+
+class DramLockerTest : public ::testing::Test {
+ protected:
+  Geometry g = Geometry::tiny();  // 64 rows/subarray, 256 B rows
+  Controller ctrl{g, ddr4_2400()};
+
+  DramLockerConfig cfg() {
+    DramLockerConfig c;
+    c.lock_table_entries = 64;
+    c.relock_rw_interval = 10;  // small for testing
+    c.protect_radius = 1;
+    c.reserved_rows_per_subarray = 4;
+    return c;
+  }
+
+  std::unique_ptr<DramLocker> make(DramLockerConfig c) {
+    auto locker = std::make_unique<DramLocker>(ctrl, c, dl::Rng(5));
+    ctrl.set_gate(locker.get());
+    return locker;
+  }
+};
+
+TEST_F(DramLockerTest, ProtectLocksNeighbours) {
+  auto locker = make(cfg());
+  EXPECT_EQ(locker->protect_data_row(20), 2u);
+  EXPECT_TRUE(locker->lock_table().is_locked(19));
+  EXPECT_TRUE(locker->lock_table().is_locked(21));
+  EXPECT_FALSE(locker->lock_table().is_locked(20));  // data row accessible
+}
+
+TEST_F(DramLockerTest, RadiusTwoLocksFourRows) {
+  auto c = cfg();
+  c.protect_radius = 2;
+  auto locker = make(c);
+  EXPECT_EQ(locker->protect_data_row(20), 4u);
+  for (GlobalRowId r : {18ull, 19ull, 21ull, 22ull}) {
+    EXPECT_TRUE(locker->lock_table().is_locked(r));
+  }
+}
+
+TEST_F(DramLockerTest, EdgeRowLocksOnlyInBoundsNeighbours) {
+  auto locker = make(cfg());
+  EXPECT_EQ(locker->protect_data_row(0), 1u);  // only row 1 exists
+  EXPECT_TRUE(locker->lock_table().is_locked(1));
+}
+
+TEST_F(DramLockerTest, UnprivilegedAccessToLockedRowDenied) {
+  auto locker = make(cfg());
+  locker->protect_data_row(20);
+  std::array<std::uint8_t, 1> buf{};
+  const auto denied = ctrl.read(ctrl.mapper().row_base(19), buf,
+                                /*can_unlock=*/false);
+  EXPECT_FALSE(denied.granted);
+  EXPECT_EQ(locker->stats().denied, 1u);
+  // The protected data row itself stays freely readable.
+  EXPECT_TRUE(ctrl.read(ctrl.mapper().row_base(20), buf).granted);
+}
+
+TEST_F(DramLockerTest, HammeringLockedRowsCausesNoDisturbance) {
+  dl::rowhammer::DisturbanceConfig dcfg;
+  dcfg.t_rh = 50;
+  dcfg.deterministic_bits = true;
+  dl::rowhammer::DisturbanceModel model(ctrl, dcfg, dl::Rng(1));
+  ctrl.add_listener(&model);
+  auto locker = make(cfg());
+  locker->protect_data_row(20);
+  dl::rowhammer::HammerAttacker attacker(ctrl, model);
+  const auto res = attacker.attack(20, dl::rowhammer::HammerPattern::kDoubleSided,
+                                   /*act_budget=*/5000);
+  EXPECT_EQ(res.granted_acts, 0u);
+  EXPECT_EQ(res.denied_acts, 5000u);
+  EXPECT_EQ(res.flips_in_victim, 0u);
+  EXPECT_EQ(model.total_flips(), 0u);
+}
+
+TEST_F(DramLockerTest, PrivilegedAccessUnlocksViaSwap) {
+  auto locker = make(cfg());
+  // Put recognizable data in the to-be-locked row 19.
+  const std::array<std::uint8_t, 1> payload{0x5A};
+  ctrl.write(ctrl.mapper().row_base(19), payload);
+  locker->protect_data_row(20);
+
+  std::array<std::uint8_t, 1> buf{};
+  const auto r = ctrl.read(ctrl.mapper().row_base(19), buf,
+                           /*can_unlock=*/true);
+  EXPECT_TRUE(r.granted);
+  EXPECT_EQ(buf[0], 0x5A);  // data still reachable at the same address
+  EXPECT_EQ(locker->stats().unlock_swaps, 1u);
+  EXPECT_EQ(locker->pending_relocks(), 1u);
+  // The original physical row is still locked; the data has moved.
+  EXPECT_TRUE(locker->lock_table().is_locked(19));
+  EXPECT_NE(ctrl.indirection().to_physical(19), 19u);
+}
+
+TEST_F(DramLockerTest, SubsequentAccessAfterSwapIsFree) {
+  auto locker = make(cfg());
+  locker->protect_data_row(20);
+  std::array<std::uint8_t, 1> buf{};
+  ctrl.read(ctrl.mapper().row_base(19), buf, /*can_unlock=*/true);
+  const auto swaps_before = locker->stats().unlock_swaps;
+  // Within the relock interval the data row is unlocked: no new swap.
+  ctrl.read(ctrl.mapper().row_base(19), buf, /*can_unlock=*/true);
+  EXPECT_EQ(locker->stats().unlock_swaps, swaps_before);
+}
+
+TEST_F(DramLockerTest, RelockAfterIntervalNewLocationPolicy) {
+  auto locker = make(cfg());  // relock interval = 10 R/W
+  locker->protect_data_row(20);
+  std::array<std::uint8_t, 1> buf{};
+  ctrl.read(ctrl.mapper().row_base(19), buf, /*can_unlock=*/true);
+  const GlobalRowId new_phys = ctrl.indirection().to_physical(19);
+  // Burn through the relock interval with unrelated accesses.
+  for (int i = 0; i < 12; ++i) ctrl.read(ctrl.mapper().row_base(40), buf);
+  EXPECT_EQ(locker->stats().relocks, 1u);
+  EXPECT_EQ(locker->pending_relocks(), 0u);
+  // Fig. 4(d): the data's new location inherits the lock.
+  EXPECT_TRUE(locker->lock_table().is_locked(new_phys));
+  // Unprivileged access to the (still remapped) logical row is denied again.
+  EXPECT_FALSE(ctrl.read(ctrl.mapper().row_base(19), buf).granted);
+}
+
+TEST_F(DramLockerTest, RelockSwapBackPolicyRestoresLayout) {
+  auto c = cfg();
+  c.relock_policy = RelockPolicy::kSwapBack;
+  auto locker = make(c);
+  const std::array<std::uint8_t, 1> payload{0x77};
+  ctrl.write(ctrl.mapper().row_base(19), payload);
+  locker->protect_data_row(20);
+  std::array<std::uint8_t, 1> buf{};
+  ctrl.read(ctrl.mapper().row_base(19), buf, /*can_unlock=*/true);
+  for (int i = 0; i < 12; ++i) ctrl.read(ctrl.mapper().row_base(40), buf);
+  EXPECT_EQ(locker->stats().relocks, 1u);
+  // Layout restored: identity mapping and data back home.
+  EXPECT_EQ(ctrl.indirection().to_physical(19), 19u);
+  EXPECT_EQ(ctrl.data().read_byte(19, 0), 0x77);
+  EXPECT_TRUE(locker->lock_table().is_locked(19));
+}
+
+TEST_F(DramLockerTest, SwapErrorRateIsCounted) {
+  auto c = cfg();
+  c.copy_error_rate = 1.0;  // every RowClone corrupts
+  auto locker = make(c);
+  locker->protect_data_row(20);
+  std::array<std::uint8_t, 1> buf{};
+  ctrl.read(ctrl.mapper().row_base(19), buf, /*can_unlock=*/true);
+  EXPECT_EQ(locker->stats().swap_copy_errors, 3u);
+}
+
+TEST_F(DramLockerTest, PoolExhaustionDeniesUnlock) {
+  auto c = cfg();
+  c.reserved_rows_per_subarray = 2;  // buffer + a single free row
+  c.relock_rw_interval = 1000000;    // never relock during the test
+  auto locker = make(c);
+  locker->protect_data_row(20);
+  locker->protect_data_row(30);
+  std::array<std::uint8_t, 1> buf{};
+  EXPECT_TRUE(
+      ctrl.read(ctrl.mapper().row_base(19), buf, /*can_unlock=*/true).granted);
+  // Pool now empty: the next unlock attempt in this subarray must fail.
+  EXPECT_FALSE(
+      ctrl.read(ctrl.mapper().row_base(29), buf, /*can_unlock=*/true).granted);
+  EXPECT_EQ(locker->stats().pool_exhausted_denials, 1u);
+}
+
+TEST_F(DramLockerTest, ReservedRowsCannotBeLocked) {
+  auto locker = make(cfg());
+  // Last 4 rows of subarray 0 (rows 60..63) are reserved.
+  EXPECT_TRUE(locker->is_reserved(63));
+  EXPECT_TRUE(locker->is_reserved(60));
+  EXPECT_FALSE(locker->is_reserved(59));
+  EXPECT_THROW(locker->lock_physical_row(63), dl::Error);
+}
+
+TEST_F(DramLockerTest, UnprotectRemovesLocks) {
+  auto locker = make(cfg());
+  locker->protect_data_row(20);
+  locker->unprotect_data_row(20);
+  EXPECT_FALSE(locker->lock_table().is_locked(19));
+  EXPECT_FALSE(locker->lock_table().is_locked(21));
+}
+
+TEST_F(DramLockerTest, RwInstructionCounterAdvances) {
+  auto locker = make(cfg());
+  std::array<std::uint8_t, 1> buf{};
+  for (int i = 0; i < 7; ++i) ctrl.read(ctrl.mapper().row_base(40), buf);
+  EXPECT_EQ(locker->stats().rw_instructions, 7u);
+}
+
+TEST_F(DramLockerTest, ConfigValidation) {
+  DramLockerConfig bad = cfg();
+  bad.reserved_rows_per_subarray = 1;  // needs buffer + >=1 free
+  EXPECT_THROW(DramLocker(ctrl, bad, dl::Rng(1)), dl::Error);
+  bad = cfg();
+  bad.relock_rw_interval = 0;
+  EXPECT_THROW(DramLocker(ctrl, bad, dl::Rng(1)), dl::Error);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Tests for the logical-to-physical row indirection.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/indirection.hpp"
+
+namespace {
+
+using namespace dl::dram;
+
+TEST(Indirection, IdentityByDefault) {
+  RowIndirection ind(Geometry::tiny());
+  for (GlobalRowId r : {0ull, 5ull, 100ull}) {
+    EXPECT_EQ(ind.to_physical(r), r);
+    EXPECT_EQ(ind.to_logical(r), r);
+  }
+  EXPECT_EQ(ind.displaced_rows(), 0u);
+}
+
+TEST(Indirection, SwapExchangesBothDirections) {
+  RowIndirection ind(Geometry::tiny());
+  ind.swap_logical(3, 9);
+  EXPECT_EQ(ind.to_physical(3), 9u);
+  EXPECT_EQ(ind.to_physical(9), 3u);
+  EXPECT_EQ(ind.to_logical(9), 3u);
+  EXPECT_EQ(ind.to_logical(3), 9u);
+  EXPECT_EQ(ind.displaced_rows(), 2u);
+}
+
+TEST(Indirection, DoubleSwapRestoresIdentity) {
+  RowIndirection ind(Geometry::tiny());
+  ind.swap_logical(3, 9);
+  ind.swap_logical(3, 9);
+  EXPECT_EQ(ind.to_physical(3), 3u);
+  EXPECT_EQ(ind.to_physical(9), 9u);
+  EXPECT_EQ(ind.displaced_rows(), 0u);
+}
+
+TEST(Indirection, ChainedSwapsStayPermutation) {
+  const Geometry g = Geometry::tiny();
+  RowIndirection ind(g);
+  // A sequence of overlapping swaps must keep the map a bijection.
+  ind.swap_logical(1, 2);
+  ind.swap_logical(2, 3);
+  ind.swap_logical(3, 1);
+  std::set<GlobalRowId> phys;
+  for (GlobalRowId l : {1ull, 2ull, 3ull}) {
+    const GlobalRowId p = ind.to_physical(l);
+    EXPECT_EQ(ind.to_logical(p), l);
+    phys.insert(p);
+  }
+  EXPECT_EQ(phys.size(), 3u);
+}
+
+TEST(Indirection, SelfSwapIsNoop) {
+  RowIndirection ind(Geometry::tiny());
+  ind.swap_logical(4, 4);
+  EXPECT_EQ(ind.to_physical(4), 4u);
+  EXPECT_EQ(ind.displaced_rows(), 0u);
+}
+
+TEST(Indirection, ResetClearsEverything) {
+  RowIndirection ind(Geometry::tiny());
+  ind.swap_logical(1, 2);
+  ind.reset();
+  EXPECT_EQ(ind.to_physical(1), 1u);
+  EXPECT_EQ(ind.displaced_rows(), 0u);
+}
+
+TEST(Indirection, OutOfRangeRejected) {
+  const Geometry g = Geometry::tiny();
+  RowIndirection ind(g);
+  EXPECT_THROW(ind.to_physical(g.total_rows()), dl::Error);
+  EXPECT_THROW(ind.swap_logical(0, g.total_rows()), dl::Error);
+}
+
+}  // namespace

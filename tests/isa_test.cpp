@@ -1,0 +1,106 @@
+// Tests for the 16-bit µISA encoder/decoder (Fig. 5).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/error.hpp"
+#include "defense/isa.hpp"
+
+namespace {
+
+using namespace dl::defense;
+
+TEST(Isa, CopyEncodeDecodeRoundTrip) {
+  const Uop u = Uop::copy(5, 98);
+  const Uop d = Uop::decode(u.encode());
+  EXPECT_EQ(d.kind, UopKind::kCopy);
+  EXPECT_EQ(d.dst, 5);
+  EXPECT_EQ(d.src, 98);
+}
+
+class CopyRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CopyRoundTrip, AllRegisterCombinations) {
+  const auto [dst, src] = GetParam();
+  const Uop u = Uop::copy(static_cast<std::uint8_t>(dst),
+                          static_cast<std::uint8_t>(src));
+  const Uop d = Uop::decode(u.encode());
+  EXPECT_EQ(d.kind, UopKind::kCopy);
+  EXPECT_EQ(d.dst, dst);
+  EXPECT_EQ(d.src, src);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regs, CopyRoundTrip,
+    ::testing::Combine(::testing::Values(0, 1, 2, 63, 127),
+                       ::testing::Values(0, 3, 64, 126, 127)));
+
+class BnezRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnezRoundTrip, DisplacementSignExtension) {
+  const int disp = GetParam();
+  const Uop u = Uop::bnez(9, static_cast<std::int8_t>(disp));
+  const Uop d = Uop::decode(u.encode());
+  EXPECT_EQ(d.kind, UopKind::kBnez);
+  EXPECT_EQ(d.dst, 9);
+  EXPECT_EQ(d.disp, disp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Displacements, BnezRoundTrip,
+                         ::testing::Values(-64, -3, -1, 0, 1, 5, 63));
+
+TEST(Isa, DoneRoundTrip) {
+  const Uop d = Uop::decode(Uop::done().encode());
+  EXPECT_EQ(d.kind, UopKind::kDone);
+}
+
+TEST(Isa, InstructionsAre16Bit) {
+  // Opcode lives in the top 2 bits; the encoding must fit 16 bits exactly.
+  EXPECT_EQ(Uop::copy(127, 127).encode() >> 14, 0b01);
+  EXPECT_EQ(Uop::bnez(127, -1).encode() >> 14, 0b10);
+  EXPECT_EQ(Uop::done().encode() >> 14, 0b11);
+}
+
+TEST(Isa, ReservedOpcodeRejected) {
+  EXPECT_THROW(Uop::decode(0x0000), dl::Error);
+}
+
+TEST(Isa, RegisterBoundsChecked) {
+  EXPECT_THROW(Uop::copy(128, 0), dl::Error);
+  EXPECT_THROW(Uop::copy(0, 128), dl::Error);
+  EXPECT_THROW(Uop::bnez(128, 0), dl::Error);
+  EXPECT_THROW(Uop::bnez(0, 64), dl::Error);
+  EXPECT_THROW(Uop::bnez(0, -65), dl::Error);
+}
+
+TEST(Isa, SwapProgramShape) {
+  const auto prog = swap_program();
+  ASSERT_EQ(prog.size(), 4u);
+  // Fig. 4(b): locked -> buffer, unlocked -> locked, buffer -> unlocked.
+  EXPECT_EQ(prog[0].kind, UopKind::kCopy);
+  EXPECT_EQ(prog[0].dst, kRegBuffer);
+  EXPECT_EQ(prog[0].src, kRegLocked);
+  EXPECT_EQ(prog[1].dst, kRegLocked);
+  EXPECT_EQ(prog[1].src, kRegUnlocked);
+  EXPECT_EQ(prog[2].dst, kRegUnlocked);
+  EXPECT_EQ(prog[2].src, kRegBuffer);
+  EXPECT_EQ(prog[3].kind, UopKind::kDone);
+}
+
+TEST(Isa, RepeatedSwapProgramUsesBnez) {
+  const auto prog = repeated_swap_program(4, 3);
+  ASSERT_EQ(prog.size(), 5u);
+  EXPECT_EQ(prog[3].kind, UopKind::kBnez);
+  EXPECT_EQ(prog[3].dst, 4);
+  EXPECT_EQ(prog[3].disp, -3);
+  EXPECT_THROW(repeated_swap_program(2, 3), dl::Error);  // aliases swap regs
+}
+
+TEST(Isa, ToStringIsReadable) {
+  EXPECT_EQ(Uop::copy(2, 0).to_string(), "AAP r2, r0");
+  EXPECT_EQ(Uop::bnez(4, -3).to_string(), "BNEZ r4, -3");
+  EXPECT_EQ(Uop::done().to_string(), "DONE");
+}
+
+}  // namespace

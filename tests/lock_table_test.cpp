@@ -1,0 +1,104 @@
+// Tests for the DRAM-Locker lock-table.
+#include <gtest/gtest.h>
+
+#include "defense/lock_table.hpp"
+
+namespace {
+
+using dl::defense::LockTable;
+
+TEST(LockTable, LockAndLookup) {
+  LockTable t(8);
+  EXPECT_TRUE(t.lock(42));
+  EXPECT_TRUE(t.is_locked(42));
+  EXPECT_FALSE(t.is_locked(43));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(LockTable, LockIsIdempotent) {
+  LockTable t(8);
+  EXPECT_TRUE(t.lock(42));
+  EXPECT_FALSE(t.lock(42));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(LockTable, UnlockRemoves) {
+  LockTable t(8);
+  t.lock(42);
+  EXPECT_TRUE(t.unlock(42));
+  EXPECT_FALSE(t.is_locked(42));
+  EXPECT_FALSE(t.unlock(42));
+}
+
+TEST(LockTable, CapacityEnforced) {
+  LockTable t(2);
+  EXPECT_TRUE(t.lock(1));
+  EXPECT_TRUE(t.lock(2));
+  EXPECT_FALSE(t.lock(3));
+  EXPECT_EQ(t.rejected_inserts(), 1u);
+  t.unlock(1);
+  EXPECT_TRUE(t.lock(3));
+}
+
+TEST(LockTable, RelocateMovesLock) {
+  LockTable t(4);
+  t.lock(10);
+  EXPECT_TRUE(t.relocate(10, 20));
+  EXPECT_FALSE(t.is_locked(10));
+  EXPECT_TRUE(t.is_locked(20));
+  EXPECT_FALSE(t.relocate(99, 100));  // source not locked
+}
+
+TEST(LockTable, RelocateAtFullCapacityNeverRejects) {
+  LockTable t(2);
+  t.lock(1);
+  t.lock(2);
+  EXPECT_TRUE(t.relocate(1, 3));
+  EXPECT_TRUE(t.is_locked(3));
+  EXPECT_TRUE(t.is_locked(2));
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(LockTable, RelocateToSelf) {
+  LockTable t(2);
+  t.lock(5);
+  EXPECT_TRUE(t.relocate(5, 5));
+  EXPECT_TRUE(t.is_locked(5));
+}
+
+TEST(LockTable, LockedRowsInInsertionOrder) {
+  LockTable t(8);
+  t.lock(30);
+  t.lock(10);
+  t.lock(20);
+  const auto rows = t.locked_rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], 30u);
+  EXPECT_EQ(rows[1], 10u);
+  EXPECT_EQ(rows[2], 20u);
+}
+
+TEST(LockTable, StatsTrackLookups) {
+  LockTable t(8);
+  t.lock(1);
+  t.is_locked(1);
+  t.is_locked(2);
+  t.is_locked(1);
+  EXPECT_EQ(t.lookups(), 3u);
+  EXPECT_EQ(t.hits(), 2u);
+}
+
+TEST(LockTable, ClearEmptiesTable) {
+  LockTable t(8);
+  t.lock(1);
+  t.lock(2);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.is_locked(1));
+}
+
+TEST(LockTable, ZeroCapacityRejected) {
+  EXPECT_THROW(LockTable(0), dl::Error);
+}
+
+}  // namespace

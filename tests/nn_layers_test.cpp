@@ -1,0 +1,308 @@
+// Layer forward/backward tests, including finite-difference gradient checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layers.hpp"
+#include "nn/model.hpp"
+#include "nn/residual.hpp"
+
+namespace {
+
+using namespace dl::nn;
+
+Tensor randn(std::vector<std::size_t> shape, dl::Rng& rng, float scale = 1.f) {
+  Tensor t(std::move(shape));
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = scale * static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+/// Scalar loss used by gradient checks: sum of 0.5*y^2 so dL/dy = y.
+float half_sq_sum(const Tensor& y) {
+  double s = 0;
+  for (std::size_t i = 0; i < y.numel(); ++i) {
+    s += 0.5 * static_cast<double>(y[i]) * y[i];
+  }
+  return static_cast<float>(s);
+}
+
+/// Checks layer input gradients and parameter gradients against central
+/// finite differences.
+void grad_check(Layer& layer, Tensor x, float tol = 2e-2f) {
+  // Analytic gradients.
+  Tensor y = layer.forward(x, /*train=*/true);
+  Tensor dy = y;  // dL/dy = y for the half-square loss
+  for (Param* p : layer.params()) p->grad.zero();
+  Tensor dx = layer.backward(dy);
+
+  const float eps = 1e-2f;
+  auto loss_at = [&](Tensor& storage, std::size_t idx, float delta) {
+    const float saved = storage[idx];
+    storage[idx] = saved + delta;
+    const float l = half_sq_sum(layer.forward(x, /*train=*/true));
+    storage[idx] = saved;
+    return l;
+  };
+
+  // Input gradient at a handful of positions.
+  for (std::size_t idx = 0; idx < x.numel();
+       idx += std::max<std::size_t>(1, x.numel() / 7)) {
+    const float lp = loss_at(x, idx, eps);
+    const float lm = loss_at(x, idx, -eps);
+    const float numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(dx[idx], numeric, tol * std::max(1.0f, std::abs(numeric)))
+        << "input idx " << idx;
+  }
+  // Parameter gradients.
+  for (Param* p : layer.params()) {
+    for (std::size_t idx = 0; idx < p->value.numel();
+         idx += std::max<std::size_t>(1, p->value.numel() / 5)) {
+      const float lp = loss_at(p->value, idx, eps);
+      const float lm = loss_at(p->value, idx, -eps);
+      const float numeric = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(p->grad[idx], numeric,
+                  tol * std::max(1.0f, std::abs(numeric)))
+          << p->name << " idx " << idx;
+    }
+  }
+}
+
+TEST(Conv2d, ForwardIdentityKernel) {
+  dl::Rng rng(1);
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  conv.weight().value.zero();
+  conv.weight().value[4] = 1.0f;  // centre tap: identity
+  Tensor x = randn({1, 1, 4, 4}, rng);
+  const Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, ForwardShiftKernel) {
+  dl::Rng rng(1);
+  Conv2d conv(1, 1, 3, 1, 1, rng);
+  conv.weight().value.zero();
+  conv.weight().value[5] = 1.0f;  // right tap: shifts image left
+  Tensor x({1, 1, 2, 3});
+  for (std::size_t i = 0; i < 6; ++i) x[i] = static_cast<float>(i + 1);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 2), 0.0f);  // zero padding
+}
+
+TEST(Conv2d, StrideHalvesOutput) {
+  dl::Rng rng(1);
+  Conv2d conv(3, 8, 3, 2, 1, rng);
+  Tensor x = randn({2, 3, 8, 8}, rng);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.dim(2), 4u);
+  EXPECT_EQ(y.dim(3), 4u);
+  EXPECT_EQ(y.dim(1), 8u);
+}
+
+TEST(Conv2d, GradCheck3x3) {
+  dl::Rng rng(2);
+  Conv2d conv(2, 3, 3, 1, 1, rng);
+  grad_check(conv, randn({2, 2, 4, 4}, rng, 0.5f));
+}
+
+TEST(Conv2d, GradCheckStride2) {
+  dl::Rng rng(3);
+  Conv2d conv(2, 2, 3, 2, 1, rng);
+  grad_check(conv, randn({1, 2, 6, 6}, rng, 0.5f));
+}
+
+TEST(Conv2d, GradCheck1x1) {
+  dl::Rng rng(4);
+  Conv2d conv(3, 4, 1, 1, 0, rng);
+  grad_check(conv, randn({2, 3, 3, 3}, rng, 0.5f));
+}
+
+TEST(Linear, ForwardKnownValues) {
+  dl::Rng rng(5);
+  Linear lin(2, 2, rng);
+  lin.weight().value[0] = 1;  // w[0][0]
+  lin.weight().value[1] = 2;  // w[0][1]
+  lin.weight().value[2] = 3;
+  lin.weight().value[3] = 4;
+  lin.bias().value[0] = 10;
+  lin.bias().value[1] = 20;
+  Tensor x({1, 2});
+  x[0] = 1;
+  x[1] = 1;
+  const Tensor y = lin.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 13.0f);  // 1+2+10
+  EXPECT_FLOAT_EQ(y[1], 27.0f);  // 3+4+20
+}
+
+TEST(Linear, GradCheck) {
+  dl::Rng rng(6);
+  Linear lin(5, 3, rng);
+  grad_check(lin, randn({4, 5}, rng, 0.5f));
+}
+
+TEST(BatchNorm2d, NormalizesInTraining) {
+  dl::Rng rng(7);
+  BatchNorm2d bn(3);
+  Tensor x = randn({4, 3, 5, 5}, rng, 3.0f);
+  const Tensor y = bn.forward(x, /*train=*/true);
+  // Per-channel mean ~0, var ~1 after normalization (gamma=1, beta=0).
+  for (std::size_t c = 0; c < 3; ++c) {
+    double sum = 0, sq = 0;
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < 4; ++n) {
+      for (std::size_t i = 0; i < 25; ++i) {
+        const float v = y.data()[y.index4(n, c, 0, 0) + i];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+        ++count;
+      }
+    }
+    const double mean = sum / count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / count - mean * mean, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  dl::Rng rng(8);
+  BatchNorm2d bn(2);
+  // Train on one distribution...
+  for (int i = 0; i < 20; ++i) {
+    Tensor x = randn({8, 2, 4, 4}, rng, 2.0f);
+    bn.forward(x, /*train=*/true);
+  }
+  // ...then eval on a constant input: output must not be re-normalized to
+  // zero mean (running stats are used instead of batch stats).
+  Tensor x({2, 2, 4, 4});
+  x.fill(5.0f);
+  const Tensor y = bn.forward(x, /*train=*/false);
+  EXPECT_GT(std::abs(y[0]), 0.5f);
+}
+
+TEST(BatchNorm2d, GradCheck) {
+  dl::Rng rng(9);
+  BatchNorm2d bn(2);
+  grad_check(bn, randn({3, 2, 3, 3}, rng), /*tol=*/5e-2f);
+}
+
+TEST(ReLU, ForwardBackwardMasks) {
+  ReLU relu;
+  Tensor x({4});
+  x[0] = -1;
+  x[1] = 2;
+  x[2] = -3;
+  x[3] = 4;
+  const Tensor y = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0);
+  EXPECT_FLOAT_EQ(y[1], 2);
+  Tensor dy({4});
+  dy.fill(1.0f);
+  const Tensor dx = relu.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 0);
+  EXPECT_FLOAT_EQ(dx[1], 1);
+  EXPECT_FLOAT_EQ(dx[2], 0);
+  EXPECT_FLOAT_EQ(dx[3], 1);
+}
+
+TEST(MaxPool2d, ForwardPicksMaxAndRoutesGradient) {
+  MaxPool2d pool;
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 5;
+  x[2] = 3;
+  x[3] = 2;
+  const Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.numel(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  Tensor dy({1, 1, 1, 1});
+  dy[0] = 7.0f;
+  const Tensor dx = pool.backward(dy);
+  EXPECT_FLOAT_EQ(dx[1], 7.0f);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+}
+
+TEST(GlobalAvgPool, ForwardBackward) {
+  GlobalAvgPool gap;
+  Tensor x({1, 2, 2, 2});
+  for (std::size_t i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  const Tensor y = gap.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 1.5f);  // mean of 0,1,2,3
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 5.5f);
+  Tensor dy({1, 2});
+  dy[0] = 4.0f;
+  dy[1] = 8.0f;
+  const Tensor dx = gap.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 1.0f);
+  EXPECT_FLOAT_EQ(dx[4], 2.0f);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten flat;
+  Tensor x({2, 3, 4, 4});
+  const Tensor y = flat.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 48}));
+  const Tensor dx = flat.backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+TEST(BasicBlock, IdentityShortcutShapes) {
+  dl::Rng rng(10);
+  BasicBlock block(8, 8, 1, rng);
+  Tensor x = randn({2, 8, 4, 4}, rng, 0.5f);
+  const Tensor y = block.forward(x, true);
+  EXPECT_EQ(y.shape(), x.shape());
+  EXPECT_EQ(block.params().size(), 6u);  // 2 convs + 2 BNs
+}
+
+TEST(BasicBlock, ProjectionShortcutShapes) {
+  dl::Rng rng(11);
+  BasicBlock block(8, 16, 2, rng);
+  Tensor x = randn({2, 8, 8, 8}, rng, 0.5f);
+  const Tensor y = block.forward(x, true);
+  EXPECT_EQ(y.dim(1), 16u);
+  EXPECT_EQ(y.dim(2), 4u);
+  EXPECT_EQ(block.params().size(), 9u);  // + projection conv & BN
+}
+
+TEST(BasicBlock, BackwardProducesInputGradient) {
+  dl::Rng rng(12);
+  BasicBlock block(4, 4, 1, rng);
+  Tensor x = randn({1, 4, 4, 4}, rng, 0.5f);
+  const Tensor y = block.forward(x, true);
+  Tensor dy(y.shape());
+  dy.fill(1.0f);
+  const Tensor dx = block.backward(dy);
+  EXPECT_EQ(dx.shape(), x.shape());
+  double mag = 0;
+  for (std::size_t i = 0; i < dx.numel(); ++i) {
+    mag += std::abs(dx[i]);
+  }
+  EXPECT_GT(mag, 0.0);
+}
+
+TEST(SoftmaxCrossEntropy, UniformLogits) {
+  Tensor logits({2, 4});
+  const LossResult r = softmax_cross_entropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0f), 1e-5);
+  // Gradient sums to zero per sample.
+  for (std::size_t n = 0; n < 2; ++n) {
+    float s = 0;
+    for (std::size_t c = 0; c < 4; ++c) s += r.grad.at2(n, c);
+    EXPECT_NEAR(s, 0.0f, 1e-6);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, CorrectCounting) {
+  Tensor logits({2, 3});
+  logits.at2(0, 1) = 5.0f;  // sample 0 predicts class 1
+  logits.at2(1, 2) = 5.0f;  // sample 1 predicts class 2
+  const LossResult r = softmax_cross_entropy(logits, {1, 0});
+  EXPECT_EQ(r.correct, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Training, dataset and model-builder tests.
+#include <gtest/gtest.h>
+
+#include "nn/data.hpp"
+#include "nn/layers.hpp"
+#include "nn/models.hpp"
+#include "nn/train.hpp"
+
+namespace {
+
+using namespace dl::nn;
+
+TEST(SynthCifar, DeterministicPrototypes) {
+  const SynthConfig cfg = synth_cifar10();
+  const Dataset a = make_synth_cifar(cfg, 16, /*sample_seed=*/1);
+  const Dataset b = make_synth_cifar(cfg, 16, /*sample_seed=*/1);
+  ASSERT_EQ(a.images.numel(), b.images.numel());
+  for (std::size_t i = 0; i < a.images.numel(); ++i) {
+    EXPECT_EQ(a.images[i], b.images[i]);
+  }
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(SynthCifar, DifferentSampleSeedsDiffer) {
+  const SynthConfig cfg = synth_cifar10();
+  const Dataset a = make_synth_cifar(cfg, 16, 1);
+  const Dataset b = make_synth_cifar(cfg, 16, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.images.numel() && !any_diff; ++i) {
+    any_diff = a.images[i] != b.images[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SynthCifar, ShapesAndLabels) {
+  const Dataset d = make_synth_cifar(synth_cifar100(), 50, 3);
+  EXPECT_EQ(d.images.shape(),
+            (std::vector<std::size_t>{50, 3, 32, 32}));
+  EXPECT_EQ(d.num_classes, 100u);
+  for (const auto l : d.labels) EXPECT_LT(l, 100);
+}
+
+TEST(SynthCifar, ClassesAreSeparable) {
+  // Nearest-prototype classification on noiseless prototypes must be easy;
+  // verify via a trivial nearest-mean classifier on a small sample.
+  SynthConfig cfg = synth_cifar10();
+  cfg.num_classes = 4;
+  const Dataset train = make_synth_cifar(cfg, 200, 5);
+  const Dataset test = make_synth_cifar(cfg, 100, 6);
+  const std::size_t img = 3 * 32 * 32;
+  std::vector<std::vector<double>> means(4, std::vector<double>(img, 0));
+  std::vector<std::size_t> counts(4, 0);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const auto c = train.labels[i];
+    ++counts[c];
+    for (std::size_t p = 0; p < img; ++p) {
+      means[c][p] += train.images[i * img + p];
+    }
+  }
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (auto& v : means[c]) v /= std::max<std::size_t>(1, counts[c]);
+  }
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    double best = 1e30;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      double dist = 0;
+      for (std::size_t p = 0; p < img; ++p) {
+        const double d = test.images[i * img + p] - means[c][p];
+        dist += d * d;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    correct += (best_c == test.labels[i]);
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+}
+
+TEST(Dataset, BatchExtractsIndices) {
+  const Dataset d = make_synth_cifar(synth_cifar10(), 10, 1);
+  auto [x, y] = d.batch({3, 7});
+  EXPECT_EQ(x.dim(0), 2u);
+  EXPECT_EQ(y.size(), 2u);
+  EXPECT_EQ(y[0], d.labels[3]);
+  const std::size_t img = 3 * 32 * 32;
+  EXPECT_EQ(x[0], d.images[3 * img]);
+}
+
+TEST(Models, Resnet20ParameterCount) {
+  dl::Rng rng(1);
+  Model m = make_resnet20(10, 1.0f, rng);
+  // The CIFAR ResNet-20 has ~272k parameters (plus option-B projections).
+  const std::size_t params = m.param_count();
+  EXPECT_GT(params, 250000u);
+  EXPECT_LT(params, 320000u);
+}
+
+TEST(Models, Resnet20ForwardShape) {
+  dl::Rng rng(1);
+  Model m = make_resnet20(10, 0.25f, rng);
+  Tensor x({2, 3, 32, 32});
+  const Tensor y = m.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 10}));
+}
+
+TEST(Models, Vgg11ForwardShape) {
+  dl::Rng rng(1);
+  Model m = make_vgg11(100, 0.125f, rng);
+  Tensor x({2, 3, 32, 32});
+  const Tensor y = m.forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 100}));
+}
+
+TEST(Models, WidthMultScalesParams) {
+  dl::Rng rng(1);
+  Model full = make_resnet20(10, 1.0f, rng);
+  Model half = make_resnet20(10, 0.5f, rng);
+  EXPECT_LT(half.param_count(), full.param_count() / 2);
+}
+
+TEST(Models, ScaledChannelsFloor) {
+  EXPECT_EQ(scaled_channels(16, 0.01f), 4u);
+  EXPECT_EQ(scaled_channels(16, 1.0f), 16u);
+  EXPECT_EQ(scaled_channels(16, 0.5f), 8u);
+  EXPECT_THROW(scaled_channels(16, 0.0f), dl::Error);
+}
+
+TEST(Training, LossDecreasesOnTinyProblem) {
+  dl::Rng rng(2);
+  SynthConfig cfg = synth_cifar10();
+  cfg.num_classes = 4;
+  const Dataset data = make_synth_cifar(cfg, 64, 7);
+
+  Model m;
+  m.add(std::make_unique<Conv2d>(3, 8, 3, 2, 1, rng));
+  m.add(std::make_unique<BatchNorm2d>(8));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<Conv2d>(8, 8, 3, 2, 1, rng));
+  m.add(std::make_unique<BatchNorm2d>(8));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Linear>(8, 4, rng));
+
+  SgdConfig scfg;
+  scfg.epochs = 3;
+  scfg.batch_size = 16;
+  scfg.lr = 0.08f;
+  scfg.lr_decay = 0.8f;
+  SgdTrainer trainer(m, scfg, dl::Rng(3));
+  const EpochStats first = trainer.train_epoch(data);
+  EpochStats last = first;
+  for (int e = 1; e < 7; ++e) last = trainer.train_epoch(data);
+  EXPECT_LT(last.mean_loss, first.mean_loss);
+  EXPECT_GT(last.train_accuracy, 0.5);
+}
+
+TEST(Training, EvaluateAccuracyMatchesManualCount) {
+  dl::Rng rng(4);
+  SynthConfig cfg = synth_cifar10();
+  cfg.num_classes = 3;
+  const Dataset data = make_synth_cifar(cfg, 30, 8);
+  Model m;
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Linear>(3, 3, rng));
+  const double acc = evaluate_accuracy(m, data, /*chunk=*/7);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Tests for 8-bit weight quantization and bit-level access.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "nn/layers.hpp"
+#include "nn/models.hpp"
+#include "nn/quant.hpp"
+
+namespace {
+
+using namespace dl::nn;
+
+Model tiny_model(dl::Rng& rng) {
+  Model m;
+  m.add(std::make_unique<Conv2d>(3, 4, 3, 1, 1, rng));
+  m.add(std::make_unique<BatchNorm2d>(4));
+  m.add(std::make_unique<ReLU>());
+  m.add(std::make_unique<GlobalAvgPool>());
+  m.add(std::make_unique<Linear>(4, 2, rng));
+  return m;
+}
+
+TEST(Quant, QuantizesOnlyWeightTensors) {
+  dl::Rng rng(1);
+  Model m = tiny_model(rng);
+  QuantizedModel q(m);
+  // conv.w and linear.w, but not BN gamma/beta or linear bias.
+  EXPECT_EQ(q.layer_count(), 2u);
+  EXPECT_EQ(q.layer(0).name, "conv.w");
+  EXPECT_EQ(q.layer(1).name, "linear.w");
+  EXPECT_EQ(q.total_weights(), 3u * 4 * 9 + 4u * 2);
+}
+
+TEST(Quant, RoundTripErrorBounded) {
+  dl::Rng rng(2);
+  Model m = tiny_model(rng);
+  // Snapshot original weights.
+  std::vector<float> original;
+  for (Param* p : m.params()) {
+    if (p->name.find(".w") == std::string::npos) continue;
+    for (std::size_t i = 0; i < p->value.numel(); ++i) {
+      original.push_back(p->value[i]);
+    }
+  }
+  QuantizedModel q(m);
+  std::size_t k = 0;
+  for (std::size_t li = 0; li < q.layer_count(); ++li) {
+    const float half_step = q.layer(li).scale * 0.5f + 1e-7f;
+    for (std::size_t wi = 0; wi < q.layer(li).weights(); ++wi, ++k) {
+      EXPECT_NEAR(q.layer(li).target->value[wi], original[k], half_step);
+    }
+  }
+}
+
+TEST(Quant, ScaleCoversMaxAbs) {
+  dl::Rng rng(3);
+  Model m = tiny_model(rng);
+  QuantizedModel q(m);
+  for (std::size_t li = 0; li < q.layer_count(); ++li) {
+    for (std::size_t wi = 0; wi < q.layer(li).weights(); ++wi) {
+      EXPECT_GE(q.weight_word(li, wi), -128);
+      EXPECT_LE(q.weight_word(li, wi), 127);
+    }
+  }
+}
+
+class FlipBitChanges : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FlipBitChanges, FlipAltersWeightByPowerOfTwo) {
+  const unsigned bit = GetParam();
+  dl::Rng rng(4);
+  Model m = tiny_model(rng);
+  QuantizedModel q(m);
+  const std::int8_t before = q.weight_word(0, 0);
+  const float w_before = q.layer(0).target->value[0];
+  q.flip_bit({0, 0, bit});
+  const std::int8_t after = q.weight_word(0, 0);
+  const float w_after = q.layer(0).target->value[0];
+  // Word changed in exactly the requested bit.
+  EXPECT_EQ(static_cast<std::uint8_t>(before ^ after), 1u << bit);
+  // Float weight moved by 2^bit steps of the scale (sign depends on
+  // direction; magnitude is exact).
+  EXPECT_NEAR(std::abs(w_after - w_before),
+              q.layer(0).scale * static_cast<float>(1u << bit), 1e-5f);
+  // Flipping again restores.
+  q.flip_bit({0, 0, bit});
+  EXPECT_EQ(q.weight_word(0, 0), before);
+  EXPECT_FLOAT_EQ(q.layer(0).target->value[0], w_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, FlipBitChanges,
+                         ::testing::Values(0u, 1u, 3u, 6u, 7u));
+
+TEST(Quant, MsbFlipIsCatastrophic) {
+  dl::Rng rng(5);
+  Model m = tiny_model(rng);
+  QuantizedModel q(m);
+  const float before = q.layer(0).target->value[0];
+  q.flip_bit({0, 0, 7});
+  const float after = q.layer(0).target->value[0];
+  EXPECT_NEAR(std::abs(after - before), q.layer(0).scale * 128.0f, 1e-4f);
+}
+
+TEST(Quant, RestoreUndoesAllFlips) {
+  dl::Rng rng(6);
+  Model m = tiny_model(rng);
+  QuantizedModel q(m);
+  const auto image = q.serialize();
+  q.flip_bit({0, 3, 7});
+  q.flip_bit({1, 1, 2});
+  EXPECT_NE(q.serialize(), image);
+  q.restore();
+  EXPECT_EQ(q.serialize(), image);
+}
+
+TEST(Quant, SerializeDeserializeRoundTrip) {
+  dl::Rng rng(7);
+  Model m = tiny_model(rng);
+  QuantizedModel q(m);
+  auto image = q.serialize();
+  ASSERT_EQ(image.size(), q.total_weights());
+  image[5] ^= 0x80;  // corrupt one byte, as a DRAM flip would
+  q.deserialize(image);
+  EXPECT_EQ(static_cast<std::uint8_t>(q.weight_word(0, 5)), image[5]);
+  // The float weight reflects the corruption.
+  EXPECT_NEAR(q.layer(0).target->value[5],
+              static_cast<float>(q.weight_word(0, 5)) * q.layer(0).scale,
+              1e-6f);
+}
+
+TEST(Quant, ImageOffsetsAreDense) {
+  dl::Rng rng(8);
+  Model m = tiny_model(rng);
+  QuantizedModel q(m);
+  EXPECT_EQ(q.image_offset(0, 0), 0u);
+  EXPECT_EQ(q.image_offset(0, 5), 5u);
+  EXPECT_EQ(q.image_offset(1, 0), q.layer(0).weights());
+  EXPECT_THROW(q.image_offset(2, 0), dl::Error);
+}
+
+TEST(Quant, ApplyKeepsModelAndWordsConsistent) {
+  dl::Rng rng(9);
+  Model m = tiny_model(rng);
+  QuantizedModel q(m);
+  q.set_weight_word(1, 3, -128);
+  EXPECT_FLOAT_EQ(q.layer(1).target->value[3], -128.0f * q.layer(1).scale);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Tests for the disturbance model and attacker patterns.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/controller.hpp"
+#include "rowhammer/attacker.hpp"
+#include "rowhammer/disturbance.hpp"
+
+namespace {
+
+using namespace dl::dram;
+using namespace dl::rowhammer;
+
+class RowhammerTest : public ::testing::Test {
+ protected:
+  Geometry g = Geometry::tiny();
+  Controller ctrl{g, ddr4_2400()};
+
+  DisturbanceModel make_model(std::uint64_t t_rh, double d2 = 0.0,
+                              bool deterministic = true) {
+    DisturbanceConfig cfg;
+    cfg.t_rh = t_rh;
+    cfg.distance2_weight = d2;
+    cfg.deterministic_bits = deterministic;
+    return DisturbanceModel(ctrl, cfg, dl::Rng(1));
+  }
+};
+
+TEST_F(RowhammerTest, NoFlipBelowThreshold) {
+  auto model = make_model(100);
+  ctrl.add_listener(&model);
+  for (int i = 0; i < 99; ++i) ctrl.hammer(ctrl.mapper().row_base(10));
+  EXPECT_TRUE(model.flips().empty());
+  EXPECT_DOUBLE_EQ(model.disturbance(9), 99.0);
+  EXPECT_DOUBLE_EQ(model.disturbance(11), 99.0);
+}
+
+TEST_F(RowhammerTest, FlipExactlyAtThreshold) {
+  auto model = make_model(100);
+  ctrl.add_listener(&model);
+  for (int i = 0; i < 100; ++i) ctrl.hammer(ctrl.mapper().row_base(10));
+  // Both distance-1 victims (rows 9 and 11) crossed the threshold.
+  ASSERT_EQ(model.flips().size(), 2u);
+  EXPECT_EQ(model.total_flips(), 2u);
+  std::set<GlobalRowId> victims;
+  for (const auto& f : model.flips()) victims.insert(f.victim_row);
+  EXPECT_TRUE(victims.contains(9));
+  EXPECT_TRUE(victims.contains(11));
+  // Accumulation restarted after the flip.
+  EXPECT_DOUBLE_EQ(model.disturbance(9), 0.0);
+}
+
+TEST_F(RowhammerTest, DeterministicFlipHitsByteZeroBitZero) {
+  auto model = make_model(10);
+  ctrl.add_listener(&model);
+  for (int i = 0; i < 10; ++i) ctrl.hammer(ctrl.mapper().row_base(10));
+  ASSERT_FALSE(model.flips().empty());
+  EXPECT_EQ(model.flips()[0].byte, 0u);
+  EXPECT_EQ(model.flips()[0].bit, 0u);
+  EXPECT_EQ(ctrl.data().read_byte(9, 0), 1);
+}
+
+TEST_F(RowhammerTest, SubarrayBoundaryHasNoVictimBeyond) {
+  auto model = make_model(10);
+  ctrl.add_listener(&model);
+  // Row 0 has only one distance-1 neighbour (row 1).
+  for (int i = 0; i < 10; ++i) ctrl.hammer(ctrl.mapper().row_base(0));
+  ASSERT_EQ(model.flips().size(), 1u);
+  EXPECT_EQ(model.flips()[0].victim_row, 1u);
+}
+
+TEST_F(RowhammerTest, RefreshWindowResetsAccumulation) {
+  auto model = make_model(100);
+  ctrl.add_listener(&model);
+  for (int i = 0; i < 60; ++i) ctrl.hammer(ctrl.mapper().row_base(10));
+  ctrl.advance_time(ctrl.timing().tREFW);  // auto-refresh boundary
+  for (int i = 0; i < 60; ++i) ctrl.hammer(ctrl.mapper().row_base(10));
+  // 60 + 60 split across windows never reaches 100.
+  EXPECT_TRUE(model.flips().empty());
+}
+
+TEST_F(RowhammerTest, TargetedRefreshResetsVictim) {
+  auto model = make_model(100);
+  ctrl.add_listener(&model);
+  for (int i = 0; i < 90; ++i) ctrl.hammer(ctrl.mapper().row_base(10));
+  ctrl.refresh_row(9);
+  EXPECT_DOUBLE_EQ(model.disturbance(9), 0.0);
+  EXPECT_DOUBLE_EQ(model.disturbance(11), 90.0);
+}
+
+TEST_F(RowhammerTest, HalfDoubleCouplingAccumulates) {
+  auto model = make_model(100, /*d2=*/0.5);
+  ctrl.add_listener(&model);
+  for (int i = 0; i < 10; ++i) ctrl.hammer(ctrl.mapper().row_base(10));
+  EXPECT_DOUBLE_EQ(model.disturbance(8), 5.0);
+  EXPECT_DOUBLE_EQ(model.disturbance(12), 5.0);
+}
+
+TEST_F(RowhammerTest, FlipCallbackFires) {
+  auto model = make_model(10);
+  ctrl.add_listener(&model);
+  int events = 0;
+  model.set_flip_callback([&](const FlipEvent&) { ++events; });
+  for (int i = 0; i < 10; ++i) ctrl.hammer(ctrl.mapper().row_base(10));
+  EXPECT_EQ(events, 2);
+}
+
+class PatternAggressors : public ::testing::TestWithParam<HammerPattern> {};
+
+TEST_P(PatternAggressors, AggressorsAreWithinBlastRadius) {
+  const Geometry g = Geometry::tiny();
+  Controller ctrl(g, ddr4_2400());
+  DisturbanceConfig cfg;
+  DisturbanceModel model(ctrl, cfg, dl::Rng(1));
+  HammerAttacker attacker(ctrl, model);
+  const GlobalRowId victim = 20;
+  const auto aggressors = attacker.aggressors_for(victim, GetParam());
+  EXPECT_FALSE(aggressors.empty());
+  for (const auto a : aggressors) {
+    const auto av = from_global(g, a);
+    const auto vv = from_global(g, victim);
+    EXPECT_TRUE(same_subarray(av, vv));
+    EXPECT_LE(row_distance(av, vv), 2u);
+    EXPECT_NE(a, victim);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, PatternAggressors,
+                         ::testing::Values(HammerPattern::kSingleSided,
+                                           HammerPattern::kDoubleSided,
+                                           HammerPattern::kManySided,
+                                           HammerPattern::kHalfDouble));
+
+TEST_F(RowhammerTest, DoubleSidedAttackFlipsVictim) {
+  auto model = make_model(1000);
+  ctrl.add_listener(&model);
+  HammerAttacker attacker(ctrl, model);
+  const auto res = attacker.attack(20, HammerPattern::kDoubleSided,
+                                   /*act_budget=*/4000,
+                                   /*stop_after_flips=*/1);
+  EXPECT_GT(res.flips_in_victim, 0u);
+  EXPECT_GT(res.granted_acts, 0u);
+  EXPECT_EQ(res.denied_acts, 0u);
+  EXPECT_GT(res.elapsed, 0);
+}
+
+TEST_F(RowhammerTest, HalfDoubleFlipsThroughDistanceTwo) {
+  // Half-Double (Kogler et al.): hammering at distance 2 still flips the
+  // victim once the coupling weight is non-zero, defeating distance-1-only
+  // defenses.  With weight 0.5 the victim needs 2x the activations.
+  auto model = make_model(100, /*d2=*/0.5);
+  ctrl.add_listener(&model);
+  HammerAttacker attacker(ctrl, model);
+  const auto res =
+      attacker.attack(20, HammerPattern::kHalfDouble, /*act_budget=*/400,
+                      /*stop_after_flips=*/1);
+  EXPECT_GT(res.flips_in_victim, 0u);
+  EXPECT_GE(res.granted_acts, 180u);  // ~200 activations at weight 0.5
+}
+
+TEST_F(RowhammerTest, BudgetExhaustionReportsNoFlip) {
+  auto model = make_model(100000);
+  ctrl.add_listener(&model);
+  HammerAttacker attacker(ctrl, model);
+  const auto res =
+      attacker.attack(20, HammerPattern::kDoubleSided, 500, 1);
+  EXPECT_EQ(res.flips_in_victim, 0u);
+  EXPECT_EQ(res.granted_acts, 500u);
+}
+
+}  // namespace

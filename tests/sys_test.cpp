@@ -1,0 +1,200 @@
+// Tests for the OS-lite layer: PTEs, frame allocator, address spaces.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "sys/address_space.hpp"
+#include "sys/allocator.hpp"
+#include "sys/page_table.hpp"
+
+namespace {
+
+using namespace dl::sys;
+using dl::dram::Controller;
+using dl::dram::ddr4_2400;
+using dl::dram::Geometry;
+
+// A geometry with 8 KiB rows so pages tile rows evenly and there is room
+// for page tables plus data.
+Geometry sys_geometry() {
+  Geometry g;
+  g.channels = 1;
+  g.ranks = 1;
+  g.banks = 2;
+  g.subarrays_per_bank = 4;
+  g.rows_per_subarray = 128;
+  g.row_bytes = 8192;
+  return g;
+}
+
+class PteRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PteRoundTrip, EncodeDecode) {
+  Pte p;
+  p.valid = true;
+  p.writable = (GetParam() & 1) != 0;
+  p.user = (GetParam() & 2) != 0;
+  p.pfn = GetParam();
+  const Pte d = Pte::decode(p.encode());
+  EXPECT_EQ(d.valid, p.valid);
+  EXPECT_EQ(d.writable, p.writable);
+  EXPECT_EQ(d.user, p.user);
+  EXPECT_EQ(d.pfn, p.pfn);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pfns, PteRoundTrip,
+                         ::testing::Values(0ull, 1ull, 42ull, 0xFFFFFull,
+                                           (1ull << 40) - 1));
+
+TEST(Pte, InvalidDecodesInvalid) {
+  EXPECT_FALSE(Pte::decode(0).valid);
+}
+
+TEST(Pte, IndexHelpers) {
+  const VirtAddr va = (5ull << (kPageShift + kLevelBits)) |
+                      (9ull << kPageShift) | 123;
+  EXPECT_EQ(l1_index(va), 5u);
+  EXPECT_EQ(l2_index(va), 9u);
+  EXPECT_EQ(page_offset(va), 123u);
+}
+
+TEST(FrameAllocator, SequentialAllocation) {
+  FrameAllocator fa(sys_geometry());
+  EXPECT_EQ(fa.allocate(), 0u);
+  EXPECT_EQ(fa.allocate(), 1u);
+  EXPECT_EQ(fa.allocated_count(), 2u);
+}
+
+TEST(FrameAllocator, FreeAndReuse) {
+  FrameAllocator fa(sys_geometry());
+  const FrameNumber a = fa.allocate();
+  fa.allocate();
+  fa.free(a);
+  EXPECT_EQ(fa.allocate(), a);
+  EXPECT_THROW(fa.free(999), dl::Error);  // double free / never allocated
+}
+
+TEST(FrameAllocator, ContiguousRuns) {
+  FrameAllocator fa(sys_geometry());
+  fa.allocate_exact(2);
+  const FrameNumber run = fa.allocate_contiguous(4);
+  // Frames [run, run+4) must avoid frame 2.
+  for (FrameNumber f = run; f < run + 4; ++f) {
+    EXPECT_NE(f, 2u);
+    EXPECT_TRUE(fa.is_allocated(f));
+  }
+}
+
+TEST(FrameAllocator, ExactConflictRejected) {
+  FrameAllocator fa(sys_geometry());
+  fa.allocate_exact(5);
+  EXPECT_THROW(fa.allocate_exact(5), dl::Error);
+}
+
+TEST(FrameAllocator, FrameBaseArithmetic) {
+  FrameAllocator fa(sys_geometry());
+  EXPECT_EQ(fa.frame_base(3), 3 * kPageBytes);
+  EXPECT_EQ(fa.frames_per_row(), 2u);  // 8 KiB rows / 4 KiB pages
+}
+
+class AddressSpaceTest : public ::testing::Test {
+ protected:
+  Geometry g = sys_geometry();
+  Controller ctrl{g, ddr4_2400()};
+  FrameAllocator frames{g};
+  AddressSpace space{ctrl, frames};
+};
+
+TEST_F(AddressSpaceTest, UnmappedFaults) {
+  std::array<std::uint8_t, 4> buf{};
+  const auto r = space.read(0x1000, buf);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.translation_fault);
+  EXPECT_FALSE(space.walk(0x1000).has_value());
+}
+
+TEST_F(AddressSpaceTest, MapThenReadWrite) {
+  space.map_contiguous(0x10000, 2);
+  const std::array<std::uint8_t, 4> in{1, 2, 3, 4};
+  EXPECT_TRUE(space.write(0x10000 + 100, in).ok);
+  std::array<std::uint8_t, 4> out{};
+  EXPECT_TRUE(space.read(0x10000 + 100, out).ok);
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(AddressSpaceTest, TranslationGoesThroughDram) {
+  space.map_contiguous(0x10000, 1);
+  const auto pte = space.walk(0x10000);
+  ASSERT_TRUE(pte.has_value());
+  // The PTE bytes physically live in DRAM at leaf_pte_paddr.
+  const auto pte_paddr = space.leaf_pte_paddr(0x10000);
+  ASSERT_TRUE(pte_paddr.has_value());
+  std::array<std::uint8_t, 8> raw{};
+  ctrl.read(*pte_paddr, raw, /*can_unlock=*/true);
+  std::uint64_t word = 0;
+  std::memcpy(&word, raw.data(), 8);
+  EXPECT_EQ(Pte::decode(word).pfn, pte->pfn);
+}
+
+TEST_F(AddressSpaceTest, CorruptedPteRedirectsAccess) {
+  space.map_contiguous(0x10000, 1);
+  const auto before = space.walk(0x10000);
+  ASSERT_TRUE(before.has_value());
+  // Flip PFN bit 0 (PTE bit 12) directly in DRAM — what RowHammer does.
+  const auto pte_paddr = *space.leaf_pte_paddr(0x10000);
+  const auto loc = ctrl.mapper().to_location(pte_paddr);
+  ctrl.data().flip_bit(dl::dram::to_global(g, loc.row), loc.byte + 1, 4);
+  const auto after = space.walk(0x10000);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->pfn, before->pfn ^ 1);
+}
+
+TEST_F(AddressSpaceTest, MapPageAtChosenFrame) {
+  frames.allocate_exact(40);
+  space.map_page(0x20000, 40);
+  const auto pte = space.walk(0x20000);
+  ASSERT_TRUE(pte.has_value());
+  EXPECT_EQ(pte->pfn, 40u);
+}
+
+TEST_F(AddressSpaceTest, ReadOnlyPageRejectsWrites) {
+  frames.allocate_exact(41);
+  space.map_page(0x30000, 41, /*writable=*/false);
+  const std::array<std::uint8_t, 1> in{7};
+  const auto w = space.write(0x30000, in);
+  EXPECT_FALSE(w.ok);
+  EXPECT_FALSE(w.translation_fault);
+  std::array<std::uint8_t, 1> out{};
+  EXPECT_TRUE(space.read(0x30000, out).ok);
+}
+
+TEST_F(AddressSpaceTest, SetLeafPteOverrides) {
+  space.map_contiguous(0x10000, 1);
+  frames.allocate_exact(50);
+  Pte p;
+  p.valid = true;
+  p.writable = true;
+  p.pfn = 50;
+  space.set_leaf_pte(0x10000, p);
+  EXPECT_EQ(space.walk(0x10000)->pfn, 50u);
+}
+
+TEST_F(AddressSpaceTest, CrossPageAccessRejected) {
+  space.map_contiguous(0x10000, 2);
+  std::array<std::uint8_t, 16> buf{};
+  EXPECT_THROW(space.read(0x10000 + kPageBytes - 8, buf), dl::Error);
+}
+
+TEST_F(AddressSpaceTest, TwoSpacesAreIsolated) {
+  AddressSpace other(ctrl, frames);
+  space.map_contiguous(0x10000, 1);
+  other.map_contiguous(0x10000, 1);
+  const std::array<std::uint8_t, 1> in{0xAB};
+  space.write(0x10000, in);
+  std::array<std::uint8_t, 1> out{};
+  other.read(0x10000, out);
+  EXPECT_EQ(out[0], 0x00);  // distinct physical frames
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Tests for the counter-based tracker baselines.
+#include <gtest/gtest.h>
+
+#include "defense/trackers.hpp"
+#include "rowhammer/disturbance.hpp"
+
+namespace {
+
+using namespace dl::defense;
+using namespace dl::dram;
+
+class TrackerTest : public ::testing::Test {
+ protected:
+  Geometry g = Geometry::tiny();
+  Controller ctrl{g, ddr4_2400()};
+
+  void hammer_n(GlobalRowId row, int n) {
+    for (int i = 0; i < n; ++i) ctrl.hammer(ctrl.mapper().row_base(row));
+  }
+};
+
+TEST_F(TrackerTest, CounterPerRowCountsExactly) {
+  CounterPerRow cpr(ctrl, /*threshold=*/100, /*radius=*/1);
+  ctrl.add_listener(&cpr);
+  hammer_n(20, 42);
+  EXPECT_EQ(cpr.count(20), 42u);
+  EXPECT_EQ(cpr.stats().mitigations, 0u);
+}
+
+TEST_F(TrackerTest, CounterPerRowRefreshesAtThreshold) {
+  CounterPerRow cpr(ctrl, 100, 1);
+  ctrl.add_listener(&cpr);
+  hammer_n(20, 100);
+  EXPECT_EQ(cpr.stats().mitigations, 1u);
+  EXPECT_EQ(cpr.stats().victim_refreshes, 2u);
+  EXPECT_EQ(cpr.count(20), 0u);  // counter reset after mitigation
+}
+
+TEST_F(TrackerTest, CounterPerRowPreventsFlips) {
+  dl::rowhammer::DisturbanceConfig dcfg;
+  dcfg.t_rh = 200;
+  dcfg.distance2_weight = 0.0;  // classic distance-1 RowHammer
+  dl::rowhammer::DisturbanceModel model(ctrl, dcfg, dl::Rng(1));
+  ctrl.add_listener(&model);
+  // Mitigation threshold at half the flip threshold: victims always get
+  // refreshed before the disturbance crosses T_RH.
+  CounterPerRow cpr(ctrl, 100, 1);
+  ctrl.add_listener(&cpr);
+  hammer_n(20, 5000);
+  EXPECT_EQ(model.total_flips(), 0u);
+  EXPECT_GE(cpr.stats().mitigations, 40u);
+}
+
+TEST_F(TrackerTest, HalfDoubleDefeatsRadiusOneRefresh) {
+  // Kogler et al.'s Half-Double observation, reproduced: a radius-1
+  // victim-refresh defense never refreshes the distance-2 victims, so the
+  // coupling leaks through; a radius-2 configuration closes the gap.
+  dl::rowhammer::DisturbanceConfig dcfg;
+  dcfg.t_rh = 200;
+  dcfg.distance2_weight = 0.25;
+  dl::rowhammer::DisturbanceModel model(ctrl, dcfg, dl::Rng(1));
+  ctrl.add_listener(&model);
+  CounterPerRow cpr(ctrl, 100, /*radius=*/1);
+  ctrl.add_listener(&cpr);
+  hammer_n(20, 5000);
+  EXPECT_GT(model.total_flips(), 0u);  // distance-2 victims flipped
+
+  // Fresh controller with radius-2 mitigation: no flips.
+  Controller ctrl2(g, ddr4_2400());
+  dl::rowhammer::DisturbanceModel model2(ctrl2, dcfg, dl::Rng(1));
+  ctrl2.add_listener(&model2);
+  CounterPerRow cpr2(ctrl2, 100, /*radius=*/2);
+  ctrl2.add_listener(&cpr2);
+  for (int i = 0; i < 5000; ++i) ctrl2.hammer(ctrl2.mapper().row_base(20));
+  EXPECT_EQ(model2.total_flips(), 0u);
+}
+
+TEST_F(TrackerTest, CounterPerRowWindowReset) {
+  CounterPerRow cpr(ctrl, 100, 1);
+  ctrl.add_listener(&cpr);
+  hammer_n(20, 60);
+  ctrl.advance_time(ctrl.timing().tREFW);
+  hammer_n(20, 60);
+  EXPECT_EQ(cpr.stats().mitigations, 0u);
+}
+
+TEST_F(TrackerTest, GrapheneCatchesHeavyHitter) {
+  Graphene graphene(ctrl, /*threshold=*/100, /*entries=*/4, /*radius=*/1);
+  ctrl.add_listener(&graphene);
+  // Interleave a heavy hitter with light noise rows.
+  for (int i = 0; i < 150; ++i) {
+    ctrl.hammer(ctrl.mapper().row_base(20));
+    if (i % 3 == 0) ctrl.hammer(ctrl.mapper().row_base(30 + (i % 7)));
+  }
+  EXPECT_GE(graphene.stats().mitigations, 1u);
+  EXPECT_LE(graphene.table_size(), 4u);
+}
+
+TEST_F(TrackerTest, GrapheneNeverUndercounts) {
+  // Misra-Gries guarantee: a tracked count is an upper bound of the true
+  // count minus the spill, so a row hammered `threshold` times in
+  // isolation must always be mitigated.
+  Graphene graphene(ctrl, 64, 2, 1);
+  ctrl.add_listener(&graphene);
+  hammer_n(20, 64);
+  EXPECT_GE(graphene.stats().mitigations, 1u);
+}
+
+TEST_F(TrackerTest, CounterTreeRefinesHotGroups) {
+  CounterTree tree(ctrl, /*threshold=*/100, /*group_rows=*/16, /*radius=*/1);
+  ctrl.add_listener(&tree);
+  hammer_n(20, 200);
+  EXPECT_GE(tree.refined_groups(), 1u);
+  EXPECT_GE(tree.stats().mitigations, 1u);
+}
+
+TEST_F(TrackerTest, CounterTreeColdGroupsStayCoarse) {
+  CounterTree tree(ctrl, 100, 16, 1);
+  ctrl.add_listener(&tree);
+  hammer_n(20, 10);
+  hammer_n(40, 10);
+  EXPECT_EQ(tree.refined_groups(), 0u);
+  EXPECT_EQ(tree.stats().mitigations, 0u);
+}
+
+TEST_F(TrackerTest, HydraSpillsHotGroupsToDram) {
+  Hydra hydra(ctrl, /*threshold=*/100, /*group_rows=*/16, /*radius=*/1);
+  ctrl.add_listener(&hydra);
+  hammer_n(20, 200);
+  EXPECT_GT(hydra.dram_counter_accesses(), 0u);
+  EXPECT_GE(hydra.stats().mitigations, 1u);
+}
+
+TEST_F(TrackerTest, HydraColdGroupsCostNothing) {
+  Hydra hydra(ctrl, 100, 16, 1);
+  ctrl.add_listener(&hydra);
+  hammer_n(20, 10);
+  EXPECT_EQ(hydra.dram_counter_accesses(), 0u);
+}
+
+TEST_F(TrackerTest, TrrSamplerMitigatesProbabilistically) {
+  TrrSampler trr(ctrl, /*sample_probability=*/0.05, /*radius=*/1,
+                 dl::Rng(11));
+  ctrl.add_listener(&trr);
+  hammer_n(20, 2000);
+  // ~100 expected mitigations at p=0.05.
+  EXPECT_GT(trr.stats().mitigations, 50u);
+  EXPECT_LT(trr.stats().mitigations, 200u);
+}
+
+TEST_F(TrackerTest, RefreshNeighborsResetsDisturbance) {
+  dl::rowhammer::DisturbanceConfig dcfg;
+  dcfg.t_rh = 1000;
+  dl::rowhammer::DisturbanceModel model(ctrl, dcfg, dl::Rng(1));
+  ctrl.add_listener(&model);
+  hammer_n(20, 500);
+  EXPECT_GT(model.disturbance(19), 0.0);
+  refresh_neighbors(ctrl, 20, 1);
+  EXPECT_EQ(model.disturbance(19), 0.0);
+  EXPECT_EQ(model.disturbance(21), 0.0);
+}
+
+}  // namespace
