@@ -9,13 +9,17 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <vector>
 
 #include "circuit/montecarlo.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "defense/dram_locker.hpp"
 #include "defense/lock_table.hpp"
 #include "defense/sequencer.hpp"
 #include "dram/controller.hpp"
+#include "nn/models.hpp"
+#include "nn/tensor.hpp"
 
 namespace {
 
@@ -118,6 +122,88 @@ void BM_MonteCarloSwapTrial(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(BM_MonteCarloSwapTrial);
+
+// Sec. IV-D hot path at experiment scale: arg 0 = trials, arg 1 = threads
+// (0 = autodetect).  The acceptance target is the 10^6-trial run.
+void BM_MonteCarloRun(benchmark::State& state) {
+  parallel::set_threads(static_cast<std::size_t>(state.range(1)));
+  circuit::SwapMonteCarlo mc;
+  const auto trials = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mc.run(0.20, trials));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trials));
+  parallel::set_threads(0);
+}
+BENCHMARK(BM_MonteCarloRun)
+    ->Args({1000000, 1})
+    ->Args({1000000, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// ------------------------------------------------------------ NN substrate
+
+// Conv-shaped GEMM (im2col of a 64-channel 3x3 layer on 32x32): the naive
+// seed kernel vs the blocked register-tiled kernel, single-threaded, and
+// the blocked kernel at the autodetected thread count.
+constexpr std::size_t kGemmM = 64, kGemmK = 576, kGemmN = 1024;
+
+std::vector<float> gemm_operand(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto a = gemm_operand(kGemmM * kGemmK, 1);
+  const auto b = gemm_operand(kGemmK * kGemmN, 2);
+  std::vector<float> c(kGemmM * kGemmN);
+  for (auto _ : state) {
+    nn::reference::gemm(kGemmM, kGemmK, kGemmN, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kGemmM * kGemmK * kGemmN);
+}
+BENCHMARK(BM_GemmNaive);
+
+void BM_GemmBlocked(benchmark::State& state) {
+  parallel::set_threads(static_cast<std::size_t>(state.range(0)));
+  const auto a = gemm_operand(kGemmM * kGemmK, 1);
+  const auto b = gemm_operand(kGemmK * kGemmN, 2);
+  std::vector<float> c(kGemmM * kGemmN);
+  for (auto _ : state) {
+    nn::gemm(kGemmM, kGemmK, kGemmN, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kGemmM * kGemmK * kGemmN);
+  parallel::set_threads(0);
+}
+BENCHMARK(BM_GemmBlocked)->Arg(1)->Arg(0)->UseRealTime();
+
+// CNN forward pass, batch 32 (the BFA/accuracy-evaluation hot path).
+// Arg = thread count (0 = autodetect).
+void BM_CnnForward(benchmark::State& state) {
+  parallel::set_threads(static_cast<std::size_t>(state.range(0)));
+  Rng rng(11);
+  nn::Model model = nn::make_resnet20(10, 0.5f, rng);
+  nn::Tensor x({32, 3, 32, 32});
+  Rng data_rng(5);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, /*train=*/false));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+  parallel::set_threads(0);
+}
+BENCHMARK(BM_CnnForward)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_DramLockerGateAllow(benchmark::State& state) {
   dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());

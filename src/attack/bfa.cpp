@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace dl::attack {
 
@@ -42,11 +43,16 @@ float ProgressiveBitSearch::flip_gain(std::int8_t q, unsigned bit, float grad,
 
 std::vector<ProgressiveBitSearch::Candidate>
 ProgressiveBitSearch::rank_candidates() {
-  std::vector<Candidate> best;
-  std::vector<Candidate> topk;  // per-layer top-k, kept sorted descending
-  for (std::size_t li = 0; li < qmodel_.layer_count(); ++li) {
+  // Layers are ranked independently, so they fan out across the pool; each
+  // produces its own sorted top-k slot and the slots merge in layer order,
+  // keeping the candidate list independent of the thread count.  The
+  // attempted_ set is only read here (concurrent lookups are safe).
+  std::vector<std::vector<Candidate>> per_layer(qmodel_.layer_count());
+  dl::parallel::parallel_for(0, qmodel_.layer_count(), 1, [&](
+      std::size_t l0, std::size_t l1, std::size_t) {
+  for (std::size_t li = l0; li < l1; ++li) {
     const auto& layer = qmodel_.layer(li);
-    topk.clear();
+    auto& topk = per_layer[li];  // per-layer top-k, kept sorted descending
     for (std::size_t wi = 0; wi < layer.q.size(); ++wi) {
       const float g = layer.target->grad[wi];
       if (g == 0.0f) continue;
@@ -75,6 +81,10 @@ ProgressiveBitSearch::rank_candidates() {
       topk.insert(pos, c);
       if (topk.size() > config_.candidates_per_layer) topk.pop_back();
     }
+  }
+  });
+  std::vector<Candidate> best;
+  for (const auto& topk : per_layer) {
     best.insert(best.end(), topk.begin(), topk.end());
   }
   std::sort(best.begin(), best.end(),

@@ -1,25 +1,49 @@
 #include "circuit/montecarlo.hpp"
 
+#include "common/parallel.hpp"
+
 namespace dl::circuit {
 
 SwapMonteCarlo::SwapMonteCarlo(CellParams nominal, std::uint64_t seed)
-    : nominal_(nominal), rng_(seed) {}
+    : nominal_(nominal), seed_(seed) {}
 
 SwapErrorStats SwapMonteCarlo::run(double variation, std::uint64_t trials) {
   const VariationSampler sampler(nominal_, variation);
   SwapErrorStats stats;
   stats.variation = variation;
   stats.trials = trials;
-  for (std::uint64_t t = 0; t < trials; ++t) {
-    bool swap_failed = false;
-    for (int copy = 0; copy < kCopiesPerSwap; ++copy) {
-      const CellParams inst = sampler.sample(rng_);
-      if (inst.sense_margin() < 0.0) {
-        ++stats.copy_errors;
-        swap_failed = true;
-      }
-    }
-    if (swap_failed) ++stats.swap_errors;
+  const std::uint64_t epoch = epoch_++;
+
+  // Fixed-size chunks, each with an independent RNG sub-stream keyed by
+  // (seed, epoch, chunk): the sampled population is a pure function of the
+  // seed and the call sequence, never of the thread count.  Error counts
+  // are integers, so the cross-chunk sum is exact in any order.
+  struct Counts {
+    std::uint64_t copy = 0, swap = 0;
+  };
+  std::vector<Counts> partial(
+      dl::parallel::chunk_count(0, trials, kMonteCarloChunk));
+  dl::parallel::parallel_for(
+      0, trials, kMonteCarloChunk,
+      [&](std::size_t t0, std::size_t t1, std::size_t ci) {
+        dl::Rng rng(dl::substream_seed(seed_, epoch, ci));
+        Counts local;
+        for (std::size_t t = t0; t < t1; ++t) {
+          bool swap_failed = false;
+          for (int copy = 0; copy < kCopiesPerSwap; ++copy) {
+            const CellParams inst = sampler.sample(rng);
+            if (inst.sense_margin() < 0.0) {
+              ++local.copy;
+              swap_failed = true;
+            }
+          }
+          if (swap_failed) ++local.swap;
+        }
+        partial[ci] = local;
+      });
+  for (const Counts& p : partial) {
+    stats.copy_errors += p.copy;
+    stats.swap_errors += p.swap;
   }
   return stats;
 }

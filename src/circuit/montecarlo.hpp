@@ -35,12 +35,19 @@ struct SwapErrorStats {
   }
 };
 
+/// Trials per RNG sub-stream chunk.  Fixed (thread-count independent), so
+/// the set of sampled instances — and therefore every statistic — is
+/// bit-identical for any DL_THREADS value.
+inline constexpr std::uint64_t kMonteCarloChunk = 8192;
+
 class SwapMonteCarlo {
  public:
   explicit SwapMonteCarlo(CellParams nominal = {},
                           std::uint64_t seed = 0xD1A);
 
-  /// Runs `trials` SWAP simulations at the given variation level.
+  /// Runs `trials` SWAP simulations at the given variation level.  Chunks
+  /// of kMonteCarloChunk trials run in parallel, each on its own RNG
+  /// sub-stream derived from (seed, run index, chunk index).
   [[nodiscard]] SwapErrorStats run(double variation,
                                    std::uint64_t trials = 10000);
 
@@ -55,7 +62,8 @@ class SwapMonteCarlo {
 
  private:
   CellParams nominal_;
-  dl::Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t epoch_ = 0;  ///< run() counter; decorrelates repeated runs
 };
 
 }  // namespace dl::circuit

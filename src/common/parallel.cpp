@@ -1,0 +1,212 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dl::parallel {
+namespace {
+
+thread_local bool tls_in_region = false;
+
+std::size_t detect_threads() {
+  if (const char* env = std::getenv("DL_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// One parallel region.  Workers hold a shared_ptr, so a worker that wakes
+/// late and finds the cursor exhausted touches only its own (stale) Job and
+/// can never execute chunks of a newer region with old state.
+struct Job {
+  const ChunkFn* fn = nullptr;
+  std::size_t begin = 0, end = 0, grain = 1, chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};  ///< chunks whose fn call has returned
+  std::mutex err_mutex;
+  std::exception_ptr error;
+};
+
+/// Persistent pool of threads()-1 workers; the thread that opens a region
+/// participates as well.  Chunks are claimed from a shared atomic cursor,
+/// so imbalance between chunks self-levels without per-chunk queueing.
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  std::size_t threads() {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    return threads_;
+  }
+
+  void reconfigure(std::size_t n) {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    stop_workers();
+    threads_ = n == 0 ? detect_threads() : n;
+    started_ = false;  // workers respawn lazily at the next region
+  }
+
+  void run(const std::shared_ptr<Job>& job) {
+    {
+      std::lock_guard<std::mutex> lk(config_mutex_);
+      ensure_started();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      current_ = job;
+      ++generation_;
+    }
+    cv_.notify_all();
+
+    work(*job);  // the calling thread pulls chunks too
+
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      done_cv_.wait(lk, [&] {
+        return job->done.load(std::memory_order_acquire) == job->chunks;
+      });
+      if (current_ == job) current_.reset();
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+  /// Claims and executes chunks until `job` runs dry.  Every fn call is
+  /// counted in job->done *after* it returns, so done == chunks implies no
+  /// thread is still inside fn.
+  void work(Job& job) {
+    tls_in_region = true;
+    for (;;) {
+      const std::size_t ci = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (ci >= job.chunks) break;
+      const std::size_t lo = job.begin + ci * job.grain;
+      const std::size_t hi = std::min(job.end, lo + job.grain);
+      try {
+        (*job.fn)(lo, hi, ci);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(job.err_mutex);
+        if (!job.error) job.error = std::current_exception();
+      }
+      const std::size_t done =
+          job.done.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (done == job.chunks) {
+        std::lock_guard<std::mutex> lk(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+    tls_in_region = false;
+  }
+
+ private:
+  ThreadPool() : threads_(detect_threads()) {}
+
+  ~ThreadPool() {
+    std::lock_guard<std::mutex> lk(config_mutex_);
+    stop_workers();
+  }
+
+  // Requires config_mutex_.
+  void ensure_started() {
+    if (started_) return;
+    started_ = true;
+    if (threads_ <= 1) return;
+    stop_ = false;
+    workers_.reserve(threads_ - 1);
+    for (std::size_t i = 0; i + 1 < threads_; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  // Requires config_mutex_.
+  void stop_workers() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      stop_ = true;
+      ++generation_;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+    workers_.clear();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = current_;
+      }
+      if (job) work(*job);
+    }
+  }
+
+  std::mutex config_mutex_;
+  std::size_t threads_;
+  bool started_ = false;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;                ///< guards current_/generation_/stop_
+  std::condition_variable cv_;      ///< wakes workers on a new region
+  std::condition_variable done_cv_; ///< wakes the opener on completion
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::shared_ptr<Job> current_;
+};
+
+void run_inline(std::size_t begin, std::size_t end, std::size_t grain,
+                const ChunkFn& fn) {
+  std::size_t ci = 0;
+  for (std::size_t lo = begin; lo < end; lo += grain, ++ci) {
+    fn(lo, std::min(end, lo + grain), ci);
+  }
+}
+
+}  // namespace
+
+std::size_t max_threads() { return ThreadPool::instance().threads(); }
+
+void set_threads(std::size_t n) {
+  DL_REQUIRE(!tls_in_region, "set_threads inside a parallel region");
+  ThreadPool::instance().reconfigure(n);
+}
+
+bool in_parallel_region() { return tls_in_region; }
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const ChunkFn& fn) {
+  if (begin >= end) return;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t chunks = chunk_count(begin, end, g);
+  // Serial fast paths: nested region, single chunk, or a 1-thread pool.
+  if (tls_in_region || chunks == 1 || max_threads() == 1) {
+    run_inline(begin, end, g, fn);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->begin = begin;
+  job->end = end;
+  job->grain = g;
+  job->chunks = chunks;
+  ThreadPool::instance().run(job);
+}
+
+}  // namespace dl::parallel

@@ -1,0 +1,63 @@
+// Shared-memory parallel execution engine for the simulation hot paths.
+//
+// A single lazily-initialized persistent thread pool backs every parallel
+// region in the repository (GEMM panels, batch-parallel layers, Monte-Carlo
+// chunks, BFA candidate ranking).  The design constraints, in order:
+//
+//   1. Determinism.  parallel_for splits [begin, end) into *fixed-size*
+//      chunks of `grain` iterations.  The chunk layout depends only on the
+//      range and the grain — never on the thread count — so callers that
+//      reduce per-chunk partial results (in chunk order) produce bit-
+//      identical output for any DL_THREADS value, including 1.
+//   2. No oversubscription.  Nested parallel_for calls (e.g. a parallel
+//      GEMM inside a batch-parallel Conv2d) execute inline on the calling
+//      worker instead of re-entering the pool.
+//   3. Zero cost when serial.  With one thread (or one chunk) no locks,
+//      allocations, or wakeups happen — the chunks run inline.
+//
+// Thread count: `DL_THREADS` environment variable when set (>= 1),
+// otherwise std::thread::hardware_concurrency().  Tests and embedders can
+// reconfigure at runtime with set_threads().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dl::parallel {
+
+/// Chunk body: receives [chunk_begin, chunk_end) and the chunk's index in
+/// the fixed chunk grid (0-based, thread-count independent).
+using ChunkFn = std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+/// Number of threads parallel regions may use (>= 1).  First call reads
+/// DL_THREADS / hardware_concurrency; later calls return the cached value.
+[[nodiscard]] std::size_t max_threads();
+
+/// Reconfigures the pool to `n` threads (0 = re-detect from the
+/// environment).  Blocks until existing workers drain.  Not safe to call
+/// from inside a parallel region.
+void set_threads(std::size_t n);
+
+/// Number of chunks parallel_for will create for this range/grain.
+/// Depends only on the arguments, never on the thread count.
+[[nodiscard]] constexpr std::size_t chunk_count(std::size_t begin,
+                                                std::size_t end,
+                                                std::size_t grain) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  return (n + g - 1) / g;
+}
+
+/// Runs fn over [begin, end) split into chunks of `grain` iterations,
+/// using up to max_threads() workers (the calling thread participates).
+/// Chunks may run in any order and concurrently; an exception thrown by
+/// any chunk is rethrown on the calling thread after the region completes.
+/// Called from inside another parallel region, runs inline and serial.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const ChunkFn& fn);
+
+/// True while the current thread is executing inside a parallel region
+/// (used by callers that keep thread-local scratch).
+[[nodiscard]] bool in_parallel_region();
+
+}  // namespace dl::parallel

@@ -102,4 +102,17 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t epoch,
+                             std::uint64_t chunk) {
+  // Fold the three words through splitmix64 sequentially; each input word
+  // fully avalanches before the next is mixed in.
+  std::uint64_t x = seed;
+  std::uint64_t out = splitmix64(x);
+  x ^= epoch + 0x9e3779b97f4a7c15ULL;
+  out ^= splitmix64(x);
+  x ^= chunk + 0xbf58476d1ce4e5b9ULL;
+  out ^= splitmix64(x);
+  return out;
+}
+
 }  // namespace dl

@@ -54,4 +54,13 @@ class Rng {
   bool has_spare_ = false;
 };
 
+/// Deterministically derives the seed of an independent RNG sub-stream
+/// identified by (run epoch, chunk index) under a base seed.  Parallel
+/// Monte-Carlo gives every fixed-size trial chunk its own Rng seeded this
+/// way, so results are bit-identical for any thread count and successive
+/// runs (distinct epochs) stay decorrelated.
+[[nodiscard]] std::uint64_t substream_seed(std::uint64_t seed,
+                                           std::uint64_t epoch,
+                                           std::uint64_t chunk);
+
 }  // namespace dl

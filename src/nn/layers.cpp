@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.hpp"
+
 namespace dl::nn {
+
+namespace {
+/// Elementwise-loop grain: large enough that chunk dispatch is noise,
+/// small enough that tensors of a few hundred KB still split.
+constexpr std::size_t kEwGrain = 16384;
+}  // namespace
 
 // -------------------------------------------------------------------- Conv2d
 
@@ -93,13 +101,18 @@ Tensor Conv2d::forward(const Tensor& x, bool) {
   const std::size_t ho = out_size(x.dim(2)), wo = out_size(x.dim(3));
   Tensor y({batch, out_ch_, ho, wo});
   const std::size_t patch = in_ch_ * kernel_ * kernel_;
-  std::vector<float> cols;
-  for (std::size_t n = 0; n < batch; ++n) {
-    im2col(x, n, cols);
-    // y[n] = W[out_ch, patch] * cols[patch, ho*wo]
-    gemm(out_ch_, patch, ho * wo, weight_.value.data(), cols.data(),
-         y.data() + n * out_ch_ * ho * wo);
-  }
+  // Batch-parallel: each sample's output slab is disjoint, and the im2col
+  // scratch is per worker thread, reused across samples and layers.
+  dl::parallel::parallel_for(
+      0, batch, 1, [&](std::size_t n0, std::size_t n1, std::size_t) {
+        thread_local std::vector<float> cols;
+        for (std::size_t n = n0; n < n1; ++n) {
+          im2col(x, n, cols);
+          // y[n] = W[out_ch, patch] * cols[patch, ho*wo]
+          gemm(out_ch_, patch, ho * wo, weight_.value.data(), cols.data(),
+               y.data() + n * out_ch_ * ho * wo);
+        }
+      });
   return y;
 }
 
@@ -109,17 +122,38 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   const std::size_t ho = out_size(x.dim(2)), wo = out_size(x.dim(3));
   const std::size_t patch = in_ch_ * kernel_ * kernel_;
   Tensor grad_in(x.shape());
-  std::vector<float> cols;
-  std::vector<float> dcols(patch * ho * wo);
-  for (std::size_t n = 0; n < batch; ++n) {
-    im2col(x, n, cols);
-    const float* dy = grad_out.data() + n * out_ch_ * ho * wo;
-    // dW[out_ch, patch] += dy[out_ch, ho*wo] * cols[patch, ho*wo]^T
-    gemm_bt(out_ch_, ho * wo, patch, dy, cols.data(), weight_.grad.data(),
-            /*accumulate=*/true);
-    // dcols[patch, ho*wo] = W^T[patch, out_ch] * dy[out_ch, ho*wo]
-    gemm_at(patch, out_ch_, ho * wo, weight_.value.data(), dy, dcols.data());
-    col2im(dcols, n, grad_in);
+  // Batch-parallel with one dW partial per fixed-size sample chunk: the
+  // chunk grid depends only on the batch size and the constant grain,
+  // never on the thread count, and partials merge serially in chunk
+  // order — so the gradient is bit-identical for any DL_THREADS value.
+  // grad_in slabs are disjoint per sample.
+  constexpr std::size_t kBwdGrain = 4;  // samples per dW partial
+  const std::size_t wsize = weight_.grad.numel();
+  std::vector<std::vector<float>> dw_partial(
+      dl::parallel::chunk_count(0, batch, kBwdGrain));
+  dl::parallel::parallel_for(
+      0, batch, kBwdGrain,
+      [&](std::size_t n0, std::size_t n1, std::size_t ci) {
+        thread_local std::vector<float> cols;
+        thread_local std::vector<float> dcols;
+        if (dcols.size() < patch * ho * wo) dcols.resize(patch * ho * wo);
+        auto& dw = dw_partial[ci];
+        dw.assign(wsize, 0.0f);
+        for (std::size_t n = n0; n < n1; ++n) {
+          im2col(x, n, cols);
+          const float* dy = grad_out.data() + n * out_ch_ * ho * wo;
+          // dW[out_ch, patch] += dy[out_ch, ho*wo] * cols[patch, ho*wo]^T
+          gemm_bt(out_ch_, ho * wo, patch, dy, cols.data(), dw.data(),
+                  /*accumulate=*/true);
+          // dcols[patch, ho*wo] = W^T[patch, out_ch] * dy[out_ch, ho*wo]
+          gemm_at(patch, out_ch_, ho * wo, weight_.value.data(), dy,
+                  dcols.data());
+          col2im(dcols, n, grad_in);
+        }
+      });
+  float* dw_out = weight_.grad.data();
+  for (const auto& dw : dw_partial) {
+    for (std::size_t i = 0; i < wsize; ++i) dw_out[i] += dw[i];
   }
   return grad_in;
 }
@@ -193,7 +227,13 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
   cached_invstd_.assign(channels_, 0.0f);
   cached_count_ = count;
 
-  for (std::size_t c = 0; c < channels_; ++c) {
+  // Channel-parallel: every channel's statistics, running-average update,
+  // and normalization touch disjoint state, and the per-channel loops are
+  // unchanged — results are identical for any thread count.
+  dl::parallel::parallel_for(0, channels_, 1, [&](std::size_t c0,
+                                                  std::size_t c1,
+                                                  std::size_t) {
+  for (std::size_t c = c0; c < c1; ++c) {
     float mean, var;
     if (train) {
       double sum = 0.0, sq = 0.0;
@@ -225,6 +265,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
       }
     }
   }
+  });
   return y;
 }
 
@@ -233,7 +274,10 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
                     w = grad_out.dim(3);
   const auto count = static_cast<float>(cached_count_);
   Tensor grad_in(grad_out.shape());
-  for (std::size_t c = 0; c < channels_; ++c) {
+  dl::parallel::parallel_for(0, channels_, 1, [&](std::size_t c0,
+                                                  std::size_t c1,
+                                                  std::size_t) {
+  for (std::size_t c = c0; c < c1; ++c) {
     double sum_dy = 0.0, sum_dy_xhat = 0.0;
     for (std::size_t n = 0; n < batch; ++n) {
       const std::size_t base = grad_out.index4(n, c, 0, 0);
@@ -259,6 +303,7 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
       }
     }
   }
+  });
   return grad_in;
 }
 
@@ -267,20 +312,28 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
 Tensor ReLU::forward(const Tensor& x, bool) {
   Tensor y(x.shape());
   mask_.assign(x.numel(), 0);
-  for (std::size_t i = 0; i < x.numel(); ++i) {
-    if (x[i] > 0.0f) {
-      y[i] = x[i];
-      mask_[i] = 1;
-    }
-  }
+  dl::parallel::parallel_for(
+      0, x.numel(), kEwGrain,
+      [&](std::size_t i0, std::size_t i1, std::size_t) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          if (x[i] > 0.0f) {
+            y[i] = x[i];
+            mask_[i] = 1;
+          }
+        }
+      });
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
   Tensor grad_in(grad_out.shape());
-  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
-    grad_in[i] = mask_[i] ? grad_out[i] : 0.0f;
-  }
+  dl::parallel::parallel_for(
+      0, grad_out.numel(), kEwGrain,
+      [&](std::size_t i0, std::size_t i1, std::size_t) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          grad_in[i] = mask_[i] ? grad_out[i] : 0.0f;
+        }
+      });
   return grad_in;
 }
 
@@ -291,39 +344,53 @@ Tensor MaxPool2d::forward(const Tensor& x, bool) {
                     w = x.dim(3);
   DL_REQUIRE(h % 2 == 0 && w % 2 == 0, "maxpool needs even spatial dims");
   in_shape_ = x.shape();
-  Tensor y({batch, ch, h / 2, w / 2});
+  const std::size_t ho = h / 2, wo = w / 2;
+  Tensor y({batch, ch, ho, wo});
   argmax_.assign(y.numel(), 0);
-  std::size_t oi = 0;
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t c = 0; c < ch; ++c) {
-      for (std::size_t oh = 0; oh < h / 2; ++oh) {
-        for (std::size_t ow = 0; ow < w / 2; ++ow, ++oi) {
-          float best = -1e30f;
-          std::size_t best_idx = 0;
-          for (std::size_t dh = 0; dh < 2; ++dh) {
-            for (std::size_t dw = 0; dw < 2; ++dw) {
-              const std::size_t idx =
-                  x.index4(n, c, oh * 2 + dh, ow * 2 + dw);
-              if (x[idx] > best) {
-                best = x[idx];
-                best_idx = idx;
+  // Parallel over (sample, channel) planes; the output index is computed
+  // from the plane index so chunks are independent.
+  dl::parallel::parallel_for(
+      0, batch * ch, 1, [&](std::size_t nc0, std::size_t nc1, std::size_t) {
+        for (std::size_t nc = nc0; nc < nc1; ++nc) {
+          const std::size_t n = nc / ch, c = nc % ch;
+          std::size_t oi = nc * ho * wo;
+          for (std::size_t oh = 0; oh < ho; ++oh) {
+            for (std::size_t ow = 0; ow < wo; ++ow, ++oi) {
+              // Seed max/argmax from the first window element: a sentinel
+              // start value misreports both when the whole window sits at
+              // or below the sentinel.
+              std::size_t best_idx = x.index4(n, c, oh * 2, ow * 2);
+              float best = x[best_idx];
+              for (std::size_t dh = 0; dh < 2; ++dh) {
+                for (std::size_t dw = dh == 0 ? 1 : 0; dw < 2; ++dw) {
+                  const std::size_t idx =
+                      x.index4(n, c, oh * 2 + dh, ow * 2 + dw);
+                  if (x[idx] > best) {
+                    best = x[idx];
+                    best_idx = idx;
+                  }
+                }
               }
+              y[oi] = best;
+              argmax_[oi] = best_idx;
             }
           }
-          y[oi] = best;
-          argmax_[oi] = best_idx;
         }
-      }
-    }
-  }
+      });
   return y;
 }
 
 Tensor MaxPool2d::backward(const Tensor& grad_out) {
   Tensor grad_in(in_shape_);
-  for (std::size_t i = 0; i < grad_out.numel(); ++i) {
-    grad_in[argmax_[i]] += grad_out[i];
-  }
+  // 2x2 windows are disjoint, so distinct outputs scatter to distinct
+  // argmax cells — chunks never write the same element.
+  dl::parallel::parallel_for(
+      0, grad_out.numel(), kEwGrain,
+      [&](std::size_t i0, std::size_t i1, std::size_t) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          grad_in[argmax_[i]] += grad_out[i];
+        }
+      });
   return grad_in;
 }
 
@@ -335,14 +402,15 @@ Tensor GlobalAvgPool::forward(const Tensor& x, bool) {
   in_shape_ = x.shape();
   Tensor y({batch, ch});
   const float scale = 1.0f / static_cast<float>(h * w);
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t c = 0; c < ch; ++c) {
-      float sum = 0.0f;
-      const std::size_t base = x.index4(n, c, 0, 0);
-      for (std::size_t i = 0; i < h * w; ++i) sum += x.data()[base + i];
-      y.at2(n, c) = sum * scale;
-    }
-  }
+  dl::parallel::parallel_for(
+      0, batch * ch, 8, [&](std::size_t nc0, std::size_t nc1, std::size_t) {
+        for (std::size_t nc = nc0; nc < nc1; ++nc) {
+          float sum = 0.0f;
+          const std::size_t base = nc * h * w;
+          for (std::size_t i = 0; i < h * w; ++i) sum += x.data()[base + i];
+          y[nc] = sum * scale;
+        }
+      });
   return y;
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "common/parallel.hpp"
+
 namespace dl::nn {
 
 namespace {
@@ -65,13 +67,149 @@ std::string Tensor::shape_string() const {
   return os.str();
 }
 
+// ------------------------------------------------------------ blocked GEMM
+//
+// All three products reduce to one axpy-style panel kernel over a k-major
+// B operand:  C[i, j] += a(i, p) * B[p, j]  with p ascending.  Blocking:
+//   - kKc x kJc panels of B stay cache-resident across the row sweep;
+//   - 4 rows of A are register-tiled per pass, so every B row loaded from
+//     memory feeds 4 C rows (4x bandwidth reuse over the naive loop);
+//   - the contiguous j loop auto-vectorizes.
+// gemm_bt first transposes B into a k-major thread-local scratch and then
+// reuses the same kernel.  Accumulation order per C element is ascending p
+// in ascending kKc blocks — fixed by construction, so results do not
+// depend on how rows are distributed over threads.
+
+namespace {
+
+constexpr std::size_t kKc = 128;  ///< k panel height
+constexpr std::size_t kJc = 512;  ///< j panel width
+constexpr std::size_t kMr = 4;    ///< register-tiled A rows
+
+/// C[i0..i1) x [j0..j1) += A * B for p in [p0..p1).  `b` is k-major with
+/// row stride n.  AT selects the A layout: a(i,p) = a[p*lda + i] (lda = m)
+/// when true, a[i*lda + p] (lda = k) when false.
+template <bool AT>
+void panel_axpy(const float* a, std::size_t lda, const float* b, float* c,
+                std::size_t n, std::size_t i0, std::size_t i1, std::size_t p0,
+                std::size_t p1, std::size_t j0, std::size_t j1) {
+  const std::size_t jn = j1 - j0;
+  std::size_t i = i0;
+  for (; i + kMr <= i1; i += kMr) {
+    float* c0 = c + (i + 0) * n + j0;
+    float* c1 = c + (i + 1) * n + j0;
+    float* c2 = c + (i + 2) * n + j0;
+    float* c3 = c + (i + 3) * n + j0;
+    for (std::size_t p = p0; p < p1; ++p) {
+      float a0, a1, a2, a3;
+      if constexpr (AT) {
+        const float* ap = a + p * lda + i;
+        a0 = ap[0];
+        a1 = ap[1];
+        a2 = ap[2];
+        a3 = ap[3];
+      } else {
+        a0 = a[(i + 0) * lda + p];
+        a1 = a[(i + 1) * lda + p];
+        a2 = a[(i + 2) * lda + p];
+        a3 = a[(i + 3) * lda + p];
+      }
+      const float* bp = b + p * n + j0;
+      for (std::size_t j = 0; j < jn; ++j) {
+        const float bv = bp[j];
+        c0[j] += a0 * bv;
+        c1[j] += a1 * bv;
+        c2[j] += a2 * bv;
+        c3[j] += a3 * bv;
+      }
+    }
+  }
+  for (; i < i1; ++i) {
+    float* crow = c + i * n + j0;
+    for (std::size_t p = p0; p < p1; ++p) {
+      const float av = AT ? a[p * lda + i] : a[i * lda + p];
+      const float* bp = b + p * n + j0;
+      for (std::size_t j = 0; j < jn; ++j) crow[j] += av * bp[j];
+    }
+  }
+}
+
+/// Row-parallel blocked product over a k-major B.
+template <bool AT>
+void gemm_blocked(std::size_t m, std::size_t k, std::size_t n, const float* a,
+                  const float* b, float* c, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  if (m == 0 || n == 0 || k == 0) return;
+  const std::size_t lda = AT ? m : k;
+  // Row grain: a multiple of kMr sized so every thread gets work; the
+  // chunk layout does not affect results (C rows are disjoint).
+  const std::size_t threads = dl::parallel::max_threads();
+  std::size_t grain = (m + threads - 1) / threads;
+  grain = std::max<std::size_t>(kMr, (grain + kMr - 1) / kMr * kMr);
+  dl::parallel::parallel_for(
+      0, m, grain, [&](std::size_t i0, std::size_t i1, std::size_t) {
+        for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+          const std::size_t p1 = std::min(k, p0 + kKc);
+          for (std::size_t j0 = 0; j0 < n; j0 += kJc) {
+            const std::size_t j1 = std::min(n, j0 + kJc);
+            panel_axpy<AT>(a, lda, b, c, n, i0, i1, p0, p1, j0, j1);
+          }
+        }
+      });
+}
+
+}  // namespace
+
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c, bool accumulate) {
+  gemm_blocked<false>(m, k, n, a, b, c, accumulate);
+}
+
+void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate) {
+  // a is stored k x m; computes C[m,n] = sum_p a[p,i] * b[p,j].  The
+  // transposed layout is ideal for the register tile: the 4 A values per
+  // step are contiguous.
+  gemm_blocked<true>(m, k, n, a, b, c, accumulate);
+}
+
+void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate) {
+  // b is stored n x k; computes C[m,n] = sum_p a[i,p] * b[j,p].  Transpose
+  // B into k-major scratch (tiled, parallel over k), then run the axpy
+  // kernel — this keeps the j loop contiguous instead of a scalar
+  // k-reduction that cannot vectorize without reassociation.
+  if (m == 0 || n == 0) {
+    if (!accumulate) std::fill(c, c + m * n, 0.0f);
+    return;
+  }
+  thread_local std::vector<float> bt_scratch;
+  if (bt_scratch.size() < k * n) bt_scratch.resize(k * n);
+  float* bt = bt_scratch.data();
+  constexpr std::size_t kTile = 64;
+  dl::parallel::parallel_for(
+      0, k, kTile, [&](std::size_t p0, std::size_t p1, std::size_t) {
+        for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+          const std::size_t j1 = std::min(n, j0 + kTile);
+          for (std::size_t j = j0; j < j1; ++j) {
+            const float* bj = b + j * k;
+            for (std::size_t p = p0; p < p1; ++p) bt[p * n + j] = bj[p];
+          }
+        }
+      });
+  gemm_blocked<false>(m, k, n, a, bt, c, accumulate);
+}
+
+// ---------------------------------------------------------- naive reference
+
+namespace reference {
+
 void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
           const float* b, float* c, bool accumulate) {
   if (!accumulate) std::fill(c, c + m * n, 0.0f);
   for (std::size_t i = 0; i < m; ++i) {
     for (std::size_t p = 0; p < k; ++p) {
       const float av = a[i * k + p];
-      if (av == 0.0f) continue;
       const float* brow = b + p * n;
       float* crow = c + i * n;
       for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
@@ -81,14 +219,12 @@ void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
 
 void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a,
              const float* b, float* c, bool accumulate) {
-  // a is stored k x m; computes C[m,n] = sum_p a[p,i] * b[p,j].
   if (!accumulate) std::fill(c, c + m * n, 0.0f);
   for (std::size_t p = 0; p < k; ++p) {
     const float* arow = a + p * m;
     const float* brow = b + p * n;
     for (std::size_t i = 0; i < m; ++i) {
       const float av = arow[i];
-      if (av == 0.0f) continue;
       float* crow = c + i * n;
       for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
@@ -97,7 +233,6 @@ void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a,
 
 void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
              const float* b, float* c, bool accumulate) {
-  // b is stored n x k; computes C[m,n] = sum_p a[i,p] * b[j,p].
   if (!accumulate) std::fill(c, c + m * n, 0.0f);
   for (std::size_t i = 0; i < m; ++i) {
     const float* arow = a + i * k;
@@ -110,5 +245,7 @@ void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
     }
   }
 }
+
+}  // namespace reference
 
 }  // namespace dl::nn

@@ -86,6 +86,11 @@ struct Param {
 
 /// C = A(mxk) * B(kxn), accumulating into C when `accumulate` is set.
 /// The single GEMM kernel behind conv (im2col) and linear layers.
+///
+/// All three kernels are cache-blocked, register-tiled (4 A-rows per inner
+/// kernel, vectorizable j loop) and run on the dl::parallel pool.  Each
+/// C element accumulates its k products in ascending-p order regardless of
+/// the thread count, so results are bit-identical for any DL_THREADS.
 void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
           const float* b, float* c, bool accumulate = false);
 
@@ -96,5 +101,18 @@ void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a,
 /// C = A(mxk) * B^T(nxk): used by weight-gradient computation.
 void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
              const float* b, float* c, bool accumulate = false);
+
+/// Naive single-threaded triple-loop kernels, kept as the ground truth for
+/// the blocked kernels' parity tests and as the micro-bench baseline.
+/// Unlike the historical kernels these do NOT skip zero A elements, so
+/// NaN/Inf in B propagate into C as IEEE arithmetic demands.
+namespace reference {
+void gemm(std::size_t m, std::size_t k, std::size_t n, const float* a,
+          const float* b, float* c, bool accumulate = false);
+void gemm_at(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate = false);
+void gemm_bt(std::size_t m, std::size_t k, std::size_t n, const float* a,
+             const float* b, float* c, bool accumulate = false);
+}  // namespace reference
 
 }  // namespace dl::nn

@@ -226,6 +226,29 @@ TEST(MaxPool2d, ForwardPicksMaxAndRoutesGradient) {
   EXPECT_FLOAT_EQ(dx[0], 0.0f);
 }
 
+TEST(MaxPool2d, HandlesWindowsBelowOldSentinel) {
+  // Regression: forward used to seed the max with -1e30, so a window whose
+  // values are all <= -1e30 reported max -1e30 and argmax 0 (routing the
+  // gradient to the wrong input).  The max/argmax must come from the
+  // window itself.
+  MaxPool2d pool;
+  Tensor x({1, 1, 2, 2});
+  x[0] = -2e30f;
+  x[1] = -3e30f;
+  x[2] = -4e30f;
+  x[3] = -2.5e30f;
+  const Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.numel(), 1u);
+  EXPECT_FLOAT_EQ(y[0], -2e30f);
+  Tensor dy({1, 1, 1, 1});
+  dy[0] = 1.0f;
+  const Tensor dx = pool.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 1.0f);
+  EXPECT_FLOAT_EQ(dx[1], 0.0f);
+  EXPECT_FLOAT_EQ(dx[2], 0.0f);
+  EXPECT_FLOAT_EQ(dx[3], 0.0f);
+}
+
 TEST(GlobalAvgPool, ForwardBackward) {
   GlobalAvgPool gap;
   Tensor x({1, 2, 2, 2});

@@ -1,0 +1,185 @@
+// Tests for the dl::parallel execution engine and for the determinism
+// guarantee the compute paths build on it: identical results for any
+// thread count (the repo's experiments must not depend on DL_THREADS).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "circuit/montecarlo.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+
+namespace {
+
+using namespace dl;
+
+/// Restores the autodetected thread count when a test exits.
+struct ThreadGuard {
+  ~ThreadGuard() { parallel::set_threads(0); }
+};
+
+TEST(ParallelFor, ChunkCountIsThreadIndependent) {
+  EXPECT_EQ(parallel::chunk_count(0, 0, 4), 0u);
+  EXPECT_EQ(parallel::chunk_count(0, 1, 4), 1u);
+  EXPECT_EQ(parallel::chunk_count(0, 8, 4), 2u);
+  EXPECT_EQ(parallel::chunk_count(0, 9, 4), 3u);
+  EXPECT_EQ(parallel::chunk_count(3, 9, 4), 2u);
+  EXPECT_EQ(parallel::chunk_count(0, 9, 0), 9u);  // grain 0 clamps to 1
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadGuard guard;
+  for (const std::size_t threads : {1u, 4u, 8u}) {
+    parallel::set_threads(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    parallel::parallel_for(
+        0, hits.size(), 7,
+        [&](std::size_t i0, std::size_t i1, std::size_t ci) {
+          EXPECT_EQ(i0, ci * 7);
+          EXPECT_EQ(i1, std::min<std::size_t>(hits.size(), i0 + 7));
+          for (std::size_t i = i0; i < i1; ++i) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeRunsNothing) {
+  bool ran = false;
+  parallel::parallel_for(5, 5, 1,
+                         [&](std::size_t, std::size_t, std::size_t) {
+                           ran = true;
+                         });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadGuard guard;
+  parallel::set_threads(4);
+  EXPECT_THROW(
+      parallel::parallel_for(0, 100, 1,
+                             [](std::size_t i0, std::size_t, std::size_t) {
+                               DL_REQUIRE(i0 != 50, "boom");
+                             }),
+      dl::Error);
+  // The pool must stay usable after a region fails.
+  std::atomic<int> count{0};
+  parallel::parallel_for(0, 10, 1,
+                         [&](std::size_t, std::size_t, std::size_t) {
+                           count.fetch_add(1);
+                         });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ParallelFor, NestedRegionsRunInline) {
+  ThreadGuard guard;
+  parallel::set_threads(4);
+  std::atomic<int> total{0};
+  parallel::parallel_for(0, 4, 1, [&](std::size_t, std::size_t,
+                                      std::size_t) {
+    EXPECT_TRUE(parallel::in_parallel_region());
+    parallel::parallel_for(0, 4, 1, [&](std::size_t, std::size_t,
+                                        std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 16);
+  EXPECT_FALSE(parallel::in_parallel_region());
+}
+
+TEST(SubstreamSeed, DistinctPerEpochAndChunk) {
+  const std::uint64_t base = substream_seed(0xD1A, 0, 0);
+  EXPECT_NE(base, substream_seed(0xD1A, 0, 1));
+  EXPECT_NE(base, substream_seed(0xD1A, 1, 0));
+  EXPECT_NE(base, substream_seed(0xD1B, 0, 0));
+  EXPECT_EQ(base, substream_seed(0xD1A, 0, 0));
+}
+
+// ------------------------------------------------- determinism guarantees
+
+circuit::SwapErrorStats run_mc(std::size_t threads) {
+  parallel::set_threads(threads);
+  circuit::SwapMonteCarlo mc;  // default seed
+  // Two runs: the second exercises the epoch separation as well.
+  (void)mc.run(0.10, 30000);
+  return mc.run(0.20, 30000);
+}
+
+TEST(Determinism, SwapMonteCarloIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const auto serial = run_mc(1);
+  const auto threaded = run_mc(8);
+  EXPECT_EQ(serial.copy_errors, threaded.copy_errors);
+  EXPECT_EQ(serial.swap_errors, threaded.swap_errors);
+  EXPECT_GT(serial.swap_errors, 0u) << "±20% should produce errors";
+}
+
+struct ConvRun {
+  nn::Tensor y;
+  nn::Tensor grad_in;
+  std::vector<float> dw;
+};
+
+ConvRun run_conv(std::size_t threads) {
+  parallel::set_threads(threads);
+  Rng rng(42);
+  nn::Conv2d conv(3, 8, 3, 1, 1, rng);  // same seed -> same weights
+  nn::Tensor x({4, 3, 8, 8});
+  Rng data_rng(7);
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+  }
+  ConvRun out{conv.forward(x, false), nn::Tensor(), {}};
+  nn::Tensor dy(out.y.shape());
+  for (std::size_t i = 0; i < dy.numel(); ++i) {
+    dy[i] = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+  }
+  out.grad_in = conv.backward(dy);
+  const auto g = conv.weight().grad.flat();
+  out.dw.assign(g.begin(), g.end());
+  return out;
+}
+
+TEST(Determinism, Conv2dForwardBackwardIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const ConvRun serial = run_conv(1);
+  const ConvRun threaded = run_conv(8);
+  ASSERT_EQ(serial.y.numel(), threaded.y.numel());
+  EXPECT_EQ(std::memcmp(serial.y.data(), threaded.y.data(),
+                        serial.y.numel() * sizeof(float)),
+            0)
+      << "forward must be bit-identical";
+  EXPECT_EQ(std::memcmp(serial.grad_in.data(), threaded.grad_in.data(),
+                        serial.grad_in.numel() * sizeof(float)),
+            0)
+      << "input gradient must be bit-identical";
+  EXPECT_EQ(std::memcmp(serial.dw.data(), threaded.dw.data(),
+                        serial.dw.size() * sizeof(float)),
+            0)
+      << "weight gradient must be bit-identical";
+}
+
+TEST(Determinism, GemmIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const std::size_t m = 64, k = 200, n = 600;
+  Rng rng(3);
+  std::vector<float> a(m * k), b(k * n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  parallel::set_threads(1);
+  std::vector<float> c1(m * n, 0.0f);
+  nn::gemm(m, k, n, a.data(), b.data(), c1.data());
+  parallel::set_threads(8);
+  std::vector<float> c8(m * n, 0.0f);
+  nn::gemm(m, k, n, a.data(), b.data(), c8.data());
+  EXPECT_EQ(std::memcmp(c1.data(), c8.data(), c1.size() * sizeof(float)), 0);
+}
+
+}  // namespace
