@@ -6,15 +6,17 @@
 //   B. Protection radius — radius 1 vs. 2 against a Half-Double attacker.
 //   C. Lock-table capacity — how many data rows can be protected before
 //      inserts are rejected, and what a capacity miss costs.
-#include <array>
+//
+// A and B are declarative dl::scenario campaigns (the unlock/attack/filler
+// workload of A is the campaign's traffic cycle); C probes the lock table
+// directly.
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 #include "defense/dram_locker.hpp"
 #include "dram/controller.hpp"
-#include "rowhammer/attacker.hpp"
-#include "rowhammer/disturbance.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
@@ -33,73 +35,54 @@ dram::Geometry geo() {
 
 // --- A: re-lock policy ------------------------------------------------------
 
-struct PolicyOutcome {
-  std::uint64_t copies = 0;
-  std::uint64_t granted = 0;
-  std::uint64_t victim_flips = 0;
-  double mitigation_us = 0.0;
-};
+scenario::HammerCampaign policy_campaign(defense::RelockPolicy policy,
+                                         std::uint64_t cycles) {
+  scenario::HammerCampaign c;
+  c.name = policy == defense::RelockPolicy::kRelockNewLocation
+               ? "relock-new-location (Fig. 4d)"
+               : "swap-back";
+  c.env.geometry = geo();
+  c.env.disturbance.t_rh = 30;  // ultra-low-threshold part: worst case
+  c.env.disturbance_seed = 1;
 
-PolicyOutcome run_policy(defense::RelockPolicy policy,
-                         std::uint64_t cycles) {
-  dram::Controller ctrl(geo(), dram::ddr4_2400());
-  rowhammer::DisturbanceConfig dcfg;
-  dcfg.t_rh = 30;  // ultra-low-threshold part: worst case for exposure
-  rowhammer::DisturbanceModel model(ctrl, dcfg, Rng(1));
-  ctrl.add_listener(&model);
   defense::DramLockerConfig lcfg;
   lcfg.protect_radius = 1;
   lcfg.relock_rw_interval = 40;
   lcfg.relock_policy = policy;
-  defense::DramLocker locker(ctrl, lcfg, Rng(2));
-  ctrl.set_gate(&locker);
-  locker.protect_data_row(10);
+  c.defense = scenario::DefenseSpec::dram_locker(lcfg, /*seed=*/2);
+  c.protected_rows = {10};
 
-  rowhammer::HammerAttacker attacker(ctrl, model);
-  PolicyOutcome o;
-  std::array<std::uint8_t, 4> buf{};
-  for (std::uint64_t c = 0; c < cycles; ++c) {
-    // Legitimate workload touches the locked neighbour (unlock SWAP); the
-    // attacker strikes inside the unlock window, before the filler traffic
-    // drives the re-lock tick.
-    ctrl.read(ctrl.mapper().row_base(9), buf, /*can_unlock=*/true);
-    const auto res = attacker.attack(
-        10, rowhammer::HammerPattern::kDoubleSided, /*act_budget=*/70);
-    o.granted += res.granted_acts;
-    o.victim_flips += res.flips_in_victim;
-    for (int i = 0; i < 45; ++i) {
-      ctrl.read(ctrl.mapper().row_base(100), buf);
-    }
-  }
-  o.copies = static_cast<std::uint64_t>(ctrl.stats().get("rowclones"));
-  o.mitigation_us = to_seconds(ctrl.defense_time()) * 1e6;
-  return o;
+  // Each cycle: legitimate workload touches the locked neighbour (unlock
+  // SWAP); the attacker strikes inside the unlock window, before the filler
+  // traffic drives the re-lock tick.
+  c.cycles = cycles;
+  c.pre_traffic = {{.row = 9, .repeat = 1, .bytes = 4, .can_unlock = true}};
+  c.attack.pattern = rowhammer::HammerPattern::kDoubleSided;
+  c.attack.victim_row = 10;
+  c.attack.act_budget = 70;
+  c.post_traffic = {{.row = 100, .repeat = 45, .bytes = 4}};
+  return c;
 }
 
 // --- B: protection radius ----------------------------------------------------
 
-struct RadiusOutcome {
-  std::uint64_t granted = 0;
-  std::uint64_t victim_flips = 0;
-};
+scenario::HammerCampaign radius_campaign(std::uint32_t radius) {
+  scenario::HammerCampaign c;
+  c.name = "radius " + std::to_string(radius);
+  c.env.geometry = geo();
+  c.env.disturbance.t_rh = 500;
+  c.env.disturbance.distance2_weight = 0.3;  // Half-Double coupling
+  c.env.disturbance_seed = 3;
 
-RadiusOutcome run_radius(std::uint32_t radius) {
-  dram::Controller ctrl(geo(), dram::ddr4_2400());
-  rowhammer::DisturbanceConfig dcfg;
-  dcfg.t_rh = 500;
-  dcfg.distance2_weight = 0.3;  // Half-Double coupling
-  rowhammer::DisturbanceModel model(ctrl, dcfg, Rng(3));
-  ctrl.add_listener(&model);
   defense::DramLockerConfig lcfg;
   lcfg.protect_radius = radius;
-  defense::DramLocker locker(ctrl, lcfg, Rng(4));
-  ctrl.set_gate(&locker);
-  locker.protect_data_row(10);
+  c.defense = scenario::DefenseSpec::dram_locker(lcfg, /*seed=*/4);
+  c.protected_rows = {10};
 
-  rowhammer::HammerAttacker attacker(ctrl, model);
-  const auto res = attacker.attack(
-      10, rowhammer::HammerPattern::kHalfDouble, /*act_budget=*/20000);
-  return {res.granted_acts, res.flips_in_victim};
+  c.attack.pattern = rowhammer::HammerPattern::kHalfDouble;
+  c.attack.victim_row = 10;
+  c.attack.act_budget = 20000;
+  return c;
 }
 
 }  // namespace
@@ -110,22 +93,36 @@ int main(int argc, char** argv) {
   const std::uint64_t cycles = scale == bench::Scale::kFast ? 20
                                : scale == bench::Scale::kFull ? 500 : 100;
 
+  // A and B are independent campaigns: declare them all, run them in one
+  // fan-out over the pool.  The report slices by the declared sub-lists so
+  // adding a campaign to one experiment cannot shift the other's rows.
+  const std::vector<scenario::HammerCampaign> policy_campaigns = {
+      policy_campaign(defense::RelockPolicy::kRelockNewLocation, cycles),
+      policy_campaign(defense::RelockPolicy::kSwapBack, cycles),
+  };
+  const std::vector<scenario::HammerCampaign> radius_campaigns = {
+      radius_campaign(1),
+      radius_campaign(2),
+  };
+  std::vector<scenario::HammerCampaign> campaigns = policy_campaigns;
+  campaigns.insert(campaigns.end(), radius_campaigns.begin(),
+                   radius_campaigns.end());
+  const auto results = scenario::run(campaigns);
+  const auto* policy_results = results.data();
+  const auto* radius_results = results.data() + policy_campaigns.size();
+
   // A ------------------------------------------------------------------------
   std::printf("A. re-lock policy (ultra-low T_RH=30, %llu unlock/relock "
               "cycles)\n", static_cast<unsigned long long>(cycles));
   dl::TextTable ta({"policy", "RowClone copies", "granted aggressor ACTs",
                     "victim flips", "mitigation time (us)"});
-  const auto follow = run_policy(
-      defense::RelockPolicy::kRelockNewLocation, cycles);
-  const auto swapback = run_policy(defense::RelockPolicy::kSwapBack, cycles);
-  ta.add_row({"relock-new-location (Fig. 4d)", std::to_string(follow.copies),
-              std::to_string(follow.granted),
-              std::to_string(follow.victim_flips),
-              dl::TextTable::num(follow.mitigation_us, 1)});
-  ta.add_row({"swap-back", std::to_string(swapback.copies),
-              std::to_string(swapback.granted),
-              std::to_string(swapback.victim_flips),
-              dl::TextTable::num(swapback.mitigation_us, 1)});
+  for (std::size_t i = 0; i < policy_campaigns.size(); ++i) {
+    const auto& r = policy_results[i];
+    ta.add_row({r.name, std::to_string(r.rowclones),
+                std::to_string(r.attack.granted_acts),
+                std::to_string(r.attack.flips_in_victim),
+                dl::TextTable::num(to_seconds(r.defense_time) * 1e6, 1)});
+  }
   std::printf("%s", ta.to_string().c_str());
   std::printf("reading: every unlock opens a short window (granted ACTs); "
               "the Fig. 4(d) policy lets several times more flips land "
@@ -137,10 +134,13 @@ int main(int argc, char** argv) {
   // B ------------------------------------------------------------------------
   std::printf("B. protection radius vs Half-Double attacker\n");
   dl::TextTable tb({"protect_radius", "granted ACTs", "victim flips"});
-  for (const std::uint32_t r : {1u, 2u}) {
-    const auto o = run_radius(r);
-    tb.add_row({std::to_string(r), std::to_string(o.granted),
-                std::to_string(o.victim_flips)});
+  for (std::size_t i = 0; i < radius_campaigns.size(); ++i) {
+    const auto& r = radius_results[i];
+    const auto radius =
+        radius_campaigns[i].defense.locker.protect_radius;
+    tb.add_row({std::to_string(radius),
+                std::to_string(r.attack.granted_acts),
+                std::to_string(r.attack.flips_in_victim)});
   }
   std::printf("%s", tb.to_string().c_str());
   std::printf("reading: radius 1 leaves distance-2 aggressors unlocked — "

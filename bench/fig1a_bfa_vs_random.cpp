@@ -5,11 +5,13 @@
 // random-guess (~1 % for 100 classes) within tens of flips, while the same
 // number of *random* flips leaves accuracy almost unchanged (the inset of
 // the paper's figure shows random flips hovering at the clean accuracy).
+//
+// Both attacks are dl::scenario BFA campaigns against the shared victim.
 #include <cstdio>
 
-#include "attack/bfa.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "scenario/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace dl;
@@ -22,47 +24,42 @@ int main(int argc, char** argv) {
   const std::size_t flips = scale == bench::Scale::kFast ? 25
                             : scale == bench::Scale::kFull ? 100 : 60;
 
-  // --- targeted attack ------------------------------------------------------
-  victim.qmodel->restore();
-  attack::BfaConfig bcfg;
-  bcfg.max_iterations = flips;
-  bcfg.layers_evaluated = 3;
-  attack::ProgressiveBitSearch pbs(victim.model, *victim.qmodel, bcfg);
-  std::vector<double> targeted;
-  targeted.push_back(victim.clean_accuracy);
-  const attack::BfaResult bres = pbs.run(victim.sample);
-  for (const auto& it : bres.iterations) {
-    // Evaluate on the held-out set every few flips (full eval is costly).
-    targeted.push_back(it.accuracy_after);
-  }
+  scenario::BfaCampaign targeted_c;
+  targeted_c.name = "BFA (targeted)";
+  targeted_c.bfa.max_iterations = flips;
+  targeted_c.bfa.layers_evaluated = 3;
 
-  // --- random attack --------------------------------------------------------
-  victim.qmodel->restore();
-  dl::Rng rng(99);
-  const attack::RandomAttackResult rres = attack::random_bit_attack(
-      victim.model, *victim.qmodel, victim.sample, flips, rng);
-  victim.qmodel->restore();
+  scenario::BfaCampaign random_c;
+  random_c.name = "random attack";
+  random_c.mode = scenario::BfaCampaign::Mode::kRandom;
+  random_c.random_flips = flips;
+  random_c.random_seed = 99;
+
+  const scenario::VictimRef ref{victim.model, *victim.qmodel, victim.sample,
+                                victim.clean_accuracy};
+  const auto results = scenario::run_bfa(ref, {targeted_c, random_c});
+  const std::vector<double>& targeted = results[0].accuracy;
+  const std::vector<double>& random = results[1].accuracy;
 
   TextTable table({"#flips", "BFA acc (%)", "random acc (%)"});
   AsciiChart chart(64, 16);
   std::vector<std::pair<double, double>> s1, s2;
-  const std::size_t n = std::min(targeted.size() - 1, rres.accuracy_after.size());
+  const std::size_t n = std::min(targeted.size() - 1, random.size() - 1);
   table.add_row({"0", TextTable::num(victim.clean_accuracy * 100, 2),
                  TextTable::num(victim.clean_accuracy * 100, 2)});
   for (std::size_t i = 0; i < n; ++i) {
     table.add_row({std::to_string(i + 1),
                    TextTable::num(targeted[i + 1] * 100, 2),
-                   TextTable::num(rres.accuracy_after[i] * 100, 2)});
+                   TextTable::num(random[i + 1] * 100, 2)});
     s1.emplace_back(static_cast<double>(i + 1), targeted[i + 1] * 100);
-    s2.emplace_back(static_cast<double>(i + 1),
-                    rres.accuracy_after[i] * 100);
+    s2.emplace_back(static_cast<double>(i + 1), random[i + 1] * 100);
   }
   chart.add_series("BFA (targeted)", s1);
   chart.add_series("random attack", s2);
   std::printf("%s\n%s", table.to_string().c_str(), chart.to_string().c_str());
 
   const double final_targeted = targeted.back() * 100;
-  const double final_random = rres.accuracy_after.back() * 100;
+  const double final_random = random.back() * 100;
   std::printf("\nshape check: BFA final %.2f%% vs random final %.2f%% "
               "(clean %.2f%%) -> %s\n",
               final_targeted, final_random, victim.clean_accuracy * 100,

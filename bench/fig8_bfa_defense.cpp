@@ -4,70 +4,66 @@
 //
 // The "with DRAM-Locker" curves use the paper's worst-case residual: under
 // ±20 % process variation 9.6 % of SWAPs are erroneous, so each attempted
-// flip lands with p = 9.6 % (ResidualFlipGate) — everything else is denied
+// flip lands with p = 9.6 % (a kResidual gate) — everything else is denied
 // by the lock-table.  Expected shape: without the defense accuracy
 // collapses within tens of iterations; with it the curve stays near the
 // clean accuracy across all iterations.
+//
+// Each curve is one dl::scenario BFA campaign with a fixed iteration count.
 #include <cstdio>
 
-#include "attack/bfa.hpp"
-#include "attack/hammer_gate.hpp"
 #include "bench_util.hpp"
 #include "circuit/montecarlo.hpp"
 #include "common/table.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
 using namespace dl;
 
-struct Curve {
-  std::string name;
-  std::vector<double> accuracy;  // index = iteration
-};
+std::vector<scenario::BfaCampaign> curves(std::size_t iterations,
+                                          double residual,
+                                          std::uint64_t residual_seed) {
+  scenario::BfaCampaign undefended;
+  undefended.name = "no-defense";
+  undefended.bfa.max_iterations = iterations;
+  undefended.bfa.layers_evaluated = 3;
+  undefended.fixed_iterations = true;
 
-Curve run_attack(bench::VictimModel& victim, std::size_t iterations,
-                 attack::FlipGate gate, const std::string& name) {
-  victim.qmodel->restore();
-  attack::BfaConfig cfg;
-  cfg.max_iterations = iterations;
-  cfg.layers_evaluated = 3;
-  attack::ProgressiveBitSearch pbs(victim.model, *victim.qmodel, cfg);
-  Curve c;
-  c.name = name;
-  c.accuracy.push_back(victim.clean_accuracy);
-  for (std::size_t i = 0; i < iterations; ++i) {
-    const auto it = pbs.step(victim.sample, gate);
-    c.accuracy.push_back(it.accuracy_after);
-  }
-  victim.qmodel->restore();
-  return c;
+  scenario::BfaCampaign defended = undefended;
+  defended.name = "dram-locker";
+  defended.gate.kind = scenario::GateSpec::Kind::kResidual;
+  defended.gate.residual_p = residual;
+  defended.gate.seed = residual_seed;
+  return {undefended, defended};
 }
 
-void report(const std::string& fig, const Curve& undefended,
-            const Curve& defended, double clean) {
+void report(const std::string& fig,
+            const std::vector<double>& undefended,
+            const std::vector<double>& defended, double clean) {
   TextTable table({"iteration", "without DRAM-Locker (%)",
                    "with DRAM-Locker (%)"});
-  const std::size_t n = undefended.accuracy.size();
+  const std::size_t n = undefended.size();
   const std::size_t step = std::max<std::size_t>(1, n / 12);
   for (std::size_t i = 0; i < n; i += step) {
     table.add_row({std::to_string(i),
-                   TextTable::num(undefended.accuracy[i] * 100, 2),
-                   TextTable::num(defended.accuracy[i] * 100, 2)});
+                   TextTable::num(undefended[i] * 100, 2),
+                   TextTable::num(defended[i] * 100, 2)});
   }
   std::printf("%s\n%s", fig.c_str(), table.to_string().c_str());
 
   AsciiChart chart(64, 14);
   std::vector<std::pair<double, double>> s1, s2;
   for (std::size_t i = 0; i < n; ++i) {
-    s1.emplace_back(static_cast<double>(i), undefended.accuracy[i] * 100);
-    s2.emplace_back(static_cast<double>(i), defended.accuracy[i] * 100);
+    s1.emplace_back(static_cast<double>(i), undefended[i] * 100);
+    s2.emplace_back(static_cast<double>(i), defended[i] * 100);
   }
   chart.add_series("without DRAM-Locker", s1);
   chart.add_series("with DRAM-Locker", s2);
   std::printf("%s", chart.to_string().c_str());
   std::printf("clean %.2f%% | final without %.2f%% | final with %.2f%%\n\n",
-              clean * 100, undefended.accuracy.back() * 100,
-              defended.accuracy.back() * 100);
+              clean * 100, undefended.back() * 100,
+              defended.back() * 100);
 }
 
 }  // namespace
@@ -89,28 +85,24 @@ int main(int argc, char** argv) {
   {
     bench::VictimModel victim =
         bench::train_victim(bench::resnet20_cifar10(scale));
-    Curve undefended =
-        run_attack(victim, iterations, attack::FlipGate{}, "no-defense");
-    attack::ResidualFlipGate gate(residual, dl::Rng(77));
-    Curve defended = run_attack(
-        victim, iterations,
-        [&](const dl::nn::BitAddress& a) { return gate(a); }, "dram-locker");
-    report("Fig. 8(a) ResNet-20 / SynthCIFAR-10", undefended, defended,
-           victim.clean_accuracy);
+    const scenario::VictimRef ref{victim.model, *victim.qmodel,
+                                  victim.sample, victim.clean_accuracy};
+    const auto results =
+        scenario::run_bfa(ref, curves(iterations, residual, /*seed=*/77));
+    report("Fig. 8(a) ResNet-20 / SynthCIFAR-10", results[0].accuracy,
+           results[1].accuracy, victim.clean_accuracy);
   }
 
   // ---- Fig. 8(b): VGG-11 / CIFAR-100 --------------------------------------
   {
     bench::VictimModel victim =
         bench::train_victim(bench::vgg11_cifar100(scale));
-    Curve undefended =
-        run_attack(victim, iterations, attack::FlipGate{}, "no-defense");
-    attack::ResidualFlipGate gate(residual, dl::Rng(78));
-    Curve defended = run_attack(
-        victim, iterations,
-        [&](const dl::nn::BitAddress& a) { return gate(a); }, "dram-locker");
-    report("Fig. 8(b) VGG-11 / SynthCIFAR-100", undefended, defended,
-           victim.clean_accuracy);
+    const scenario::VictimRef ref{victim.model, *victim.qmodel,
+                                  victim.sample, victim.clean_accuracy};
+    const auto results =
+        scenario::run_bfa(ref, curves(iterations, residual, /*seed=*/78));
+    report("Fig. 8(b) VGG-11 / SynthCIFAR-100", results[0].accuracy,
+           results[1].accuracy, victim.clean_accuracy);
   }
 
   std::printf("shape check: undefended curves collapse to random-guess; "

@@ -4,17 +4,18 @@
 // The training-based rows (piece-wise clustering, binary weights, 16x
 // capacity, weight reconstruction, RA-BNN) are literature values quoted
 // from the paper — they characterize *other* publications' defenses.  The
-// two rows our system can measure are reproduced live:
+// two rows our system can measure are reproduced live, each as one
+// dl::scenario BFA campaign:
 //   * Baseline ResNet-20: clean accuracy, and the number of targeted flips
 //     the progressive search needs to crush it to ~random guess.
 //   * DRAM-Locker: the same model with every attempted flip denied by the
-//     lock-table — accuracy unchanged no matter how many bits the attacker
-//     queues (the paper quotes 1150 attempted flips).
+//     lock-table (a kDenyAll gate) — accuracy unchanged no matter how many
+//     bits the attacker queues (the paper quotes 1150 attempted flips).
 #include <cstdio>
 
-#include "attack/bfa.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "scenario/scenario.hpp"
 
 int main(int argc, char** argv) {
   using namespace dl;
@@ -27,38 +28,31 @@ int main(int argc, char** argv) {
   const double random_guess = 100.0 / 10.0;
 
   // --- measured row 1: undefended baseline ----------------------------------
-  victim.qmodel->restore();
-  attack::BfaConfig bcfg;
-  bcfg.max_iterations = scale == bench::Scale::kFast ? 25 : 80;
-  bcfg.layers_evaluated = 3;
+  scenario::BfaCampaign baseline;
+  baseline.name = "baseline";
+  baseline.bfa.max_iterations = scale == bench::Scale::kFast ? 25 : 80;
+  baseline.bfa.layers_evaluated = 3;
   // Stop once the model is at (or below) random-guess level.
-  bcfg.stop_below_accuracy = random_guess / 100.0 + 0.05;
-  attack::ProgressiveBitSearch pbs(victim.model, *victim.qmodel, bcfg);
-  const attack::BfaResult bres = pbs.run(victim.sample);
-  const double post_attack =
-      nn::evaluate_accuracy(victim.model, victim.test) * 100.0;
-  const std::size_t baseline_flips = bres.flips_landed;
-  victim.qmodel->restore();
+  baseline.bfa.stop_below_accuracy = random_guess / 100.0 + 0.05;
 
   // --- measured row 2: DRAM-Locker ------------------------------------------
   // Every attempted flip is denied (error-free SWAP), so the model state —
   // and therefore the accuracy — is invariant in the attacker's budget; a
   // short measured run demonstrates the invariant and the row reports the
   // paper's 1150-flip budget.
-  std::size_t attempted = 0;
-  {
-    attack::BfaConfig dcfg2;
-    dcfg2.max_iterations = scale == bench::Scale::kFull ? 1150 : 30;
-    attack::ProgressiveBitSearch defended(victim.model, *victim.qmodel,
-                                          dcfg2);
-    const attack::BfaResult dres =
-        defended.run(victim.sample, [&](const nn::BitAddress&) {
-          ++attempted;
-          return false;
-        });
-    (void)dres;
-  }
-  const double dl_post = nn::evaluate_accuracy(victim.model, victim.test) * 100.0;
+  scenario::BfaCampaign defended;
+  defended.name = "dram-locker";
+  defended.bfa.max_iterations = scale == bench::Scale::kFull ? 1150 : 30;
+  defended.gate.kind = scenario::GateSpec::Kind::kDenyAll;
+
+  const scenario::VictimRef ref{victim.model, *victim.qmodel, victim.sample,
+                                victim.clean_accuracy, &victim.test};
+  const auto results = scenario::run_bfa(ref, {baseline, defended});
+  const double post_attack = results[0].test_accuracy_after * 100.0;
+  const std::size_t baseline_flips = results[0].flips_landed;
+  const auto attempted =
+      static_cast<std::size_t>(results[1].gate_attempts);
+  const double dl_post = results[1].test_accuracy_after * 100.0;
 
   TextTable table({"Models", "Clean Acc. (%)", "Post-Attack Acc. (%)",
                    "Bit-Flips #", "source"});

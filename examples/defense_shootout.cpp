@@ -3,149 +3,85 @@
 //
 // Shows what each mechanism spends (mitigation traffic time) and what it
 // prevents (flips in the victim row), on an ultra-low-threshold part.
+// Each row is one declarative dl::scenario campaign; the runner gives every
+// campaign its own controller + disturbance model and fans them out over
+// the thread pool (results are identical for any DL_THREADS).
 //
 //   $ ./defense_shootout
 #include <cstdio>
-#include <functional>
-#include <memory>
 
 #include "common/table.hpp"
-#include "defense/dram_locker.hpp"
-#include "defense/row_swap.hpp"
-#include "defense/shadow.hpp"
-#include "defense/trackers.hpp"
-#include "dram/controller.hpp"
-#include "rowhammer/attacker.hpp"
-#include "rowhammer/disturbance.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
 using namespace dl;
 
-struct Outcome {
-  std::uint64_t granted = 0;
-  std::uint64_t denied = 0;
-  std::uint64_t victim_flips = 0;
-  std::uint64_t collateral_flips = 0;
-  double mitigation_us = 0.0;
-};
-
 constexpr std::uint64_t kTrh = 1000;
 constexpr std::uint64_t kBudget = 50000;
 constexpr dram::GlobalRowId kVictim = 40;
 
-Outcome campaign(const std::function<void(dram::Controller&,
-                                          rowhammer::DisturbanceModel&)>&
-                     install_defense) {
-  dram::Geometry g;
-  g.channels = 1;
-  g.ranks = 1;
-  g.banks = 2;
-  g.subarrays_per_bank = 4;
-  g.rows_per_subarray = 256;
-  g.row_bytes = 4096;
-  dram::Controller ctrl(g, dram::ddr4_2400());
-  rowhammer::DisturbanceConfig dcfg;
-  dcfg.t_rh = kTrh;
-  rowhammer::DisturbanceModel model(ctrl, dcfg, Rng(1));
-  ctrl.add_listener(&model);
-  install_defense(ctrl, model);
+scenario::DramEnv env() {
+  scenario::DramEnv e;
+  e.geometry.channels = 1;
+  e.geometry.ranks = 1;
+  e.geometry.banks = 2;
+  e.geometry.subarrays_per_bank = 4;
+  e.geometry.rows_per_subarray = 256;
+  e.geometry.row_bytes = 4096;
+  e.disturbance.t_rh = kTrh;
+  e.disturbance_seed = 1;
+  return e;
+}
 
-  rowhammer::HammerAttacker attacker(ctrl, model);
-  const auto res =
-      attacker.attack(kVictim, rowhammer::HammerPattern::kDoubleSided,
-                      kBudget);
-  Outcome o;
-  o.granted = res.granted_acts;
-  o.denied = res.denied_acts;
-  o.victim_flips = res.flips_in_victim;
-  o.collateral_flips = res.flips_elsewhere;
-  o.mitigation_us = to_seconds(ctrl.defense_time()) * 1e6;
-  return o;
+scenario::HammerCampaign campaign(const char* name,
+                                  scenario::DefenseSpec defense) {
+  scenario::HammerCampaign c;
+  c.name = name;
+  c.env = env();
+  c.defense = defense;
+  c.attack.pattern = rowhammer::HammerPattern::kDoubleSided;
+  c.attack.victim_row = kVictim;
+  c.attack.act_budget = kBudget;
+  if (defense.kind == scenario::DefenseSpec::Kind::kDramLocker) {
+    c.protected_rows = {kVictim};
+  }
+  return c;
 }
 
 }  // namespace
 
 int main() {
   using namespace dl;
+  using scenario::DefenseSpec;
+
+  defense::DramLockerConfig locker_cfg;
+  locker_cfg.protect_radius = 2;
+
+  const std::vector<scenario::HammerCampaign> campaigns = {
+      campaign("none", DefenseSpec::none()),
+      campaign("TRR (p=0.01)", DefenseSpec::trr(0.01, 1, /*seed=*/2)),
+      campaign("Counter per Row", DefenseSpec::counter_per_row(kTrh / 2, 2)),
+      campaign("Graphene", DefenseSpec::graphene(kTrh / 2, 64, 2)),
+      campaign("Hydra", DefenseSpec::hydra(kTrh / 2, 64, 2)),
+      campaign("Counter Tree", DefenseSpec::counter_tree(kTrh / 2, 32, 2)),
+      campaign("RRS", DefenseSpec::row_swap(kTrh, /*lazy_unswap=*/false,
+                                            /*seed=*/3)),
+      campaign("SHADOW", DefenseSpec::shadow(kTrh, /*seed=*/4)),
+      campaign("DRAM-Locker", DefenseSpec::dram_locker(locker_cfg,
+                                                       /*seed=*/5)),
+  };
+
+  const auto results = scenario::run(campaigns);
+
   TextTable table({"defense", "granted ACTs", "denied ACTs", "victim flips",
                    "collateral flips", "mitigation time (us)"});
-
-  struct Entry {
-    const char* name;
-    std::function<void(dram::Controller&, rowhammer::DisturbanceModel&)>
-        install;
-  };
-  // Keep the defense objects alive for the duration of each campaign.
-  std::vector<std::unique_ptr<dram::ActivationListener>> keep;
-  std::unique_ptr<defense::DramLocker> locker;
-
-  const Entry entries[] = {
-      {"none", [](dram::Controller&, rowhammer::DisturbanceModel&) {}},
-      {"TRR (p=0.01)",
-       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
-         auto t = std::make_unique<defense::TrrSampler>(c, 0.01, 1, Rng(2));
-         c.add_listener(t.get());
-         keep.push_back(std::move(t));
-       }},
-      {"Counter per Row",
-       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
-         auto t = std::make_unique<defense::CounterPerRow>(c, kTrh / 2, 2);
-         c.add_listener(t.get());
-         keep.push_back(std::move(t));
-       }},
-      {"Graphene",
-       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
-         auto t = std::make_unique<defense::Graphene>(c, kTrh / 2, 64, 2);
-         c.add_listener(t.get());
-         keep.push_back(std::move(t));
-       }},
-      {"Hydra",
-       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
-         auto t = std::make_unique<defense::Hydra>(c, kTrh / 2, 64, 2);
-         c.add_listener(t.get());
-         keep.push_back(std::move(t));
-       }},
-      {"Counter Tree",
-       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
-         auto t = std::make_unique<defense::CounterTree>(c, kTrh / 2, 32, 2);
-         c.add_listener(t.get());
-         keep.push_back(std::move(t));
-       }},
-      {"RRS",
-       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
-         auto t = std::make_unique<defense::RowSwap>(
-             c, defense::RowSwapConfig{.threshold = kTrh,
-                                       .lazy_unswap = false},
-             Rng(3));
-         c.add_listener(t.get());
-         keep.push_back(std::move(t));
-       }},
-      {"SHADOW",
-       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
-         auto t = std::make_unique<defense::Shadow>(
-             c, defense::ShadowConfig{.threshold = kTrh}, Rng(4));
-         c.add_listener(t.get());
-         keep.push_back(std::move(t));
-       }},
-      {"DRAM-Locker",
-       [&](dram::Controller& c, rowhammer::DisturbanceModel&) {
-         defense::DramLockerConfig cfg;
-         cfg.protect_radius = 2;
-         locker = std::make_unique<defense::DramLocker>(c, cfg, Rng(5));
-         c.set_gate(locker.get());
-         locker->protect_data_row(kVictim);
-       }},
-  };
-
-  for (const auto& e : entries) {
-    const Outcome o = campaign(e.install);
-    table.add_row({e.name, std::to_string(o.granted),
-                   std::to_string(o.denied), std::to_string(o.victim_flips),
-                   std::to_string(o.collateral_flips),
-                   TextTable::num(o.mitigation_us, 1)});
-    keep.clear();
-    locker.reset();
+  for (const auto& r : results) {
+    table.add_row({r.name, std::to_string(r.attack.granted_acts),
+                   std::to_string(r.attack.denied_acts),
+                   std::to_string(r.attack.flips_in_victim),
+                   std::to_string(r.attack.flips_elsewhere),
+                   TextTable::num(to_seconds(r.defense_time) * 1e6, 1)});
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("\nreading: counter trackers stop the flips by spending "

@@ -1,0 +1,119 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace dl::json {
+
+Value& Value::operator[](const std::string& key) {
+  if (std::holds_alternative<std::nullptr_t>(data_)) data_ = Object{};
+  DL_REQUIRE(std::holds_alternative<Object>(data_),
+             "json: operator[] on a non-object value");
+  auto& obj = std::get<Object>(data_);
+  for (auto& [k, v] : obj) {
+    if (k == key) return v;
+  }
+  obj.emplace_back(key, Value{});
+  return obj.back().second;
+}
+
+void Value::push_back(Value v) {
+  if (std::holds_alternative<std::nullptr_t>(data_)) data_ = Array{};
+  DL_REQUIRE(std::holds_alternative<Array>(data_),
+             "json: push_back on a non-array value");
+  std::get<Array>(data_).push_back(std::move(v));
+}
+
+std::size_t Value::size() const {
+  if (const auto* a = std::get_if<Array>(&data_)) return a->size();
+  if (const auto* o = std::get_if<Object>(&data_)) return o->size();
+  return 0;
+}
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_newline(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Value::write(std::string& out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(data_)) {
+    out += "null";
+  } else if (const auto* b = std::get_if<bool>(&data_)) {
+    out += *b ? "true" : "false";
+  } else if (const auto* d = std::get_if<double>(&data_)) {
+    if (std::isfinite(*d)) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", *d);
+      out += buf;
+    } else {
+      out += "null";  // JSON has no Inf/NaN
+    }
+  } else if (const auto* i = std::get_if<std::int64_t>(&data_)) {
+    out += std::to_string(*i);
+  } else if (const auto* u = std::get_if<std::uint64_t>(&data_)) {
+    out += std::to_string(*u);
+  } else if (const auto* s = std::get_if<std::string>(&data_)) {
+    write_escaped(out, *s);
+  } else if (const auto* obj = std::get_if<Object>(&data_)) {
+    out += '{';
+    bool first = true;
+    for (const auto& [k, v] : *obj) {
+      if (!first) out += ',';
+      first = false;
+      write_newline(out, indent, depth + 1);
+      write_escaped(out, k);
+      out += indent > 0 ? ": " : ":";
+      v.write(out, indent, depth + 1);
+    }
+    if (!obj->empty()) write_newline(out, indent, depth);
+    out += '}';
+  } else if (const auto* arr = std::get_if<Array>(&data_)) {
+    out += '[';
+    bool first = true;
+    for (const auto& v : *arr) {
+      if (!first) out += ',';
+      first = false;
+      write_newline(out, indent, depth + 1);
+      v.write(out, indent, depth + 1);
+    }
+    if (!arr->empty()) write_newline(out, indent, depth);
+    out += ']';
+  }
+}
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace dl::json

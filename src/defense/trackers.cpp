@@ -11,11 +11,12 @@ using dl::dram::GlobalRowId;
 using dl::dram::RowAddress;
 using dl::dram::to_global;
 
-void refresh_neighbors(dl::dram::Controller& ctrl, GlobalRowId aggressor,
-                       std::uint32_t radius) {
+std::uint32_t refresh_neighbors(dl::dram::Controller& ctrl,
+                                GlobalRowId aggressor, std::uint32_t radius) {
   const auto& g = ctrl.geometry();
   const RowAddress a = from_global(g, aggressor);
   dl::dram::DefenseScope scope(ctrl);
+  std::uint32_t issued = 0;
   for (std::int64_t off = -static_cast<std::int64_t>(radius);
        off <= static_cast<std::int64_t>(radius); ++off) {
     if (off == 0) continue;
@@ -24,7 +25,9 @@ void refresh_neighbors(dl::dram::Controller& ctrl, GlobalRowId aggressor,
     RowAddress victim = a;
     victim.row = static_cast<std::uint32_t>(r);
     ctrl.refresh_row(to_global(g, victim));
+    ++issued;
   }
+  return issued;
 }
 
 // ---------------------------------------------------------------- TrrSampler
@@ -39,8 +42,7 @@ void TrrSampler::on_activate(GlobalRowId row, Picoseconds) {
   ++stats_.observed_acts;
   if (!rng_.chance(p_)) return;
   ++stats_.mitigations;
-  stats_.victim_refreshes += 2 * radius_;
-  refresh_neighbors(ctrl_, row, radius_);
+  stats_.victim_refreshes += refresh_neighbors(ctrl_, row, radius_);
 }
 
 // ------------------------------------------------------------- CounterPerRow
@@ -57,8 +59,7 @@ void CounterPerRow::on_activate(GlobalRowId row, Picoseconds) {
   if (++c >= threshold_) {
     c = 0;
     ++stats_.mitigations;
-    stats_.victim_refreshes += 2 * radius_;
-    refresh_neighbors(ctrl_, row, radius_);
+    stats_.victim_refreshes += refresh_neighbors(ctrl_, row, radius_);
   }
 }
 
@@ -103,8 +104,7 @@ void Graphene::on_activate(GlobalRowId row, Picoseconds) {
   if (it->second >= threshold_) {
     it->second = 0;
     ++stats_.mitigations;
-    stats_.victim_refreshes += 2 * radius_;
-    refresh_neighbors(ctrl_, row, radius_);
+    stats_.victim_refreshes += refresh_neighbors(ctrl_, row, radius_);
   }
 }
 
@@ -139,11 +139,10 @@ void CounterTree::on_activate(GlobalRowId row, Picoseconds) {
     return;
   }
   std::uint64_t& c = fine_it->second[row];
-  if (++c >= threshold_ / 2) {
+  if (++c >= threshold_) {
     c = 0;
     ++stats_.mitigations;
-    stats_.victim_refreshes += 2 * radius_;
-    refresh_neighbors(ctrl_, row, radius_);
+    stats_.victim_refreshes += refresh_neighbors(ctrl_, row, radius_);
   }
 }
 
@@ -177,11 +176,10 @@ void Hydra::on_activate(GlobalRowId row, Picoseconds) {
   ++dram_counter_accesses_;
   ctrl_.advance_time(ctrl_.timing().hit_latency());
   std::uint64_t& c = row_counters_[row];
-  if (++c >= threshold_ / 2) {
+  if (++c >= threshold_) {
     c = 0;
     ++stats_.mitigations;
-    stats_.victim_refreshes += 2 * radius_;
-    refresh_neighbors(ctrl_, row, radius_);
+    stats_.victim_refreshes += refresh_neighbors(ctrl_, row, radius_);
   }
 }
 

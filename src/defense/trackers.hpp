@@ -21,9 +21,12 @@
 
 namespace dl::defense {
 
-/// Refreshes every row within `radius` of `aggressor` (targeted mitigation).
-void refresh_neighbors(dl::dram::Controller& ctrl,
-                       dl::dram::GlobalRowId aggressor, std::uint32_t radius);
+/// Refreshes every in-bounds row within `radius` of `aggressor` (targeted
+/// mitigation).  Returns the number of refresh commands actually issued —
+/// fewer than 2*radius when the aggressor sits at a subarray edge.
+std::uint32_t refresh_neighbors(dl::dram::Controller& ctrl,
+                                dl::dram::GlobalRowId aggressor,
+                                std::uint32_t radius);
 
 /// Shared statistics for all trackers.
 struct TrackerStats {

@@ -54,9 +54,12 @@ HammerResult HammerAttacker::attack(GlobalRowId victim_logical,
   const Picoseconds start = ctrl_.now();
 
   // Count flips that land in the row currently holding the victim's data.
+  // The scope guard clears the callback even if a hammer access throws, and
+  // restores whatever callback an outer driver had installed on the shared
+  // disturbance model.
   std::uint64_t victim_flips = 0;
   std::uint64_t other_flips = 0;
-  model_.set_flip_callback([&](const FlipEvent& ev) {
+  FlipCallbackScope scope(model_, [&](const FlipEvent& ev) {
     const GlobalRowId victim_phys =
         ctrl_.indirection().to_physical(victim_logical);
     if (ev.victim_row == victim_phys) {
@@ -78,7 +81,6 @@ HammerResult HammerAttacker::attack(GlobalRowId victim_logical,
     if (stop_after_flips > 0 && victim_flips >= stop_after_flips) break;
   }
 
-  model_.set_flip_callback(nullptr);
   res.flips_in_victim = victim_flips;
   res.flips_elsewhere = other_flips;
   res.elapsed = ctrl_.now() - start;

@@ -64,6 +64,13 @@ class DisturbanceModel final : public dl::dram::ActivationListener {
     callback_ = std::move(cb);
   }
 
+  /// Replaces the callback and returns the previous one (FlipCallbackScope).
+  std::function<void(const FlipEvent&)> exchange_flip_callback(
+      std::function<void(const FlipEvent&)> cb) {
+    std::swap(cb, callback_);
+    return cb;
+  }
+
   [[nodiscard]] const DisturbanceConfig& config() const { return config_; }
 
  private:
@@ -78,6 +85,25 @@ class DisturbanceModel final : public dl::dram::ActivationListener {
   void add_disturbance(dl::dram::GlobalRowId victim, double amount,
                        Picoseconds now);
   void inject_flips(dl::dram::GlobalRowId victim, Picoseconds now);
+};
+
+/// RAII flip-callback installer.  The disturbance model is shared between
+/// attack drivers; installing through this scope guarantees the previous
+/// callback is restored even when the protected region throws, so no stale
+/// callback (with dangling captures) can outlive its stack frame.
+class FlipCallbackScope {
+ public:
+  FlipCallbackScope(DisturbanceModel& model,
+                    std::function<void(const FlipEvent&)> cb)
+      : model_(model),
+        previous_(model.exchange_flip_callback(std::move(cb))) {}
+  ~FlipCallbackScope() { model_.set_flip_callback(std::move(previous_)); }
+  FlipCallbackScope(const FlipCallbackScope&) = delete;
+  FlipCallbackScope& operator=(const FlipCallbackScope&) = delete;
+
+ private:
+  DisturbanceModel& model_;
+  std::function<void(const FlipEvent&)> previous_;
 };
 
 }  // namespace dl::rowhammer

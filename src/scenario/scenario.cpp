@@ -1,0 +1,449 @@
+#include "scenario/scenario.hpp"
+
+#include <memory>
+#include <unordered_map>
+
+#include "attack/hammer_gate.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "defense/row_swap.hpp"
+#include "defense/shadow.hpp"
+
+namespace dl::scenario {
+
+using dl::dram::Controller;
+using dl::dram::GlobalRowId;
+
+// --------------------------------------------------------- DefenseSpec
+
+DefenseSpec DefenseSpec::none() { return {}; }
+
+DefenseSpec DefenseSpec::trr(double p, std::uint32_t radius,
+                             std::uint64_t seed) {
+  DefenseSpec d;
+  d.kind = Kind::kTrrSampler;
+  d.sample_probability = p;
+  d.radius = radius;
+  d.seed = seed;
+  return d;
+}
+
+DefenseSpec DefenseSpec::counter_per_row(std::uint64_t threshold,
+                                         std::uint32_t radius) {
+  DefenseSpec d;
+  d.kind = Kind::kCounterPerRow;
+  d.threshold = threshold;
+  d.radius = radius;
+  return d;
+}
+
+DefenseSpec DefenseSpec::graphene(std::uint64_t threshold, std::size_t entries,
+                                  std::uint32_t radius) {
+  DefenseSpec d;
+  d.kind = Kind::kGraphene;
+  d.threshold = threshold;
+  d.entries = entries;
+  d.radius = radius;
+  return d;
+}
+
+DefenseSpec DefenseSpec::counter_tree(std::uint64_t threshold,
+                                      std::uint32_t group_rows,
+                                      std::uint32_t radius) {
+  DefenseSpec d;
+  d.kind = Kind::kCounterTree;
+  d.threshold = threshold;
+  d.group_rows = group_rows;
+  d.radius = radius;
+  return d;
+}
+
+DefenseSpec DefenseSpec::hydra(std::uint64_t threshold,
+                               std::uint32_t group_rows,
+                               std::uint32_t radius) {
+  DefenseSpec d;
+  d.kind = Kind::kHydra;
+  d.threshold = threshold;
+  d.group_rows = group_rows;
+  d.radius = radius;
+  return d;
+}
+
+DefenseSpec DefenseSpec::row_swap(std::uint64_t threshold, bool lazy_unswap,
+                                  std::uint64_t seed) {
+  DefenseSpec d;
+  d.kind = Kind::kRowSwap;
+  d.threshold = threshold;
+  d.lazy_unswap = lazy_unswap;
+  d.seed = seed;
+  return d;
+}
+
+DefenseSpec DefenseSpec::shadow(std::uint64_t threshold, std::uint64_t seed) {
+  DefenseSpec d;
+  d.kind = Kind::kShadow;
+  d.threshold = threshold;
+  d.seed = seed;
+  return d;
+}
+
+DefenseSpec DefenseSpec::dram_locker(const dl::defense::DramLockerConfig& cfg,
+                                     std::uint64_t seed) {
+  DefenseSpec d;
+  d.kind = Kind::kDramLocker;
+  d.locker = cfg;
+  d.seed = seed;
+  return d;
+}
+
+const char* to_string(DefenseSpec::Kind kind) {
+  switch (kind) {
+    case DefenseSpec::Kind::kNone:          return "none";
+    case DefenseSpec::Kind::kTrrSampler:    return "trr";
+    case DefenseSpec::Kind::kCounterPerRow: return "counter-per-row";
+    case DefenseSpec::Kind::kGraphene:      return "graphene";
+    case DefenseSpec::Kind::kCounterTree:   return "counter-tree";
+    case DefenseSpec::Kind::kHydra:         return "hydra";
+    case DefenseSpec::Kind::kRowSwap:       return "row-swap";
+    case DefenseSpec::Kind::kShadow:        return "shadow";
+    case DefenseSpec::Kind::kDramLocker:    return "dram-locker";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------ run_one
+
+namespace {
+
+/// Owns whichever defense the spec selects, wired into `ctrl`.
+struct DefenseInstance {
+  std::unique_ptr<dl::defense::TrrSampler> trr;
+  std::unique_ptr<dl::defense::CounterPerRow> counter_per_row;
+  std::unique_ptr<dl::defense::Graphene> graphene;
+  std::unique_ptr<dl::defense::CounterTree> counter_tree;
+  std::unique_ptr<dl::defense::Hydra> hydra;
+  std::unique_ptr<dl::defense::RowSwap> row_swap;
+  std::unique_ptr<dl::defense::Shadow> shadow;
+  std::unique_ptr<dl::defense::DramLocker> locker;
+
+  std::size_t locked_rows = 0;
+
+  void install(const DefenseSpec& spec, Controller& ctrl,
+               const std::vector<GlobalRowId>& protected_rows) {
+    using Kind = DefenseSpec::Kind;
+    switch (spec.kind) {
+      case Kind::kNone:
+        break;
+      case Kind::kTrrSampler:
+        trr = std::make_unique<dl::defense::TrrSampler>(
+            ctrl, spec.sample_probability, spec.radius, dl::Rng(spec.seed));
+        ctrl.add_listener(trr.get());
+        break;
+      case Kind::kCounterPerRow:
+        counter_per_row = std::make_unique<dl::defense::CounterPerRow>(
+            ctrl, spec.threshold, spec.radius);
+        ctrl.add_listener(counter_per_row.get());
+        break;
+      case Kind::kGraphene:
+        graphene = std::make_unique<dl::defense::Graphene>(
+            ctrl, spec.threshold, spec.entries, spec.radius);
+        ctrl.add_listener(graphene.get());
+        break;
+      case Kind::kCounterTree:
+        counter_tree = std::make_unique<dl::defense::CounterTree>(
+            ctrl, spec.threshold, spec.group_rows, spec.radius);
+        ctrl.add_listener(counter_tree.get());
+        break;
+      case Kind::kHydra:
+        hydra = std::make_unique<dl::defense::Hydra>(
+            ctrl, spec.threshold, spec.group_rows, spec.radius);
+        ctrl.add_listener(hydra.get());
+        break;
+      case Kind::kRowSwap:
+        row_swap = std::make_unique<dl::defense::RowSwap>(
+            ctrl,
+            dl::defense::RowSwapConfig{.threshold = spec.threshold,
+                                       .lazy_unswap = spec.lazy_unswap},
+            dl::Rng(spec.seed));
+        ctrl.add_listener(row_swap.get());
+        break;
+      case Kind::kShadow:
+        shadow = std::make_unique<dl::defense::Shadow>(
+            ctrl, dl::defense::ShadowConfig{.threshold = spec.threshold},
+            dl::Rng(spec.seed));
+        ctrl.add_listener(shadow.get());
+        break;
+      case Kind::kDramLocker:
+        locker = std::make_unique<dl::defense::DramLocker>(ctrl, spec.locker,
+                                                           dl::Rng(spec.seed));
+        ctrl.set_gate(locker.get());
+        for (const GlobalRowId row : protected_rows) {
+          locked_rows += locker->protect_data_row(row);
+        }
+        break;
+    }
+  }
+
+  void harvest(HammerCampaignResult& r) const {
+    if (trr != nullptr) r.tracker = trr->stats();
+    if (counter_per_row != nullptr) r.tracker = counter_per_row->stats();
+    if (graphene != nullptr) r.tracker = graphene->stats();
+    if (counter_tree != nullptr) r.tracker = counter_tree->stats();
+    if (hydra != nullptr) r.tracker = hydra->stats();
+    if (row_swap != nullptr) {
+      r.swaps = row_swap->swaps();
+      r.unswaps = row_swap->unswaps();
+    }
+    if (shadow != nullptr) r.swaps = shadow->shuffles();
+    if (locker != nullptr) r.locker = locker->stats();
+    r.locked_rows = locked_rows;
+  }
+};
+
+void issue_traffic(Controller& ctrl, const std::vector<TrafficOp>& ops) {
+  std::vector<std::uint8_t> buf;
+  for (const TrafficOp& op : ops) {
+    buf.resize(op.bytes);
+    for (std::uint32_t i = 0; i < op.repeat; ++i) {
+      ctrl.read(ctrl.mapper().row_base(op.row), buf, op.can_unlock);
+    }
+  }
+}
+
+}  // namespace
+
+HammerCampaignResult run_one(const HammerCampaign& campaign) {
+  DL_REQUIRE(campaign.cycles > 0, "campaign needs at least one cycle");
+  Controller ctrl(campaign.env.geometry, campaign.env.timing);
+  dl::rowhammer::DisturbanceModel model(ctrl, campaign.env.disturbance,
+                                        dl::Rng(campaign.env.disturbance_seed));
+  ctrl.add_listener(&model);
+
+  DefenseInstance defense;
+  defense.install(campaign.defense, ctrl, campaign.protected_rows);
+
+  dl::rowhammer::HammerAttacker attacker(ctrl, model);
+  HammerCampaignResult r;
+  r.name = campaign.name;
+  for (std::uint64_t c = 0; c < campaign.cycles; ++c) {
+    issue_traffic(ctrl, campaign.pre_traffic);
+    const auto res =
+        attacker.attack(campaign.attack.victim_row, campaign.attack.pattern,
+                        campaign.attack.act_budget,
+                        campaign.attack.stop_after_flips);
+    r.attack.granted_acts += res.granted_acts;
+    r.attack.denied_acts += res.denied_acts;
+    r.attack.flips_in_victim += res.flips_in_victim;
+    r.attack.flips_elsewhere += res.flips_elsewhere;
+    r.attack.elapsed += res.elapsed;
+    issue_traffic(ctrl, campaign.post_traffic);
+  }
+
+  defense.harvest(r);
+  r.rowclones = static_cast<std::uint64_t>(ctrl.stats().get("rowclones"));
+  r.total_flips = model.total_flips();
+  r.defense_time = ctrl.defense_time();
+  r.elapsed = ctrl.now();
+  return r;
+}
+
+std::vector<HammerCampaignResult> run(
+    const std::vector<HammerCampaign>& campaigns) {
+  std::vector<HammerCampaignResult> results(campaigns.size());
+  dl::parallel::parallel_for(
+      0, campaigns.size(), 1,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = run_one(campaigns[i]);
+        }
+      });
+  return results;
+}
+
+std::vector<HammerCampaign> expand(const MatrixSpec& spec) {
+  DL_REQUIRE(!spec.patterns.empty() && !spec.defenses.empty(),
+             "matrix needs at least one pattern and one defense");
+  // A parameter sweep lists the same defense kind several times; suffix
+  // those cells with their position so names (and report rows) stay unique.
+  std::unordered_map<DefenseSpec::Kind, std::size_t> kind_count;
+  for (const DefenseSpec& def : spec.defenses) ++kind_count[def.kind];
+  std::vector<HammerCampaign> campaigns;
+  std::uint64_t index = 0;
+  for (std::uint64_t rep = 0; rep < spec.repetitions; ++rep) {
+    for (const auto pattern : spec.patterns) {
+      for (std::size_t di = 0; di < spec.defenses.size(); ++di) {
+        const DefenseSpec& def = spec.defenses[di];
+        HammerCampaign c;
+        c.name = spec.name_prefix;
+        c.name += '/';
+        c.name += dl::rowhammer::to_string(pattern);
+        c.name += '/';
+        c.name += to_string(def.kind);
+        if (kind_count[def.kind] > 1) {
+          c.name += '#';
+          c.name += std::to_string(di);
+        }
+        if (spec.repetitions > 1) {
+          c.name += "/rep";
+          c.name += std::to_string(rep);
+        }
+        c.env = spec.env;
+        c.attack = spec.attack;
+        c.attack.pattern = pattern;
+        c.defense = def;
+        c.protected_rows = spec.protected_rows;
+        // Decorrelated per-campaign sub-streams: the disturbance and the
+        // defense draw from distinct epochs of the same base seed, keyed by
+        // the campaign's position in the matrix.
+        c.env.disturbance_seed = dl::substream_seed(spec.base_seed, 0, index);
+        c.defense.seed = dl::substream_seed(spec.base_seed, 1, index);
+        campaigns.push_back(std::move(c));
+        ++index;
+      }
+    }
+  }
+  return campaigns;
+}
+
+// -------------------------------------------------------------- BFA runner
+
+BfaCampaignResult run_bfa(const VictimRef& victim,
+                          const BfaCampaign& campaign) {
+  victim.qmodel.restore();
+
+  BfaCampaignResult r;
+  r.name = campaign.name;
+  r.accuracy.push_back(victim.clean_accuracy);
+
+  // Wrap the declared gate so every campaign reports attempts/landed
+  // uniformly; the wrapped decision sequence is identical to handing the
+  // underlying gate (or none) to the attacker directly.
+  dl::attack::ResidualFlipGate residual(campaign.gate.residual_p,
+                                        dl::Rng(campaign.gate.seed));
+  const auto gate = [&](const dl::nn::BitAddress& addr) {
+    ++r.gate_attempts;
+    bool landed = true;
+    switch (campaign.gate.kind) {
+      case GateSpec::Kind::kAlwaysLand: landed = true; break;
+      case GateSpec::Kind::kDenyAll:    landed = false; break;
+      case GateSpec::Kind::kResidual:   landed = residual(addr); break;
+    }
+    if (landed) ++r.gate_landed;
+    return landed;
+  };
+
+  if (campaign.mode == BfaCampaign::Mode::kRandom) {
+    dl::Rng rng(campaign.random_seed);
+    const auto res = dl::attack::random_bit_attack(
+        victim.model, victim.qmodel, victim.sample, campaign.random_flips,
+        rng, gate);
+    for (const double a : res.accuracy_after) r.accuracy.push_back(a);
+    r.flips_landed = static_cast<std::size_t>(r.gate_landed);
+    r.flips_blocked =
+        static_cast<std::size_t>(r.gate_attempts - r.gate_landed);
+  } else {
+    dl::attack::ProgressiveBitSearch pbs(victim.model, victim.qmodel,
+                                         campaign.bfa);
+    if (campaign.fixed_iterations) {
+      for (std::size_t i = 0; i < campaign.bfa.max_iterations; ++i) {
+        const auto it = pbs.step(victim.sample, gate);
+        r.accuracy.push_back(it.accuracy_after);
+        if (it.flipped) {
+          ++r.flips_landed;
+        } else if (it.blocked) {
+          ++r.flips_blocked;
+        }
+      }
+    } else {
+      const auto res = pbs.run(victim.sample, gate);
+      for (const auto& it : res.iterations) {
+        r.accuracy.push_back(it.accuracy_after);
+      }
+      r.flips_landed = res.flips_landed;
+      r.flips_blocked = res.flips_blocked;
+    }
+  }
+
+  if (victim.test != nullptr) {
+    r.test_accuracy_after = dl::nn::evaluate_accuracy(victim.model,
+                                                      *victim.test);
+  }
+  return r;
+}
+
+std::vector<BfaCampaignResult> run_bfa(
+    const VictimRef& victim, const std::vector<BfaCampaign>& campaigns) {
+  std::vector<BfaCampaignResult> results;
+  results.reserve(campaigns.size());
+  for (const BfaCampaign& c : campaigns) {
+    results.push_back(run_bfa(victim, c));
+  }
+  victim.qmodel.restore();
+  return results;
+}
+
+// ----------------------------------------------------------------- reports
+
+dl::json::Value to_json(const HammerCampaignResult& r) {
+  auto v = dl::json::Value::object();
+  v["name"] = r.name;
+  // Nested objects are built as locals and moved in: a reference returned
+  // by operator[] dies on the next sibling insertion.
+  auto attack = dl::json::Value::object();
+  attack["granted_acts"] = r.attack.granted_acts;
+  attack["denied_acts"] = r.attack.denied_acts;
+  attack["flips_in_victim"] = r.attack.flips_in_victim;
+  attack["flips_elsewhere"] = r.attack.flips_elsewhere;
+  attack["elapsed_ps"] = r.attack.elapsed;
+  v["attack"] = std::move(attack);
+  auto tracker = dl::json::Value::object();
+  tracker["observed_acts"] = r.tracker.observed_acts;
+  tracker["mitigations"] = r.tracker.mitigations;
+  tracker["victim_refreshes"] = r.tracker.victim_refreshes;
+  v["tracker"] = std::move(tracker);
+  auto locker = dl::json::Value::object();
+  locker["rw_instructions"] = r.locker.rw_instructions;
+  locker["denied"] = r.locker.denied;
+  locker["unlock_swaps"] = r.locker.unlock_swaps;
+  locker["relocks"] = r.locker.relocks;
+  locker["swap_copy_errors"] = r.locker.swap_copy_errors;
+  locker["pool_exhausted_denials"] = r.locker.pool_exhausted_denials;
+  v["dram_locker"] = std::move(locker);
+  v["swaps"] = r.swaps;
+  v["unswaps"] = r.unswaps;
+  v["rowclones"] = r.rowclones;
+  v["total_flips"] = r.total_flips;
+  v["locked_rows"] = r.locked_rows;
+  v["defense_time_ps"] = r.defense_time;
+  v["elapsed_ps"] = r.elapsed;
+  return v;
+}
+
+dl::json::Value to_json(const BfaCampaignResult& r) {
+  auto v = dl::json::Value::object();
+  v["name"] = r.name;
+  v["flips_landed"] = r.flips_landed;
+  v["flips_blocked"] = r.flips_blocked;
+  v["gate_attempts"] = r.gate_attempts;
+  v["gate_landed"] = r.gate_landed;
+  v["test_accuracy_after"] = r.test_accuracy_after;
+  auto curve = dl::json::Value::array();
+  for (const double a : r.accuracy) curve.push_back(a);
+  v["accuracy"] = std::move(curve);
+  return v;
+}
+
+dl::json::Value report_json(const std::vector<HammerCampaignResult>& hammer,
+                            const std::vector<BfaCampaignResult>& bfa) {
+  auto doc = dl::json::Value::object();
+  auto h = dl::json::Value::array();
+  for (const auto& r : hammer) h.push_back(to_json(r));
+  doc["hammer_campaigns"] = std::move(h);
+  auto b = dl::json::Value::array();
+  for (const auto& r : bfa) b.push_back(to_json(r));
+  doc["bfa_campaigns"] = std::move(b);
+  return doc;
+}
+
+}  // namespace dl::scenario

@@ -1,0 +1,255 @@
+// Declarative attack × defense campaign engine (the paper's Fig. 8 /
+// Table I / Table II experiment matrices as data, not hand-rolled loops).
+//
+// Two campaign families cover every experiment the benches run:
+//
+//   HammerCampaign — a RowHammer campaign against a DRAM controller: one
+//     hammer pattern + activation budget, one defense (any tracker, a swap
+//     defense, DRAM-Locker, or none), optional interleaved legitimate
+//     traffic, repeated for `cycles` unlock/attack/filler rounds.  Every
+//     campaign owns an independent Controller + DisturbanceModel + defense
+//     instance seeded from the spec, so the runner fans campaigns out over
+//     dl::parallel with bit-identical results for any DL_THREADS value.
+//
+//   BfaCampaign — a progressive-bit-search (or random-flip) attack against
+//     a trained quantized victim, with the memory substrate abstracted by a
+//     gate spec (always-land / deny-all / residual-probability).  Campaigns
+//     share one victim model (weights are restored before each campaign),
+//     so they run serially; all internal compute still uses the pool.
+//
+// Results carry the structured statistics the paper's tables report
+// (HammerResult, TrackerStats, DramLocker::Stats, accuracy-under-attack)
+// and serialize to JSON via report_json() for CI artifacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/bfa.hpp"
+#include "common/json.hpp"
+#include "defense/dram_locker.hpp"
+#include "defense/trackers.hpp"
+#include "dram/controller.hpp"
+#include "nn/model.hpp"
+#include "nn/quant.hpp"
+#include "rowhammer/attacker.hpp"
+#include "rowhammer/disturbance.hpp"
+
+namespace dl::scenario {
+
+// ---------------------------------------------------------------- defenses
+
+/// Declarative defense choice: which mechanism guards the controller and
+/// how it is parameterized.  One struct covers every mechanism so campaign
+/// matrices can sweep over defenses uniformly; fields irrelevant to the
+/// selected kind are ignored.
+struct DefenseSpec {
+  enum class Kind : std::uint8_t {
+    kNone,
+    kTrrSampler,
+    kCounterPerRow,
+    kGraphene,
+    kCounterTree,
+    kHydra,
+    kRowSwap,   ///< RRS; SRS with lazy_unswap
+    kShadow,
+    kDramLocker,
+  };
+
+  Kind kind = Kind::kNone;
+  std::uint64_t threshold = 1000;       ///< trackers / swap defenses
+  std::uint32_t radius = 2;             ///< victim-refresh radius
+  double sample_probability = 0.01;     ///< kTrrSampler
+  std::size_t entries = 64;             ///< kGraphene table entries
+  std::uint32_t group_rows = 64;        ///< kCounterTree / kHydra
+  bool lazy_unswap = false;             ///< kRowSwap: SRS behaviour
+  dl::defense::DramLockerConfig locker; ///< kDramLocker
+  std::uint64_t seed = 2;               ///< defense-private RNG stream
+
+  static DefenseSpec none();
+  static DefenseSpec trr(double p, std::uint32_t radius, std::uint64_t seed);
+  static DefenseSpec counter_per_row(std::uint64_t threshold,
+                                     std::uint32_t radius);
+  static DefenseSpec graphene(std::uint64_t threshold, std::size_t entries,
+                              std::uint32_t radius);
+  static DefenseSpec counter_tree(std::uint64_t threshold,
+                                  std::uint32_t group_rows,
+                                  std::uint32_t radius);
+  static DefenseSpec hydra(std::uint64_t threshold, std::uint32_t group_rows,
+                           std::uint32_t radius);
+  static DefenseSpec row_swap(std::uint64_t threshold, bool lazy_unswap,
+                              std::uint64_t seed);
+  static DefenseSpec shadow(std::uint64_t threshold, std::uint64_t seed);
+  static DefenseSpec dram_locker(const dl::defense::DramLockerConfig& cfg,
+                                 std::uint64_t seed);
+};
+
+[[nodiscard]] const char* to_string(DefenseSpec::Kind kind);
+
+// ------------------------------------------------------------- environment
+
+/// The simulated memory system one campaign runs against.
+struct DramEnv {
+  dl::dram::Geometry geometry;
+  dl::dram::Timing timing = dl::dram::ddr4_2400();
+  dl::rowhammer::DisturbanceConfig disturbance;
+  std::uint64_t disturbance_seed = 1;  ///< victim-bit selection stream
+};
+
+// ----------------------------------------------------------------- attacker
+
+/// The attacker's declaration: what to hammer and how hard.
+struct AttackSpec {
+  dl::rowhammer::HammerPattern pattern =
+      dl::rowhammer::HammerPattern::kDoubleSided;
+  dl::dram::GlobalRowId victim_row = 0;
+  std::uint64_t act_budget = 0;        ///< activations per cycle
+  std::uint64_t stop_after_flips = 0;  ///< early-stop (0 = never)
+};
+
+/// A burst of legitimate traffic interleaved with the attack (drives
+/// unlock SWAPs and re-lock ticks in DRAM-Locker campaigns).
+struct TrafficOp {
+  dl::dram::GlobalRowId row = 0;
+  std::uint32_t repeat = 1;
+  std::uint32_t bytes = 4;
+  bool can_unlock = false;
+};
+
+// ---------------------------------------------------------------- campaigns
+
+struct HammerCampaign {
+  std::string name;
+  DramEnv env;
+  DefenseSpec defense;
+  AttackSpec attack;
+  /// Data rows DRAM-Locker protects before the campaign starts (ignored by
+  /// other defenses, which are victim-agnostic).
+  std::vector<dl::dram::GlobalRowId> protected_rows;
+  /// Workload repetitions; each cycle issues pre_traffic, one attack burst
+  /// of `attack.act_budget` activations, then post_traffic.
+  std::uint64_t cycles = 1;
+  std::vector<TrafficOp> pre_traffic;
+  std::vector<TrafficOp> post_traffic;
+};
+
+struct HammerCampaignResult {
+  std::string name;
+  dl::rowhammer::HammerResult attack;     ///< summed over cycles
+  dl::defense::TrackerStats tracker;      ///< tracker defenses only
+  dl::defense::DramLocker::Stats locker;  ///< kDramLocker only
+  std::uint64_t swaps = 0;                ///< kRowSwap / kShadow migrations
+  std::uint64_t unswaps = 0;
+  std::uint64_t rowclones = 0;
+  std::uint64_t total_flips = 0;          ///< all flips, incl. collateral
+  std::size_t locked_rows = 0;            ///< locks installed at setup
+  Picoseconds defense_time = 0;
+  Picoseconds elapsed = 0;                ///< controller clock at the end
+};
+
+/// Runs one campaign on the calling thread.
+[[nodiscard]] HammerCampaignResult run_one(const HammerCampaign& campaign);
+
+/// Runs every campaign, fanning out over the parallel pool (each campaign
+/// is self-contained).  Results are ordered like the input and are
+/// bit-identical for any DL_THREADS value.
+[[nodiscard]] std::vector<HammerCampaignResult> run(
+    const std::vector<HammerCampaign>& campaigns);
+
+// ------------------------------------------------------------ sweep helper
+
+/// Cartesian campaign matrix: {pattern} × {defense} × repetitions, with
+/// deterministic per-campaign RNG sub-streams derived from base_seed (so a
+/// matrix is reproducible regardless of how it is sliced or parallelized).
+/// Note: expand() *overrides* env.disturbance_seed and every defense's
+/// seed with the derived sub-streams — base_seed is the only seed knob of
+/// a matrix; declare campaigns directly when exact per-campaign seeds
+/// matter.
+struct MatrixSpec {
+  std::string name_prefix = "campaign";
+  DramEnv env;
+  AttackSpec attack;  ///< pattern field is overridden per matrix cell
+  std::vector<dl::rowhammer::HammerPattern> patterns;
+  std::vector<DefenseSpec> defenses;
+  std::vector<dl::dram::GlobalRowId> protected_rows;
+  std::uint64_t repetitions = 1;
+  std::uint64_t base_seed = 7;
+};
+
+[[nodiscard]] std::vector<HammerCampaign> expand(const MatrixSpec& spec);
+
+// ------------------------------------------------------------ BFA campaigns
+
+/// Memory-substrate abstraction for BFA campaigns: what happens when the
+/// attacker tries to realize a selected bit flip.
+struct GateSpec {
+  enum class Kind : std::uint8_t {
+    kAlwaysLand,  ///< undefended DRAM
+    kDenyAll,     ///< error-free DRAM-Locker: every flip denied
+    kResidual,    ///< flips land with probability p (erroneous-SWAP leak)
+  };
+  Kind kind = Kind::kAlwaysLand;
+  double residual_p = 0.0;
+  std::uint64_t seed = 0;
+};
+
+/// A trained victim the BFA campaigns attack.  The engine restores the
+/// quantized weights before each campaign and leaves the post-attack state
+/// in place afterwards so callers can evaluate held-out accuracy.
+struct VictimRef {
+  dl::nn::Model& model;
+  dl::nn::QuantizedModel& qmodel;
+  const dl::nn::Dataset& sample;  ///< attacker's drawn batch
+  double clean_accuracy = 0.0;
+  const dl::nn::Dataset* test = nullptr;  ///< optional held-out set
+};
+
+struct BfaCampaign {
+  std::string name;
+  enum class Mode : std::uint8_t { kProgressive, kRandom };
+  Mode mode = Mode::kProgressive;
+  dl::attack::BfaConfig bfa;       ///< kProgressive parameters
+  std::size_t random_flips = 0;    ///< kRandom: flip count
+  std::uint64_t random_seed = 99;  ///< kRandom: bit-selection stream
+  GateSpec gate;
+  /// kProgressive: step exactly bfa.max_iterations times with no early
+  /// stop (per-iteration accuracy curves); default uses the attacker's
+  /// own stopping rule (stuck / stop_below_accuracy).
+  bool fixed_iterations = false;
+};
+
+struct BfaCampaignResult {
+  std::string name;
+  /// accuracy[0] is the clean accuracy; accuracy[i] the sample-batch
+  /// accuracy after iteration i.
+  std::vector<double> accuracy;
+  std::size_t flips_landed = 0;
+  std::size_t flips_blocked = 0;
+  std::uint64_t gate_attempts = 0;  ///< flips offered to a blocking gate
+  std::uint64_t gate_landed = 0;    ///< flips a kResidual gate let through
+  double test_accuracy_after = 0.0; ///< held-out accuracy (if test given)
+};
+
+/// Runs one BFA campaign.  Restores the victim's weights first; the model
+/// is left in its post-attack state on return.
+[[nodiscard]] BfaCampaignResult run_bfa(const VictimRef& victim,
+                                        const BfaCampaign& campaign);
+
+/// Runs the campaigns in order against the shared victim, restoring the
+/// weights between campaigns and after the last one.
+[[nodiscard]] std::vector<BfaCampaignResult> run_bfa(
+    const VictimRef& victim, const std::vector<BfaCampaign>& campaigns);
+
+// ----------------------------------------------------------------- reports
+
+[[nodiscard]] dl::json::Value to_json(const HammerCampaignResult& r);
+[[nodiscard]] dl::json::Value to_json(const BfaCampaignResult& r);
+
+/// {"hammer_campaigns": [...], "bfa_campaigns": [...]} — either vector may
+/// be empty.
+[[nodiscard]] dl::json::Value report_json(
+    const std::vector<HammerCampaignResult>& hammer,
+    const std::vector<BfaCampaignResult>& bfa = {});
+
+}  // namespace dl::scenario

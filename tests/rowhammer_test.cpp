@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 #include "dram/controller.hpp"
 #include "rowhammer/attacker.hpp"
@@ -167,6 +168,58 @@ TEST_F(RowhammerTest, BudgetExhaustionReportsNoFlip) {
       attacker.attack(20, HammerPattern::kDoubleSided, 500, 1);
   EXPECT_EQ(res.flips_in_victim, 0u);
   EXPECT_EQ(res.granted_acts, 500u);
+}
+
+TEST_F(RowhammerTest, AttackRestoresOuterFlipCallback) {
+  // The attacker's per-campaign flip counting must not clobber a callback
+  // an outer driver installed on the shared disturbance model.
+  auto model = make_model(10);
+  ctrl.add_listener(&model);
+  int outer_events = 0;
+  model.set_flip_callback([&](const FlipEvent&) { ++outer_events; });
+
+  HammerAttacker attacker(ctrl, model);
+  (void)attacker.attack(20, HammerPattern::kDoubleSided, /*act_budget=*/50);
+
+  // Flips during the attack were routed to the attacker's counter...
+  EXPECT_EQ(outer_events, 0);
+  // ...and the outer callback is live again afterwards.
+  for (int i = 0; i < 10; ++i) ctrl.hammer(ctrl.mapper().row_base(40));
+  EXPECT_GT(outer_events, 0);
+}
+
+namespace {
+
+/// Gate that throws after a fixed number of accesses (mid-attack).
+class ThrowingGate final : public AccessGate {
+ public:
+  explicit ThrowingGate(int allow) : allow_(allow) {}
+  GateDecision before_access(const AccessRequest&, Controller&) override {
+    if (--allow_ < 0) throw std::runtime_error("gate fault");
+    return GateDecision::kAllow;
+  }
+
+ private:
+  int allow_;
+};
+
+}  // namespace
+
+TEST_F(RowhammerTest, FlipCallbackClearedWhenAttackThrows) {
+  // A throw inside the hammer loop must not leave the attack's callback
+  // (whose captures die with the frame) installed on the shared model.
+  auto model = make_model(10);
+  ctrl.add_listener(&model);
+  ThrowingGate gate(25);
+  ctrl.set_gate(&gate);
+  HammerAttacker attacker(ctrl, model);
+  EXPECT_THROW(
+      attacker.attack(20, HammerPattern::kDoubleSided, /*act_budget=*/100),
+      std::runtime_error);
+  ctrl.set_gate(nullptr);
+  // exchange returns the installed callback: it must be empty again.
+  const auto leftover = model.exchange_flip_callback(nullptr);
+  EXPECT_FALSE(static_cast<bool>(leftover));
 }
 
 }  // namespace

@@ -114,6 +114,68 @@ TEST_F(TrackerTest, CounterTreeRefinesHotGroups) {
   EXPECT_GE(tree.stats().mitigations, 1u);
 }
 
+TEST_F(TrackerTest, CounterTreeFiresAtThresholdNotBefore) {
+  // Regression: the refined per-row counters used to mitigate at
+  // threshold/2.  The coarse group counter refines at threshold/2 (50
+  // ACTs), then the exact per-row counter must see a further full
+  // `threshold` ACTs before the first mitigation: 50 + 100 = 150 total.
+  CounterTree tree(ctrl, /*threshold=*/100, /*group_rows=*/16, /*radius=*/1);
+  ctrl.add_listener(&tree);
+  hammer_n(20, 149);
+  EXPECT_EQ(tree.refined_groups(), 1u);
+  EXPECT_EQ(tree.stats().mitigations, 0u);
+  hammer_n(20, 1);
+  EXPECT_EQ(tree.stats().mitigations, 1u);
+  EXPECT_EQ(tree.stats().victim_refreshes, 2u);
+}
+
+TEST_F(TrackerTest, HydraFiresAtThresholdNotBefore) {
+  // Regression: same off-by-half bug in Hydra's materialized per-row
+  // counters.  Group spills to DRAM at threshold/2, then the per-row
+  // counter needs the full threshold: 50 + 100 = 150 ACTs to mitigate.
+  Hydra hydra(ctrl, /*threshold=*/100, /*group_rows=*/16, /*radius=*/1);
+  ctrl.add_listener(&hydra);
+  hammer_n(20, 149);
+  EXPECT_GT(hydra.dram_counter_accesses(), 0u);
+  EXPECT_EQ(hydra.stats().mitigations, 0u);
+  hammer_n(20, 1);
+  EXPECT_EQ(hydra.stats().mitigations, 1u);
+  EXPECT_EQ(hydra.stats().victim_refreshes, 2u);
+}
+
+TEST_F(TrackerTest, EdgeRowCountsOnlyIssuedRefreshes) {
+  // Regression: victim_refreshes used to add 2*radius before the bounds
+  // check, counting refreshes that were never issued at subarray edges.
+  // Row 0 has no rows below it: radius 2 can only refresh rows 1 and 2.
+  CounterPerRow cpr(ctrl, /*threshold=*/100, /*radius=*/2);
+  ctrl.add_listener(&cpr);
+  hammer_n(0, 100);
+  EXPECT_EQ(cpr.stats().mitigations, 1u);
+  EXPECT_EQ(cpr.stats().victim_refreshes, 2u);
+
+  // A mid-subarray aggressor still counts the full 2*radius.
+  hammer_n(20, 100);
+  EXPECT_EQ(cpr.stats().mitigations, 2u);
+  EXPECT_EQ(cpr.stats().victim_refreshes, 6u);
+}
+
+TEST_F(TrackerTest, EdgeRowTrrCountsOnlyIssuedRefreshes) {
+  TrrSampler trr(ctrl, /*sample_probability=*/1.0, /*radius=*/2,
+                 dl::Rng(11));
+  ctrl.add_listener(&trr);
+  hammer_n(0, 1);  // sampled with certainty; only rows 1 and 2 exist
+  EXPECT_EQ(trr.stats().mitigations, 1u);
+  EXPECT_EQ(trr.stats().victim_refreshes, 2u);
+}
+
+TEST_F(TrackerTest, RefreshNeighborsReturnsIssuedCount) {
+  EXPECT_EQ(refresh_neighbors(ctrl, 20, 2), 4u);
+  EXPECT_EQ(refresh_neighbors(ctrl, 0, 2), 2u);   // rows 1, 2 only
+  EXPECT_EQ(refresh_neighbors(ctrl, 1, 2), 3u);   // rows 0, 2, 3
+  const auto last = g.rows_per_subarray - 1;
+  EXPECT_EQ(refresh_neighbors(ctrl, last, 2), 2u);
+}
+
 TEST_F(TrackerTest, CounterTreeColdGroupsStayCoarse) {
   CounterTree tree(ctrl, 100, 16, 1);
   ctrl.add_listener(&tree);
