@@ -20,6 +20,8 @@
 #include "dram/controller.hpp"
 #include "nn/models.hpp"
 #include "nn/tensor.hpp"
+#include "rowhammer/attacker.hpp"
+#include "traffic/engine.hpp"
 
 namespace {
 
@@ -204,6 +206,51 @@ BENCHMARK(BM_CnnForward)
     ->Arg(0)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Multi-tenant scheduler on a bank-conflict-heavy mix: two weight readers
+// thrashing the same bank, a low-locality filler, and a hammer stream, all
+// at burst 1 so arrival order interleaves maximally.  Arg 0 selects the
+// policy (0 = FCFS baseline, 1 = FR-FCFS).  Row-hit-first must win on both
+// counters: higher row_hit_rate and less simulated DRAM time per request.
+void BM_TrafficScheduler(benchmark::State& state) {
+  const bool row_hit_first = state.range(0) != 0;
+  Picoseconds sim = 0;
+  std::uint64_t hits = 0, granted = 0, reqs = 0;
+  for (auto _ : state) {
+    dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
+    traffic::SchedulerConfig cfg;
+    cfg.row_hit_first = row_hit_first;
+    cfg.batch = 2;
+    std::vector<traffic::StreamSpec> tenants = {
+        traffic::StreamSpec::weight_reader(8, 4, 512, /*burst=*/1),
+        traffic::StreamSpec::weight_reader(40, 4, 512, /*burst=*/1),
+        traffic::StreamSpec::synthetic(72, 16, 256, /*locality=*/0.2,
+                                       /*write_fraction=*/0.25, /*seed=*/9,
+                                       /*burst=*/1),
+        traffic::StreamSpec::hammer(rowhammer::HammerPattern::kDoubleSided,
+                                    /*victim_row=*/130, 256, /*burst=*/1),
+    };
+    traffic::TrafficEngine engine(ctrl, std::move(tenants), cfg);
+    const auto report = engine.run();
+    sim += report.elapsed;
+    reqs += report.serviced;
+    for (const auto& t : report.tenants) {
+      hits += t.row_hits;
+      granted += t.granted;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(reqs));
+  if (reqs > 0) {
+    state.counters["sim_ns_per_req"] = benchmark::Counter(
+        to_nanoseconds(sim) / static_cast<double>(reqs));
+    state.counters["row_hit_rate"] = benchmark::Counter(
+        static_cast<double>(hits) / static_cast<double>(granted));
+  }
+}
+BENCHMARK(BM_TrafficScheduler)
+    ->ArgName("frfcfs")
+    ->Arg(0)
+    ->Arg(1);
 
 void BM_DramLockerGateAllow(benchmark::State& state) {
   dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());

@@ -8,10 +8,12 @@
 // grid to every pattern × every defense with repetitions.  The JSON report
 // (structure: report_json() in src/scenario/scenario.hpp) is archived by
 // CI next to the micro_ops google-benchmark output.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
@@ -85,12 +87,59 @@ int main(int argc, char** argv) {
   spec.repetitions = scale == bench::Scale::kFull ? 3 : 1;
   spec.base_seed = 7;
 
-  const auto campaigns = scenario::expand(spec);
-  std::printf("grid: %zu patterns x %zu defenses x %llu reps = %zu "
-              "campaigns\n\n",
+  // Multi-tenant contention grid: the same attacker now shares the
+  // controller with co-located serving tenants through the per-bank
+  // FR-FCFS engine — {pattern} x {defense} x {tenant mix}.  The "serving"
+  // mix replays a DNN weight image around the protected row plus a
+  // web-serving filler; "loaded" doubles the benign readers.
+  const std::uint64_t tenant_acts = spec.attack.act_budget / 2;
+  const std::uint64_t reader_reqs = scale == bench::Scale::kFast ? 4000
+                                    : scale == bench::Scale::kFull ? 40000
+                                                                   : 20000;
+  const traffic::StreamSpec reader =
+      traffic::StreamSpec::weight_reader(/*base_row=*/32, /*rows=*/16,
+                                         reader_reqs);
+  const traffic::StreamSpec filler = traffic::StreamSpec::synthetic(
+      /*base_row=*/128, /*rows=*/64, reader_reqs / 2, /*locality=*/0.4,
+      /*write_fraction=*/0.2, /*seed=*/1);
+  // Pattern, victim row, and act budget are placeholders: expand() drives
+  // every hammer tenant from each matrix's attack declaration.
+  const traffic::StreamSpec attacker = traffic::StreamSpec::hammer(
+      rowhammer::HammerPattern::kDoubleSided, /*victim_row=*/40, tenant_acts);
+
+  scenario::MatrixSpec serving = spec;
+  serving.name_prefix = "contention/serving";
+  serving.attack.act_budget = tenant_acts;
+  serving.defenses = {
+      scenario::DefenseSpec::none(),
+      scenario::DefenseSpec::counter_per_row(kTrh / 2, 2),
+      scenario::DefenseSpec::dram_locker(locker_cfg, /*seed=*/0),
+  };
+  serving.patterns = {HammerPattern::kDoubleSided, HammerPattern::kManySided};
+  serving.repetitions = 1;
+  serving.base_seed = 21;
+  serving.traffic.tenants = {reader, filler, attacker};
+  serving.traffic.scheduler.batch = 2;
+
+  scenario::MatrixSpec loaded = serving;
+  loaded.name_prefix = "contention/loaded";
+  loaded.base_seed = 22;
+  traffic::StreamSpec reader2 = reader;
+  reader2.base_row = 64;
+  loaded.traffic.tenants = {reader, reader2, filler, filler, attacker};
+
+  auto campaigns = scenario::expand(spec);
+  const std::size_t plain_cells = campaigns.size();
+  for (const auto& m : {serving, loaded}) {
+    auto cells = scenario::expand(m);
+    campaigns.insert(campaigns.end(), std::make_move_iterator(cells.begin()),
+                     std::make_move_iterator(cells.end()));
+  }
+  std::printf("grid: %zu patterns x %zu defenses x %llu reps = %zu plain "
+              "campaigns + %zu contention campaigns\n\n",
               spec.patterns.size(), spec.defenses.size(),
-              static_cast<unsigned long long>(spec.repetitions),
-              campaigns.size());
+              static_cast<unsigned long long>(spec.repetitions), plain_cells,
+              campaigns.size() - plain_cells);
   const auto results = scenario::run(campaigns);
 
   TextTable table({"campaign", "granted", "denied", "victim flips",
@@ -104,6 +153,40 @@ int main(int argc, char** argv) {
                    TextTable::num(to_seconds(r.defense_time) * 1e6, 1)});
   }
   std::printf("%s", table.to_string().c_str());
+
+  TextTable cont({"campaign", "attacker ACT/s", "attacker denied",
+                  "benign row-hit %", "benign p95 lat (ns)",
+                  "victim flips"});
+  for (const auto& r : results) {
+    if (r.tenants.empty()) continue;
+    std::uint64_t benign_hits = 0, benign_granted = 0;
+    Picoseconds worst_p95 = 0;
+    double acts_per_sec = 0.0;
+    for (const auto& t : r.tenants) {
+      if (t.kind == traffic::StreamKind::kHammer) {
+        acts_per_sec += to_seconds(r.elapsed) > 0.0
+                            ? static_cast<double>(t.hammer_acts) /
+                                  to_seconds(r.elapsed)
+                            : 0.0;
+      } else {
+        benign_hits += t.row_hits;
+        benign_granted += t.granted;
+        worst_p95 = std::max(worst_p95, t.latency_quantile(0.95));
+      }
+    }
+    cont.add_row(
+        {r.name, TextTable::num(acts_per_sec, 0),
+         std::to_string(r.attack.denied_acts),
+         TextTable::num(benign_granted > 0
+                            ? 100.0 * static_cast<double>(benign_hits) /
+                                  static_cast<double>(benign_granted)
+                            : 0.0,
+                        1),
+         TextTable::num(to_nanoseconds(worst_p95), 0),
+         std::to_string(r.attack.flips_in_victim)});
+  }
+  std::printf("\nmulti-tenant contention (FR-FCFS, per-bank queues):\n%s",
+              cont.to_string().c_str());
 
   std::uint64_t undefended_flips = 0;
   std::uint64_t other_defense_flips = 0;

@@ -41,6 +41,13 @@ dl::defense::Shadow& DramLockerSystem::enable_shadow(
 
 void DramLockerSystem::disable_gate() { ctrl_->set_gate(nullptr); }
 
+dl::traffic::TrafficReport DramLockerSystem::serve(
+    std::vector<dl::traffic::StreamSpec> tenants,
+    const dl::traffic::SchedulerConfig& scheduler) {
+  dl::traffic::TrafficEngine engine(*ctrl_, std::move(tenants), scheduler);
+  return engine.run();
+}
+
 std::size_t DramLockerSystem::protect_physical_range(dl::dram::PhysAddr base,
                                                      std::uint64_t bytes) {
   DL_REQUIRE(locker_ != nullptr, "enable_locker() first");

@@ -23,6 +23,7 @@
 #include "rowhammer/disturbance.hpp"
 #include "sys/address_space.hpp"
 #include "sys/allocator.hpp"
+#include "traffic/engine.hpp"
 
 namespace dl::core {
 
@@ -79,6 +80,16 @@ class DramLockerSystem {
 
   [[nodiscard]] dl::defense::DramLocker* locker() { return locker_.get(); }
   [[nodiscard]] dl::defense::Shadow* shadow() { return shadow_.get(); }
+
+  // -- traffic ---------------------------------------------------------------
+
+  /// Runs a multi-tenant traffic mix against this system's controller
+  /// through the per-bank FR-FCFS engine.  The active defense stays on the
+  /// accounted path (gate denials, mitigation traffic, listener updates),
+  /// so co-location scenarios compose with the protection API below.
+  dl::traffic::TrafficReport serve(
+      std::vector<dl::traffic::StreamSpec> tenants,
+      const dl::traffic::SchedulerConfig& scheduler = {});
 
   // -- protection API ---------------------------------------------------------
 

@@ -13,7 +13,7 @@ Controller::Controller(const Geometry& geometry, const Timing& timing,
       mapper_(geometry, scheme),
       data_(geometry),
       indirection_(geometry),
-      open_row_(geometry.total_banks(), kNoOpenRow),
+      open_row_(geometry.total_banks(), kNoRow),
       window_end_(timing.tREFW) {}
 
 void Controller::add_listener(ActivationListener* listener) {
@@ -27,6 +27,15 @@ std::size_t Controller::bank_index(const RowAddress& a) const {
   return (static_cast<std::size_t>(a.channel) * geometry_.ranks + a.rank) *
              geometry_.banks +
          a.bank;
+}
+
+std::size_t Controller::bank_of_row(GlobalRowId physical_row) const {
+  return bank_index(from_global(geometry_, physical_row));
+}
+
+GlobalRowId Controller::open_row_in_bank(std::size_t bank) const {
+  DL_REQUIRE(bank < open_row_.size(), "bank index out of range");
+  return open_row_[bank];
 }
 
 void Controller::elapse(Picoseconds delta) {
@@ -60,7 +69,7 @@ bool Controller::open_row(GlobalRowId phys, Picoseconds& latency) {
     return true;
   }
   Picoseconds cost = 0;
-  if (open_row_[bank] != kNoOpenRow) {
+  if (open_row_[bank] != kNoRow) {
     cost += timing_.tRP;  // PRE the open row
     stats_.add("precharges");
     trace_.record({CommandKind::kPrecharge, open_row_[bank], 0, 0,
@@ -201,12 +210,12 @@ AccessResult Controller::hammer(PhysAddr addr, bool can_unlock) {
   const RowAddress a = from_global(geometry_, phys);
   const std::size_t bank = bank_index(a);
   Picoseconds cost = 0;
-  if (open_row_[bank] != kNoOpenRow) {
+  if (open_row_[bank] != kNoRow) {
     cost += timing_.tRP;
     stats_.add("precharges");
   }
   cost += timing_.tRAS;  // row must stay open tRAS before the next PRE
-  open_row_[bank] = kNoOpenRow;  // attacker immediately precharges
+  open_row_[bank] = kNoRow;  // attacker immediately precharges
   stats_.add("activates");
   stats_.add("hammer_acts");
   trace_.record({CommandKind::kActivate, phys, 0, 0, defense_depth_ > 0, now_});
@@ -226,13 +235,13 @@ void Controller::row_clone(GlobalRowId src_phys, GlobalRowId dst_phys,
              "RowClone requires source and destination in one subarray");
   const std::size_t bank = bank_index(src);
   Picoseconds cost = 0;
-  if (open_row_[bank] != kNoOpenRow) {
+  if (open_row_[bank] != kNoRow) {
     cost += timing_.tRP;
     stats_.add("precharges");
   }
   // Back-to-back ACT(src), ACT(dst) without intervening PRE, then PRE.
   cost += timing_.tAAP + timing_.tRP;
-  open_row_[bank] = kNoOpenRow;
+  open_row_[bank] = kNoRow;
   data_.copy_row(src_phys, dst_phys);
   if (corrupt) {
     data_.flip_bit(dst_phys, corrupt_byte % geometry_.row_bytes,

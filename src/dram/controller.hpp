@@ -143,6 +143,22 @@ class Controller {
   void push_defense_scope();
   void pop_defense_scope();
 
+  // -- row-buffer introspection -----------------------------------------------
+  // Schedulers sitting above the controller (dl::traffic FR-FCFS) peek at
+  // the per-bank row-buffer state to prioritize row hits.
+
+  /// Sentinel: no row is open in a bank.
+  static constexpr GlobalRowId kNoRow = ~GlobalRowId{0};
+
+  /// Number of banks (channel x rank x bank, flat).
+  [[nodiscard]] std::size_t bank_count() const { return open_row_.size(); }
+
+  /// Flat bank index of a physical row, consistent with open_row_in_bank().
+  [[nodiscard]] std::size_t bank_of_row(GlobalRowId physical_row) const;
+
+  /// Physical row currently latched in `bank`'s row buffer, or kNoRow.
+  [[nodiscard]] GlobalRowId open_row_in_bank(std::size_t bank) const;
+
   // -- introspection ----------------------------------------------------------
 
   [[nodiscard]] StatSet& stats() { return stats_; }
@@ -164,8 +180,7 @@ class Controller {
   std::vector<ActivationListener*> listeners_;
   AccessGate* gate_ = nullptr;
 
-  std::vector<GlobalRowId> open_row_;  ///< per bank; kNoOpenRow if closed
-  static constexpr GlobalRowId kNoOpenRow = ~GlobalRowId{0};
+  std::vector<GlobalRowId> open_row_;  ///< per bank; kNoRow if closed
 
   Picoseconds now_ = 0;
   Picoseconds window_end_;

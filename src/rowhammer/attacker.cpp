@@ -21,9 +21,9 @@ HammerAttacker::HammerAttacker(dl::dram::Controller& ctrl,
                                DisturbanceModel& model)
     : ctrl_(ctrl), model_(model) {}
 
-std::vector<GlobalRowId> HammerAttacker::aggressors_for(
-    GlobalRowId victim_logical, HammerPattern pattern) const {
-  const auto& g = ctrl_.geometry();
+std::vector<GlobalRowId> aggressor_rows(const dl::dram::Geometry& g,
+                                        GlobalRowId victim_logical,
+                                        HammerPattern pattern) {
   const RowAddress v = dl::dram::from_global(g, victim_logical);
   std::vector<std::int64_t> offsets;
   switch (pattern) {
@@ -41,6 +41,11 @@ std::vector<GlobalRowId> HammerAttacker::aggressors_for(
     rows.push_back(dl::dram::to_global(g, a));
   }
   return rows;
+}
+
+std::vector<GlobalRowId> HammerAttacker::aggressors_for(
+    GlobalRowId victim_logical, HammerPattern pattern) const {
+  return aggressor_rows(ctrl_.geometry(), victim_logical, pattern);
 }
 
 HammerResult HammerAttacker::attack(GlobalRowId victim_logical,

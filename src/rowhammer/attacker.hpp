@@ -26,6 +26,14 @@ enum class HammerPattern : std::uint8_t {
 
 [[nodiscard]] const char* to_string(HammerPattern p);
 
+/// Rows an attacker hammers to disturb `victim_logical` under `pattern`,
+/// computed from the initial static mapping (physical adjacency at boot).
+/// Offsets that fall outside the victim's subarray are dropped.  Shared by
+/// HammerAttacker and the dl::traffic hammer streams.
+[[nodiscard]] std::vector<dl::dram::GlobalRowId> aggressor_rows(
+    const dl::dram::Geometry& geometry, dl::dram::GlobalRowId victim_logical,
+    HammerPattern pattern);
+
 /// Outcome of one hammering campaign.
 struct HammerResult {
   std::uint64_t granted_acts = 0;  ///< activations that reached the array

@@ -211,6 +211,50 @@ void issue_traffic(Controller& ctrl, const std::vector<TrafficOp>& ops) {
   }
 }
 
+/// One cycle of a multi-tenant campaign: a fresh engine over re-seeded
+/// tenant streams (cycles decorrelate via sub-streams of each tenant's
+/// declared seed), merged into the campaign's per-tenant stats.  Hammer
+/// tenants feed the attack result so traffic and burst campaigns report
+/// uniformly.
+void run_traffic_cycle(Controller& ctrl, const HammerCampaign& campaign,
+                       std::uint64_t cycle, HammerCampaignResult& r) {
+  std::vector<dl::traffic::StreamSpec> tenants = campaign.traffic.tenants;
+  for (auto& t : tenants) {
+    t.seed = dl::substream_seed(t.seed, /*epoch=*/3, cycle);
+  }
+  dl::traffic::TrafficEngine engine(ctrl, std::move(tenants),
+                                    campaign.traffic.scheduler);
+  const auto report = engine.run();
+
+  if (r.tenants.empty()) {
+    r.tenants = report.tenants;
+  } else {
+    DL_REQUIRE(r.tenants.size() == report.tenants.size(),
+               "tenant count changed across cycles");
+    for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+      r.tenants[i].merge(report.tenants[i]);
+    }
+  }
+  for (const auto& t : report.tenants) {
+    if (t.kind != dl::traffic::StreamKind::kHammer) continue;
+    r.attack.granted_acts += t.hammer_acts;
+    r.attack.denied_acts += t.denied;
+  }
+  r.attack.elapsed += report.elapsed;
+}
+
+/// Logical rows whose data the traffic campaign's attackers target.
+std::vector<GlobalRowId> traffic_victims(const HammerCampaign& campaign) {
+  std::vector<GlobalRowId> victims;
+  for (const auto& t : campaign.traffic.tenants) {
+    if (t.kind == dl::traffic::StreamKind::kHammer) {
+      victims.push_back(t.victim_row);
+    }
+  }
+  if (victims.empty()) victims.push_back(campaign.attack.victim_row);
+  return victims;
+}
+
 }  // namespace
 
 HammerCampaignResult run_one(const HammerCampaign& campaign) {
@@ -226,18 +270,39 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
   dl::rowhammer::HammerAttacker attacker(ctrl, model);
   HammerCampaignResult r;
   r.name = campaign.name;
-  for (std::uint64_t c = 0; c < campaign.cycles; ++c) {
-    issue_traffic(ctrl, campaign.pre_traffic);
-    const auto res =
-        attacker.attack(campaign.attack.victim_row, campaign.attack.pattern,
-                        campaign.attack.act_budget,
-                        campaign.attack.stop_after_flips);
-    r.attack.granted_acts += res.granted_acts;
-    r.attack.denied_acts += res.denied_acts;
-    r.attack.flips_in_victim += res.flips_in_victim;
-    r.attack.flips_elsewhere += res.flips_elsewhere;
-    r.attack.elapsed += res.elapsed;
-    issue_traffic(ctrl, campaign.post_traffic);
+  if (campaign.traffic.enabled()) {
+    // Multi-tenant path: the engine replaces the attack burst; flips are
+    // attributed against the hammer tenants' victim rows.
+    const auto victims = traffic_victims(campaign);
+    dl::rowhammer::FlipCallbackScope scope(
+        model, [&](const dl::rowhammer::FlipEvent& ev) {
+          for (const GlobalRowId v : victims) {
+            if (ev.victim_row == ctrl.indirection().to_physical(v)) {
+              ++r.attack.flips_in_victim;
+              return;
+            }
+          }
+          ++r.attack.flips_elsewhere;
+        });
+    for (std::uint64_t c = 0; c < campaign.cycles; ++c) {
+      issue_traffic(ctrl, campaign.pre_traffic);
+      run_traffic_cycle(ctrl, campaign, c, r);
+      issue_traffic(ctrl, campaign.post_traffic);
+    }
+  } else {
+    for (std::uint64_t c = 0; c < campaign.cycles; ++c) {
+      issue_traffic(ctrl, campaign.pre_traffic);
+      const auto res =
+          attacker.attack(campaign.attack.victim_row, campaign.attack.pattern,
+                          campaign.attack.act_budget,
+                          campaign.attack.stop_after_flips);
+      r.attack.granted_acts += res.granted_acts;
+      r.attack.denied_acts += res.denied_acts;
+      r.attack.flips_in_victim += res.flips_in_victim;
+      r.attack.flips_elsewhere += res.flips_elsewhere;
+      r.attack.elapsed += res.elapsed;
+      issue_traffic(ctrl, campaign.post_traffic);
+    }
   }
 
   defense.harvest(r);
@@ -293,11 +358,26 @@ std::vector<HammerCampaign> expand(const MatrixSpec& spec) {
         c.attack.pattern = pattern;
         c.defense = def;
         c.protected_rows = spec.protected_rows;
-        // Decorrelated per-campaign sub-streams: the disturbance and the
-        // defense draw from distinct epochs of the same base seed, keyed by
-        // the campaign's position in the matrix.
+        c.traffic = spec.traffic;
+        // Decorrelated per-campaign sub-streams: the disturbance, the
+        // defense, and every tenant draw from distinct epochs of the same
+        // base seed, keyed by the campaign's position in the matrix.
         c.env.disturbance_seed = dl::substream_seed(spec.base_seed, 0, index);
         c.defense.seed = dl::substream_seed(spec.base_seed, 1, index);
+        for (std::size_t ti = 0; ti < c.traffic.tenants.size(); ++ti) {
+          auto& tenant = c.traffic.tenants[ti];
+          tenant.seed = dl::substream_seed(spec.base_seed, 4 + ti, index);
+          // The matrix's attack declaration drives the hammer tenants, so
+          // the pattern axis and the act_budget knob sweep multi-tenant
+          // cells too (act_budget 0 keeps each tenant's declared budget).
+          if (tenant.kind == dl::traffic::StreamKind::kHammer) {
+            tenant.pattern = pattern;
+            tenant.victim_row = spec.attack.victim_row;
+            if (spec.attack.act_budget > 0) {
+              tenant.requests = spec.attack.act_budget;
+            }
+          }
+        }
         campaigns.push_back(std::move(c));
         ++index;
       }
@@ -417,6 +497,13 @@ dl::json::Value to_json(const HammerCampaignResult& r) {
   v["locked_rows"] = r.locked_rows;
   v["defense_time_ps"] = r.defense_time;
   v["elapsed_ps"] = r.elapsed;
+  if (!r.tenants.empty()) {
+    auto tenants = dl::json::Value::array();
+    for (const auto& t : r.tenants) {
+      tenants.push_back(dl::traffic::to_json(t, r.elapsed));
+    }
+    v["tenants"] = std::move(tenants);
+  }
   return v;
 }
 

@@ -35,6 +35,7 @@
 #include "nn/quant.hpp"
 #include "rowhammer/attacker.hpp"
 #include "rowhammer/disturbance.hpp"
+#include "traffic/engine.hpp"
 
 namespace dl::scenario {
 
@@ -117,6 +118,21 @@ struct TrafficOp {
   bool can_unlock = false;
 };
 
+// ------------------------------------------------------------ multi-tenant
+
+/// Declarative multi-tenant traffic mix for a campaign: N tenant streams
+/// (benign weight readers, synthetic filler, attacker hammer streams)
+/// multiplexed through the per-bank FR-FCFS scheduler.  When enabled, each
+/// campaign cycle runs the traffic engine *instead of* the serialized
+/// attack burst — attacker tenants are declared as kHammer streams, and
+/// their granted/denied activations feed the campaign's attack result.
+struct TrafficSpec {
+  std::vector<dl::traffic::StreamSpec> tenants;
+  dl::traffic::SchedulerConfig scheduler;
+
+  [[nodiscard]] bool enabled() const { return !tenants.empty(); }
+};
+
 // ---------------------------------------------------------------- campaigns
 
 struct HammerCampaign {
@@ -132,6 +148,8 @@ struct HammerCampaign {
   std::uint64_t cycles = 1;
   std::vector<TrafficOp> pre_traffic;
   std::vector<TrafficOp> post_traffic;
+  /// Multi-tenant contention mix; replaces the attack burst when enabled.
+  TrafficSpec traffic;
 };
 
 struct HammerCampaignResult {
@@ -146,6 +164,8 @@ struct HammerCampaignResult {
   std::size_t locked_rows = 0;            ///< locks installed at setup
   Picoseconds defense_time = 0;
   Picoseconds elapsed = 0;                ///< controller clock at the end
+  /// Per-tenant stats, merged over cycles (traffic campaigns only).
+  std::vector<dl::traffic::TenantStats> tenants;
 };
 
 /// Runs one campaign on the calling thread.
@@ -173,6 +193,12 @@ struct MatrixSpec {
   std::vector<dl::rowhammer::HammerPattern> patterns;
   std::vector<DefenseSpec> defenses;
   std::vector<dl::dram::GlobalRowId> protected_rows;
+  /// Optional multi-tenant mix applied to every cell.  expand() overrides
+  /// tenant seeds with per-campaign sub-streams (like the other seeds) and
+  /// drives every kHammer tenant from the matrix's attack declaration
+  /// (pattern, victim_row, and — when non-zero — act_budget as the
+  /// tenant's request budget), so those axes sweep contention cells too.
+  TrafficSpec traffic;
   std::uint64_t repetitions = 1;
   std::uint64_t base_seed = 7;
 };

@@ -1,0 +1,163 @@
+#include "traffic/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dl::traffic {
+
+double TenantStats::row_hit_rate() const {
+  return granted > 0 ? static_cast<double>(row_hits) /
+                           static_cast<double>(granted)
+                     : 0.0;
+}
+
+namespace {
+
+/// Nearest-rank percentile: the smallest sample >= q of the distribution.
+/// (A floored index would report the *minimum* as p99 of two samples.)
+Picoseconds rank_quantile(const std::vector<Picoseconds>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = std::ceil(q * static_cast<double>(sorted.size()));
+  const auto idx = rank < 1.0 ? std::size_t{0}
+                              : static_cast<std::size_t>(rank) - 1;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+Picoseconds TenantStats::latency_quantile(double q) const {
+  std::vector<Picoseconds> sorted = queue_latency;
+  std::sort(sorted.begin(), sorted.end());
+  return rank_quantile(sorted, q);
+}
+
+void TenantStats::merge(const TenantStats& other) {
+  issued += other.issued;
+  granted += other.granted;
+  denied += other.denied;
+  reads += other.reads;
+  writes += other.writes;
+  hammer_acts += other.hammer_acts;
+  row_hits += other.row_hits;
+  service_time += other.service_time;
+  queue_latency.insert(queue_latency.end(), other.queue_latency.begin(),
+                       other.queue_latency.end());
+}
+
+TrafficEngine::TrafficEngine(dl::dram::Controller& ctrl,
+                             std::vector<StreamSpec> tenants,
+                             const SchedulerConfig& scheduler)
+    : ctrl_(ctrl), scheduler_(ctrl, scheduler) {
+  DL_REQUIRE(!tenants.empty(), "traffic engine needs at least one tenant");
+  DL_REQUIRE(tenants.size() <= 0xFFFF, "too many tenants");
+  streams_.reserve(tenants.size());
+  stats_.resize(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    if (tenants[i].name.empty()) {
+      tenants[i].name = "t" + std::to_string(i) + "/" +
+                        to_string(tenants[i].kind);
+    }
+    streams_.emplace_back(tenants[i], static_cast<std::uint16_t>(i), ctrl_);
+    stats_[i].name = tenants[i].name;
+    stats_[i].kind = tenants[i].kind;
+  }
+}
+
+void TrafficEngine::record(const Serviced& s) {
+  TenantStats& t = stats_[s.req.tenant];
+  if (s.result.granted) {
+    ++t.granted;
+    if (s.req.bytes == 0) {
+      ++t.hammer_acts;
+    } else if (s.req.is_write) {
+      ++t.writes;
+    } else {
+      ++t.reads;
+    }
+    if (s.result.row_hit) ++t.row_hits;
+  } else {
+    ++t.denied;
+  }
+  t.service_time += s.result.latency;
+  t.queue_latency.push_back(s.completed_at - s.req.enqueued_at);
+  ++serviced_;
+}
+
+TrafficReport TrafficEngine::run() {
+  const Picoseconds start = ctrl_.now();
+  const auto sink = [this](const Serviced& s) { record(s); };
+  bool work = true;
+  while (work) {
+    work = false;
+    // Injection phase: fixed tenant order; a full bank queue stalls that
+    // tenant for the rest of the round (head-of-line, like a real per-core
+    // request buffer) but never drops the request.
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      Stream& stream = streams_[i];
+      for (std::uint32_t b = 0; b < stream.spec().burst; ++b) {
+        auto req = stream.peek();
+        if (!req.has_value()) break;
+        req->seq = next_seq_;
+        if (!scheduler_.try_enqueue(*req)) break;
+        ++next_seq_;
+        ++stats_[i].issued;
+        stream.pop();
+        work = true;
+      }
+    }
+    if (scheduler_.drain_pass(sink) > 0) work = true;
+  }
+  scheduler_.drain_all(sink);
+
+  TrafficReport report;
+  report.tenants = stats_;
+  report.serviced = serviced_;
+  report.elapsed = ctrl_.now() - start;
+  return report;
+}
+
+// ------------------------------------------------------------------ reports
+
+dl::json::Value to_json(const TenantStats& t, Picoseconds elapsed) {
+  auto v = dl::json::Value::object();
+  v["name"] = t.name;
+  v["kind"] = to_string(t.kind);
+  v["issued"] = t.issued;
+  v["granted"] = t.granted;
+  v["denied"] = t.denied;
+  v["reads"] = t.reads;
+  v["writes"] = t.writes;
+  v["hammer_acts"] = t.hammer_acts;
+  v["row_hits"] = t.row_hits;
+  v["row_hit_rate"] = t.row_hit_rate();
+  v["service_time_ps"] = t.service_time;
+  std::vector<Picoseconds> sorted = t.queue_latency;
+  std::sort(sorted.begin(), sorted.end());
+  auto lat = dl::json::Value::object();
+  lat["p50_ns"] = to_nanoseconds(rank_quantile(sorted, 0.50));
+  lat["p95_ns"] = to_nanoseconds(rank_quantile(sorted, 0.95));
+  lat["p99_ns"] = to_nanoseconds(rank_quantile(sorted, 0.99));
+  v["queue_latency"] = std::move(lat);
+  if (t.kind == StreamKind::kHammer) {
+    const double secs = to_seconds(elapsed);
+    v["acts_per_sec"] =
+        secs > 0.0 ? static_cast<double>(t.hammer_acts) / secs : 0.0;
+  }
+  return v;
+}
+
+dl::json::Value to_json(const TrafficReport& report) {
+  auto v = dl::json::Value::object();
+  v["serviced"] = report.serviced;
+  v["elapsed_ps"] = report.elapsed;
+  auto tenants = dl::json::Value::array();
+  for (const TenantStats& t : report.tenants) {
+    tenants.push_back(to_json(t, report.elapsed));
+  }
+  v["tenants"] = std::move(tenants);
+  return v;
+}
+
+}  // namespace dl::traffic

@@ -1,0 +1,87 @@
+// Multi-tenant DRAM traffic engine.
+//
+// The engine interleaves N tenant streams through the per-bank FR-FCFS
+// scheduler in rounds: each round every tenant injects up to its burst of
+// requests (skipping tenants whose target bank queue is full), then one
+// drain pass services up to `batch` requests per bank.  The round structure
+// is what creates *contention*: with more than one tenant the bank queues
+// hold interleaved requests and the scheduler's policy decides who wins
+// the row buffer.
+//
+// Everything is deterministic — fixed tenant order, fixed bank walk,
+// tenant-private RNG streams — so campaigns that embed an engine can be
+// fanned out over dl::parallel with bit-identical results for any
+// DL_THREADS value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "traffic/frfcfs.hpp"
+#include "traffic/stream.hpp"
+
+namespace dl::traffic {
+
+/// Per-tenant outcome statistics.
+struct TenantStats {
+  std::string name;
+  StreamKind kind = StreamKind::kSynthetic;
+  std::uint64_t issued = 0;       ///< requests handed to the scheduler
+  std::uint64_t granted = 0;
+  std::uint64_t denied = 0;       ///< blocked by the access gate
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t hammer_acts = 0;  ///< granted ACT-only requests
+  std::uint64_t row_hits = 0;     ///< granted requests hitting an open row
+  Picoseconds service_time = 0;   ///< controller latency of own requests
+  /// Queue latency (enqueue -> completion, simulated time) per request;
+  /// kept raw so merged stats across cycles still yield exact percentiles.
+  std::vector<Picoseconds> queue_latency;
+
+  [[nodiscard]] double row_hit_rate() const;
+  /// Nearest-rank latency percentile over the recorded samples (q in
+  /// [0,1]): the smallest sample covering a q-fraction of the set.
+  [[nodiscard]] Picoseconds latency_quantile(double q) const;
+
+  /// Accumulates another run of the same tenant (stats added, latency
+  /// samples appended).
+  void merge(const TenantStats& other);
+};
+
+/// Outcome of one engine run.
+struct TrafficReport {
+  std::vector<TenantStats> tenants;
+  std::uint64_t serviced = 0;
+  Picoseconds elapsed = 0;  ///< controller time consumed by the run
+};
+
+/// `elapsed` scales the attacker ACT-throughput figure; pass the campaign
+/// total when reporting merged cycles.
+[[nodiscard]] dl::json::Value to_json(const TenantStats& t,
+                                      Picoseconds elapsed);
+[[nodiscard]] dl::json::Value to_json(const TrafficReport& report);
+
+class TrafficEngine {
+ public:
+  /// Tenant ids are positions in `tenants`; empty spec names default to
+  /// "t<i>/<kind>".
+  TrafficEngine(dl::dram::Controller& ctrl, std::vector<StreamSpec> tenants,
+                const SchedulerConfig& scheduler = {});
+
+  /// Runs every stream to exhaustion and drains the queues.
+  TrafficReport run();
+
+ private:
+  dl::dram::Controller& ctrl_;
+  FrFcfsScheduler scheduler_;
+  std::vector<Stream> streams_;
+  std::vector<TenantStats> stats_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t serviced_ = 0;
+
+  void record(const Serviced& s);
+};
+
+}  // namespace dl::traffic

@@ -1,0 +1,103 @@
+#include "traffic/frfcfs.hpp"
+
+#include "common/error.hpp"
+
+namespace dl::traffic {
+
+using dl::dram::Controller;
+using dl::dram::GlobalRowId;
+
+FrFcfsScheduler::FrFcfsScheduler(Controller& ctrl,
+                                 const SchedulerConfig& config)
+    : ctrl_(ctrl),
+      config_(config),
+      queues_(ctrl.bank_count()),
+      head_bypasses_(ctrl.bank_count(), 0) {
+  DL_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
+  DL_REQUIRE(config_.batch > 0, "batch must be positive");
+}
+
+std::size_t FrFcfsScheduler::bank_of(const Request& req) const {
+  const GlobalRowId logical =
+      dl::dram::to_global(ctrl_.geometry(),
+                          ctrl_.mapper().to_location(req.addr).row);
+  return ctrl_.bank_of_row(ctrl_.indirection().to_physical(logical));
+}
+
+bool FrFcfsScheduler::try_enqueue(Request req) {
+  auto& q = queues_[bank_of(req)];
+  if (q.size() >= config_.queue_capacity) return false;
+  req.enqueued_at = ctrl_.now();
+  q.push_back(req);
+  ++pending_;
+  return true;
+}
+
+std::size_t FrFcfsScheduler::pick(std::size_t bank) const {
+  const auto& q = queues_[bank];
+  if (!config_.row_hit_first || config_.row_hit_cap == 0 ||
+      head_bypasses_[bank] >= config_.row_hit_cap) {
+    return 0;  // FCFS / fairness cap reached: queue head
+  }
+  const GlobalRowId open = ctrl_.open_row_in_bank(bank);
+  if (open == Controller::kNoRow) return 0;
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    // Row-hit test under the *current* indirection: a swap defense may have
+    // migrated the row since enqueue.
+    const GlobalRowId logical = dl::dram::to_global(
+        ctrl_.geometry(), ctrl_.mapper().to_location(q[i].addr).row);
+    if (ctrl_.indirection().to_physical(logical) == open) return i;
+  }
+  return 0;
+}
+
+void FrFcfsScheduler::service(
+    std::size_t bank, const std::function<void(const Serviced&)>& sink) {
+  auto& q = queues_[bank];
+  const std::size_t idx = pick(bank);
+  head_bypasses_[bank] = idx == 0 ? 0 : head_bypasses_[bank] + 1;
+  const Request req = q[idx];
+  q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+  --pending_;
+
+  Serviced s;
+  s.req = req;
+  if (req.bytes == 0) {
+    s.result = ctrl_.hammer(req.addr, req.can_unlock);
+  } else if (req.is_write) {
+    // Deterministic filler payload; benign tenants write within their own
+    // row range, so the pattern's value is irrelevant to the experiments.
+    scratch_.assign(req.bytes, 0xA5);
+    s.result = ctrl_.write(req.addr,
+                           std::span<const std::uint8_t>(scratch_.data(),
+                                                         req.bytes),
+                           req.can_unlock);
+  } else {
+    scratch_.resize(req.bytes);
+    s.result = ctrl_.read(req.addr,
+                          std::span<std::uint8_t>(scratch_.data(), req.bytes),
+                          req.can_unlock);
+  }
+  s.completed_at = ctrl_.now();
+  sink(s);
+}
+
+std::size_t FrFcfsScheduler::drain_pass(
+    const std::function<void(const Serviced&)>& sink) {
+  std::size_t serviced = 0;
+  for (std::size_t bank = 0; bank < queues_.size(); ++bank) {
+    for (std::uint32_t n = 0; n < config_.batch && !queues_[bank].empty();
+         ++n) {
+      service(bank, sink);
+      ++serviced;
+    }
+  }
+  return serviced;
+}
+
+void FrFcfsScheduler::drain_all(
+    const std::function<void(const Serviced&)>& sink) {
+  while (pending_ > 0) drain_pass(sink);
+}
+
+}  // namespace dl::traffic

@@ -1,0 +1,87 @@
+// Per-bank command queues with an FR-FCFS (first-ready, first-come
+// first-served) scheduler.
+//
+// Requests are queued per bank.  Each drain pass walks the banks in fixed
+// order and services up to `batch` requests per bank.  Within a bank the
+// scheduler picks the oldest request targeting the currently open row
+// (a "first-ready" row hit) when one exists; otherwise the oldest request
+// overall.  A fairness cap bounds how many times younger row-hit requests
+// may bypass the queue head before the head is serviced unconditionally,
+// so a high-locality tenant cannot starve a conflicting one.
+//
+// Every serviced request goes through dram::Controller::read/write/hammer,
+// so access gates (DRAM-Locker), activation listeners (trackers, the
+// disturbance model), and defense mitigation traffic stay on the accounted
+// path; the scheduler only chooses the order.  Scheduling is fully
+// deterministic: fixed bank walk, fixed tie-breaks by arrival number.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dram/controller.hpp"
+#include "traffic/stream.hpp"
+
+namespace dl::traffic {
+
+struct SchedulerConfig {
+  std::uint32_t queue_capacity = 64;  ///< pending requests per bank
+  std::uint32_t batch = 4;            ///< serviced per bank per drain pass
+  /// Consecutive row-hit bypasses of a bank's queue head before the head
+  /// is serviced unconditionally (starvation bound).  0 disables reordering
+  /// entirely (equivalent to FCFS for that bank).
+  std::uint32_t row_hit_cap = 8;
+  bool row_hit_first = true;          ///< false: plain FCFS baseline
+};
+
+/// One serviced request with its outcome, handed to the engine's sink.
+struct Serviced {
+  Request req;
+  dl::dram::AccessResult result;
+  Picoseconds completed_at = 0;
+};
+
+class FrFcfsScheduler {
+ public:
+  FrFcfsScheduler(dl::dram::Controller& ctrl, const SchedulerConfig& config);
+
+  [[nodiscard]] const SchedulerConfig& config() const { return config_; }
+
+  /// Bank a request is queued to (under the current row indirection).
+  [[nodiscard]] std::size_t bank_of(const Request& req) const;
+
+  /// Stamps the controller clock on the request and queues it; false when
+  /// the target bank queue is full (caller retries after a drain pass).
+  bool try_enqueue(Request req);
+
+  [[nodiscard]] std::size_t pending() const { return pending_; }
+  [[nodiscard]] std::size_t pending_in_bank(std::size_t bank) const {
+    return queues_[bank].size();
+  }
+
+  /// One pass over all banks, servicing up to config().batch requests per
+  /// bank; `sink` observes every serviced request.  Returns requests
+  /// serviced.
+  std::size_t drain_pass(const std::function<void(const Serviced&)>& sink);
+
+  /// Drains until every queue is empty.
+  void drain_all(const std::function<void(const Serviced&)>& sink);
+
+ private:
+  dl::dram::Controller& ctrl_;
+  SchedulerConfig config_;
+  std::vector<std::deque<Request>> queues_;      ///< per bank, arrival order
+  std::vector<std::uint32_t> head_bypasses_;     ///< per bank fairness state
+  std::size_t pending_ = 0;
+  std::vector<std::uint8_t> scratch_;            ///< data-transfer buffer
+
+  /// Index into queues_[bank] of the request to service next.
+  [[nodiscard]] std::size_t pick(std::size_t bank) const;
+  void service(std::size_t bank,
+               const std::function<void(const Serviced&)>& sink);
+};
+
+}  // namespace dl::traffic

@@ -1,0 +1,160 @@
+#include "traffic/stream.hpp"
+
+#include "common/error.hpp"
+#include "nn/quant.hpp"
+
+namespace dl::traffic {
+
+using dl::dram::GlobalRowId;
+using dl::dram::PhysAddr;
+
+const char* to_string(StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kWeightReader: return "weight-reader";
+    case StreamKind::kSynthetic:    return "synthetic";
+    case StreamKind::kHammer:       return "hammer";
+  }
+  return "?";
+}
+
+StreamSpec StreamSpec::weight_reader(GlobalRowId base_row, std::uint64_t rows,
+                                     std::uint64_t requests,
+                                     std::uint32_t burst, bool can_unlock) {
+  StreamSpec s;
+  s.kind = StreamKind::kWeightReader;
+  s.base_row = base_row;
+  s.rows = rows;
+  s.requests = requests;
+  s.burst = burst;
+  s.can_unlock = can_unlock;
+  return s;
+}
+
+StreamSpec StreamSpec::weight_reader_for(const dl::nn::QuantizedModel& qmodel,
+                                         GlobalRowId base_row,
+                                         std::uint32_t row_bytes,
+                                         std::uint64_t requests,
+                                         std::uint32_t burst,
+                                         bool can_unlock) {
+  DL_REQUIRE(row_bytes > 0, "row_bytes must be positive");
+  const std::uint64_t image_bytes = qmodel.total_weights();  // int8 words
+  const std::uint64_t rows = (image_bytes + row_bytes - 1) / row_bytes;
+  return weight_reader(base_row, rows > 0 ? rows : 1, requests, burst,
+                       can_unlock);
+}
+
+StreamSpec StreamSpec::synthetic(GlobalRowId base_row, std::uint64_t rows,
+                                 std::uint64_t requests, double locality,
+                                 double write_fraction, std::uint64_t seed,
+                                 std::uint32_t burst) {
+  StreamSpec s;
+  s.kind = StreamKind::kSynthetic;
+  s.base_row = base_row;
+  s.rows = rows;
+  s.requests = requests;
+  s.locality = locality;
+  s.write_fraction = write_fraction;
+  s.seed = seed;
+  s.burst = burst;
+  return s;
+}
+
+StreamSpec StreamSpec::hammer(dl::rowhammer::HammerPattern pattern,
+                              GlobalRowId victim_row, std::uint64_t acts,
+                              std::uint32_t burst) {
+  StreamSpec s;
+  s.kind = StreamKind::kHammer;
+  s.pattern = pattern;
+  s.victim_row = victim_row;
+  s.requests = acts;
+  s.burst = burst;
+  return s;
+}
+
+Stream::Stream(const StreamSpec& spec, std::uint16_t tenant_id,
+               const dl::dram::Controller& ctrl)
+    : spec_(spec), tenant_(tenant_id), ctrl_(ctrl), rng_(spec.seed),
+      current_row_(spec.base_row) {
+  DL_REQUIRE(spec_.burst > 0, "stream burst must be positive");
+  const auto& g = ctrl_.geometry();
+  switch (spec_.kind) {
+    case StreamKind::kWeightReader:
+    case StreamKind::kSynthetic:
+      DL_REQUIRE(spec_.rows > 0, "stream needs at least one row");
+      DL_REQUIRE(spec_.base_row + spec_.rows <= g.total_rows(),
+                 "stream row range exceeds the geometry");
+      DL_REQUIRE(spec_.bytes_per_access > 0 &&
+                     spec_.bytes_per_access <= g.row_bytes,
+                 "bytes_per_access must fit in a row");
+      reads_per_row_ = g.row_bytes / spec_.bytes_per_access;
+      break;
+    case StreamKind::kHammer:
+      aggressors_ = dl::rowhammer::aggressor_rows(g, spec_.victim_row,
+                                                  spec_.pattern);
+      DL_REQUIRE(!aggressors_.empty(),
+                 "hammer stream victim has no addressable aggressors");
+      break;
+  }
+}
+
+PhysAddr Stream::addr_of(GlobalRowId row, std::uint32_t byte) const {
+  const dl::dram::Location loc{dl::dram::from_global(ctrl_.geometry(), row),
+                               byte};
+  return ctrl_.mapper().to_phys(loc);
+}
+
+Request Stream::generate() {
+  Request r;
+  r.tenant = tenant_;
+  r.can_unlock = spec_.can_unlock;
+  switch (spec_.kind) {
+    case StreamKind::kWeightReader: {
+      // Sweep each row sequentially, wrapping over the image: the row index
+      // advances every reads_per_row_ requests, so consecutive requests hit
+      // the same row buffer — the locality a real weight sweep has.
+      const std::uint64_t row_idx = (cursor_ / reads_per_row_) % spec_.rows;
+      const std::uint32_t chunk =
+          static_cast<std::uint32_t>(cursor_ % reads_per_row_);
+      r.addr = addr_of(spec_.base_row + row_idx,
+                       chunk * spec_.bytes_per_access);
+      r.bytes = spec_.bytes_per_access;
+      ++cursor_;
+      break;
+    }
+    case StreamKind::kSynthetic: {
+      if (!rng_.chance(spec_.locality)) {
+        current_row_ = spec_.base_row + rng_.next_below(spec_.rows);
+      }
+      const auto slots = ctrl_.geometry().row_bytes / spec_.bytes_per_access;
+      const std::uint32_t byte = static_cast<std::uint32_t>(
+          rng_.next_below(slots > 0 ? slots : 1) * spec_.bytes_per_access);
+      r.addr = addr_of(current_row_, byte);
+      r.bytes = spec_.bytes_per_access;
+      r.is_write = rng_.chance(spec_.write_fraction);
+      break;
+    }
+    case StreamKind::kHammer: {
+      r.addr = ctrl_.mapper().row_base(
+          aggressors_[issued_ % aggressors_.size()]);
+      r.bytes = 0;  // ACT only
+      break;
+    }
+  }
+  return r;
+}
+
+std::optional<Request> Stream::peek() {
+  if (!pending_.has_value()) {
+    if (issued_ >= spec_.requests) return std::nullopt;
+    pending_ = generate();
+    ++issued_;
+  }
+  return pending_;
+}
+
+void Stream::pop() {
+  DL_REQUIRE(pending_.has_value(), "pop without a pending peek");
+  pending_.reset();
+}
+
+}  // namespace dl::traffic

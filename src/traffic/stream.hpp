@@ -1,0 +1,143 @@
+// Tenant request streams for the multi-tenant DRAM traffic engine.
+//
+// A stream is one tenant's declarative access pattern, turned into a
+// deterministic sequence of controller requests:
+//
+//   kWeightReader — a benign DNN-serving tenant replaying a quantized
+//     weight image's row layout: sequential reads sweep each row of
+//     [base_row, base_row + rows) in bytes_per_read chunks, then wrap
+//     (inference reads the image layer by layer, every batch).
+//   kSynthetic    — filler / web-serving mix: row picked from the tenant's
+//     range with a locality knob (probability the next request stays in
+//     the current row) and a read/write mix, from a private RNG stream.
+//   kHammer       — a co-located attacker round-robinning ACTs over the
+//     aggressor set of a rowhammer::HammerPattern (no data transfer).
+//
+// Streams only *describe* traffic; the FR-FCFS scheduler (frfcfs.hpp)
+// decides service order and the engine (engine.hpp) issues the requests
+// through the controller so gates, listeners, and defense mitigation
+// traffic all stay on the accounted path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "dram/controller.hpp"
+#include "rowhammer/attacker.hpp"
+
+namespace dl::nn {
+class QuantizedModel;
+}
+
+namespace dl::traffic {
+
+enum class StreamKind : std::uint8_t { kWeightReader, kSynthetic, kHammer };
+
+[[nodiscard]] const char* to_string(StreamKind kind);
+
+/// One queued DRAM request.  bytes == 0 marks an ACT-only hammer request.
+struct Request {
+  dl::dram::PhysAddr addr = 0;
+  std::uint32_t bytes = 0;
+  bool is_write = false;
+  bool can_unlock = false;
+  std::uint16_t tenant = 0;
+  /// Arrival tag (the engine stamps a global injection index).  Purely
+  /// diagnostic: service order is decided per bank by the scheduler, not
+  /// by this field.
+  std::uint64_t seq = 0;
+  Picoseconds enqueued_at = 0;    ///< controller clock at enqueue
+};
+
+/// Declarative description of one tenant's traffic.  Fields irrelevant to
+/// the selected kind are ignored, so campaign matrices can sweep tenant
+/// mixes uniformly.
+struct StreamSpec {
+  StreamKind kind = StreamKind::kSynthetic;
+  std::string name;             ///< report label; engine derives one if empty
+  std::uint64_t requests = 0;   ///< total requests this tenant issues
+  std::uint32_t burst = 4;      ///< requests injected per engine round
+  bool can_unlock = false;      ///< privileged (may trigger unlock SWAPs)
+
+  // kWeightReader / kSynthetic: the tenant's row working set.
+  dl::dram::GlobalRowId base_row = 0;
+  std::uint64_t rows = 1;
+  std::uint32_t bytes_per_access = 64;
+
+  // kSynthetic
+  double locality = 0.5;        ///< P(next request stays in the current row)
+  double write_fraction = 0.0;
+  std::uint64_t seed = 1;       ///< tenant-private RNG stream
+
+  /// kHammer
+  dl::rowhammer::HammerPattern pattern =
+      dl::rowhammer::HammerPattern::kDoubleSided;
+  dl::dram::GlobalRowId victim_row = 0;
+
+  static StreamSpec weight_reader(dl::dram::GlobalRowId base_row,
+                                  std::uint64_t rows, std::uint64_t requests,
+                                  std::uint32_t burst = 4,
+                                  bool can_unlock = false);
+
+  /// Weight reader spanning the rows a quantized model's serialized image
+  /// occupies from `base_row` (ceil(image_bytes / row_bytes) rows).
+  static StreamSpec weight_reader_for(const dl::nn::QuantizedModel& qmodel,
+                                      dl::dram::GlobalRowId base_row,
+                                      std::uint32_t row_bytes,
+                                      std::uint64_t requests,
+                                      std::uint32_t burst = 4,
+                                      bool can_unlock = false);
+
+  static StreamSpec synthetic(dl::dram::GlobalRowId base_row,
+                              std::uint64_t rows, std::uint64_t requests,
+                              double locality, double write_fraction,
+                              std::uint64_t seed, std::uint32_t burst = 4);
+
+  static StreamSpec hammer(dl::rowhammer::HammerPattern pattern,
+                           dl::dram::GlobalRowId victim_row,
+                           std::uint64_t acts, std::uint32_t burst = 4);
+};
+
+/// Generator state of one tenant: deterministically turns a StreamSpec into
+/// requests.  peek() exposes the next request without consuming it, so the
+/// engine can retry injection when the target bank queue is full.
+class Stream {
+ public:
+  Stream(const StreamSpec& spec, std::uint16_t tenant_id,
+         const dl::dram::Controller& ctrl);
+
+  [[nodiscard]] const StreamSpec& spec() const { return spec_; }
+  [[nodiscard]] std::uint16_t tenant() const { return tenant_; }
+
+  /// Next request (seq / enqueued_at unset), or nullopt when exhausted.
+  [[nodiscard]] std::optional<Request> peek();
+
+  /// Consumes the peeked request.
+  void pop();
+
+ private:
+  StreamSpec spec_;
+  std::uint16_t tenant_;
+  const dl::dram::Controller& ctrl_;
+  std::uint64_t issued_ = 0;
+  std::optional<Request> pending_;
+
+  // kWeightReader cursor
+  std::uint64_t cursor_ = 0;
+  std::uint32_t reads_per_row_ = 1;
+  // kSynthetic state
+  dl::Rng rng_;
+  dl::dram::GlobalRowId current_row_;
+  // kHammer state
+  std::vector<dl::dram::GlobalRowId> aggressors_;
+
+  [[nodiscard]] Request generate();
+  [[nodiscard]] dl::dram::PhysAddr addr_of(dl::dram::GlobalRowId row,
+                                           std::uint32_t byte) const;
+};
+
+}  // namespace dl::traffic

@@ -1,0 +1,55 @@
+// Tests for the JSON writer's string escaping: reports embed campaign and
+// tenant names that may carry quotes, control characters, or UTF-8.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hpp"
+
+namespace {
+
+using dl::json::Value;
+
+std::string dump_str(const std::string& s) { return Value(s).dump(); }
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(dump_str("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(dump_str("a\\b\\\\c"), "\"a\\\\b\\\\\\\\c\"");
+  EXPECT_EQ(dump_str("C:\\temp\\\"x\""), "\"C:\\\\temp\\\\\\\"x\\\"\"");
+}
+
+TEST(JsonEscape, NamedControlCharacters) {
+  EXPECT_EQ(dump_str("line1\nline2"), "\"line1\\nline2\"");
+  EXPECT_EQ(dump_str("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(dump_str("a\tb"), "\"a\\tb\"");
+}
+
+TEST(JsonEscape, OtherControlCharactersUseUnicodeEscapes) {
+  EXPECT_EQ(dump_str(std::string("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(dump_str(std::string("\x1f", 1)), "\"\\u001f\"");
+  EXPECT_EQ(dump_str(std::string("a\0b", 3)), "\"a\\u0000b\"");
+  // 0x7f DEL is not a JSON control character; passes through.
+  EXPECT_EQ(dump_str("\x7f"), "\"\x7f\"");
+}
+
+TEST(JsonEscape, Utf8PassesThroughByteIdentical) {
+  const std::string utf8 = "caf\xc3\xa9 \xe2\x86\x92 \xf0\x9f\x94\x92";
+  EXPECT_EQ(dump_str(utf8), "\"" + utf8 + "\"");
+}
+
+TEST(JsonEscape, ObjectKeysAreEscaped) {
+  auto obj = Value::object();
+  obj["ke\"y\n"] = 1;
+  EXPECT_EQ(obj.dump(), "{\"ke\\\"y\\n\":1}");
+}
+
+TEST(JsonEscape, EscapedStringsNestInsideDocuments) {
+  auto doc = Value::object();
+  auto arr = Value::array();
+  arr.push_back("tab\there");
+  doc["names"] = std::move(arr);
+  EXPECT_EQ(doc.dump(), "{\"names\":[\"tab\\there\"]}");
+  EXPECT_EQ(doc.dump(2), "{\n  \"names\": [\n    \"tab\\there\"\n  ]\n}");
+}
+
+}  // namespace

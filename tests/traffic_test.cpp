@@ -1,0 +1,373 @@
+// Tests for the multi-tenant traffic engine: stream generators, the
+// per-bank FR-FCFS scheduler (row-hit-first wins, fairness cap, capacity),
+// gate accounting, and campaign-level determinism across thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "defense/dram_locker.hpp"
+#include "scenario/scenario.hpp"
+#include "traffic/engine.hpp"
+#include "traffic/frfcfs.hpp"
+#include "traffic/stream.hpp"
+
+namespace {
+
+using namespace dl;
+using dram::Controller;
+using dram::GlobalRowId;
+using traffic::SchedulerConfig;
+using traffic::StreamKind;
+using traffic::StreamSpec;
+
+Controller make_ctrl() {
+  return Controller(dram::Geometry::tiny(), dram::ddr4_2400());
+}
+
+// ------------------------------------------------------------------ streams
+
+TEST(TrafficStream, WeightReaderSweepsRowsSequentially) {
+  Controller ctrl = make_ctrl();
+  // 4 reads per 256-byte row at 64 B/access; two full sweeps over 3 rows.
+  StreamSpec spec = StreamSpec::weight_reader(/*base_row=*/8, /*rows=*/3,
+                                              /*requests=*/24);
+  traffic::Stream stream(spec, 0, ctrl);
+  std::vector<GlobalRowId> rows;
+  for (int i = 0; i < 24; ++i) {
+    auto req = stream.peek();
+    ASSERT_TRUE(req.has_value());
+    rows.push_back(dram::to_global(ctrl.geometry(),
+                                   ctrl.mapper().to_location(req->addr).row));
+    EXPECT_EQ(req->bytes, 64u);
+    EXPECT_FALSE(req->is_write);
+    stream.pop();
+  }
+  EXPECT_FALSE(stream.peek().has_value());
+  // Row index advances every 4 requests and wraps after row 10.
+  for (int i = 0; i < 24; ++i) {
+    EXPECT_EQ(rows[static_cast<std::size_t>(i)], 8u + (i / 4) % 3);
+  }
+}
+
+TEST(TrafficStream, SyntheticStaysInDeclaredRange) {
+  Controller ctrl = make_ctrl();
+  StreamSpec spec = StreamSpec::synthetic(/*base_row=*/16, /*rows=*/8,
+                                          /*requests=*/200, /*locality=*/0.5,
+                                          /*write_fraction=*/0.3, /*seed=*/9);
+  traffic::Stream stream(spec, 0, ctrl);
+  std::size_t writes = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto req = stream.peek();
+    ASSERT_TRUE(req.has_value());
+    const GlobalRowId row = dram::to_global(
+        ctrl.geometry(), ctrl.mapper().to_location(req->addr).row);
+    EXPECT_GE(row, 16u);
+    EXPECT_LT(row, 24u);
+    writes += req->is_write ? 1 : 0;
+    stream.pop();
+  }
+  EXPECT_GT(writes, 0u);
+  EXPECT_LT(writes, 200u);
+}
+
+TEST(TrafficStream, HammerRoundRobinsAggressors) {
+  Controller ctrl = make_ctrl();
+  StreamSpec spec = StreamSpec::hammer(rowhammer::HammerPattern::kDoubleSided,
+                                       /*victim_row=*/20, /*acts=*/6);
+  traffic::Stream stream(spec, 0, ctrl);
+  std::vector<GlobalRowId> rows;
+  for (int i = 0; i < 6; ++i) {
+    auto req = stream.peek();
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->bytes, 0u);
+    rows.push_back(ctrl.mapper().row_of(req->addr));
+    stream.pop();
+  }
+  EXPECT_EQ(rows, (std::vector<GlobalRowId>{19, 21, 19, 21, 19, 21}));
+}
+
+// ---------------------------------------------------------------- scheduler
+
+TEST(FrFcfsScheduler, QueueCapacityIsRespected) {
+  Controller ctrl = make_ctrl();
+  SchedulerConfig cfg;
+  cfg.queue_capacity = 2;
+  traffic::FrFcfsScheduler sched(ctrl, cfg);
+  traffic::Request req;
+  req.addr = ctrl.mapper().row_base(5);
+  req.bytes = 64;
+  EXPECT_TRUE(sched.try_enqueue(req));
+  EXPECT_TRUE(sched.try_enqueue(req));
+  EXPECT_FALSE(sched.try_enqueue(req));  // bank queue full
+  // A different bank still has room.
+  traffic::Request other = req;
+  other.addr = ctrl.mapper().row_base(300);  // bank 1 in tiny geometry
+  EXPECT_TRUE(sched.try_enqueue(other));
+  EXPECT_EQ(sched.pending(), 3u);
+}
+
+TEST(FrFcfsScheduler, RowHitFirstBypassesConflictingHead) {
+  Controller ctrl = make_ctrl();
+  // Open row 5, then queue: [row 6 (conflict), row 5 (hit)].
+  std::vector<std::uint8_t> buf(64);
+  ctrl.read(ctrl.mapper().row_base(5), buf);
+  SchedulerConfig cfg;
+  cfg.batch = 2;
+  traffic::FrFcfsScheduler sched(ctrl, cfg);
+  traffic::Request conflict;
+  conflict.addr = ctrl.mapper().row_base(6);
+  conflict.bytes = 64;
+  conflict.seq = 0;
+  traffic::Request hit = conflict;
+  hit.addr = ctrl.mapper().row_base(5);
+  hit.seq = 1;
+  ASSERT_TRUE(sched.try_enqueue(conflict));
+  ASSERT_TRUE(sched.try_enqueue(hit));
+  std::vector<std::uint64_t> order;
+  sched.drain_pass([&](const traffic::Serviced& s) {
+    order.push_back(s.req.seq);
+    if (s.req.seq == 1) EXPECT_TRUE(s.result.row_hit);
+  });
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 0}));
+}
+
+TEST(FrFcfsScheduler, FairnessCapForcesQueueHead) {
+  Controller ctrl = make_ctrl();
+  std::vector<std::uint8_t> buf(64);
+  ctrl.read(ctrl.mapper().row_base(5), buf);  // open row 5
+  SchedulerConfig cfg;
+  cfg.batch = 16;
+  cfg.row_hit_cap = 2;
+  cfg.queue_capacity = 16;
+  traffic::FrFcfsScheduler sched(ctrl, cfg);
+  // Head is a conflicting request; behind it, 8 row hits.
+  traffic::Request conflict;
+  conflict.addr = ctrl.mapper().row_base(6);
+  conflict.bytes = 64;
+  conflict.seq = 100;
+  ASSERT_TRUE(sched.try_enqueue(conflict));
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    traffic::Request hit;
+    hit.addr = ctrl.mapper().row_base(5);
+    hit.bytes = 64;
+    hit.seq = i;
+    ASSERT_TRUE(sched.try_enqueue(hit));
+  }
+  std::vector<std::uint64_t> order;
+  sched.drain_pass([&](const traffic::Serviced& s) {
+    order.push_back(s.req.seq);
+  });
+  ASSERT_EQ(order.size(), 9u);
+  // Exactly row_hit_cap hits bypass the head before it is forced through.
+  const auto head_pos = static_cast<std::size_t>(
+      std::find(order.begin(), order.end(), 100u) - order.begin());
+  EXPECT_EQ(head_pos, 2u);
+}
+
+TEST(FrFcfsScheduler, FrFcfsBeatsFcfsOnBankConflictMix) {
+  // Two weight readers thrash the same bank (different rows); FR-FCFS
+  // should batch row hits and finish in less simulated time with more
+  // row-buffer hits than arrival-order FCFS.
+  auto run = [](bool row_hit_first) {
+    Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
+    SchedulerConfig cfg;
+    cfg.row_hit_first = row_hit_first;
+    cfg.batch = 2;
+    std::vector<StreamSpec> tenants = {
+        StreamSpec::weight_reader(8, 4, 256, /*burst=*/1),
+        StreamSpec::weight_reader(40, 4, 256, /*burst=*/1),
+    };
+    traffic::TrafficEngine engine(ctrl, tenants, cfg);
+    return engine.run();
+  };
+  const auto frfcfs = run(true);
+  const auto fcfs = run(false);
+  std::uint64_t frfcfs_hits = 0, fcfs_hits = 0;
+  for (const auto& t : frfcfs.tenants) frfcfs_hits += t.row_hits;
+  for (const auto& t : fcfs.tenants) fcfs_hits += t.row_hits;
+  EXPECT_GT(frfcfs_hits, fcfs_hits);
+  EXPECT_LT(frfcfs.elapsed, fcfs.elapsed);
+  EXPECT_EQ(frfcfs.serviced, fcfs.serviced);
+}
+
+// ------------------------------------------------------------------- engine
+
+TEST(TrafficEngine, ConservesRequestsAndNamesTenants) {
+  Controller ctrl = make_ctrl();
+  std::vector<StreamSpec> tenants = {
+      StreamSpec::weight_reader(8, 4, 64),
+      StreamSpec::synthetic(64, 16, 96, 0.7, 0.25, /*seed=*/3),
+      StreamSpec::hammer(rowhammer::HammerPattern::kDoubleSided, 200, 40),
+  };
+  traffic::TrafficEngine engine(ctrl, tenants, {});
+  const auto report = engine.run();
+  ASSERT_EQ(report.tenants.size(), 3u);
+  EXPECT_EQ(report.tenants[0].name, "t0/weight-reader");
+  EXPECT_EQ(report.tenants[1].name, "t1/synthetic");
+  EXPECT_EQ(report.tenants[2].name, "t2/hammer");
+  EXPECT_EQ(report.serviced, 64u + 96u + 40u);
+  for (const auto& t : report.tenants) {
+    EXPECT_EQ(t.issued, t.granted + t.denied);
+    EXPECT_EQ(t.queue_latency.size(), t.issued);
+  }
+  EXPECT_EQ(report.tenants[0].issued, 64u);
+  EXPECT_EQ(report.tenants[0].reads, 64u);
+  EXPECT_EQ(report.tenants[2].hammer_acts, 40u);
+  EXPECT_GT(report.elapsed, 0);
+  // The weight reader's sequential sweep keeps strong row locality even
+  // under contention.
+  EXPECT_GT(report.tenants[0].row_hit_rate(), 0.25);
+}
+
+TEST(TrafficEngine, GateDenialsStayOnAccountedPath) {
+  Controller ctrl = make_ctrl();
+  defense::DramLockerConfig cfg;
+  defense::DramLocker locker(ctrl, cfg, Rng(5));
+  ctrl.set_gate(&locker);
+  locker.protect_data_row(20);
+
+  std::vector<StreamSpec> tenants = {
+      StreamSpec::hammer(rowhammer::HammerPattern::kDoubleSided, 20, 50),
+      StreamSpec::weight_reader(40, 2, 30),
+  };
+  traffic::TrafficEngine engine(ctrl, tenants, {});
+  const auto report = engine.run();
+  // Every aggressor ACT hits a locked neighbour row and is denied.
+  EXPECT_EQ(report.tenants[0].denied, 50u);
+  EXPECT_EQ(report.tenants[0].hammer_acts, 0u);
+  EXPECT_EQ(locker.stats().denied, 50u);
+  // The benign tenant is untouched.
+  EXPECT_EQ(report.tenants[1].granted, 30u);
+}
+
+TEST(TrafficEngine, LatencyQuantilesAreMonotone) {
+  Controller ctrl = make_ctrl();
+  std::vector<StreamSpec> tenants = {
+      StreamSpec::weight_reader(8, 4, 128),
+      StreamSpec::synthetic(100, 16, 128, 0.2, 0.0, /*seed=*/4),
+  };
+  traffic::TrafficEngine engine(ctrl, tenants, {});
+  const auto report = engine.run();
+  for (const auto& t : report.tenants) {
+    const auto p50 = t.latency_quantile(0.50);
+    const auto p95 = t.latency_quantile(0.95);
+    const auto p99 = t.latency_quantile(0.99);
+    EXPECT_GT(p50, 0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+  }
+}
+
+// ----------------------------------------------------- scenario integration
+
+scenario::HammerCampaign traffic_campaign(const char* name,
+                                          scenario::DefenseSpec defense) {
+  scenario::HammerCampaign c;
+  c.name = name;
+  c.env.geometry.channels = 1;
+  c.env.geometry.ranks = 1;
+  c.env.geometry.banks = 2;
+  c.env.geometry.subarrays_per_bank = 4;
+  c.env.geometry.rows_per_subarray = 128;
+  c.env.geometry.row_bytes = 4096;
+  c.env.disturbance.t_rh = 400;
+  c.env.disturbance_seed = 1;
+  c.defense = defense;
+  c.attack.victim_row = 20;
+  if (defense.kind == scenario::DefenseSpec::Kind::kDramLocker) {
+    c.protected_rows = {20};
+  }
+  c.cycles = 2;
+  c.traffic.tenants = {
+      StreamSpec::weight_reader(16, 8, 600),
+      StreamSpec::synthetic(64, 32, 400, 0.6, 0.2, /*seed=*/11),
+      StreamSpec::hammer(rowhammer::HammerPattern::kDoubleSided, 20, 800),
+  };
+  return c;
+}
+
+TEST(ScenarioTraffic, HammerTenantFeedsAttackResult) {
+  const auto r =
+      scenario::run_one(traffic_campaign("t", scenario::DefenseSpec::none()));
+  ASSERT_EQ(r.tenants.size(), 3u);
+  // 2 cycles x 800 acts, all granted with no defense.
+  EXPECT_EQ(r.attack.granted_acts, 1600u);
+  EXPECT_EQ(r.attack.denied_acts, 0u);
+  EXPECT_EQ(r.tenants[2].hammer_acts, 1600u);
+  // The undefended double-sided attacker at T_RH=400 lands flips.
+  EXPECT_GT(r.attack.flips_in_victim, 0u);
+  EXPECT_GT(r.attack.elapsed, 0);
+}
+
+TEST(ScenarioTraffic, DramLockerDeniesContendedAttacker) {
+  const auto defended = scenario::run_one(traffic_campaign(
+      "d", scenario::DefenseSpec::dram_locker({}, /*seed=*/2)));
+  EXPECT_EQ(defended.attack.granted_acts, 0u);
+  EXPECT_EQ(defended.attack.denied_acts, 1600u);
+  EXPECT_EQ(defended.attack.flips_in_victim, 0u);
+  // Benign tenants keep flowing while the attacker is locked out.
+  EXPECT_GT(defended.tenants[0].granted, 0u);
+  EXPECT_GT(defended.tenants[1].granted, 0u);
+}
+
+TEST(ScenarioTraffic, ResultsAreThreadCountInvariant) {
+  std::vector<scenario::HammerCampaign> campaigns = {
+      traffic_campaign("a", scenario::DefenseSpec::none()),
+      traffic_campaign("b", scenario::DefenseSpec::counter_per_row(200, 2)),
+      traffic_campaign("c", scenario::DefenseSpec::dram_locker({}, 2)),
+      traffic_campaign("d", scenario::DefenseSpec::graphene(200, 64, 2)),
+  };
+  parallel::set_threads(1);
+  const auto serial = scenario::run(campaigns);
+  parallel::set_threads(8);
+  const auto threaded = scenario::run(campaigns);
+  parallel::set_threads(0);
+  const std::string a = scenario::report_json(serial).dump(2);
+  const std::string b = scenario::report_json(threaded).dump(2);
+  EXPECT_EQ(a, b);
+  // Latency sample streams (not just summaries) must match bit-for-bit.
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_EQ(serial[i].tenants.size(), threaded[i].tenants.size());
+    for (std::size_t t = 0; t < serial[i].tenants.size(); ++t) {
+      EXPECT_EQ(serial[i].tenants[t].queue_latency,
+                threaded[i].tenants[t].queue_latency);
+    }
+  }
+}
+
+TEST(ScenarioTraffic, ExpandDerivesTenantSubstreams) {
+  scenario::MatrixSpec spec;
+  spec.env.geometry.banks = 2;
+  spec.env.geometry.subarrays_per_bank = 4;
+  spec.env.geometry.rows_per_subarray = 128;
+  spec.attack.victim_row = 20;
+  spec.patterns = {rowhammer::HammerPattern::kDoubleSided,
+                   rowhammer::HammerPattern::kManySided};
+  spec.defenses = {scenario::DefenseSpec::none()};
+  spec.traffic.tenants = {
+      StreamSpec::synthetic(64, 16, 100, 0.5, 0.0, /*seed=*/1),
+      StreamSpec::synthetic(80, 16, 100, 0.5, 0.0, /*seed=*/1),
+  };
+  const auto campaigns = scenario::expand(spec);
+  ASSERT_EQ(campaigns.size(), 2u);
+  // Tenant seeds are overridden with decorrelated sub-streams: distinct
+  // across tenants of one campaign and across campaigns.
+  EXPECT_NE(campaigns[0].traffic.tenants[0].seed,
+            campaigns[0].traffic.tenants[1].seed);
+  EXPECT_NE(campaigns[0].traffic.tenants[0].seed,
+            campaigns[1].traffic.tenants[0].seed);
+}
+
+TEST(ScenarioTraffic, TenantStatsSerializeToJson) {
+  const auto r =
+      scenario::run_one(traffic_campaign("j", scenario::DefenseSpec::none()));
+  const std::string doc = scenario::to_json(r).dump();
+  EXPECT_NE(doc.find("\"tenants\""), std::string::npos);
+  EXPECT_NE(doc.find("\"row_hit_rate\""), std::string::npos);
+  EXPECT_NE(doc.find("\"acts_per_sec\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p99_ns\""), std::string::npos);
+}
+
+}  // namespace
