@@ -1,0 +1,269 @@
+// RADAR-style reactive integrity vs DRAM-Locker: the defense-family
+// comparison grid the paper's related-work discussion implies but never
+// plots.  Two wings, both declared through dl::scenario:
+//
+//   (1) hammer-under-traffic — a MatrixSpec sweeping
+//       {none, DRAM-Locker, integrity-only, DRAM-Locker+integrity} ×
+//       {hammer patterns} with co-located serving tenants through the
+//       FR-FCFS engine.  The integrity cells run the scrubber as a kScrub
+//       tenant, so detection latency and scrub bandwidth contend with (and
+//       show up next to) the benign tenants' stats.
+//
+//   (2) BFA — the same four defense cells against a trained quantized
+//       victim: the preventive side as a flip gate (deny-all lock table
+//       with the Sec. IV-D erroneous-SWAP residual), the reactive side as
+//       periodic weight verification with checksum-guided correction and
+//       group zero-out, reporting detection rate and recovered accuracy.
+//
+// Expected shape: DRAM-Locker *prevents* (zero victim flips, attacker
+// denied); integrity *reacts* (flips land, then are detected/corrected —
+// accuracy recovers at the cost of scrub bandwidth and detection latency);
+// the composition covers both the residual-SWAP leak and the scrub-cadence
+// window.
+//
+//   $ ./fig_radar_compare --fast --json BENCH_fig_radar.json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "circuit/montecarlo.hpp"
+#include "common/table.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace dl;
+
+const char* json_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--json requires a path argument\n");
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return nullptr;
+}
+
+scenario::IntegritySpec radar_spec(integrity::Scheme scheme,
+                                   std::uint32_t group_size) {
+  scenario::IntegritySpec s;
+  s.enabled = true;
+  s.config.scheme = scheme;
+  s.config.group_size = group_size;
+  s.config.recovery = integrity::Recovery::kCorrectOrZero;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Scale scale = bench::parse_scale(argc, argv);
+  bench::banner("RADAR comparison",
+                "reactive integrity vs preventive DRAM-Locker", scale);
+
+  // ---- wing 1: hammer under multi-tenant traffic ---------------------------
+  constexpr std::uint64_t kTrh = 1000;
+  scenario::MatrixSpec grid;
+  grid.name_prefix = "radar/hammer";
+  grid.env.geometry.channels = 1;
+  grid.env.geometry.ranks = 1;
+  grid.env.geometry.banks = 2;
+  grid.env.geometry.subarrays_per_bank = 4;
+  grid.env.geometry.rows_per_subarray = 256;
+  grid.env.geometry.row_bytes = 4096;
+  grid.env.disturbance.t_rh = kTrh;
+  grid.attack.victim_row = 40;
+  grid.attack.act_budget = scale == bench::Scale::kFast ? 8000
+                           : scale == bench::Scale::kFull ? 80000 : 30000;
+  grid.protected_rows = {40};
+  grid.base_seed = 31;
+
+  defense::DramLockerConfig locker_cfg;
+  locker_cfg.protect_radius = 2;
+  const auto radar = radar_spec(integrity::Scheme::kParity2D, 64);
+  grid.defenses = {
+      scenario::DefenseSpec::none(),
+      scenario::DefenseSpec::dram_locker(locker_cfg, /*seed=*/0),
+      scenario::DefenseSpec::none().with_integrity(radar),
+      scenario::DefenseSpec::dram_locker(locker_cfg, /*seed=*/0)
+          .with_integrity(radar),
+  };
+  using rowhammer::HammerPattern;
+  grid.patterns = {HammerPattern::kDoubleSided};
+  if (scale != bench::Scale::kFast) {
+    grid.patterns.push_back(HammerPattern::kManySided);
+    grid.patterns.push_back(HammerPattern::kHalfDouble);
+  }
+  const std::uint64_t reader_reqs = scale == bench::Scale::kFast ? 3000
+                                    : scale == bench::Scale::kFull ? 30000
+                                                                   : 12000;
+  grid.traffic.tenants = {
+      traffic::StreamSpec::weight_reader(/*base_row=*/32, /*rows=*/16,
+                                         reader_reqs),
+      traffic::StreamSpec::synthetic(/*base_row=*/128, /*rows=*/64,
+                                     reader_reqs / 2, /*locality=*/0.4,
+                                     /*write_fraction=*/0.2, /*seed=*/1),
+      traffic::StreamSpec::hammer(HammerPattern::kDoubleSided,
+                                  /*victim_row=*/40, grid.attack.act_budget),
+  };
+  grid.traffic.scheduler.batch = 2;
+
+  auto campaigns = scenario::expand(grid);
+  // Several engine cycles so the scrub cadence (one sweep per cycle)
+  // matters: flips landing after a cycle's sweep wait for the next one.
+  for (auto& c : campaigns) c.cycles = 2;
+
+  if (scale != bench::Scale::kFast) {
+    // Scheme/granularity frontier: additive (cheap, detect-only in
+    // practice) vs 2D parity at two group sizes.
+    scenario::MatrixSpec schemes = grid;
+    schemes.name_prefix = "radar/scheme";
+    schemes.base_seed = 32;
+    schemes.patterns = {HammerPattern::kDoubleSided};
+    schemes.defenses = {
+        scenario::DefenseSpec::none().with_integrity(
+            radar_spec(integrity::Scheme::kParity2D, 32)),
+        scenario::DefenseSpec::none().with_integrity(
+            radar_spec(integrity::Scheme::kParity2D, 256)),
+        scenario::DefenseSpec::none().with_integrity(
+            radar_spec(integrity::Scheme::kAdditive, 64)),
+    };
+    auto cells = scenario::expand(schemes);
+    for (auto& c : cells) {
+      c.cycles = 2;
+      campaigns.push_back(std::move(c));
+    }
+  }
+
+  std::printf("hammer wing: %zu campaigns (2 engine cycles each)\n\n",
+              campaigns.size());
+  const auto hammer_results = scenario::run(campaigns);
+
+  TextTable hammer_table({"campaign", "victim flips", "detected",
+                          "corrected", "zeroed", "missed", "det. rate",
+                          "scrub MB/s", "benign p95 (ns)"});
+  for (const auto& r : hammer_results) {
+    Picoseconds benign_p95 = 0;
+    for (const auto& t : r.tenants) {
+      if (t.kind != traffic::StreamKind::kHammer &&
+          t.kind != traffic::StreamKind::kScrub) {
+        benign_p95 = std::max(benign_p95, t.latency_quantile(0.95));
+      }
+    }
+    const double secs = to_seconds(r.elapsed);
+    hammer_table.add_row(
+        {r.name, std::to_string(r.attack.flips_in_victim),
+         std::to_string(r.integrity.detections),
+         std::to_string(r.integrity.corrected_bits),
+         std::to_string(r.integrity.zeroed_groups),
+         std::to_string(r.integrity_audit.missed_bytes),
+         r.integrity_enabled
+             ? TextTable::num(
+                   integrity::detection_rate(r.integrity.corrected_bits,
+                                             r.integrity.zeroed_corrupt_bytes,
+                                             r.integrity_audit),
+                   2)
+             : "-",
+         r.integrity_enabled && secs > 0.0
+             ? TextTable::num(
+                   static_cast<double>(r.integrity.scrub_read_bytes) / secs /
+                       1e6,
+                   1)
+             : "-",
+         TextTable::num(to_nanoseconds(benign_p95), 0)});
+  }
+  std::printf("%s", hammer_table.to_string().c_str());
+
+  // ---- wing 2: BFA against a trained victim --------------------------------
+  const std::size_t iterations = scale == bench::Scale::kFast ? 15
+                                 : scale == bench::Scale::kFull ? 100 : 40;
+  // Erroneous-SWAP residual under ±20 % process variation (Sec. IV-D):
+  // DRAM-Locker's leak, and exactly what the reactive layer mops up.
+  circuit::SwapMonteCarlo mc;
+  const double residual = mc.run(0.20, 10000).swap_error_rate();
+  std::printf("\nBFA wing: %zu iterations, DRAM-Locker residual %.2f%%\n\n",
+              iterations, residual * 100.0);
+
+  bench::VictimModel victim = bench::train_victim(
+      bench::resnet20_cifar10(scale), /*verbose=*/scale != bench::Scale::kFast);
+  const scenario::VictimRef ref{victim.model, *victim.qmodel, victim.sample,
+                                victim.clean_accuracy, &victim.test};
+  std::printf("victim clean accuracy: test %.2f%%, attacker sample %.2f%% "
+              "(recovered accuracy converges to the sample figure)\n\n",
+              victim.clean_accuracy * 100.0,
+              nn::evaluate_accuracy(victim.model, victim.sample) * 100.0);
+
+  scenario::BfaCampaign none;
+  none.name = "radar/bfa/none";
+  none.bfa.max_iterations = iterations;
+  none.bfa.layers_evaluated = 3;
+  none.fixed_iterations = true;
+
+  scenario::BfaCampaign locker = none;
+  locker.name = "radar/bfa/dram-locker";
+  locker.gate.kind = scenario::GateSpec::Kind::kResidual;
+  locker.gate.residual_p = residual;
+  locker.gate.seed = 91;
+
+  scenario::BfaCampaign integrity_only = none;
+  integrity_only.name = "radar/bfa/integrity";
+  integrity_only.integrity = radar_spec(integrity::Scheme::kParity2D, 64);
+  integrity_only.integrity.verify_interval = 5;
+
+  scenario::BfaCampaign both = locker;
+  both.name = "radar/bfa/dram-locker+integrity";
+  both.integrity = integrity_only.integrity;
+
+  const auto bfa_results =
+      scenario::run_bfa(ref, {none, locker, integrity_only, both});
+
+  TextTable bfa_table({"campaign", "landed", "blocked", "final acc (%)",
+                       "recovered (%)", "corrected", "zeroed",
+                       "residual bytes", "test acc (%)"});
+  for (const auto& r : bfa_results) {
+    bfa_table.add_row(
+        {r.name, std::to_string(r.flips_landed),
+         std::to_string(r.flips_blocked),
+         TextTable::num((r.integrity_enabled ? r.accuracy_before_recovery
+                                             : r.accuracy.back()) *
+                            100,
+                        2),
+         r.integrity_enabled ? TextTable::num(r.recovered_accuracy * 100, 2)
+                             : "-",
+         r.integrity_enabled ? std::to_string(r.integrity.corrected_bits)
+                             : "-",
+         r.integrity_enabled ? std::to_string(r.integrity.zeroed_groups)
+                             : "-",
+         r.integrity_enabled
+             ? std::to_string(r.integrity_audit.corrupt_bytes)
+             : "-",
+         TextTable::num(r.test_accuracy_after * 100, 2)});
+  }
+  std::printf("%s", bfa_table.to_string().c_str());
+
+  std::printf(
+      "\nshape check: undefended BFA collapses accuracy; DRAM-Locker blocks "
+      "all but the %.1f%% residual; integrity-only lets flips land but "
+      "recovers accuracy at each verify point (corrected bits, zeroed "
+      "groups); the composition recovers the residual leak too.  In the "
+      "hammer wing, DRAM-Locker cells show zero victim flips while "
+      "integrity cells show flips detected+corrected and non-zero scrub "
+      "bandwidth.\n",
+      residual * 100.0);
+
+  if (const char* path = json_path(argc, argv)) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path);
+      return 1;
+    }
+    out << scenario::report_json(hammer_results, bfa_results).dump(2) << '\n';
+    std::printf("JSON report written to %s\n", path);
+  }
+  return 0;
+}

@@ -18,6 +18,8 @@
 #include "defense/lock_table.hpp"
 #include "defense/sequencer.hpp"
 #include "dram/controller.hpp"
+#include "integrity/checksum.hpp"
+#include "integrity/scrubber.hpp"
 #include "nn/models.hpp"
 #include "nn/tensor.hpp"
 #include "rowhammer/attacker.hpp"
@@ -282,6 +284,53 @@ void BM_DramLockerGateDeny(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DramLockerGateDeny);
+
+void BM_ChecksumVerify(benchmark::State& state) {
+  // Clean-path group verification over a 64 KiB image — the hot loop of
+  // every scrub pass / weight sweep (arg: scheme, 0 = parity2d,
+  // 1 = additive).
+  integrity::Config cfg;
+  cfg.scheme = state.range(0) == 0 ? integrity::Scheme::kParity2D
+                                   : integrity::Scheme::kAdditive;
+  cfg.group_size = 64;
+  std::vector<std::uint8_t> image(64 * 1024);
+  Rng rng(11);
+  for (auto& b : image) b = static_cast<std::uint8_t>(rng.next_u64());
+  integrity::BlockChecksums sums(cfg, image);
+  const std::span<const std::uint8_t> view(image);
+  for (auto _ : state) {
+    for (std::size_t g = 0; g < sums.group_count(); ++g) {
+      const auto [off, len] = sums.group_range(g);
+      benchmark::DoNotOptimize(sums.diagnose(g, view.subspan(off, len)));
+    }
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_ChecksumVerify)->ArgName("scheme")->Arg(0)->Arg(1);
+
+void BM_ScrubPass(benchmark::State& state) {
+  // One clean scrub sweep of 8 rows through the controller (accounted
+  // reads + group verification); sim_ns counts the DRAM time one pass
+  // costs — the scrub-bandwidth building block.
+  dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
+  integrity::Config cfg;
+  cfg.group_size = 64;
+  integrity::DramScrubber scrubber(ctrl, {8, 9, 10, 11, 12, 13, 14, 15},
+                                   cfg);
+  const Picoseconds start = ctrl.now();
+  for (auto _ : state) {
+    scrubber.scrub_pass();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(scrubber.stats().scrub_reads));
+  if (state.iterations() > 0) {
+    state.counters["sim_ns_per_pass"] = benchmark::Counter(
+        to_nanoseconds(ctrl.now() - start) /
+        static_cast<double>(state.iterations()));
+  }
+}
+BENCHMARK(BM_ScrubPass);
 
 }  // namespace
 

@@ -19,6 +19,12 @@
 #include "common/table.hpp"
 #include "scenario/scenario.hpp"
 
+// The grid covers three stories: (1) the plain pattern x defense matrix,
+// (2) multi-tenant contention through the FR-FCFS engine, and (3) the
+// reactive-integrity axis — {none, DRAM-Locker, integrity-only, both}
+// against hammer-under-traffic and against a (fast-trained) BFA victim —
+// so the JSON report exercises every campaign family the engine supports.
+
 namespace {
 
 using namespace dl;
@@ -128,9 +134,30 @@ int main(int argc, char** argv) {
   reader2.base_row = 64;
   loaded.traffic.tenants = {reader, reader2, filler, filler, attacker};
 
+  // Reactive-integrity axis under contention: the RADAR-style scrubber
+  // joins the tenant mix as a kScrub stream, composed with and against
+  // DRAM-Locker (hammer-under-traffic wing of the comparison grid).
+  scenario::IntegritySpec radar;
+  radar.enabled = true;
+  radar.config.group_size = 64;
+  scenario::MatrixSpec integrity_grid = serving;
+  integrity_grid.name_prefix = "integrity";
+  integrity_grid.base_seed = 23;
+  integrity_grid.patterns = {HammerPattern::kDoubleSided};
+  integrity_grid.defenses = {
+      scenario::DefenseSpec::none(),
+      scenario::DefenseSpec::dram_locker(locker_cfg, /*seed=*/0),
+      scenario::DefenseSpec::none().with_integrity(radar),
+      scenario::DefenseSpec::dram_locker(locker_cfg, /*seed=*/0)
+          .with_integrity(radar),
+  };
+  if (scale != bench::Scale::kFast) {
+    integrity_grid.patterns.push_back(HammerPattern::kManySided);
+  }
+
   auto campaigns = scenario::expand(spec);
   const std::size_t plain_cells = campaigns.size();
-  for (const auto& m : {serving, loaded}) {
+  for (const auto& m : {serving, loaded, integrity_grid}) {
     auto cells = scenario::expand(m);
     campaigns.insert(campaigns.end(), std::make_move_iterator(cells.begin()),
                      std::make_move_iterator(cells.end()));
@@ -188,6 +215,61 @@ int main(int argc, char** argv) {
   std::printf("\nmulti-tenant contention (FR-FCFS, per-bank queues):\n%s",
               cont.to_string().c_str());
 
+  TextTable integ({"campaign", "victim flips", "detected", "corrected",
+                   "zeroed", "missed", "scrub reads"});
+  for (const auto& r : results) {
+    if (!r.integrity_enabled) continue;
+    integ.add_row({r.name, std::to_string(r.attack.flips_in_victim),
+                   std::to_string(r.integrity.detections),
+                   std::to_string(r.integrity.corrected_bits),
+                   std::to_string(r.integrity.zeroed_groups),
+                   std::to_string(r.integrity_audit.missed_bytes),
+                   std::to_string(r.integrity.scrub_reads)});
+  }
+  std::printf("\nreactive integrity (RADAR-style scrub tenant):\n%s",
+              integ.to_string().c_str());
+
+  // ---- BFA wing: the same four defense cells against a trained victim ----
+  // (fast-trained; see fig_radar_compare / fig8_bfa_defense for the
+  // paper-scale curves).  Deny-all stands in for an error-free DRAM-Locker.
+  bench::VictimModel victim =
+      bench::train_victim(bench::resnet20_cifar10(bench::Scale::kFast),
+                          /*verbose=*/false);
+  const scenario::VictimRef victim_ref{victim.model, *victim.qmodel,
+                                       victim.sample, victim.clean_accuracy};
+  scenario::BfaCampaign bfa_none;
+  bfa_none.name = "bfa/none";
+  bfa_none.bfa.max_iterations = scale == bench::Scale::kFull ? 25 : 10;
+  bfa_none.bfa.layers_evaluated = 2;
+  bfa_none.fixed_iterations = true;
+  scenario::BfaCampaign bfa_locker = bfa_none;
+  bfa_locker.name = "bfa/dram-locker";
+  bfa_locker.gate.kind = scenario::GateSpec::Kind::kDenyAll;
+  scenario::BfaCampaign bfa_integrity = bfa_none;
+  bfa_integrity.name = "bfa/integrity";
+  bfa_integrity.integrity = radar;
+  bfa_integrity.integrity.verify_interval = 2;
+  scenario::BfaCampaign bfa_both = bfa_locker;
+  bfa_both.name = "bfa/dram-locker+integrity";
+  bfa_both.integrity = bfa_integrity.integrity;
+  const auto bfa_results = scenario::run_bfa(
+      victim_ref, {bfa_none, bfa_locker, bfa_integrity, bfa_both});
+
+  TextTable bfa_table({"campaign", "landed", "blocked", "final acc (%)",
+                       "recovered (%)", "corrected", "zeroed"});
+  for (const auto& r : bfa_results) {
+    bfa_table.add_row(
+        {r.name, std::to_string(r.flips_landed),
+         std::to_string(r.flips_blocked),
+         TextTable::num(r.accuracy.back() * 100, 2),
+         r.integrity_enabled ? TextTable::num(r.recovered_accuracy * 100, 2)
+                             : "-",
+         std::to_string(r.integrity.corrected_bits),
+         std::to_string(r.integrity.zeroed_groups)});
+  }
+  std::printf("\nBFA x defense (fast victim):\n%s",
+              bfa_table.to_string().c_str());
+
   std::uint64_t undefended_flips = 0;
   std::uint64_t other_defense_flips = 0;
   std::uint64_t locker_flips = 0;
@@ -219,7 +301,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s for writing\n", path);
       return 1;
     }
-    out << scenario::report_json(results).dump(2) << '\n';
+    out << scenario::report_json(results, bfa_results).dump(2) << '\n';
     std::printf("JSON report written to %s\n", path);
   }
   return 0;

@@ -104,6 +104,12 @@ float ProgressiveBitSearch::evaluate_loss(const Dataset& sample,
 
 BfaIteration ProgressiveBitSearch::step(const Dataset& sample,
                                         const FlipGate& gate) {
+  // The whole step is the attacker's offline simulation: gradients, trial
+  // flip/evaluate/undo, and the post-commit accuracy probe all run on the
+  // attacker's copy, so the victim's inference hooks (lazy integrity
+  // verification) stay out of the loop.  Committed flips still mutate the
+  // checksummed QuantizedModel, which is what reactive defenses verify.
+  dl::nn::HookSuspensionScope suspend(model_);
   BfaIteration it;
   it.iteration = ++iteration_;
   compute_gradients(sample);
@@ -168,10 +174,11 @@ BfaResult ProgressiveBitSearch::run(const Dataset& sample,
   return res;
 }
 
-RandomAttackResult random_bit_attack(dl::nn::Model& model,
-                                     dl::nn::QuantizedModel& qmodel,
-                                     const Dataset& sample, std::size_t flips,
-                                     dl::Rng& rng, const FlipGate& gate) {
+RandomAttackResult random_bit_attack(
+    dl::nn::Model& model, dl::nn::QuantizedModel& qmodel,
+    const Dataset& sample, std::size_t flips, dl::Rng& rng,
+    const FlipGate& gate,
+    const std::function<void(std::size_t)>& after_attempt) {
   RandomAttackResult res;
   for (std::size_t i = 0; i < flips; ++i) {
     BitAddress addr;
@@ -180,6 +187,9 @@ RandomAttackResult random_bit_attack(dl::nn::Model& model,
     addr.bit = static_cast<unsigned>(rng.next_below(8));
     const bool landed = gate ? gate(addr) : true;
     if (landed) qmodel.flip_bit(addr);
+    if (after_attempt) after_attempt(i);
+    // The accuracy probe is attacker-side: no victim inference hooks.
+    dl::nn::HookSuspensionScope suspend(model);
     const dl::nn::Tensor logits =
         model.forward(sample.images, /*train=*/false);
     const dl::nn::LossResult r =

@@ -12,6 +12,14 @@
 // to the gate, which realizes it (e.g. by RowHammering the weight's DRAM
 // row) or blocks it (DRAM-Locker).  Blocked bits are remembered so the
 // attacker moves on to its next candidate instead of retrying forever.
+//
+// Committed flips land in the QuantizedModel — the *checksummed view* a
+// run-time integrity defense (src/integrity) guards — so reactive
+// detection/recovery sees every landed flip.  The attacker's own trial
+// evaluations, by contrast, are offline simulations on the attacker's
+// copy: they run under nn::HookSuspensionScope so the victim's lazy
+// inference-time verification neither fires on them nor reverts a trial
+// flip between the attacker's flip and its undo.
 #pragma once
 
 #include <functional>
@@ -93,10 +101,14 @@ struct RandomAttackResult {
   std::vector<double> accuracy_after;  ///< after each flip
 };
 
-RandomAttackResult random_bit_attack(dl::nn::Model& model,
-                                     dl::nn::QuantizedModel& qmodel,
-                                     const dl::nn::Dataset& sample,
-                                     std::size_t flips, dl::Rng& rng,
-                                     const FlipGate& gate = {});
+/// `after_attempt(i)` is called after attempt i resolves (landed or
+/// blocked) and *before* the accuracy evaluation — a run-time integrity
+/// defense verifies/recovers there, so the recorded accuracy reflects the
+/// victim's post-recovery state.
+RandomAttackResult random_bit_attack(
+    dl::nn::Model& model, dl::nn::QuantizedModel& qmodel,
+    const dl::nn::Dataset& sample, std::size_t flips, dl::Rng& rng,
+    const FlipGate& gate = {},
+    const std::function<void(std::size_t)>& after_attempt = {});
 
 }  // namespace dl::attack

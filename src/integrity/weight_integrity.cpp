@@ -1,0 +1,144 @@
+#include "integrity/weight_integrity.hpp"
+
+#include <unordered_map>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace dl::integrity {
+
+WeightIntegrity::WeightIntegrity(dl::nn::QuantizedModel& qmodel,
+                                 const Config& config)
+    : qmodel_(qmodel), config_(config) {
+  checksums_.reserve(qmodel_.layer_count());
+  snapshot_.reserve(qmodel_.layer_count());
+  for (std::size_t l = 0; l < qmodel_.layer_count(); ++l) {
+    const auto bytes = layer_bytes(l);
+    checksums_.emplace_back(config_, bytes);
+    snapshot_.emplace_back(bytes.begin(), bytes.end());
+  }
+}
+
+WeightIntegrity::~WeightIntegrity() { detach(); }
+
+std::span<const std::uint8_t> WeightIntegrity::layer_bytes(
+    std::size_t l) const {
+  const auto& layer = qmodel_.layer(l);
+  return {reinterpret_cast<const std::uint8_t*>(layer.q.data()),
+          layer.q.size()};
+}
+
+std::size_t WeightIntegrity::storage_bytes() const {
+  std::size_t total = 0;
+  for (const auto& c : checksums_) total += c.storage_bytes();
+  return total;
+}
+
+void WeightIntegrity::verify_layer(std::size_t l) {
+  DL_REQUIRE(l < checksums_.size(), "quantized layer out of range");
+  BlockChecksums& sums = checksums_[l];
+  for (std::size_t g = 0; g < sums.group_count(); ++g) {
+    const auto [off, len] = sums.group_range(g);
+    const auto data = layer_bytes(l).subspan(off, len);
+    const Diagnosis d = sums.diagnose(g, data);
+    ++stats_.verified_groups;
+    if (d.state == Diagnosis::State::kClean) continue;
+    ++stats_.detections;
+    switch (d.state) {
+      case Diagnosis::State::kClean:
+        break;
+      case Diagnosis::State::kCorrectable: {
+        if (config_.recovery == Recovery::kDetectOnly) {
+          ++stats_.uncorrectable;
+          break;
+        }
+        const std::size_t w = off + d.byte;
+        const auto fixed = static_cast<std::int8_t>(dl::flip_bit(
+            static_cast<std::uint8_t>(qmodel_.weight_word(l, w)), d.bit));
+        qmodel_.set_weight_word(l, w, fixed);
+        ++stats_.corrected_bits;
+        break;
+      }
+      case Diagnosis::State::kChecksumCorrupt:
+        // The data is clean; the stored checksum took the hit.  Rebuild it
+        // (under kDetectOnly too: a stale checksum would re-detect forever).
+        sums.rebuild(g, data);
+        ++stats_.checksum_repairs;
+        break;
+      case Diagnosis::State::kUncorrectable:
+        if (config_.recovery != Recovery::kCorrectOrZero) {
+          ++stats_.uncorrectable;
+          break;
+        }
+        // RADAR's fallback: sacrifice the group.  Zeroed weights cost far
+        // less accuracy than adversarially chosen flips; the campaign
+        // measures the delta.  The snapshot follows so audit() does not
+        // count the sacrifice as surviving corruption.
+        for (std::size_t j = 0; j < len; ++j) {
+          if (data[j] != snapshot_[l][off + j]) ++stats_.zeroed_corrupt_bytes;
+          qmodel_.set_weight_word(l, off + j, 0);
+          snapshot_[l][off + j] = 0;
+        }
+        sums.rebuild(g, layer_bytes(l).subspan(off, len));
+        ++stats_.zeroed_groups;
+        break;
+    }
+  }
+}
+
+void WeightIntegrity::verify_all() {
+  for (std::size_t l = 0; l < checksums_.size(); ++l) verify_layer(l);
+}
+
+void WeightIntegrity::attach(dl::nn::Model& model) {
+  detach();
+  // Map each model layer to the quantized layers whose target parameter it
+  // owns, so the hook verifies exactly the weights the layer is about to
+  // consume.  Composite layers (residual blocks) may own several.
+  std::unordered_map<const dl::nn::Param*, std::size_t> by_param;
+  for (std::size_t l = 0; l < qmodel_.layer_count(); ++l) {
+    by_param[qmodel_.layer(l).target] = l;
+  }
+  std::vector<std::vector<std::size_t>> per_layer(model.layer_count());
+  for (std::size_t i = 0; i < model.layer_count(); ++i) {
+    for (const dl::nn::Param* p : model.layer(i).params()) {
+      const auto it = by_param.find(p);
+      if (it != by_param.end()) per_layer[i].push_back(it->second);
+    }
+  }
+  model.set_forward_hook(
+      [this, map = std::move(per_layer)](std::size_t index, dl::nn::Layer&) {
+        if (index >= map.size()) return;
+        for (const std::size_t l : map[index]) verify_layer(l);
+      });
+  attached_ = &model;
+}
+
+void WeightIntegrity::detach() {
+  if (attached_ != nullptr) {
+    attached_->set_forward_hook({});
+    attached_ = nullptr;
+  }
+}
+
+Audit WeightIntegrity::audit() const {
+  Audit a;
+  for (std::size_t l = 0; l < checksums_.size(); ++l) {
+    const BlockChecksums& sums = checksums_[l];
+    const auto bytes = layer_bytes(l);
+    for (std::size_t g = 0; g < sums.group_count(); ++g) {
+      const auto [off, len] = sums.group_range(g);
+      std::uint64_t diff = 0;
+      for (std::size_t j = 0; j < len; ++j) {
+        if (bytes[off + j] != snapshot_[l][off + j]) ++diff;
+      }
+      if (diff == 0) continue;
+      a.corrupt_bytes += diff;
+      const Diagnosis d = sums.diagnose(g, bytes.subspan(off, len));
+      if (d.state == Diagnosis::State::kClean) a.missed_bytes += diff;
+    }
+  }
+  return a;
+}
+
+}  // namespace dl::integrity

@@ -7,7 +7,10 @@ namespace dl::nn {
 
 Tensor Model::forward(const Tensor& x, bool train) {
   Tensor cur = x;
-  for (auto& layer : layers_) cur = layer->forward(cur, train);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (hook_ && hook_suspended_ == 0) hook_(i, *layers_[i]);
+    cur = layers_[i]->forward(cur, train);
+  }
   return cur;
 }
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -13,6 +14,13 @@ namespace dl::nn {
 /// A feed-forward stack of layers (residual blocks are composite layers).
 class Model {
  public:
+  /// Pre-forward observer: called immediately before layer `index` runs in
+  /// forward().  Run-time integrity defenses (src/integrity) hook here to
+  /// verify a layer's weights lazily — exactly when inference is about to
+  /// consume them.  The hook may rewrite the layer's parameters (recovery)
+  /// but must not add/remove layers.
+  using ForwardHook = std::function<void(std::size_t index, Layer& layer)>;
+
   Model() = default;
 
   void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
@@ -28,8 +36,40 @@ class Model {
   [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
   [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
 
+  /// Installs the single pre-forward hook (empty function clears it).
+  void set_forward_hook(ForwardHook hook) { hook_ = std::move(hook); }
+  [[nodiscard]] bool has_forward_hook() const {
+    return static_cast<bool>(hook_);
+  }
+
+  /// Hook suspension (nestable).  An attacker simulating flips offline
+  /// evaluates the model without triggering the victim's inference-time
+  /// hooks; see HookSuspensionScope.
+  void push_hook_suspension() { ++hook_suspended_; }
+  void pop_hook_suspension() { --hook_suspended_; }
+
  private:
   std::vector<LayerPtr> layers_;
+  ForwardHook hook_;
+  int hook_suspended_ = 0;
+};
+
+/// RAII guard that disables the model's forward hook for a scope.  The BFA
+/// attacker wraps its own trial evaluations in this: its simulated forward
+/// passes are attacker-local, so lazy integrity verification (which models
+/// the *victim's* inference path) must not fire — and must not revert a
+/// trial flip between the attacker's flip and its undo.
+class HookSuspensionScope {
+ public:
+  explicit HookSuspensionScope(Model& model) : model_(model) {
+    model_.push_hook_suspension();
+  }
+  ~HookSuspensionScope() { model_.pop_hook_suspension(); }
+  HookSuspensionScope(const HookSuspensionScope&) = delete;
+  HookSuspensionScope& operator=(const HookSuspensionScope&) = delete;
+
+ private:
+  Model& model_;
 };
 
 /// Softmax cross-entropy over logits [N, classes].

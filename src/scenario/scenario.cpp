@@ -97,6 +97,13 @@ DefenseSpec DefenseSpec::dram_locker(const dl::defense::DramLockerConfig& cfg,
   return d;
 }
 
+DefenseSpec DefenseSpec::with_integrity(const IntegritySpec& spec) const {
+  DefenseSpec d = *this;
+  d.integrity = spec;
+  d.integrity.enabled = true;
+  return d;
+}
+
 const char* to_string(DefenseSpec::Kind kind) {
   switch (kind) {
     case DefenseSpec::Kind::kNone:          return "none";
@@ -110,6 +117,12 @@ const char* to_string(DefenseSpec::Kind kind) {
     case DefenseSpec::Kind::kDramLocker:    return "dram-locker";
   }
   return "?";
+}
+
+std::string defense_label(const DefenseSpec& spec) {
+  std::string label = to_string(spec.kind);
+  if (spec.integrity.enabled) label += "+integrity";
+  return label;
 }
 
 // ------------------------------------------------------------ run_one
@@ -215,16 +228,34 @@ void issue_traffic(Controller& ctrl, const std::vector<TrafficOp>& ops) {
 /// tenant streams (cycles decorrelate via sub-streams of each tenant's
 /// declared seed), merged into the campaign's per-tenant stats.  Hammer
 /// tenants feed the attack result so traffic and burst campaigns report
-/// uniformly.
+/// uniformly.  When the campaign runs the integrity defense, a kScrub
+/// tenant joins the mix (with a zero budget on cycles where no sweep is
+/// due, so the tenant roster stays stable for stat merging) and the
+/// engine's data sink feeds its serviced chunks to the scrubber.
 void run_traffic_cycle(Controller& ctrl, const HammerCampaign& campaign,
-                       std::uint64_t cycle, HammerCampaignResult& r) {
+                       std::uint64_t cycle, HammerCampaignResult& r,
+                       dl::integrity::DramScrubber* scrubber,
+                       bool scrub_due) {
   std::vector<dl::traffic::StreamSpec> tenants = campaign.traffic.tenants;
   for (auto& t : tenants) {
     t.seed = dl::substream_seed(t.seed, /*epoch=*/3, cycle);
   }
+  std::size_t scrub_tenant = tenants.size();
+  if (scrubber != nullptr) {
+    tenants.push_back(dl::traffic::StreamSpec::scrub(
+        scrubber->rows(), scrubber->chunk_bytes(),
+        scrub_due ? scrubber->chunks_per_pass() : 0));
+    tenants.back().name = "scrub";
+  }
   dl::traffic::TrafficEngine engine(ctrl, std::move(tenants),
                                     campaign.traffic.scheduler);
+  if (scrubber != nullptr) {
+    engine.set_data_sink([&](const dl::traffic::Serviced& s) {
+      if (s.req.tenant == scrub_tenant) scrubber->on_read(s.req.addr, s.data);
+    });
+  }
   const auto report = engine.run();
+  if (scrubber != nullptr && scrub_due) scrubber->count_pass();
 
   if (r.tenants.empty()) {
     r.tenants = report.tenants;
@@ -255,6 +286,36 @@ std::vector<GlobalRowId> traffic_victims(const HammerCampaign& campaign) {
   return victims;
 }
 
+/// Rows the integrity scrubber guards: the campaign's protected rows, or
+/// the victim rows when none are declared; deduplicated, order-preserving.
+std::vector<GlobalRowId> scrub_rows_for(const HammerCampaign& campaign) {
+  std::vector<GlobalRowId> rows = campaign.protected_rows.empty()
+                                      ? traffic_victims(campaign)
+                                      : campaign.protected_rows;
+  std::vector<GlobalRowId> unique;
+  for (const GlobalRowId row : rows) {
+    bool seen = false;
+    for (const GlobalRowId u : unique) seen = seen || u == row;
+    if (!seen) unique.push_back(row);
+  }
+  return unique;
+}
+
+/// Seeds the guarded rows with a deterministic non-zero pattern (the
+/// stand-in for real protected data) so corrections restore actual
+/// contents and the end-of-campaign audit diffs against something
+/// meaningful.  Written straight into the backing store: this is the
+/// pre-attack initial state, not accounted traffic.
+void seed_scrub_rows(Controller& ctrl, const std::vector<GlobalRowId>& rows) {
+  std::vector<std::uint8_t> pattern(ctrl.geometry().row_bytes);
+  for (const GlobalRowId row : rows) {
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      pattern[i] = static_cast<std::uint8_t>(row * 131 + i * 7 + 3);
+    }
+    ctrl.data().write(ctrl.indirection().to_physical(row), 0, pattern);
+  }
+}
+
 }  // namespace
 
 HammerCampaignResult run_one(const HammerCampaign& campaign) {
@@ -267,12 +328,27 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
   DefenseInstance defense;
   defense.install(campaign.defense, ctrl, campaign.protected_rows);
 
+  std::unique_ptr<dl::integrity::DramScrubber> scrubber;
+  const IntegritySpec& ispec = campaign.defense.integrity;
+  if (ispec.enabled) {
+    const auto rows = scrub_rows_for(campaign);
+    seed_scrub_rows(ctrl, rows);
+    scrubber =
+        std::make_unique<dl::integrity::DramScrubber>(ctrl, rows,
+                                                      ispec.config);
+  }
+  const auto scrub_due = [&](std::uint64_t cycle) {
+    return scrubber != nullptr && ispec.scrub_interval > 0 &&
+           (cycle + 1) % ispec.scrub_interval == 0;
+  };
+
   dl::rowhammer::HammerAttacker attacker(ctrl, model);
   HammerCampaignResult r;
   r.name = campaign.name;
   if (campaign.traffic.enabled()) {
     // Multi-tenant path: the engine replaces the attack burst; flips are
-    // attributed against the hammer tenants' victim rows.
+    // attributed against the hammer tenants' victim rows.  Scrub sweeps
+    // (when due) contend inside the same engine run as a kScrub tenant.
     const auto victims = traffic_victims(campaign);
     dl::rowhammer::FlipCallbackScope scope(
         model, [&](const dl::rowhammer::FlipEvent& ev) {
@@ -286,7 +362,7 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
         });
     for (std::uint64_t c = 0; c < campaign.cycles; ++c) {
       issue_traffic(ctrl, campaign.pre_traffic);
-      run_traffic_cycle(ctrl, campaign, c, r);
+      run_traffic_cycle(ctrl, campaign, c, r, scrubber.get(), scrub_due(c));
       issue_traffic(ctrl, campaign.post_traffic);
     }
   } else {
@@ -302,10 +378,17 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
       r.attack.flips_elsewhere += res.flips_elsewhere;
       r.attack.elapsed += res.elapsed;
       issue_traffic(ctrl, campaign.post_traffic);
+      if (scrub_due(c)) scrubber->scrub_pass();
     }
   }
 
   defense.harvest(r);
+  if (scrubber != nullptr) {
+    r.integrity_enabled = true;
+    r.integrity_config = ispec.config;
+    r.integrity = scrubber->stats();
+    r.integrity_audit = scrubber->audit();
+  }
   r.rowclones = static_cast<std::uint64_t>(ctrl.stats().get("rowclones"));
   r.total_flips = model.total_flips();
   r.defense_time = ctrl.defense_time();
@@ -329,10 +412,12 @@ std::vector<HammerCampaignResult> run(
 std::vector<HammerCampaign> expand(const MatrixSpec& spec) {
   DL_REQUIRE(!spec.patterns.empty() && !spec.defenses.empty(),
              "matrix needs at least one pattern and one defense");
-  // A parameter sweep lists the same defense kind several times; suffix
-  // those cells with their position so names (and report rows) stay unique.
-  std::unordered_map<DefenseSpec::Kind, std::size_t> kind_count;
-  for (const DefenseSpec& def : spec.defenses) ++kind_count[def.kind];
+  // A parameter sweep lists the same defense cell several times; suffix
+  // those cells with their position so names (and report rows) stay
+  // unique.  The label distinguishes integrity-composed cells, so
+  // {none, none+integrity} sweeps need no suffix.
+  std::unordered_map<std::string, std::size_t> label_count;
+  for (const DefenseSpec& def : spec.defenses) ++label_count[defense_label(def)];
   std::vector<HammerCampaign> campaigns;
   std::uint64_t index = 0;
   for (std::uint64_t rep = 0; rep < spec.repetitions; ++rep) {
@@ -344,8 +429,9 @@ std::vector<HammerCampaign> expand(const MatrixSpec& spec) {
         c.name += '/';
         c.name += dl::rowhammer::to_string(pattern);
         c.name += '/';
-        c.name += to_string(def.kind);
-        if (kind_count[def.kind] > 1) {
+        const std::string label = defense_label(def);
+        c.name += label;
+        if (label_count[label] > 1) {
           c.name += '#';
           c.name += std::to_string(di);
         }
@@ -396,6 +482,23 @@ BfaCampaignResult run_bfa(const VictimRef& victim,
   r.name = campaign.name;
   r.accuracy.push_back(victim.clean_accuracy);
 
+  // The reactive defense snapshots/checksums the freshly restored clean
+  // weights; every flip the attacker commits from here on lands in the
+  // checksummed view.
+  std::unique_ptr<dl::integrity::WeightIntegrity> wi;
+  const IntegritySpec& ispec = campaign.integrity;
+  if (ispec.enabled) {
+    wi = std::make_unique<dl::integrity::WeightIntegrity>(victim.qmodel,
+                                                          ispec.config);
+    if (ispec.lazy_hooks) wi->attach(victim.model);
+  }
+  // Victim-side inference on the attacker's sample batch: runs with
+  // forward hooks live, so lazy verification triggers here (and the
+  // returned accuracy reflects any recovery it performed).
+  const auto victim_sample_accuracy = [&] {
+    return dl::nn::evaluate_accuracy(victim.model, victim.sample);
+  };
+
   // Wrap the declared gate so every campaign reports attempts/landed
   // uniformly; the wrapped decision sequence is identical to handing the
   // underlying gate (or none) to the attacker directly.
@@ -415,34 +518,81 @@ BfaCampaignResult run_bfa(const VictimRef& victim,
 
   if (campaign.mode == BfaCampaign::Mode::kRandom) {
     dl::Rng rng(campaign.random_seed);
+    // With integrity, the victim verifies between attack attempts: every
+    // verify_interval-th attempt triggers an eager sweep (or, in lazy
+    // mode, a victim-side inference that verifies the touched layers), so
+    // the recorded per-flip accuracies are post-recovery.
+    const auto after_attempt = [&](std::size_t i) {
+      if (wi == nullptr) return;
+      if (ispec.lazy_hooks) {
+        (void)victim_sample_accuracy();
+      } else if (ispec.verify_interval > 0 &&
+                 (i + 1) % ispec.verify_interval == 0) {
+        wi->verify_all();
+      }
+    };
     const auto res = dl::attack::random_bit_attack(
         victim.model, victim.qmodel, victim.sample, campaign.random_flips,
-        rng, gate);
+        rng, gate, wi != nullptr ? after_attempt
+                                 : std::function<void(std::size_t)>{});
     for (const double a : res.accuracy_after) r.accuracy.push_back(a);
     r.flips_landed = static_cast<std::size_t>(r.gate_landed);
     r.flips_blocked =
         static_cast<std::size_t>(r.gate_attempts - r.gate_landed);
+  } else if (wi != nullptr || campaign.fixed_iterations) {
+    dl::attack::ProgressiveBitSearch pbs(victim.model, victim.qmodel,
+                                         campaign.bfa);
+    for (std::size_t i = 0; i < campaign.bfa.max_iterations; ++i) {
+      const auto it = pbs.step(victim.sample, gate);
+      if (it.flipped) {
+        ++r.flips_landed;
+      } else if (it.blocked) {
+        ++r.flips_blocked;
+      }
+      double acc = it.accuracy_after;
+      if (wi != nullptr) {
+        const bool due = ispec.lazy_hooks ||
+                         (ispec.verify_interval > 0 &&
+                          (i + 1) % ispec.verify_interval == 0);
+        if (due) {
+          if (!ispec.lazy_hooks) wi->verify_all();
+          // Re-probe through the victim's (hooked) inference path: the
+          // curve entry becomes the post-recovery accuracy.
+          acc = victim_sample_accuracy();
+        }
+      }
+      r.accuracy.push_back(acc);
+      if (!campaign.fixed_iterations) {
+        const bool stuck = !it.flipped && !it.blocked;
+        if (stuck || acc <= campaign.bfa.stop_below_accuracy) break;
+      }
+    }
   } else {
     dl::attack::ProgressiveBitSearch pbs(victim.model, victim.qmodel,
                                          campaign.bfa);
-    if (campaign.fixed_iterations) {
-      for (std::size_t i = 0; i < campaign.bfa.max_iterations; ++i) {
-        const auto it = pbs.step(victim.sample, gate);
-        r.accuracy.push_back(it.accuracy_after);
-        if (it.flipped) {
-          ++r.flips_landed;
-        } else if (it.blocked) {
-          ++r.flips_blocked;
-        }
-      }
-    } else {
-      const auto res = pbs.run(victim.sample, gate);
-      for (const auto& it : res.iterations) {
-        r.accuracy.push_back(it.accuracy_after);
-      }
-      r.flips_landed = res.flips_landed;
-      r.flips_blocked = res.flips_blocked;
+    const auto res = pbs.run(victim.sample, gate);
+    for (const auto& it : res.iterations) {
+      r.accuracy.push_back(it.accuracy_after);
     }
+    r.flips_landed = res.flips_landed;
+    r.flips_blocked = res.flips_blocked;
+  }
+
+  if (wi != nullptr) {
+    r.integrity_enabled = true;
+    r.integrity_config = ispec.config;
+    // Attacker's final view, then the defense's last word: one more full
+    // verification (the scrub the victim would run before redeploying) and
+    // the post-recovery accuracy it buys back.
+    {
+      dl::nn::HookSuspensionScope suspend(victim.model);
+      r.accuracy_before_recovery =
+          dl::nn::evaluate_accuracy(victim.model, victim.sample);
+    }
+    wi->verify_all();
+    r.recovered_accuracy = victim_sample_accuracy();
+    r.integrity = wi->stats();
+    r.integrity_audit = wi->audit();
   }
 
   if (victim.test != nullptr) {
@@ -464,6 +614,41 @@ std::vector<BfaCampaignResult> run_bfa(
 }
 
 // ----------------------------------------------------------------- reports
+
+namespace {
+
+void put_integrity_config(dl::json::Value& v,
+                          const dl::integrity::Config& config) {
+  v["scheme"] = dl::integrity::to_string(config.scheme);
+  v["group_size"] = config.group_size;
+  v["recovery"] = dl::integrity::to_string(config.recovery);
+}
+
+void put_audit(dl::json::Value& v, const dl::integrity::Audit& audit) {
+  v["residual_corrupt_bytes"] = audit.corrupt_bytes;
+  v["missed_corrupt_bytes"] = audit.missed_bytes;
+}
+
+/// Shared outcome block of both report families: the verification /
+/// recovery counters (integrity::Stats and integrity::ScrubStats
+/// deliberately share this field shape), the ground-truth audit, and the
+/// detection rate derived from them.
+template <typename Counters>
+void put_integrity_outcome(dl::json::Value& v, const Counters& s,
+                           const dl::integrity::Audit& audit) {
+  v["verified_groups"] = s.verified_groups;
+  v["detections"] = s.detections;
+  v["corrected_bits"] = s.corrected_bits;
+  v["zeroed_groups"] = s.zeroed_groups;
+  v["zeroed_corrupt_bytes"] = s.zeroed_corrupt_bytes;
+  v["checksum_repairs"] = s.checksum_repairs;
+  v["uncorrectable"] = s.uncorrectable;
+  put_audit(v, audit);
+  v["detection_rate"] = dl::integrity::detection_rate(
+      s.corrected_bits, s.zeroed_corrupt_bytes, audit);
+}
+
+}  // namespace
 
 dl::json::Value to_json(const HammerCampaignResult& r) {
   auto v = dl::json::Value::object();
@@ -504,6 +689,22 @@ dl::json::Value to_json(const HammerCampaignResult& r) {
     }
     v["tenants"] = std::move(tenants);
   }
+  if (r.integrity_enabled) {
+    auto integrity = dl::json::Value::object();
+    put_integrity_config(integrity, r.integrity_config);
+    integrity["passes"] = r.integrity.passes;
+    integrity["scrub_reads"] = r.integrity.scrub_reads;
+    integrity["scrub_read_bytes"] = r.integrity.scrub_read_bytes;
+    integrity["denied_accesses"] = r.integrity.denied_accesses;
+    integrity["correction_writes"] = r.integrity.correction_writes;
+    integrity["first_detection_ps"] = r.integrity.first_detection_at;
+    put_integrity_outcome(integrity, r.integrity, r.integrity_audit);
+    const double secs = to_seconds(r.elapsed);
+    integrity["scrub_bandwidth_bytes_per_sec"] =
+        secs > 0.0 ? static_cast<double>(r.integrity.scrub_read_bytes) / secs
+                   : 0.0;
+    v["integrity"] = std::move(integrity);
+  }
   return v;
 }
 
@@ -518,6 +719,14 @@ dl::json::Value to_json(const BfaCampaignResult& r) {
   auto curve = dl::json::Value::array();
   for (const double a : r.accuracy) curve.push_back(a);
   v["accuracy"] = std::move(curve);
+  if (r.integrity_enabled) {
+    auto integrity = dl::json::Value::object();
+    put_integrity_config(integrity, r.integrity_config);
+    put_integrity_outcome(integrity, r.integrity, r.integrity_audit);
+    integrity["accuracy_before_recovery"] = r.accuracy_before_recovery;
+    integrity["recovered_accuracy"] = r.recovered_accuracy;
+    v["integrity"] = std::move(integrity);
+  }
   return v;
 }
 

@@ -17,9 +17,27 @@
 //     share one victim model (weights are restored before each campaign),
 //     so they run serially; all internal compute still uses the pool.
 //
+// Either campaign family can additionally enable the *reactive* integrity
+// defense (src/integrity, RADAR-style): DefenseSpec::integrity composes
+// with every preventive mechanism, so one MatrixSpec sweeps
+// {none, DRAM-Locker, integrity-only, DRAM-Locker+integrity} cells
+// uniformly.  Hammer campaigns scrub the protected rows through the
+// controller (or through a kScrub tenant when multi-tenant traffic is
+// enabled); BFA campaigns verify the victim's quantized weights between
+// attack iterations (or lazily via inference hooks) and measure the
+// recovered accuracy.
+//
 // Results carry the structured statistics the paper's tables report
 // (HammerResult, TrackerStats, DramLocker::Stats, accuracy-under-attack)
-// and serialize to JSON via report_json() for CI artifacts.
+// and serialize to JSON via report_json() for CI artifacts; see
+// docs/SCENARIO_SCHEMA.md for the full field reference.
+//
+// Determinism contract: every spec carries explicit seeds, every campaign
+// owns its controller/defense/RNG state, and the runner fans campaigns out
+// over fixed-size chunks — results (and the serialized reports) are
+// byte-identical for any DL_THREADS value and any machine.  Thread
+// safety: specs are value types, safe to copy/share; runners synchronize
+// internally; a result struct belongs to its caller.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +49,9 @@
 #include "defense/dram_locker.hpp"
 #include "defense/trackers.hpp"
 #include "dram/controller.hpp"
+#include "integrity/checksum.hpp"
+#include "integrity/scrubber.hpp"
+#include "integrity/weight_integrity.hpp"
 #include "nn/model.hpp"
 #include "nn/quant.hpp"
 #include "rowhammer/attacker.hpp"
@@ -40,6 +61,31 @@
 namespace dl::scenario {
 
 // ---------------------------------------------------------------- defenses
+
+/// Declarative run-time integrity (RADAR-style) add-on.  Orthogonal to the
+/// preventive mechanism selected by DefenseSpec::kind: a reactive
+/// detect-and-recover layer that composes with any of them (or with none).
+struct IntegritySpec {
+  bool enabled = false;
+  dl::integrity::Config config;  ///< scheme, group size, recovery policy
+
+  /// Hammer campaigns: run one scrub sweep every N campaign cycles
+  /// (0 = never scrub — detection happens only in the end-of-campaign
+  /// audit).  With multi-tenant traffic the sweep runs as a kScrub tenant
+  /// contending through the FR-FCFS scheduler; otherwise it reads directly
+  /// through the controller inside a DefenseScope.
+  std::uint64_t scrub_interval = 1;
+
+  /// BFA campaigns: verify the whole quantized model every N attack
+  /// iterations (0 = only once, after the attack finishes).
+  std::size_t verify_interval = 1;
+
+  /// BFA campaigns: instead of interval verification, attach per-layer
+  /// inference hooks (nn::Model::ForwardHook) so the victim verifies each
+  /// layer lazily whenever *victim-side* inference consumes it.  The
+  /// attacker's own trial evaluations never trigger these hooks.
+  bool lazy_hooks = false;
+};
 
 /// Declarative defense choice: which mechanism guards the controller and
 /// how it is parameterized.  One struct covers every mechanism so campaign
@@ -67,6 +113,12 @@ struct DefenseSpec {
   bool lazy_unswap = false;             ///< kRowSwap: SRS behaviour
   dl::defense::DramLockerConfig locker; ///< kDramLocker
   std::uint64_t seed = 2;               ///< defense-private RNG stream
+  /// Reactive integrity add-on; composes with any kind (incl. kNone).
+  IntegritySpec integrity;
+
+  /// Copy of this spec with the integrity add-on enabled — sweep cells
+  /// like `DefenseSpec::dram_locker(cfg, 0).with_integrity(radar)`.
+  [[nodiscard]] DefenseSpec with_integrity(const IntegritySpec& spec) const;
 
   static DefenseSpec none();
   static DefenseSpec trr(double p, std::uint32_t radius, std::uint64_t seed);
@@ -87,6 +139,10 @@ struct DefenseSpec {
 };
 
 [[nodiscard]] const char* to_string(DefenseSpec::Kind kind);
+
+/// Human label of a defense cell: the kind name plus "+integrity" when the
+/// reactive add-on is enabled (used in expanded campaign names).
+[[nodiscard]] std::string defense_label(const DefenseSpec& spec);
 
 // ------------------------------------------------------------- environment
 
@@ -140,8 +196,11 @@ struct HammerCampaign {
   DramEnv env;
   DefenseSpec defense;
   AttackSpec attack;
-  /// Data rows DRAM-Locker protects before the campaign starts (ignored by
-  /// other defenses, which are victim-agnostic).
+  /// Data rows DRAM-Locker protects before the campaign starts, and the
+  /// rows the integrity scrubber guards when defense.integrity is enabled
+  /// (tracker/swap defenses are victim-agnostic and ignore this).  When
+  /// empty, the integrity scrubber falls back to the campaign's victim
+  /// rows.
   std::vector<dl::dram::GlobalRowId> protected_rows;
   /// Workload repetitions; each cycle issues pre_traffic, one attack burst
   /// of `attack.act_budget` activations, then post_traffic.
@@ -166,6 +225,11 @@ struct HammerCampaignResult {
   Picoseconds elapsed = 0;                ///< controller clock at the end
   /// Per-tenant stats, merged over cycles (traffic campaigns only).
   std::vector<dl::traffic::TenantStats> tenants;
+  /// Reactive-integrity outcome (defense.integrity campaigns only).
+  bool integrity_enabled = false;
+  dl::integrity::Config integrity_config;
+  dl::integrity::ScrubStats integrity;
+  dl::integrity::Audit integrity_audit;   ///< end-of-campaign ground truth
 };
 
 /// Runs one campaign on the calling thread.
@@ -243,18 +307,30 @@ struct BfaCampaign {
   /// stop (per-iteration accuracy curves); default uses the attacker's
   /// own stopping rule (stuck / stop_below_accuracy).
   bool fixed_iterations = false;
+  /// Reactive weight-integrity defense guarding the victim (composable
+  /// with any gate, so "DRAM-Locker + RADAR" is gate=kDenyAll + this).
+  IntegritySpec integrity;
 };
 
 struct BfaCampaignResult {
   std::string name;
   /// accuracy[0] is the clean accuracy; accuracy[i] the sample-batch
-  /// accuracy after iteration i.
+  /// accuracy after iteration i.  With integrity enabled, entries at
+  /// verify points reflect the victim's *post-recovery* state.
   std::vector<double> accuracy;
   std::size_t flips_landed = 0;
   std::size_t flips_blocked = 0;
   std::uint64_t gate_attempts = 0;  ///< flips offered to a blocking gate
   std::uint64_t gate_landed = 0;    ///< flips a kResidual gate let through
-  double test_accuracy_after = 0.0; ///< held-out accuracy (if test given)
+  double test_accuracy_after = 0.0; ///< held-out accuracy (if test given;
+                                    ///< post-recovery when integrity is on)
+  /// Reactive-integrity outcome (campaign.integrity enabled only).
+  bool integrity_enabled = false;
+  dl::integrity::Config integrity_config;
+  dl::integrity::Stats integrity;
+  dl::integrity::Audit integrity_audit;   ///< after the final recovery
+  double accuracy_before_recovery = 0.0;  ///< sample accuracy pre-recovery
+  double recovered_accuracy = 0.0;        ///< sample accuracy post-recovery
 };
 
 /// Runs one BFA campaign.  Restores the victim's weights first; the model
@@ -263,7 +339,10 @@ struct BfaCampaignResult {
                                         const BfaCampaign& campaign);
 
 /// Runs the campaigns in order against the shared victim, restoring the
-/// weights between campaigns and after the last one.
+/// weights between campaigns and after the last one.  Campaigns run
+/// serially (they share the victim's mutable weights); the compute inside
+/// each — GEMM, gradient passes, candidate ranking — still fans out over
+/// the pool, and results stay bit-identical for any DL_THREADS value.
 [[nodiscard]] std::vector<BfaCampaignResult> run_bfa(
     const VictimRef& victim, const std::vector<BfaCampaign>& campaigns);
 

@@ -41,6 +41,7 @@ void TenantStats::merge(const TenantStats& other) {
   writes += other.writes;
   hammer_acts += other.hammer_acts;
   row_hits += other.row_hits;
+  data_bytes += other.data_bytes;
   service_time += other.service_time;
   queue_latency.insert(queue_latency.end(), other.queue_latency.begin(),
                        other.queue_latency.end());
@@ -73,8 +74,10 @@ void TrafficEngine::record(const Serviced& s) {
       ++t.hammer_acts;
     } else if (s.req.is_write) {
       ++t.writes;
+      t.data_bytes += s.req.bytes;
     } else {
       ++t.reads;
+      t.data_bytes += s.req.bytes;
     }
     if (s.result.row_hit) ++t.row_hits;
   } else {
@@ -83,6 +86,7 @@ void TrafficEngine::record(const Serviced& s) {
   t.service_time += s.result.latency;
   t.queue_latency.push_back(s.completed_at - s.req.enqueued_at);
   ++serviced_;
+  if (data_sink_ && !s.data.empty()) data_sink_(s);
 }
 
 TrafficReport TrafficEngine::run() {
@@ -132,6 +136,7 @@ dl::json::Value to_json(const TenantStats& t, Picoseconds elapsed) {
   v["hammer_acts"] = t.hammer_acts;
   v["row_hits"] = t.row_hits;
   v["row_hit_rate"] = t.row_hit_rate();
+  v["data_bytes"] = t.data_bytes;
   v["service_time_ps"] = t.service_time;
   std::vector<Picoseconds> sorted = t.queue_latency;
   std::sort(sorted.begin(), sorted.end());
@@ -144,6 +149,11 @@ dl::json::Value to_json(const TenantStats& t, Picoseconds elapsed) {
     const double secs = to_seconds(elapsed);
     v["acts_per_sec"] =
         secs > 0.0 ? static_cast<double>(t.hammer_acts) / secs : 0.0;
+  }
+  if (t.kind == StreamKind::kScrub) {
+    const double secs = to_seconds(elapsed);
+    v["scrub_bandwidth_bytes_per_sec"] =
+        secs > 0.0 ? static_cast<double>(t.data_bytes) / secs : 0.0;
   }
   return v;
 }

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,7 +25,9 @@
 
 namespace dl::traffic {
 
-/// Per-tenant outcome statistics.
+/// Per-tenant outcome statistics.  Plain value type: safe to copy across
+/// threads once a run completes; merge() is the only mutator campaigns
+/// use (cycle accumulation, always on the owning thread).
 struct TenantStats {
   std::string name;
   StreamKind kind = StreamKind::kSynthetic;
@@ -35,6 +38,7 @@ struct TenantStats {
   std::uint64_t writes = 0;
   std::uint64_t hammer_acts = 0;  ///< granted ACT-only requests
   std::uint64_t row_hits = 0;     ///< granted requests hitting an open row
+  std::uint64_t data_bytes = 0;   ///< bytes moved by granted reads/writes
   Picoseconds service_time = 0;   ///< controller latency of own requests
   /// Queue latency (enqueue -> completion, simulated time) per request;
   /// kept raw so merged stats across cycles still yield exact percentiles.
@@ -63,12 +67,28 @@ struct TrafficReport {
                                       Picoseconds elapsed);
 [[nodiscard]] dl::json::Value to_json(const TrafficReport& report);
 
+/// Thread safety: none — an engine owns one controller's request flow for
+/// the duration of run().  Determinism: with fixed tenant specs the full
+/// service order, all statistics, and every byte moved are identical on
+/// any machine and any DL_THREADS value (the engine itself never uses the
+/// parallel pool; campaigns fan out *around* engines, not inside them).
 class TrafficEngine {
  public:
+  /// Observer of granted data reads, called after statistics are recorded.
+  /// `Serviced::data` views scheduler scratch — valid only during the
+  /// call.  Integrity scrubbers subscribe here to verify scrub chunks
+  /// (src/integrity/scrubber.hpp) while their reads stay tenant-accounted.
+  using DataSink = std::function<void(const Serviced&)>;
+
   /// Tenant ids are positions in `tenants`; empty spec names default to
   /// "t<i>/<kind>".
   TrafficEngine(dl::dram::Controller& ctrl, std::vector<StreamSpec> tenants,
                 const SchedulerConfig& scheduler = {});
+
+  /// Installs the single data-read observer (empty function clears it).
+  /// The sink may issue its own controller traffic (e.g. recovery writes)
+  /// but must not touch the engine or scheduler.
+  void set_data_sink(DataSink sink) { data_sink_ = std::move(sink); }
 
   /// Runs every stream to exhaustion and drains the queues.
   TrafficReport run();
@@ -78,6 +98,7 @@ class TrafficEngine {
   FrFcfsScheduler scheduler_;
   std::vector<Stream> streams_;
   std::vector<TenantStats> stats_;
+  DataSink data_sink_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t serviced_ = 0;
 

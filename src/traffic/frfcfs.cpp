@@ -77,6 +77,9 @@ void FrFcfsScheduler::service(
     s.result = ctrl_.read(req.addr,
                           std::span<std::uint8_t>(scratch_.data(), req.bytes),
                           req.can_unlock);
+    if (s.result.granted) {
+      s.data = std::span<const std::uint8_t>(scratch_.data(), req.bytes);
+    }
   }
   s.completed_at = ctrl_.now();
   sink(s);

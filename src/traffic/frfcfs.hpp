@@ -12,13 +12,21 @@
 // Every serviced request goes through dram::Controller::read/write/hammer,
 // so access gates (DRAM-Locker), activation listeners (trackers, the
 // disturbance model), and defense mitigation traffic stay on the accounted
-// path; the scheduler only chooses the order.  Scheduling is fully
-// deterministic: fixed bank walk, fixed tie-breaks by arrival number.
+// path; the scheduler only chooses the order.
+//
+// Determinism contract: scheduling is a pure function of the enqueue
+// sequence and the controller's row-buffer/indirection state — fixed bank
+// walk, fixed tie-breaks by arrival order, no randomness and no wall
+// clock — so identical request sequences service identically on any
+// machine and any DL_THREADS value.  Thread safety: none; a scheduler
+// belongs to one engine on one thread (campaigns parallelize *across*
+// controllers, never within one).
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/units.hpp"
@@ -42,6 +50,11 @@ struct Serviced {
   Request req;
   dl::dram::AccessResult result;
   Picoseconds completed_at = 0;
+  /// Bytes a granted data read returned.  Views the scheduler's scratch
+  /// buffer — valid only for the duration of the sink call; consumers that
+  /// need the data later must copy it.  Empty for writes, ACT-only hammer
+  /// requests, and denied accesses.
+  std::span<const std::uint8_t> data;
 };
 
 class FrFcfsScheduler {

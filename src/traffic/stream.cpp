@@ -13,6 +13,7 @@ const char* to_string(StreamKind kind) {
     case StreamKind::kWeightReader: return "weight-reader";
     case StreamKind::kSynthetic:    return "synthetic";
     case StreamKind::kHammer:       return "hammer";
+    case StreamKind::kScrub:        return "scrub";
   }
   return "?";
 }
@@ -71,6 +72,19 @@ StreamSpec StreamSpec::hammer(dl::rowhammer::HammerPattern pattern,
   return s;
 }
 
+StreamSpec StreamSpec::scrub(std::vector<GlobalRowId> rows,
+                             std::uint32_t chunk_bytes, std::uint64_t requests,
+                             std::uint32_t burst) {
+  StreamSpec s;
+  s.kind = StreamKind::kScrub;
+  s.scrub_rows = std::move(rows);
+  s.bytes_per_access = chunk_bytes;
+  s.requests = requests;
+  s.burst = burst;
+  s.can_unlock = true;  // the scrubber is an OS/driver service
+  return s;
+}
+
 Stream::Stream(const StreamSpec& spec, std::uint16_t tenant_id,
                const dl::dram::Controller& ctrl)
     : spec_(spec), tenant_(tenant_id), ctrl_(ctrl), rng_(spec.seed),
@@ -93,6 +107,17 @@ Stream::Stream(const StreamSpec& spec, std::uint16_t tenant_id,
                                                   spec_.pattern);
       DL_REQUIRE(!aggressors_.empty(),
                  "hammer stream victim has no addressable aggressors");
+      break;
+    case StreamKind::kScrub:
+      DL_REQUIRE(!spec_.scrub_rows.empty(),
+                 "scrub stream needs at least one row");
+      for (const GlobalRowId row : spec_.scrub_rows) {
+        DL_REQUIRE(row < g.total_rows(), "scrub row outside the geometry");
+      }
+      DL_REQUIRE(spec_.bytes_per_access > 0 &&
+                     g.row_bytes % spec_.bytes_per_access == 0,
+                 "scrub chunk must divide row_bytes");
+      reads_per_row_ = g.row_bytes / spec_.bytes_per_access;
       break;
   }
 }
@@ -137,6 +162,20 @@ Request Stream::generate() {
       r.addr = ctrl_.mapper().row_base(
           aggressors_[issued_ % aggressors_.size()]);
       r.bytes = 0;  // ACT only
+      break;
+    }
+    case StreamKind::kScrub: {
+      // Row-major sweep over the explicit row list in group-sized chunks,
+      // wrapping like the weight reader (a scrub pass revisits from the
+      // top when its budget allows more than one sweep).
+      const std::uint64_t row_idx =
+          (cursor_ / reads_per_row_) % spec_.scrub_rows.size();
+      const std::uint32_t chunk =
+          static_cast<std::uint32_t>(cursor_ % reads_per_row_);
+      r.addr = addr_of(spec_.scrub_rows[row_idx],
+                       chunk * spec_.bytes_per_access);
+      r.bytes = spec_.bytes_per_access;
+      ++cursor_;
       break;
     }
   }

@@ -12,11 +12,21 @@
 //     the current row) and a read/write mix, from a private RNG stream.
 //   kHammer       — a co-located attacker round-robinning ACTs over the
 //     aggressor set of a rowhammer::HammerPattern (no data transfer).
+//   kScrub        — a privileged integrity-scrub service sweeping an
+//     explicit row list in checksum-group-sized chunks (src/integrity);
+//     the engine's data sink hands the serviced bytes to the verifier, so
+//     scrub bandwidth and queueing contend like any other tenant's.
 //
 // Streams only *describe* traffic; the FR-FCFS scheduler (frfcfs.hpp)
 // decides service order and the engine (engine.hpp) issues the requests
 // through the controller so gates, listeners, and defense mitigation
 // traffic all stay on the accounted path.
+//
+// Determinism contract: a Stream is a pure function of (spec, tenant id,
+// controller geometry) — kSynthetic draws only from its private
+// spec.seed stream, every other kind is cursor-driven — so identical
+// specs replay identical request sequences on any machine and any
+// DL_THREADS value.  Thread safety: none; a Stream belongs to one engine.
 #pragma once
 
 #include <cstdint>
@@ -35,7 +45,12 @@ class QuantizedModel;
 
 namespace dl::traffic {
 
-enum class StreamKind : std::uint8_t { kWeightReader, kSynthetic, kHammer };
+enum class StreamKind : std::uint8_t {
+  kWeightReader,
+  kSynthetic,
+  kHammer,
+  kScrub,
+};
 
 [[nodiscard]] const char* to_string(StreamKind kind);
 
@@ -78,6 +93,10 @@ struct StreamSpec {
       dl::rowhammer::HammerPattern::kDoubleSided;
   dl::dram::GlobalRowId victim_row = 0;
 
+  /// kScrub: explicit (possibly non-contiguous) rows to sweep; chunk size
+  /// is bytes_per_access and must divide the geometry's row_bytes.
+  std::vector<dl::dram::GlobalRowId> scrub_rows;
+
   static StreamSpec weight_reader(dl::dram::GlobalRowId base_row,
                                   std::uint64_t rows, std::uint64_t requests,
                                   std::uint32_t burst = 4,
@@ -100,6 +119,13 @@ struct StreamSpec {
   static StreamSpec hammer(dl::rowhammer::HammerPattern pattern,
                            dl::dram::GlobalRowId victim_row,
                            std::uint64_t acts, std::uint32_t burst = 4);
+
+  /// Integrity-scrub tenant: sweeps `rows` in `chunk_bytes` reads (one
+  /// checksum group per read), privileged.  `requests` bounds the sweep —
+  /// pass DramScrubber::chunks_per_pass() for exactly one full pass.
+  static StreamSpec scrub(std::vector<dl::dram::GlobalRowId> rows,
+                          std::uint32_t chunk_bytes, std::uint64_t requests,
+                          std::uint32_t burst = 4);
 };
 
 /// Generator state of one tenant: deterministically turns a StreamSpec into

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Offline documentation link checker (CI `docs` job).
+
+Scans the repo's top-level *.md files and docs/*.md for Markdown links and
+verifies every *intra-repo* target:
+
+  - relative file links must point at an existing file or directory
+    (resolved from the linking file's directory);
+  - fragment links into Markdown files (foo.md#section, or bare #section)
+    must match a heading anchor in the target file, using GitHub's
+    slugification (lowercase, punctuation stripped, spaces -> hyphens);
+  - http(s)/mailto links are *not* fetched — the check is hermetic — but a
+    bare-looking URL scheme typo (e.g. "http:/x") still fails the parse.
+
+Exit status 1 lists every dangling link.  Run locally from the repo root:
+
+  python3 tools/check_docs.py
+"""
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Inline links/images: [text](target) — target may carry a title suffix.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Fenced code blocks must not contribute links.
+FENCE = re.compile(r"^(```|~~~)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: strip markup-ish punctuation, kebab-case."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_~]", "", slug)        # inline markup
+    slug = re.sub(r"[^\w\- ]", "", slug)      # punctuation
+    slug = slug.replace(" ", "-")
+    return slug
+
+
+def anchors_of(md_path, cache={}):
+    if md_path not in cache:
+        slugs = set()
+        counts = {}
+        in_fence = False
+        for line in md_path.read_text(encoding="utf-8").splitlines():
+            if FENCE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[md_path] = slugs
+    return cache[md_path]
+
+
+def links_of(md_path):
+    in_fence = False
+    for lineno, line in enumerate(
+            md_path.read_text(encoding="utf-8").splitlines(), start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in INLINE_LINK.finditer(line):
+            yield lineno, m.group(1)
+
+
+def check_file(md_path):
+    errors = []
+    for lineno, target in links_of(md_path):
+        if target.startswith(EXTERNAL):
+            continue
+        if "://" in target or target.startswith("mailto"):
+            errors.append((lineno, target, "unrecognized URL scheme"))
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            dest = (md_path.parent / path_part).resolve()
+            if not dest.exists():
+                errors.append((lineno, target, "file not found"))
+                continue
+        else:
+            dest = md_path
+        if fragment:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                # Fragments into non-Markdown targets (e.g. source files)
+                # are not resolvable offline; treat the file check as
+                # sufficient.
+                continue
+            if fragment.lower() not in anchors_of(dest):
+                errors.append((lineno, target, "missing heading anchor"))
+    return errors
+
+
+def main():
+    files = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("*.md"))
+    if not files:
+        print("check_docs: no markdown files found")
+        return 1
+    failed = False
+    checked_links = 0
+    for md in files:
+        errors = check_file(md)
+        checked_links += sum(1 for _ in links_of(md))
+        for lineno, target, why in errors:
+            failed = True
+            print(f"{md.relative_to(REPO)}:{lineno}: dangling link "
+                  f"'{target}' ({why})")
+    print(f"check_docs: {len(files)} files, {checked_links} links checked")
+    if failed:
+        print("check_docs: FAILED")
+        return 1
+    print("check_docs: all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
