@@ -15,8 +15,11 @@ Checks, in order:
      machine speed*: each ratio current/baseline is divided by the median
      ratio across all benchmarks, so a uniformly slower/faster runner
      cancels out and only relative regressions (one benchmark drifting
-     against the rest) trip the guard.  --absolute disables the
-     correction for same-machine comparisons.
+     against the rest) trip the guard.  The band is one-sided for
+     failures: a benchmark that got *faster* than the band is reported
+     (FAST) so the win shows up in the CI log and can be folded into the
+     baseline with --update, but it never fails the check.  --absolute
+     disables the correction for same-machine comparisons.
 
 Benchmarks whose name matches a skip pattern (default: thread-autodetect
 variants ending in "/0", whose timing depends on the runner's core count)
@@ -112,14 +115,25 @@ def main():
         speed = 1.0 if args.absolute else statistics.median(ratios.values())
         print(f"check_bench: {len(shared)} benchmarks, machine-speed factor "
               f"{speed:.3f}, tolerance +/-{args.tolerance:.0%}")
+        improvements = []
         for n in shared:
             drift = ratios[n] / speed - 1.0
-            marker = "FAIL" if abs(drift) > args.tolerance else "ok"
+            if drift > args.tolerance:
+                marker = "FAIL"
+            elif drift < -args.tolerance:
+                marker = "FAST"  # improvement beyond the band: report only
+            else:
+                marker = "ok"
             print(f"  {marker:4} {n:48} base {baseline[n]:12.1f}ns "
                   f"cur {current[n]:12.1f}ns drift {drift:+7.1%}")
             if marker == "FAIL":
                 failures.append(f"{n}: normalized drift {drift:+.1%} exceeds "
-                                f"+/-{args.tolerance:.0%}")
+                                f"+{args.tolerance:.0%}")
+            elif marker == "FAST":
+                improvements.append(f"{n}: {drift:+.1%}")
+        if improvements:
+            print("check_bench: improvements beyond the band (fold into the "
+                  "baseline with --update): " + "; ".join(improvements))
 
     if extra:
         print("check_bench: unguarded new benchmarks (add with --update): "

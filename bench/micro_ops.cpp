@@ -254,6 +254,41 @@ BENCHMARK(BM_TrafficScheduler)
     ->Arg(0)
     ->Arg(1);
 
+// Scheduler enqueue→service round trip at a fixed queue depth (arg):
+// each iteration fills one bank's queue to the target depth with a
+// conflict/hit row mix, then drains it.  Pins the index-ring removal
+// (formerly O(n) vector::erase) and the decode-once address caching under
+// load — per-request cost should stay near-flat as depth grows.
+void BM_EnqueueService(benchmark::State& state) {
+  const auto depth = static_cast<std::uint32_t>(state.range(0));
+  dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
+  traffic::SchedulerConfig cfg;
+  cfg.queue_capacity = depth;
+  cfg.batch = depth;
+  traffic::FrFcfsScheduler sched(ctrl, cfg);
+  // Four rows of one bank: enough conflicts to exercise mid-queue row-hit
+  // picks, enough hits that pick() walks past the head.
+  const std::array<dram::PhysAddr, 4> bases = {
+      ctrl.mapper().row_base(1), ctrl.mapper().row_base(3),
+      ctrl.mapper().row_base(5), ctrl.mapper().row_base(7)};
+  std::uint64_t served = 0;
+  for (auto _ : state) {
+    for (std::uint32_t i = 0; i < depth; ++i) {
+      traffic::Request req;
+      req.addr = bases[i % bases.size()];
+      req.bytes = 64;
+      req.seq = i;
+      sched.try_enqueue(req);
+    }
+    sched.drain_all([](const traffic::Serviced& s) {
+      benchmark::DoNotOptimize(s.result.latency);
+    });
+    served += depth;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(served));
+}
+BENCHMARK(BM_EnqueueService)->ArgName("depth")->Arg(4)->Arg(16)->Arg(64);
+
 void BM_DramLockerGateAllow(benchmark::State& state) {
   dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
   defense::DramLockerConfig cfg;

@@ -38,6 +38,7 @@ void RowSwap::channel_swap(GlobalRowId phys_a, GlobalRowId phys_b) {
   const Picoseconds burst = ctrl_.timing().hit_latency();
   const std::int64_t bursts = 2LL * 2LL * (row_bytes / 64);
   ctrl_.advance_time(burst * bursts / 8);  // 8-deep command pipelining
+  ctrl_.counters().add(dl::dram::Counter::kChannelSwaps);
 }
 
 void RowSwap::migrate(GlobalRowId aggressor_phys) {

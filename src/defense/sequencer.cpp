@@ -70,6 +70,7 @@ SequencerResult Sequencer::run(const std::vector<Uop>& program,
       case UopKind::kDone:
         res.completed = true;
         res.elapsed = ctrl_.now() - start;
+        ctrl_.counters().add(dl::dram::Counter::kSequencerPrograms);
         return res;
     }
   }

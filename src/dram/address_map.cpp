@@ -5,7 +5,8 @@
 namespace dl::dram {
 
 AddressMapper::AddressMapper(const Geometry& geometry, MapScheme scheme)
-    : geometry_(geometry), scheme_(scheme) {}
+    : geometry_(geometry), scheme_(scheme),
+      total_bytes_(geometry.total_bytes()) {}
 
 GlobalRowId AddressMapper::linear_row_to_global(std::uint64_t linear) const {
   DL_REQUIRE(linear < geometry_.total_rows(), "linear row out of range");
@@ -56,22 +57,14 @@ std::uint64_t AddressMapper::global_to_linear_row(GlobalRowId id) const {
 }
 
 Location AddressMapper::to_location(PhysAddr addr) const {
-  DL_REQUIRE(addr < geometry_.total_bytes(), "physical address out of range");
-  const std::uint64_t linear_row = addr / geometry_.row_bytes;
-  Location loc;
-  loc.byte = static_cast<std::uint32_t>(addr % geometry_.row_bytes);
-  loc.row = from_global(geometry_, linear_row_to_global(linear_row));
-  return loc;
+  const RowByte rb = row_and_byte(addr);
+  return {from_global(geometry_, rb.row), rb.byte};
 }
 
 PhysAddr AddressMapper::to_phys(const Location& loc) const {
   const GlobalRowId id = to_global(geometry_, loc.row);
   DL_REQUIRE(loc.byte < geometry_.row_bytes, "byte offset out of row");
   return global_to_linear_row(id) * geometry_.row_bytes + loc.byte;
-}
-
-GlobalRowId AddressMapper::row_of(PhysAddr addr) const {
-  return to_global(geometry_, to_location(addr).row);
 }
 
 PhysAddr AddressMapper::row_base(GlobalRowId row) const {

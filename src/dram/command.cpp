@@ -23,8 +23,7 @@ void CommandTrace::set_capacity(std::size_t capacity) {
   }
 }
 
-void CommandTrace::record(const CommandRecord& rec) {
-  if (capacity_ == 0) return;
+void CommandTrace::record_slow(const CommandRecord& rec) {
   if (records_.size() == capacity_) {
     records_.erase(records_.begin());
     ++dropped_;

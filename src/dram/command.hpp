@@ -39,7 +39,12 @@ class CommandTrace {
   void set_capacity(std::size_t capacity);
   [[nodiscard]] bool enabled() const { return capacity_ > 0; }
 
-  void record(const CommandRecord& rec);
+  /// No-op unless enabled(); hot callers guard with enabled() themselves
+  /// so the disabled case never even builds a CommandRecord.
+  void record(const CommandRecord& rec) {
+    if (capacity_ == 0) return;
+    record_slow(rec);
+  }
 
   [[nodiscard]] const std::vector<CommandRecord>& records() const {
     return records_;
@@ -51,6 +56,8 @@ class CommandTrace {
   std::size_t capacity_;
   std::vector<CommandRecord> records_;
   std::size_t dropped_ = 0;
+
+  void record_slow(const CommandRecord& rec);
 };
 
 }  // namespace dl::dram

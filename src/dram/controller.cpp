@@ -14,6 +14,8 @@ Controller::Controller(const Geometry& geometry, const Timing& timing,
       data_(geometry),
       indirection_(geometry),
       open_row_(geometry.total_banks(), kNoRow),
+      rows_per_bank_(geometry.rows_per_bank()),
+      total_rows_(geometry.total_rows()),
       window_end_(timing.tREFW) {}
 
 void Controller::add_listener(ActivationListener* listener) {
@@ -27,10 +29,6 @@ std::size_t Controller::bank_index(const RowAddress& a) const {
   return (static_cast<std::size_t>(a.channel) * geometry_.ranks + a.rank) *
              geometry_.banks +
          a.bank;
-}
-
-std::size_t Controller::bank_of_row(GlobalRowId physical_row) const {
-  return bank_index(from_global(geometry_, physical_row));
 }
 
 GlobalRowId Controller::open_row_in_bank(std::size_t bank) const {
@@ -52,38 +50,43 @@ void Controller::elapse(Picoseconds delta) {
     // duration tRFC every tREFI.
     const double refs =
         static_cast<double>(timing_.tREFW) / static_cast<double>(timing_.tREFI);
-    stats_.add("auto_refresh_time_ps", refs * static_cast<double>(timing_.tRFC));
+    counters_.add(Counter::kAutoRefreshTimePs,
+                  refs * static_cast<double>(timing_.tRFC));
     for (auto* l : listeners_) l->on_refresh_window(boundary);
   }
 }
 
 void Controller::notify_activate(GlobalRowId phys) {
+  if (listeners_.empty()) return;
   for (auto* l : listeners_) l->on_activate(phys, now_);
 }
 
 bool Controller::open_row(GlobalRowId phys, Picoseconds& latency) {
-  const RowAddress addr = from_global(geometry_, phys);
-  const std::size_t bank = bank_index(addr);
+  const std::size_t bank = bank_of_row(phys);
   if (open_row_[bank] == phys) {
-    stats_.add("row_hits");
+    counters_.add(Counter::kRowHits);
     return true;
   }
   Picoseconds cost = 0;
   if (open_row_[bank] != kNoRow) {
     cost += timing_.tRP;  // PRE the open row
-    stats_.add("precharges");
-    trace_.record({CommandKind::kPrecharge, open_row_[bank], 0, 0,
-                   defense_depth_ > 0, now_});
+    counters_.add(Counter::kPrecharges);
+    if (trace_.enabled()) {
+      trace_.record({CommandKind::kPrecharge, open_row_[bank], 0, 0,
+                     defense_depth_ > 0, now_});
+    }
   }
   cost += timing_.tRCD;  // ACT the new row
   open_row_[bank] = phys;
-  stats_.add("activates");
-  trace_.record(
-      {CommandKind::kActivate, phys, 0, 0, defense_depth_ > 0, now_});
+  counters_.add(Counter::kActivates);
+  if (trace_.enabled()) {
+    trace_.record(
+        {CommandKind::kActivate, phys, 0, 0, defense_depth_ > 0, now_});
+  }
   latency += cost;
   elapse(cost);
   notify_activate(phys);
-  stats_.add("row_misses");
+  counters_.add(Counter::kRowMisses);
   return false;
 }
 
@@ -92,14 +95,13 @@ AccessResult Controller::access(PhysAddr addr, bool is_write,
                                 std::span<std::uint8_t> out,
                                 std::span<const std::uint8_t> in,
                                 bool can_unlock, bool data_transfer) {
-  const Location loc = mapper_.to_location(addr);
-  DL_REQUIRE(loc.byte + len <= geometry_.row_bytes,
+  const RowByte rb = mapper_.row_and_byte(addr);
+  DL_REQUIRE(rb.byte + len <= geometry_.row_bytes,
              "access must not cross a row boundary");
-  const GlobalRowId logical = to_global(geometry_, loc.row);
 
   AccessRequest req;
-  req.logical_row = logical;
-  req.byte = loc.byte;
+  req.logical_row = rb.row;
+  req.byte = rb.byte;
   req.len = len;
   req.is_write = is_write;
   req.can_unlock = can_unlock;
@@ -109,27 +111,31 @@ AccessResult Controller::access(PhysAddr addr, bool is_write,
     // The instruction is skipped: no ACT reaches the array, no time is
     // consumed on the bus (the lock-table lookup runs in parallel with
     // command decode).
-    stats_.add("denied_accesses");
+    counters_.add(Counter::kDeniedAccesses);
     return {.granted = false, .row_hit = false, .latency = 0};
   }
 
-  const GlobalRowId phys = indirection_.to_physical(logical);
+  const GlobalRowId phys = indirection_.to_physical(rb.row);
   AccessResult res;
   res.row_hit = open_row(phys, res.latency);
 
   if (data_transfer) {
     Picoseconds cost = timing_.tCAS + timing_.tBURST;
     if (is_write) {
-      data_.write(phys, loc.byte, in);
+      data_.write(phys, rb.byte, in);
       cost += timing_.tWR;
-      stats_.add("writes");
-      trace_.record({CommandKind::kWrite, phys, 0, loc.byte,
-                     defense_depth_ > 0, now_});
+      counters_.add(Counter::kWrites);
+      if (trace_.enabled()) {
+        trace_.record({CommandKind::kWrite, phys, 0, rb.byte,
+                       defense_depth_ > 0, now_});
+      }
     } else {
-      data_.read(phys, loc.byte, out);
-      stats_.add("reads");
-      trace_.record({CommandKind::kRead, phys, 0, loc.byte,
-                     defense_depth_ > 0, now_});
+      data_.read(phys, rb.byte, out);
+      counters_.add(Counter::kReads);
+      if (trace_.enabled()) {
+        trace_.record({CommandKind::kRead, phys, 0, rb.byte,
+                       defense_depth_ > 0, now_});
+      }
     }
     res.latency += cost;
     elapse(cost);
@@ -162,6 +168,7 @@ AccessResult Controller::read_bulk(PhysAddr addr, std::span<std::uint8_t> out,
     const std::size_t chunk = std::min(in_row, out.size() - done);
     const AccessResult r = read(cur, out.subspan(done, chunk), can_unlock);
     total.granted = total.granted && r.granted;
+    total.row_hit = total.row_hit || r.row_hit;  // any-hit semantics
     total.latency += r.latency;
     done += chunk;
   }
@@ -180,6 +187,7 @@ AccessResult Controller::write_bulk(PhysAddr addr,
     const std::size_t chunk = std::min(in_row, in.size() - done);
     const AccessResult r = write(cur, in.subspan(done, chunk), can_unlock);
     total.granted = total.granted && r.granted;
+    total.row_hit = total.row_hit || r.row_hit;  // any-hit semantics
     total.latency += r.latency;
     done += chunk;
   }
@@ -190,35 +198,36 @@ AccessResult Controller::hammer(PhysAddr addr, bool can_unlock) {
   // An ACT+PRE pair with no column command; force a row-buffer conflict so
   // every call produces a fresh activation (the attacker interleaves two
   // rows or uses explicit PRE to achieve this on real hardware).
-  const Location loc = mapper_.to_location(addr);
-  const GlobalRowId logical = to_global(geometry_, loc.row);
+  const RowByte rb = mapper_.row_and_byte(addr);
 
   AccessRequest req;
-  req.logical_row = logical;
-  req.byte = loc.byte;
+  req.logical_row = rb.row;
+  req.byte = rb.byte;
   req.len = 0;
   req.is_write = false;
   req.can_unlock = can_unlock;
 
   if (gate_ != nullptr &&
       gate_->before_access(req, *this) == GateDecision::kDeny) {
-    stats_.add("denied_accesses");
+    counters_.add(Counter::kDeniedAccesses);
     return {.granted = false, .row_hit = false, .latency = 0};
   }
 
-  const GlobalRowId phys = indirection_.to_physical(logical);
-  const RowAddress a = from_global(geometry_, phys);
-  const std::size_t bank = bank_index(a);
+  const GlobalRowId phys = indirection_.to_physical(rb.row);
+  const std::size_t bank = bank_of_row(phys);
   Picoseconds cost = 0;
   if (open_row_[bank] != kNoRow) {
     cost += timing_.tRP;
-    stats_.add("precharges");
+    counters_.add(Counter::kPrecharges);
   }
   cost += timing_.tRAS;  // row must stay open tRAS before the next PRE
   open_row_[bank] = kNoRow;  // attacker immediately precharges
-  stats_.add("activates");
-  stats_.add("hammer_acts");
-  trace_.record({CommandKind::kActivate, phys, 0, 0, defense_depth_ > 0, now_});
+  counters_.add(Counter::kActivates);
+  counters_.add(Counter::kHammerActs);
+  if (trace_.enabled()) {
+    trace_.record(
+        {CommandKind::kActivate, phys, 0, 0, defense_depth_ > 0, now_});
+  }
   AccessResult res;
   res.latency = cost;
   elapse(cost);
@@ -237,7 +246,7 @@ void Controller::row_clone(GlobalRowId src_phys, GlobalRowId dst_phys,
   Picoseconds cost = 0;
   if (open_row_[bank] != kNoRow) {
     cost += timing_.tRP;
-    stats_.add("precharges");
+    counters_.add(Counter::kPrecharges);
   }
   // Back-to-back ACT(src), ACT(dst) without intervening PRE, then PRE.
   cost += timing_.tAAP + timing_.tRP;
@@ -246,23 +255,27 @@ void Controller::row_clone(GlobalRowId src_phys, GlobalRowId dst_phys,
   if (corrupt) {
     data_.flip_bit(dst_phys, corrupt_byte % geometry_.row_bytes,
                    corrupt_bit % 8);
-    stats_.add("rowclone_corruptions");
+    counters_.add(Counter::kRowCloneCorruptions);
   }
-  stats_.add("rowclones");
-  stats_.add("activates", 2);
-  trace_.record({CommandKind::kRowClone, src_phys, dst_phys, 0,
-                 defense_depth_ > 0, now_});
+  counters_.add(Counter::kRowClones);
+  counters_.add(Counter::kActivates, 2);
+  if (trace_.enabled()) {
+    trace_.record({CommandKind::kRowClone, src_phys, dst_phys, 0,
+                   defense_depth_ > 0, now_});
+  }
   elapse(cost);
   notify_activate(src_phys);
   notify_activate(dst_phys);
 }
 
 void Controller::refresh_row(GlobalRowId physical_row) {
-  DL_REQUIRE(physical_row < geometry_.total_rows(), "row out of range");
+  DL_REQUIRE(physical_row < total_rows_, "row out of range");
   const Picoseconds cost = timing_.row_cycle();
-  stats_.add("targeted_refreshes");
-  trace_.record({CommandKind::kRefresh, physical_row, 0, 0,
-                 defense_depth_ > 0, now_});
+  counters_.add(Counter::kTargetedRefreshes);
+  if (trace_.enabled()) {
+    trace_.record({CommandKind::kRefresh, physical_row, 0, 0,
+                   defense_depth_ > 0, now_});
+  }
   elapse(cost);
   for (auto* l : listeners_) l->on_row_refresh(physical_row);
 }

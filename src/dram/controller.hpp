@@ -19,6 +19,7 @@
 #include "common/units.hpp"
 #include "dram/address_map.hpp"
 #include "dram/command.hpp"
+#include "dram/counters.hpp"
 #include "dram/data_store.hpp"
 #include "dram/indirection.hpp"
 #include "dram/timing.hpp"
@@ -108,7 +109,9 @@ class Controller {
 
   /// Row-boundary-aware bulk transfers: chunk the span at row boundaries and
   /// issue one access per row.  `granted` is true only if every chunk was
-  /// granted; latency aggregates across chunks.
+  /// granted; latency aggregates across chunks; `row_hit` is true if *any*
+  /// chunk hit an open row buffer (any-hit semantics — a bulk transfer is a
+  /// partial hit as soon as one of its row accesses was).
   AccessResult read_bulk(PhysAddr addr, std::span<std::uint8_t> out,
                          bool can_unlock = false);
   AccessResult write_bulk(PhysAddr addr, std::span<const std::uint8_t> in,
@@ -154,15 +157,35 @@ class Controller {
   [[nodiscard]] std::size_t bank_count() const { return open_row_.size(); }
 
   /// Flat bank index of a physical row, consistent with open_row_in_bank().
-  [[nodiscard]] std::size_t bank_of_row(GlobalRowId physical_row) const;
+  /// One divide — global row ids are dense in (channel, rank, bank) order.
+  [[nodiscard]] std::size_t bank_of_row(GlobalRowId physical_row) const {
+    DL_REQUIRE(physical_row < total_rows_, "row out of range");
+    return static_cast<std::size_t>(physical_row / rows_per_bank_);
+  }
 
   /// Physical row currently latched in `bank`'s row buffer, or kNoRow.
   [[nodiscard]] GlobalRowId open_row_in_bank(std::size_t bank) const;
 
   // -- introspection ----------------------------------------------------------
 
-  [[nodiscard]] StatSet& stats() { return stats_; }
-  [[nodiscard]] const StatSet& stats() const { return stats_; }
+  /// The typed hot-path counters (enum-indexed; see dram/counters.hpp).
+  /// Defense/integrity mechanisms account their controller-level operation
+  /// classes here.
+  [[nodiscard]] CounterBlock& counters() { return counters_; }
+  [[nodiscard]] const CounterBlock& counters() const { return counters_; }
+
+  /// Legacy string-keyed view of counters(): the CounterBlock is exported
+  /// into the StatSet at call time (first-touch order, legacy key names),
+  /// so existing consumers see identical names, values, and ordering.
+  /// Keys added to the returned set by external code are preserved.
+  [[nodiscard]] StatSet& stats() {
+    counters_.export_to(stats_);
+    return stats_;
+  }
+  [[nodiscard]] const StatSet& stats() const {
+    counters_.export_to(stats_);
+    return stats_;
+  }
   [[nodiscard]] CommandTrace& trace() { return trace_; }
 
   /// Total time consumed by defense-scoped operations.
@@ -182,13 +205,18 @@ class Controller {
 
   std::vector<GlobalRowId> open_row_;  ///< per bank; kNoRow if closed
 
+  // Cached geometry products so the hot path never re-multiplies them.
+  std::uint64_t rows_per_bank_ = 1;
+  std::uint64_t total_rows_ = 0;
+
   Picoseconds now_ = 0;
   Picoseconds window_end_;
   std::uint64_t windows_ = 0;
   int defense_depth_ = 0;
   Picoseconds defense_time_ = 0;
 
-  StatSet stats_;
+  CounterBlock counters_;
+  mutable StatSet stats_;  ///< export target of counters_; see stats()
   CommandTrace trace_;
 
   [[nodiscard]] std::size_t bank_index(const RowAddress& a) const;

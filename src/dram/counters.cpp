@@ -1,0 +1,39 @@
+#include "dram/counters.hpp"
+
+namespace dl::dram {
+
+const char* to_string(Counter c) {
+  switch (c) {
+    case Counter::kRowHits:             return "row_hits";
+    case Counter::kRowMisses:           return "row_misses";
+    case Counter::kActivates:           return "activates";
+    case Counter::kPrecharges:          return "precharges";
+    case Counter::kReads:               return "reads";
+    case Counter::kWrites:              return "writes";
+    case Counter::kHammerActs:          return "hammer_acts";
+    case Counter::kDeniedAccesses:      return "denied_accesses";
+    case Counter::kRowClones:           return "rowclones";
+    case Counter::kRowCloneCorruptions: return "rowclone_corruptions";
+    case Counter::kTargetedRefreshes:   return "targeted_refreshes";
+    case Counter::kAutoRefreshTimePs:   return "auto_refresh_time_ps";
+    case Counter::kSequencerPrograms:   return "sequencer_programs";
+    case Counter::kChannelSwaps:        return "channel_swaps";
+    case Counter::kScrubChunkVerifies:  return "scrub_chunk_verifies";
+  }
+  return "?";
+}
+
+void CounterBlock::export_to(StatSet& out) const {
+  for (std::size_t i = 0; i < touched_count_; ++i) {
+    const auto c = static_cast<Counter>(order_[i]);
+    out.set(to_string(c), value(c));
+  }
+}
+
+void CounterBlock::reset() {
+  values_.fill(0.0);
+  touched_.fill(false);
+  touched_count_ = 0;
+}
+
+}  // namespace dl::dram

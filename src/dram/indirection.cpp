@@ -5,19 +5,7 @@
 namespace dl::dram {
 
 RowIndirection::RowIndirection(const Geometry& geometry)
-    : geometry_(geometry) {}
-
-GlobalRowId RowIndirection::to_physical(GlobalRowId logical) const {
-  DL_REQUIRE(logical < geometry_.total_rows(), "logical row out of range");
-  const auto it = fwd_.find(logical);
-  return it == fwd_.end() ? logical : it->second;
-}
-
-GlobalRowId RowIndirection::to_logical(GlobalRowId physical) const {
-  DL_REQUIRE(physical < geometry_.total_rows(), "physical row out of range");
-  const auto it = rev_.find(physical);
-  return it == rev_.end() ? physical : it->second;
-}
+    : geometry_(geometry), total_rows_(geometry.total_rows()) {}
 
 void RowIndirection::set_pair(GlobalRowId logical, GlobalRowId physical) {
   if (logical == physical) {
@@ -30,19 +18,20 @@ void RowIndirection::set_pair(GlobalRowId logical, GlobalRowId physical) {
 }
 
 void RowIndirection::swap_logical(GlobalRowId logical_a, GlobalRowId logical_b) {
-  DL_REQUIRE(logical_a < geometry_.total_rows() &&
-                 logical_b < geometry_.total_rows(),
+  DL_REQUIRE(logical_a < total_rows_ && logical_b < total_rows_,
              "logical row out of range");
   if (logical_a == logical_b) return;
   const GlobalRowId phys_a = to_physical(logical_a);
   const GlobalRowId phys_b = to_physical(logical_b);
   set_pair(logical_a, phys_b);
   set_pair(logical_b, phys_a);
+  ++epoch_;
 }
 
 void RowIndirection::reset() {
   fwd_.clear();
   rev_.clear();
+  ++epoch_;
 }
 
 }  // namespace dl::dram

@@ -50,6 +50,7 @@ void DramScrubber::verify_group(std::size_t row_idx, std::size_t group_in_row,
   const std::size_t g = row_idx * groups_per_row_ + group_in_row;
   const Diagnosis d = checksums_->diagnose(g, data);
   ++stats_.verified_groups;
+  ctrl_.counters().add(dl::dram::Counter::kScrubChunkVerifies);
   if (d.state == Diagnosis::State::kClean) return;
   ++stats_.detections;
   if (stats_.first_detection_at == 0) stats_.first_detection_at = ctrl_.now();
@@ -136,16 +137,15 @@ void DramScrubber::scrub_pass() {
 
 void DramScrubber::on_read(PhysAddr addr,
                            std::span<const std::uint8_t> data) {
-  const auto loc = ctrl_.mapper().to_location(addr);
-  const GlobalRowId row = dl::dram::to_global(ctrl_.geometry(), loc.row);
-  const auto it = row_index_.find(row);
+  const auto rb = ctrl_.mapper().row_and_byte(addr);
+  const auto it = row_index_.find(rb.row);
   if (it == row_index_.end()) return;
-  if (data.size() != config_.group_size || loc.byte % config_.group_size != 0) {
+  if (data.size() != config_.group_size || rb.byte % config_.group_size != 0) {
     return;  // not a group-aligned scrub chunk
   }
   ++stats_.scrub_reads;
   stats_.scrub_read_bytes += data.size();
-  verify_group(it->second, loc.byte / config_.group_size, data);
+  verify_group(it->second, rb.byte / config_.group_size, data);
 }
 
 Audit DramScrubber::audit() const {

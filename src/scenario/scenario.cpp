@@ -389,7 +389,8 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
     r.integrity = scrubber->stats();
     r.integrity_audit = scrubber->audit();
   }
-  r.rowclones = static_cast<std::uint64_t>(ctrl.stats().get("rowclones"));
+  r.rowclones = static_cast<std::uint64_t>(
+      ctrl.counters().value(dl::dram::Counter::kRowClones));
   r.total_flips = model.total_flips();
   r.defense_time = ctrl.defense_time();
   r.elapsed = ctrl.now();

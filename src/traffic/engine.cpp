@@ -63,6 +63,11 @@ TrafficEngine::TrafficEngine(dl::dram::Controller& ctrl,
     streams_.emplace_back(tenants[i], static_cast<std::uint16_t>(i), ctrl_);
     stats_[i].name = tenants[i].name;
     stats_[i].kind = tenants[i].kind;
+    // Every declared request is eventually serviced and records one
+    // latency sample; reserving up front keeps the drain loop free of
+    // reallocation growth.
+    stats_[i].queue_latency.reserve(
+        static_cast<std::size_t>(tenants[i].requests));
   }
 }
 

@@ -15,92 +15,46 @@ FrFcfsScheduler::FrFcfsScheduler(Controller& ctrl,
       head_bypasses_(ctrl.bank_count(), 0) {
   DL_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
   DL_REQUIRE(config_.batch > 0, "batch must be positive");
+  for (auto& q : queues_) q.init(config_.queue_capacity);
 }
 
-std::size_t FrFcfsScheduler::bank_of(const Request& req) const {
-  const GlobalRowId logical =
-      dl::dram::to_global(ctrl_.geometry(),
-                          ctrl_.mapper().to_location(req.addr).row);
-  return ctrl_.bank_of_row(ctrl_.indirection().to_physical(logical));
+void FrFcfsScheduler::decode(Request& req) const {
+  req.logical_row = ctrl_.mapper().row_of(req.addr);
+  req.physical_row = ctrl_.indirection().to_physical(req.logical_row);
+  req.decode_epoch = ctrl_.indirection().epoch();
 }
 
 bool FrFcfsScheduler::try_enqueue(Request req) {
-  auto& q = queues_[bank_of(req)];
-  if (q.size() >= config_.queue_capacity) return false;
+  decode(req);
+  BankQueue& q = queues_[ctrl_.bank_of_row(req.physical_row)];
+  if (q.full()) return false;
   req.enqueued_at = ctrl_.now();
   q.push_back(req);
   ++pending_;
   return true;
 }
 
-std::size_t FrFcfsScheduler::pick(std::size_t bank) const {
-  const auto& q = queues_[bank];
+std::size_t FrFcfsScheduler::pick(std::size_t bank) {
+  BankQueue& q = queues_[bank];
   if (!config_.row_hit_first || config_.row_hit_cap == 0 ||
       head_bypasses_[bank] >= config_.row_hit_cap) {
     return 0;  // FCFS / fairness cap reached: queue head
   }
   const GlobalRowId open = ctrl_.open_row_in_bank(bank);
   if (open == Controller::kNoRow) return 0;
-  for (std::size_t i = 0; i < q.size(); ++i) {
+  const std::uint64_t epoch = ctrl_.indirection().epoch();
+  for (std::uint32_t i = 0; i < q.size(); ++i) {
     // Row-hit test under the *current* indirection: a swap defense may have
-    // migrated the row since enqueue.
-    const GlobalRowId logical = dl::dram::to_global(
-        ctrl_.geometry(), ctrl_.mapper().to_location(q[i].addr).row);
-    if (ctrl_.indirection().to_physical(logical) == open) return i;
+    // migrated the row since enqueue, so stale caches are re-translated
+    // (the logical row never changes — the address map is immutable).
+    Request& r = q.at(i);
+    if (r.decode_epoch != epoch) {
+      r.physical_row = ctrl_.indirection().to_physical(r.logical_row);
+      r.decode_epoch = epoch;
+    }
+    if (r.physical_row == open) return i;
   }
   return 0;
-}
-
-void FrFcfsScheduler::service(
-    std::size_t bank, const std::function<void(const Serviced&)>& sink) {
-  auto& q = queues_[bank];
-  const std::size_t idx = pick(bank);
-  head_bypasses_[bank] = idx == 0 ? 0 : head_bypasses_[bank] + 1;
-  const Request req = q[idx];
-  q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
-  --pending_;
-
-  Serviced s;
-  s.req = req;
-  if (req.bytes == 0) {
-    s.result = ctrl_.hammer(req.addr, req.can_unlock);
-  } else if (req.is_write) {
-    // Deterministic filler payload; benign tenants write within their own
-    // row range, so the pattern's value is irrelevant to the experiments.
-    scratch_.assign(req.bytes, 0xA5);
-    s.result = ctrl_.write(req.addr,
-                           std::span<const std::uint8_t>(scratch_.data(),
-                                                         req.bytes),
-                           req.can_unlock);
-  } else {
-    scratch_.resize(req.bytes);
-    s.result = ctrl_.read(req.addr,
-                          std::span<std::uint8_t>(scratch_.data(), req.bytes),
-                          req.can_unlock);
-    if (s.result.granted) {
-      s.data = std::span<const std::uint8_t>(scratch_.data(), req.bytes);
-    }
-  }
-  s.completed_at = ctrl_.now();
-  sink(s);
-}
-
-std::size_t FrFcfsScheduler::drain_pass(
-    const std::function<void(const Serviced&)>& sink) {
-  std::size_t serviced = 0;
-  for (std::size_t bank = 0; bank < queues_.size(); ++bank) {
-    for (std::uint32_t n = 0; n < config_.batch && !queues_[bank].empty();
-         ++n) {
-      service(bank, sink);
-      ++serviced;
-    }
-  }
-  return serviced;
-}
-
-void FrFcfsScheduler::drain_all(
-    const std::function<void(const Serviced&)>& sink) {
-  while (pending_ > 0) drain_pass(sink);
 }
 
 }  // namespace dl::traffic

@@ -14,6 +14,15 @@
 // disturbance model), and defense mitigation traffic stay on the accounted
 // path; the scheduler only chooses the order.
 //
+// Hot-path structure (see docs/ARCHITECTURE.md "Hot path & performance
+// model"): bank queues are fixed-capacity index rings (O(1) head removal,
+// O(idx) mid-queue removal instead of the old O(n) vector::erase);
+// addresses are decoded once at enqueue and cached on the Request,
+// invalidated by the indirection epoch counter, so pick() compares cached
+// physical rows instead of re-translating every queued request on every
+// service decision; the drain path is templated on the sink so per-request
+// dispatch never goes through std::function.
+//
 // Determinism contract: scheduling is a pure function of the enqueue
 // sequence and the controller's row-buffer/indirection state — fixed bank
 // walk, fixed tie-breaks by arrival order, no randomness and no wall
@@ -24,8 +33,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <span>
 #include <vector>
 
@@ -63,11 +70,17 @@ class FrFcfsScheduler {
 
   [[nodiscard]] const SchedulerConfig& config() const { return config_; }
 
-  /// Bank a request is queued to (under the current row indirection).
-  [[nodiscard]] std::size_t bank_of(const Request& req) const;
+  /// Bank a request would queue to (under the current row indirection).
+  /// Introspection only — try_enqueue decodes and caches on its own.
+  [[nodiscard]] std::size_t bank_of(const Request& req) const {
+    return ctrl_.bank_of_row(
+        ctrl_.indirection().to_physical(ctrl_.mapper().row_of(req.addr)));
+  }
 
-  /// Stamps the controller clock on the request and queues it; false when
-  /// the target bank queue is full (caller retries after a drain pass).
+  /// Stamps the controller clock on the request, decodes its address once
+  /// (bank, logical row, physical row cached on the request), and queues
+  /// it; false when the target bank queue is full (caller retries after a
+  /// drain pass).
   bool try_enqueue(Request req);
 
   [[nodiscard]] std::size_t pending() const { return pending_; }
@@ -77,24 +90,118 @@ class FrFcfsScheduler {
 
   /// One pass over all banks, servicing up to config().batch requests per
   /// bank; `sink` observes every serviced request.  Returns requests
-  /// serviced.
-  std::size_t drain_pass(const std::function<void(const Serviced&)>& sink);
+  /// serviced.  Accepts any callable `void(const Serviced&)` — the drain
+  /// path is templated so the per-request sink call is direct.
+  template <typename Sink>
+  std::size_t drain_pass(Sink&& sink) {
+    std::size_t serviced = 0;
+    for (std::size_t bank = 0; bank < queues_.size(); ++bank) {
+      for (std::uint32_t n = 0; n < config_.batch && !queues_[bank].empty();
+           ++n) {
+        service(bank, sink);
+        ++serviced;
+      }
+    }
+    return serviced;
+  }
 
   /// Drains until every queue is empty.
-  void drain_all(const std::function<void(const Serviced&)>& sink);
+  template <typename Sink>
+  void drain_all(Sink&& sink) {
+    while (pending_ > 0) drain_pass(sink);
+  }
 
  private:
+  /// Fixed-capacity ring of requests in arrival order.  Removal preserves
+  /// relative order: taking the i-th oldest shifts only the i older
+  /// entries between it and the head (O(1) for the head itself, which is
+  /// the common FCFS / fairness-cap case).
+  class BankQueue {
+   public:
+    void init(std::uint32_t capacity) { slots_.resize(capacity); }
+
+    [[nodiscard]] std::uint32_t size() const { return size_; }
+    [[nodiscard]] bool empty() const { return size_ == 0; }
+    [[nodiscard]] bool full() const { return size_ == slots_.size(); }
+
+    /// i-th oldest request (0 = queue head).
+    [[nodiscard]] Request& at(std::uint32_t i) { return slots_[wrap(head_ + i)]; }
+
+    void push_back(const Request& req) {
+      slots_[wrap(head_ + size_)] = req;
+      ++size_;
+    }
+
+    /// Removes and returns the i-th oldest request.
+    Request take(std::uint32_t i) {
+      Request out = at(i);
+      for (; i > 0; --i) at(i) = at(i - 1);
+      head_ = wrap(head_ + 1);
+      --size_;
+      return out;
+    }
+
+   private:
+    [[nodiscard]] std::uint32_t wrap(std::uint32_t pos) const {
+      const auto cap = static_cast<std::uint32_t>(slots_.size());
+      return pos >= cap ? pos - cap : pos;  // pos < 2*cap always holds
+    }
+
+    std::vector<Request> slots_;
+    std::uint32_t head_ = 0;
+    std::uint32_t size_ = 0;
+  };
+
   dl::dram::Controller& ctrl_;
   SchedulerConfig config_;
-  std::vector<std::deque<Request>> queues_;      ///< per bank, arrival order
+  std::vector<BankQueue> queues_;                ///< per bank, arrival order
   std::vector<std::uint32_t> head_bypasses_;     ///< per bank fairness state
   std::size_t pending_ = 0;
-  std::vector<std::uint8_t> scratch_;            ///< data-transfer buffer
+  std::vector<std::uint8_t> read_scratch_;       ///< grow-only read buffer
+  std::vector<std::uint8_t> write_scratch_;      ///< 0xA5-filled, grow-only
 
-  /// Index into queues_[bank] of the request to service next.
-  [[nodiscard]] std::size_t pick(std::size_t bank) const;
-  void service(std::size_t bank,
-               const std::function<void(const Serviced&)>& sink);
+  /// Fills the request's decode cache from the current indirection state.
+  void decode(Request& req) const;
+
+  /// Index into the bank queue of the request to service next; refreshes
+  /// stale physical-row caches (indirection epoch) along the way.
+  [[nodiscard]] std::size_t pick(std::size_t bank);
+
+  template <typename Sink>
+  void service(std::size_t bank, Sink&& sink) {
+    const auto idx = static_cast<std::uint32_t>(pick(bank));
+    head_bypasses_[bank] = idx == 0 ? 0 : head_bypasses_[bank] + 1;
+    const Request req = queues_[bank].take(idx);
+    --pending_;
+
+    Serviced s;
+    s.req = req;
+    if (req.bytes == 0) {
+      s.result = ctrl_.hammer(req.addr, req.can_unlock);
+    } else if (req.is_write) {
+      // Deterministic filler payload; benign tenants write within their own
+      // row range, so the pattern's value is irrelevant to the experiments.
+      // The buffer holds 0xA5 permanently — only growth writes new bytes.
+      if (write_scratch_.size() < req.bytes) {
+        write_scratch_.resize(req.bytes, 0xA5);
+      }
+      s.result = ctrl_.write(req.addr,
+                             std::span<const std::uint8_t>(
+                                 write_scratch_.data(), req.bytes),
+                             req.can_unlock);
+    } else {
+      if (read_scratch_.size() < req.bytes) read_scratch_.resize(req.bytes);
+      s.result = ctrl_.read(
+          req.addr, std::span<std::uint8_t>(read_scratch_.data(), req.bytes),
+          req.can_unlock);
+      if (s.result.granted) {
+        s.data = std::span<const std::uint8_t>(read_scratch_.data(),
+                                               req.bytes);
+      }
+    }
+    s.completed_at = ctrl_.now();
+    sink(s);
+  }
 };
 
 }  // namespace dl::traffic

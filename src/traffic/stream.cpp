@@ -123,9 +123,10 @@ Stream::Stream(const StreamSpec& spec, std::uint16_t tenant_id,
 }
 
 PhysAddr Stream::addr_of(GlobalRowId row, std::uint32_t byte) const {
-  const dl::dram::Location loc{dl::dram::from_global(ctrl_.geometry(), row),
-                               byte};
-  return ctrl_.mapper().to_phys(loc);
+  // row_base(row) + byte == to_phys({from_global(row), byte}) without the
+  // structured-address round trip (generators run once per request).
+  DL_REQUIRE(byte < ctrl_.geometry().row_bytes, "byte offset out of row");
+  return ctrl_.mapper().row_base(row) + byte;
 }
 
 Request Stream::generate() {

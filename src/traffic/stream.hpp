@@ -54,6 +54,9 @@ enum class StreamKind : std::uint8_t {
 
 [[nodiscard]] const char* to_string(StreamKind kind);
 
+/// Decode-cache epoch value marking a request as not yet decoded.
+inline constexpr std::uint64_t kNoDecodeEpoch = ~std::uint64_t{0};
+
 /// One queued DRAM request.  bytes == 0 marks an ACT-only hammer request.
 struct Request {
   dl::dram::PhysAddr addr = 0;
@@ -66,6 +69,15 @@ struct Request {
   /// by this field.
   std::uint64_t seq = 0;
   Picoseconds enqueued_at = 0;    ///< controller clock at enqueue
+
+  // Decode-once cache, filled by the scheduler at enqueue so service
+  // decisions stop re-translating the address.  `logical_row` is fixed by
+  // the immutable address map; `physical_row` is valid only while
+  // `decode_epoch` matches RowIndirection::epoch() (a swap defense may
+  // migrate the row while the request is queued) and is refreshed lazily.
+  dl::dram::GlobalRowId logical_row = 0;
+  dl::dram::GlobalRowId physical_row = 0;
+  std::uint64_t decode_epoch = kNoDecodeEpoch;
 };
 
 /// Declarative description of one tenant's traffic.  Fields irrelevant to

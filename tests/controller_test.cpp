@@ -59,6 +59,24 @@ TEST_F(ControllerTest, BulkTransfersCrossRows) {
   EXPECT_EQ(in, out);
 }
 
+TEST_F(ControllerTest, BulkRowHitAggregatesAnyHit) {
+  // Fresh controller, both target rows closed: no chunk hits.
+  std::vector<std::uint8_t> out(g.row_bytes + 100);
+  const auto cold = ctrl.read_bulk(g.row_bytes - 50, out);
+  EXPECT_FALSE(cold.row_hit);
+  // Re-open the first row of the span; the first chunk now hits while the
+  // second still conflicts — any-hit semantics report a bulk row hit.
+  std::array<std::uint8_t, 4> small{};
+  ctrl.read(g.row_bytes - 50, small);
+  const auto warm = ctrl.read_bulk(g.row_bytes - 50, out);
+  EXPECT_TRUE(warm.row_hit);
+  // Writes aggregate the same way.
+  std::vector<std::uint8_t> in(g.row_bytes + 100, 0x5A);
+  ctrl.read(g.row_bytes - 50, small);
+  const auto w = ctrl.write_bulk(g.row_bytes - 50, in);
+  EXPECT_TRUE(w.row_hit);
+}
+
 TEST_F(ControllerTest, HammerCountsActivations) {
   for (int i = 0; i < 5; ++i) ctrl.hammer(0);
   EXPECT_EQ(ctrl.stats().get("hammer_acts"), 5.0);
