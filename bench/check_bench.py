@@ -49,8 +49,12 @@ def load(path, skip_patterns):
         data = json.load(f)
     raw, medians = {}, {}
     for b in data.get("benchmarks", []):
-        name = b.get("run_name", b["name"])
-        if any(re.search(p, name) for p in skip_patterns):
+        name = b.get("run_name", b.get("name", ""))
+        if not name or any(re.search(p, name) for p in skip_patterns):
+            continue
+        # Entries without a real_time (e.g. error_occurred stubs from a
+        # crashed fixture) and unknown time units are skipped, not fatal.
+        if "real_time" not in b or b.get("time_unit", "ns") not in UNIT_NS:
             continue
         t = b["real_time"] * UNIT_NS[b.get("time_unit", "ns")]
         if b.get("aggregate_name") == "median":
@@ -109,14 +113,27 @@ def main():
     shared = sorted(set(baseline) & set(current))
     if not shared:
         failures.append("no overlapping benchmarks between runs")
-        speed = 1.0
+        ratios = {}
     else:
-        ratios = {n: current[n] / baseline[n] for n in shared if baseline[n] > 0}
+        # A (near-)zero baseline time cannot anchor a ratio; report it as a
+        # broken baseline entry instead of dividing by it.
+        degenerate = sorted(n for n in shared if baseline[n] <= 1e-9)
+        if degenerate:
+            failures.append("baseline entries with non-positive real_time "
+                            "(re-baseline with --update): "
+                            + ", ".join(degenerate))
+        ratios = {n: current[n] / baseline[n] for n in shared
+                  if baseline[n] > 1e-9}
+    if not ratios:
+        if shared:
+            failures.append("no usable benchmark ratios (every baseline "
+                            "entry was non-positive)")
+    else:
         speed = 1.0 if args.absolute else statistics.median(ratios.values())
-        print(f"check_bench: {len(shared)} benchmarks, machine-speed factor "
+        print(f"check_bench: {len(ratios)} benchmarks, machine-speed factor "
               f"{speed:.3f}, tolerance +/-{args.tolerance:.0%}")
         improvements = []
-        for n in shared:
+        for n in sorted(ratios):
             drift = ratios[n] / speed - 1.0
             if drift > args.tolerance:
                 marker = "FAIL"

@@ -8,15 +8,23 @@
 // grid to every pattern × every defense with repetitions.  The JSON report
 // (structure: report_json() in src/scenario/scenario.hpp) is archived by
 // CI next to the micro_ops google-benchmark output.
+//
+// --journal PATH enables the checkpoint journal: every finished campaign
+// is appended to PATH as one JSONL line, and a re-run with the same
+// journal skips the finished entries — an interrupted run resumed this way
+// produces a byte-identical final JSON report (CI kills a run mid-flight
+// and verifies exactly that).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <memory>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "scenario/journal.hpp"
 #include "scenario/scenario.hpp"
 
 // The grid covers three stories: (1) the plain pattern x defense matrix,
@@ -29,11 +37,11 @@ namespace {
 
 using namespace dl;
 
-const char* json_path(int argc, char** argv) {
+const char* flag_value(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
+    if (std::strcmp(argv[i], flag) == 0) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "--json requires a path argument\n");
+        std::fprintf(stderr, "%s requires a path argument\n", flag);
         std::exit(2);
       }
       return argv[i + 1];
@@ -155,19 +163,88 @@ int main(int argc, char** argv) {
     integrity_grid.patterns.push_back(HammerPattern::kManySided);
   }
 
+  // Fault-injection & resilience wing: the same double-sided attack with a
+  // deterministic fault model turned on (data faults aimed at the weight
+  // region, plus defense-metadata faults), against defense cells chosen to
+  // exercise the degradation ladder: an undersized lock table that forces
+  // tracker-only fallback, and a swap-starved locker that degrades instead
+  // of denying.
+  scenario::MatrixSpec faults_grid = spec;
+  faults_grid.name_prefix = "faults";
+  faults_grid.base_seed = 29;
+  faults_grid.patterns = {HammerPattern::kDoubleSided};
+  faults_grid.repetitions = 1;
+  faults_grid.env.faults.period_acts = 256;
+  faults_grid.env.faults.retention_rate = 0.5;
+  faults_grid.env.faults.transient_rate = 0.25;
+  faults_grid.env.faults.stuck_cells = 4;
+  faults_grid.env.faults.lock_evict_rate = 0.25;
+  faults_grid.env.faults.remap_fault_rate = 0.1;
+  faults_grid.env.faults.checksum_fault_rate = 0.25;
+  faults_grid.env.faults.target_base = 32;
+  faults_grid.env.faults.target_rows = 32;
+  defense::DramLockerConfig tiny_locker = locker_cfg;
+  tiny_locker.lock_table_entries = 2;
+  defense::DramLockerConfig degrading_locker = locker_cfg;
+  degrading_locker.swap_budget = 1;
+  degrading_locker.degrade_on_exhaustion = true;
+  degrading_locker.fallback_act_threshold = 64;
+  faults_grid.defenses = {
+      scenario::DefenseSpec::none(),
+      scenario::DefenseSpec::dram_locker(locker_cfg, /*seed=*/0),
+      scenario::DefenseSpec::dram_locker(tiny_locker, /*seed=*/0),
+      scenario::DefenseSpec::dram_locker(degrading_locker, /*seed=*/0),
+      scenario::DefenseSpec::none().with_integrity(radar),
+      scenario::DefenseSpec::dram_locker(locker_cfg, /*seed=*/0)
+          .with_integrity(radar),
+  };
+
   auto campaigns = scenario::expand(spec);
   const std::size_t plain_cells = campaigns.size();
-  for (const auto& m : {serving, loaded, integrity_grid}) {
+  for (const auto& m : {serving, loaded, integrity_grid, faults_grid}) {
     auto cells = scenario::expand(m);
     campaigns.insert(campaigns.end(), std::make_move_iterator(cells.begin()),
                      std::make_move_iterator(cells.end()));
   }
+
+  // Two hand-built resilience probes: a runaway campaign truncated by its
+  // cycle budget, and a deliberately broken one (tenant stream outside the
+  // geometry) whose constructor-time throw must surface as a "failed"
+  // entry while every sibling campaign completes.
+  scenario::HammerCampaign runaway;
+  runaway.name = "resilience/runaway";
+  runaway.env = spec.env;
+  runaway.defense = scenario::DefenseSpec::none();
+  runaway.attack = spec.attack;
+  runaway.attack.pattern = HammerPattern::kDoubleSided;
+  runaway.cycles = 1000000;  // would run ~forever without the budget
+  runaway.budget.max_cycles = 3;
+  campaigns.push_back(runaway);
+
+  scenario::HammerCampaign broken;
+  broken.name = "resilience/broken";
+  broken.env = spec.env;
+  broken.defense = scenario::DefenseSpec::none();
+  broken.attack = spec.attack;
+  broken.attack.pattern = HammerPattern::kDoubleSided;
+  broken.cycles = 1;
+  broken.traffic.tenants = {traffic::StreamSpec::weight_reader(
+      /*base_row=*/100000, /*rows=*/16, /*requests=*/100)};
+  campaigns.push_back(broken);
   std::printf("grid: %zu patterns x %zu defenses x %llu reps = %zu plain "
               "campaigns + %zu contention campaigns\n\n",
               spec.patterns.size(), spec.defenses.size(),
               static_cast<unsigned long long>(spec.repetitions), plain_cells,
               campaigns.size() - plain_cells);
-  const auto results = scenario::run(campaigns);
+
+  std::unique_ptr<scenario::CampaignJournal> journal;
+  if (const char* jpath = flag_value(argc, argv, "--journal")) {
+    journal = std::make_unique<scenario::CampaignJournal>(jpath);
+    std::printf("journal: %s (%zu campaigns restored)\n\n", jpath,
+                journal->loaded());
+  }
+  const auto results = journal ? scenario::run_journaled(campaigns, *journal)
+                               : scenario::run(campaigns);
 
   TextTable table({"campaign", "granted", "denied", "victim flips",
                    "mitigations", "refreshes", "mitigation time (us)"});
@@ -229,6 +306,26 @@ int main(int argc, char** argv) {
   std::printf("\nreactive integrity (RADAR-style scrub tenant):\n%s",
               integ.to_string().c_str());
 
+  TextTable resil({"campaign", "status", "cycles", "fault events",
+                   "lock evictions", "degraded locks", "fallback refreshes",
+                   "degraded", "error"});
+  for (const auto& r : results) {
+    if (r.status == scenario::CampaignStatus::kOk && !r.faults_enabled &&
+        !r.degraded) {
+      continue;
+    }
+    resil.add_row({r.name, std::string(scenario::to_string(r.status)),
+                   std::to_string(r.completed_cycles),
+                   std::to_string(r.faults.events),
+                   std::to_string(r.faults.lock_evictions),
+                   std::to_string(r.locker.degraded_locks),
+                   std::to_string(r.locker.fallback_refreshes),
+                   r.degraded ? "yes" : "no", r.error});
+  }
+  std::printf("\nfault injection & resilience (status, degradation, faults):"
+              "\n%s",
+              resil.to_string().c_str());
+
   // ---- BFA wing: the same four defense cells against a trained victim ----
   // (fast-trained; see fig_radar_compare / fig8_bfa_defense for the
   // paper-scale curves).  Deny-all stands in for an error-free DRAM-Locker.
@@ -252,8 +349,11 @@ int main(int argc, char** argv) {
   scenario::BfaCampaign bfa_both = bfa_locker;
   bfa_both.name = "bfa/dram-locker+integrity";
   bfa_both.integrity = bfa_integrity.integrity;
-  const auto bfa_results = scenario::run_bfa(
-      victim_ref, {bfa_none, bfa_locker, bfa_integrity, bfa_both});
+  const std::vector<scenario::BfaCampaign> bfa_campaigns = {
+      bfa_none, bfa_locker, bfa_integrity, bfa_both};
+  const auto bfa_results =
+      journal ? scenario::run_bfa_journaled(victim_ref, bfa_campaigns, *journal)
+              : scenario::run_bfa(victim_ref, bfa_campaigns);
 
   TextTable bfa_table({"campaign", "landed", "blocked", "final acc (%)",
                        "recovered (%)", "corrected", "zeroed"});
@@ -295,7 +395,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(locker_flips),
               static_cast<unsigned long long>(other_defense_flips));
 
-  if (const char* path = json_path(argc, argv)) {
+  if (const char* path = flag_value(argc, argv, "--json")) {
     std::ofstream out(path);
     if (!out) {
       std::fprintf(stderr, "cannot open %s for writing\n", path);

@@ -1,9 +1,13 @@
-// Minimal ordered JSON document builder for structured reports.
+// Minimal ordered JSON document builder/reader for structured reports.
 //
 // The scenario runner and benches emit machine-readable campaign reports
-// (CI archives them next to the google-benchmark JSON).  This is a writer,
-// not a parser: values are built imperatively and serialized with dump().
-// Object keys keep insertion order so reports diff cleanly across runs.
+// (CI archives them next to the google-benchmark JSON): values are built
+// imperatively and serialized with dump().  Object keys keep insertion
+// order so reports diff cleanly across runs.  parse() is the inverse — a
+// strict recursive-descent reader used by the campaign checkpoint journal
+// (src/scenario/journal.hpp) to restore completed results on resume; it
+// throws dl::Error on malformed input (the journal uses that to skip a
+// torn tail line after a mid-write kill).
 #pragma once
 
 #include <cstdint>
@@ -63,6 +67,34 @@ class Value {
   /// Serializes the document.  indent = 0 emits one line; > 0 pretty-prints
   /// with that many spaces per level.
   [[nodiscard]] std::string dump(int indent = 0) const;
+
+  // -- reading ---------------------------------------------------------------
+  // Strict parser + typed accessors; every accessor throws dl::Error on a
+  // type mismatch, so journal decoding fails loudly instead of zero-filling.
+
+  /// Parses one JSON document (trailing whitespace allowed, nothing else).
+  /// Numbers parse as int64 (leading '-') / uint64 unless they carry a
+  /// fraction or exponent, which parse as double — matching what dump()
+  /// emits for the integer-typed Value alternatives.
+  [[nodiscard]] static Value parse(const std::string& text);
+
+  [[nodiscard]] bool is_null() const;
+  [[nodiscard]] bool is_object() const;
+  [[nodiscard]] bool is_array() const;
+  [[nodiscard]] bool is_string() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  /// Object member access; throws when absent.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+  /// Array element access; throws when out of range.
+  [[nodiscard]] const Value& item(std::size_t i) const;
+
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::uint64_t as_u64() const;  ///< uint64 or non-negative int64
+  [[nodiscard]] std::int64_t as_i64() const;
+  [[nodiscard]] double as_double() const;      ///< any numeric alternative
+  [[nodiscard]] const std::string& as_string() const;
 
  private:
   using Object = std::vector<std::pair<std::string, Value>>;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "defense/trackers.hpp"
 
 namespace dl::defense {
 
@@ -32,6 +33,8 @@ DramLocker::DramLocker(dl::dram::Controller& ctrl, DramLockerConfig config,
                  ctrl.geometry().rows_per_subarray,
              "reserved rows must leave space for data");
   DL_REQUIRE(config_.relock_rw_interval > 0, "relock interval must be >0");
+  DL_REQUIRE(config_.fallback_act_threshold > 0,
+             "fallback refresh threshold must be >0");
 }
 
 DramLocker::SubarrayKey DramLocker::key_of(const RowAddress& a) const {
@@ -103,7 +106,20 @@ std::size_t DramLocker::protect_data_row(GlobalRowId logical_row) {
 bool DramLocker::lock_physical_row(GlobalRowId physical_row) {
   DL_REQUIRE(!is_reserved(physical_row),
              "defense-reserved rows cannot be locked");
-  return table_.lock(physical_row);
+  if (table_.lock(physical_row)) {
+    monitored_.erase(physical_row);  // promoted back to a real lock
+    return true;
+  }
+  // lock() refuses both duplicates and a full table; only the latter leaves
+  // the row unprotected, and that is where the fallback steps in.
+  if (table_.size() < table_.capacity() || table_.is_locked(physical_row)) {
+    return false;
+  }
+  if (degrade_to_monitoring(physical_row)) {
+    ++stats_.degraded_locks;
+    ctrl_.counters().add(dl::dram::Counter::kDegradedLocks);
+  }
+  return false;
 }
 
 void DramLocker::unprotect_data_row(GlobalRowId logical_row) {
@@ -190,18 +206,52 @@ dl::dram::GateDecision DramLocker::before_access(
   process_relocks();
 
   const GlobalRowId phys = ctrl.indirection().to_physical(req.logical_row);
-  if (!table_.is_locked(phys)) return dl::dram::GateDecision::kAllow;
+  if (!table_.is_locked(phys)) {
+    if (!monitored_.empty()) note_monitored_access(phys);
+    return dl::dram::GateDecision::kAllow;
+  }
 
   if (!req.can_unlock) {
     ++stats_.denied;
     return dl::dram::GateDecision::kDeny;
   }
 
-  if (!unlock_swap(phys)) {
-    ++stats_.pool_exhausted_denials;
-    return dl::dram::GateDecision::kDeny;
+  // A spent swap budget is treated like an empty free pool: the unlock SWAP
+  // cannot run, so either deny (paper-faithful) or degrade gracefully.
+  const bool budget_spent =
+      config_.swap_budget > 0 && stats_.unlock_swaps >= config_.swap_budget;
+  if (!budget_spent && unlock_swap(phys)) {
+    return dl::dram::GateDecision::kAllow;
   }
-  return dl::dram::GateDecision::kAllow;
+  if (config_.degrade_on_exhaustion) {
+    // Give up the lock but keep the row under tracker-only monitoring, so
+    // its neighbours still get targeted refreshes.  Weaker than a lock,
+    // far stronger than dropping protection outright.
+    table_.unlock(phys);
+    degrade_to_monitoring(phys);
+    ++stats_.degraded_swaps;
+    ctrl_.counters().add(dl::dram::Counter::kDegradedSwaps);
+    return dl::dram::GateDecision::kAllow;
+  }
+  if (budget_spent) {
+    ++stats_.swap_budget_denials;
+  } else {
+    ++stats_.pool_exhausted_denials;
+  }
+  return dl::dram::GateDecision::kDeny;
+}
+
+bool DramLocker::degrade_to_monitoring(GlobalRowId physical_row) {
+  return monitored_.emplace(physical_row, 0).second;
+}
+
+void DramLocker::note_monitored_access(GlobalRowId physical_row) {
+  const auto it = monitored_.find(physical_row);
+  if (it == monitored_.end()) return;
+  if (++it->second < config_.fallback_act_threshold) return;
+  it->second = 0;
+  refresh_neighbors(ctrl_, physical_row, config_.protect_radius);
+  ++stats_.fallback_refreshes;
 }
 
 }  // namespace dl::defense

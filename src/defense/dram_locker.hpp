@@ -46,6 +46,26 @@ struct DramLockerConfig {
   RelockPolicy relock_policy = RelockPolicy::kRelockNewLocation;
   std::uint32_t protect_radius = 2;  ///< lock rows within this distance
   std::uint32_t reserved_rows_per_subarray = 8;
+
+  // -- graceful degradation (resilience layer) --------------------------------
+  // When the SRAM lock-table fills, rows that should have been locked are
+  // demoted to a tracker-only fallback (access-counted, neighbours refreshed
+  // at fallback_act_threshold) instead of being silently left unprotected.
+  // Optionally the same fallback absorbs swap-resource exhaustion: with
+  // degrade_on_exhaustion set, a privileged access that cannot swap (free
+  // pool empty, or swap_budget spent) unlocks the row into monitoring and
+  // proceeds, instead of being denied.
+
+  /// Unlock SWAPs allowed per campaign (0 = unlimited).  Models a bounded
+  /// migration/energy budget; overflow behaviour depends on
+  /// degrade_on_exhaustion.
+  std::uint64_t swap_budget = 0;
+  /// Degrade (allow + monitor) instead of denying when an unlock SWAP is
+  /// impossible.  Off by default: the paper-faithful policy denies.
+  bool degrade_on_exhaustion = false;
+  /// Accesses to a fallback-monitored row between targeted refreshes of its
+  /// neighbours (the tracker-only protection level).
+  std::uint64_t fallback_act_threshold = 512;
 };
 
 class DramLocker final : public dl::dram::AccessGate {
@@ -88,11 +108,19 @@ class DramLocker final : public dl::dram::AccessGate {
     std::uint64_t relocks = 0;
     std::uint64_t swap_copy_errors = 0;
     std::uint64_t pool_exhausted_denials = 0;
+    // Degradation ladder counters (see DramLockerConfig).
+    std::uint64_t swap_budget_denials = 0;  ///< budget spent, not degrading
+    std::uint64_t degraded_locks = 0;       ///< rows demoted: table full
+    std::uint64_t degraded_swaps = 0;       ///< accesses allowed: no swap left
+    std::uint64_t fallback_refreshes = 0;   ///< refresh rounds the fallback ran
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
   /// Number of pending (swapped-out, not yet re-locked) rows.
   [[nodiscard]] std::size_t pending_relocks() const { return pending_.size(); }
+
+  /// Rows currently under tracker-only fallback protection.
+  [[nodiscard]] std::size_t monitored_rows() const { return monitored_.size(); }
 
  private:
   struct SubarrayKey {
@@ -120,6 +148,10 @@ class DramLocker final : public dl::dram::AccessGate {
   std::unordered_map<SubarrayKey, ReservedRows, SubarrayKeyHash> reserved_;
   std::unordered_set<dl::dram::GlobalRowId> reserved_set_;
   std::deque<PendingRelock> pending_;
+  /// Tracker-only fallback: physical row -> accesses since its last
+  /// neighbour refresh (rows the table could not hold / unlock could not
+  /// swap).  Point lookups only, so iteration order never matters.
+  std::unordered_map<dl::dram::GlobalRowId, std::uint64_t> monitored_;
 
   [[nodiscard]] SubarrayKey key_of(const dl::dram::RowAddress& a) const;
   ReservedRows& reserved_for(dl::dram::GlobalRowId physical_row);
@@ -131,6 +163,14 @@ class DramLocker final : public dl::dram::AccessGate {
 
   /// Re-locks every pending row whose interval expired.
   void process_relocks();
+
+  /// Demotes a physical row to the tracker-only fallback (lock unavailable).
+  /// Returns true when the row was not already monitored.
+  bool degrade_to_monitoring(dl::dram::GlobalRowId physical_row);
+
+  /// Counts an access to a monitored row; refreshes its neighbours at the
+  /// fallback threshold.
+  void note_monitored_access(dl::dram::GlobalRowId physical_row);
 };
 
 }  // namespace dl::defense

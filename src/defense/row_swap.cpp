@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "defense/trackers.hpp"
 
 namespace dl::defense {
 
@@ -42,6 +43,17 @@ void RowSwap::channel_swap(GlobalRowId phys_a, GlobalRowId phys_b) {
 }
 
 void RowSwap::migrate(GlobalRowId aggressor_phys) {
+  if (config_.swap_budget > 0 && swaps_ >= config_.swap_budget) {
+    // Budget spent: fall back to a targeted refresh of the aggressor's
+    // neighbours.  No RNG draw happens on this path, so the partner stream
+    // of earlier (budgeted) swaps is unaffected.
+    in_mitigation_ = true;
+    refresh_neighbors(ctrl_, aggressor_phys, config_.degrade_radius);
+    in_mitigation_ = false;
+    ++degraded_;
+    ctrl_.counters().add(dl::dram::Counter::kDegradedSwaps);
+    return;
+  }
   const auto& g = ctrl_.geometry();
   const RowAddress a = from_global(g, aggressor_phys);
   // Random partner anywhere in the same bank.

@@ -22,6 +22,12 @@ namespace dl::defense {
 struct RowSwapConfig {
   std::uint64_t threshold = 1000;  ///< assumed T_RH; swap at threshold/2
   bool lazy_unswap = false;        ///< SRS behaviour when true
+  /// Migrations allowed per campaign (0 = unlimited).  Once spent, a hot
+  /// aggressor degrades to a targeted neighbour refresh instead of the full
+  /// through-the-channel swap — protection weakens to tracker level rather
+  /// than stopping.
+  std::uint64_t swap_budget = 0;
+  std::uint32_t degrade_radius = 2;  ///< refresh radius of the degraded path
 };
 
 class RowSwap final : public dl::dram::ActivationListener {
@@ -33,6 +39,7 @@ class RowSwap final : public dl::dram::ActivationListener {
 
   [[nodiscard]] std::uint64_t swaps() const { return swaps_; }
   [[nodiscard]] std::uint64_t unswaps() const { return unswaps_; }
+  [[nodiscard]] std::uint64_t degraded() const { return degraded_; }
   [[nodiscard]] const RowSwapConfig& config() const { return config_; }
 
  private:
@@ -44,6 +51,7 @@ class RowSwap final : public dl::dram::ActivationListener {
       active_swaps_;  ///< logical pairs swapped this window (for unswap)
   std::uint64_t swaps_ = 0;
   std::uint64_t unswaps_ = 0;
+  std::uint64_t degraded_ = 0;  ///< mitigations downgraded to refreshes
   bool in_mitigation_ = false;
 
   void migrate(dl::dram::GlobalRowId aggressor_phys);

@@ -19,6 +19,10 @@ const char* to_string(Counter c) {
     case Counter::kSequencerPrograms:   return "sequencer_programs";
     case Counter::kChannelSwaps:        return "channel_swaps";
     case Counter::kScrubChunkVerifies:  return "scrub_chunk_verifies";
+    case Counter::kRejectedEnqueues:    return "rejected_enqueues";
+    case Counter::kFaultEvents:         return "fault_events";
+    case Counter::kDegradedLocks:       return "degraded_locks";
+    case Counter::kDegradedSwaps:       return "degraded_swaps";
   }
   return "?";
 }

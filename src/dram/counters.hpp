@@ -45,10 +45,15 @@ enum class Counter : std::uint8_t {
   kSequencerPrograms,   ///< completed µprogram runs (defense::Sequencer)
   kChannelSwaps,        ///< RRS/SRS channel row swaps (defense::RowSwap)
   kScrubChunkVerifies,  ///< checksum-group verifications (integrity scrubber)
+  // Robustness/resilience accounting.
+  kRejectedEnqueues,    ///< FR-FCFS enqueues refused on a full bank ring
+  kFaultEvents,         ///< injection events fired (faults::FaultInjector)
+  kDegradedLocks,       ///< rows demoted to tracker-only fallback protection
+  kDegradedSwaps,       ///< swap operations degraded to targeted refreshes
 };
 
 inline constexpr std::size_t kNumCounters =
-    static_cast<std::size_t>(Counter::kScrubChunkVerifies) + 1;
+    static_cast<std::size_t>(Counter::kDegradedSwaps) + 1;
 static_assert(kNumCounters <= 256, "order_ stores uint8_t indices");
 
 /// StatSet key the counter exports under (the legacy string name).

@@ -1,0 +1,135 @@
+#include "faults/faults.hpp"
+
+#include "common/error.hpp"
+#include "defense/lock_table.hpp"
+#include "integrity/checksum.hpp"
+
+namespace dl::faults {
+
+using dl::dram::GlobalRowId;
+
+namespace {
+
+void check_rate(double rate, const char* name) {
+  DL_REQUIRE(rate >= 0.0 && rate <= 1.0,
+             std::string("fault rate '") + name +
+                 "' must be a probability in [0, 1]");
+}
+
+}  // namespace
+
+void FaultSpec::validate() const {
+  check_rate(retention_rate, "retention_rate");
+  check_rate(transient_rate, "transient_rate");
+  check_rate(lock_evict_rate, "lock_evict_rate");
+  check_rate(remap_fault_rate, "remap_fault_rate");
+  check_rate(checksum_fault_rate, "checksum_fault_rate");
+}
+
+FaultInjector::FaultInjector(dl::dram::Controller& ctrl, const FaultSpec& spec)
+    : ctrl_(ctrl), spec_(spec), rng_(spec.seed) {
+  spec_.validate();
+  DL_REQUIRE(spec_.period_acts > 0,
+             "fault injection cadence (period_acts) must be positive");
+  const std::uint64_t total = ctrl_.geometry().total_rows();
+  if (spec_.target_rows == 0) {
+    spec_.target_base = 0;
+    spec_.target_rows = total;
+  }
+  DL_REQUIRE(spec_.target_base < total &&
+                 spec_.target_rows <= total - spec_.target_base,
+             "fault target row range exceeds the geometry");
+  // Weak cells exist before the campaign starts: pick them now and assert
+  // their stuck level once, so the initial state already carries them.
+  stuck_.reserve(spec_.stuck_cells);
+  for (std::size_t i = 0; i < spec_.stuck_cells; ++i) {
+    StuckCell cell;
+    cell.row = pick_row();
+    cell.byte = static_cast<std::uint32_t>(
+        rng_.next_below(ctrl_.geometry().row_bytes));
+    cell.bit = static_cast<unsigned>(rng_.next_below(8));
+    cell.value = rng_.chance(0.5);
+    stuck_.push_back(cell);
+  }
+  stats_.stuck_cells = stuck_.size();
+  assert_stuck_cells();
+}
+
+GlobalRowId FaultInjector::pick_row() {
+  return spec_.target_base + rng_.next_below(spec_.target_rows);
+}
+
+void FaultInjector::assert_stuck_cells() {
+  for (const StuckCell& cell : stuck_) {
+    const std::uint8_t cur = ctrl_.data().read_byte(cell.row, cell.byte);
+    const bool bit_set = ((cur >> cell.bit) & 1u) != 0;
+    if (bit_set == cell.value) continue;
+    ctrl_.data().flip_bit(cell.row, cell.byte, cell.bit);
+    ++stats_.stuck_overrides;
+  }
+}
+
+void FaultInjector::inject_event() {
+  ++stats_.events;
+  ctrl_.counters().add(dl::dram::Counter::kFaultEvents);
+
+  // Fixed draw order per event keeps the stream stable under config diffs
+  // of *other* fault classes' targets (attachment only gates the action).
+  if (spec_.retention_rate > 0.0 && rng_.chance(spec_.retention_rate)) {
+    const GlobalRowId row = pick_row();
+    const std::uint32_t byte = static_cast<std::uint32_t>(
+        rng_.next_below(ctrl_.geometry().row_bytes));
+    const unsigned bit = static_cast<unsigned>(rng_.next_below(8));
+    // Retention loss discharges the cell: the bit decays to 0.
+    if (((ctrl_.data().read_byte(row, byte) >> bit) & 1u) != 0) {
+      ctrl_.data().flip_bit(row, byte, bit);
+      ++stats_.retention_faults;
+    }
+  }
+  if (spec_.transient_rate > 0.0 && rng_.chance(spec_.transient_rate)) {
+    const GlobalRowId row = pick_row();
+    const std::uint32_t byte = static_cast<std::uint32_t>(
+        rng_.next_below(ctrl_.geometry().row_bytes));
+    const unsigned bit = static_cast<unsigned>(rng_.next_below(8));
+    ctrl_.data().flip_bit(row, byte, bit);
+    ++stats_.transient_faults;
+  }
+  assert_stuck_cells();
+  if (spec_.lock_evict_rate > 0.0 && rng_.chance(spec_.lock_evict_rate) &&
+      table_ != nullptr) {
+    const auto locked = table_->locked_rows();
+    if (!locked.empty()) {
+      table_->unlock(locked[rng_.next_below(locked.size())]);
+      ++stats_.lock_evictions;
+    }
+  }
+  if (spec_.remap_fault_rate > 0.0 && rng_.chance(spec_.remap_fault_rate)) {
+    const GlobalRowId a = pick_row();
+    const GlobalRowId b = pick_row();
+    if (a != b) {
+      ctrl_.indirection().swap_logical(a, b);
+      ++stats_.remap_faults;
+    }
+  }
+  if (spec_.checksum_fault_rate > 0.0 &&
+      rng_.chance(spec_.checksum_fault_rate) && checksums_ != nullptr &&
+      checksums_->group_count() > 0) {
+    const std::size_t g = rng_.next_below(checksums_->group_count());
+    const std::size_t byte = rng_.next_below(checksums_->bytes_per_group());
+    const unsigned bit = static_cast<unsigned>(rng_.next_below(8));
+    checksums_->flip_checksum_bit(g, byte, bit);
+    ++stats_.checksum_faults;
+  }
+}
+
+void FaultInjector::on_activate(GlobalRowId /*physical_row*/,
+                                Picoseconds /*now*/) {
+  if (injecting_) return;  // re-entrancy guard (belt and braces)
+  ++acts_;
+  if (acts_ % spec_.period_acts != 0) return;
+  injecting_ = true;
+  inject_event();
+  injecting_ = false;
+}
+
+}  // namespace dl::faults

@@ -75,6 +75,7 @@ void DramScrubber::verify_group(std::size_t row_idx, std::size_t group_in_row,
         ++stats_.corrected_bits;
       } else {
         ++stats_.denied_accesses;
+        ++stats_.unrecoverable_faults;
       }
       break;
     }
@@ -109,6 +110,7 @@ void DramScrubber::verify_group(std::size_t row_idx, std::size_t group_in_row,
         ++stats_.zeroed_groups;
       } else {
         ++stats_.denied_accesses;
+        ++stats_.unrecoverable_faults;
       }
       break;
     }

@@ -60,6 +60,10 @@ struct ScrubStats {
   std::uint64_t zeroed_corrupt_bytes = 0;
   std::uint64_t checksum_repairs = 0;
   std::uint64_t uncorrectable = 0;
+  /// Detected corruption left standing because the recovery write itself
+  /// was denied — the correct-or-zero ladder ran out of rungs.  Disjoint
+  /// from `uncorrectable` (recovery not attempted by policy).
+  std::uint64_t unrecoverable_faults = 0;
   Picoseconds first_detection_at = 0;   ///< controller clock; 0 = none yet
 };
 

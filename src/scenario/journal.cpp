@@ -1,0 +1,433 @@
+#include "scenario/journal.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace dl::scenario {
+
+namespace {
+
+using dl::json::Value;
+
+// Doubles round-trip through C99 hexfloats: "%a" prints the exact mantissa
+// bits and strtod restores them, so a replayed BFA accuracy curve emits the
+// same "%.17g" text in the final report as the original run.
+std::string encode_double(double d) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", d);
+  return buf;
+}
+
+double decode_double(const std::string& s) {
+  char* end = nullptr;
+  const double d = std::strtod(s.c_str(), &end);
+  DL_REQUIRE(end == s.c_str() + s.size() && !s.empty(),
+             "journal: malformed hexfloat '" + s + "'");
+  return d;
+}
+
+CampaignStatus status_from(const std::string& s) {
+  if (s == "ok") return CampaignStatus::kOk;
+  if (s == "failed") return CampaignStatus::kFailed;
+  if (s == "truncated") return CampaignStatus::kTruncated;
+  throw dl::Error("journal: unknown campaign status '" + s + "'");
+}
+
+Value integrity_config_to_journal(const dl::integrity::Config& c) {
+  auto v = Value::object();
+  v["scheme"] = static_cast<std::uint8_t>(c.scheme);
+  v["group_size"] = c.group_size;
+  v["recovery"] = static_cast<std::uint8_t>(c.recovery);
+  return v;
+}
+
+dl::integrity::Config integrity_config_from(const Value& v) {
+  dl::integrity::Config c;
+  c.scheme = static_cast<dl::integrity::Scheme>(v.at("scheme").as_u64());
+  c.group_size = static_cast<std::uint32_t>(v.at("group_size").as_u64());
+  c.recovery = static_cast<dl::integrity::Recovery>(v.at("recovery").as_u64());
+  return c;
+}
+
+Value audit_to_journal(const dl::integrity::Audit& a) {
+  auto v = Value::object();
+  v["corrupt_bytes"] = a.corrupt_bytes;
+  v["missed_bytes"] = a.missed_bytes;
+  return v;
+}
+
+dl::integrity::Audit audit_from(const Value& v) {
+  dl::integrity::Audit a;
+  a.corrupt_bytes = v.at("corrupt_bytes").as_u64();
+  a.missed_bytes = v.at("missed_bytes").as_u64();
+  return a;
+}
+
+Value hammer_to_journal(const HammerCampaignResult& r) {
+  auto v = Value::object();
+  v["kind"] = "hammer";
+  v["name"] = r.name;
+  v["status"] = to_string(r.status);
+  v["error"] = r.error;
+  v["completed_cycles"] = r.completed_cycles;
+  auto attack = Value::object();
+  attack["granted_acts"] = r.attack.granted_acts;
+  attack["denied_acts"] = r.attack.denied_acts;
+  attack["flips_in_victim"] = r.attack.flips_in_victim;
+  attack["flips_elsewhere"] = r.attack.flips_elsewhere;
+  attack["elapsed"] = r.attack.elapsed;
+  v["attack"] = std::move(attack);
+  auto tracker = Value::object();
+  tracker["observed_acts"] = r.tracker.observed_acts;
+  tracker["mitigations"] = r.tracker.mitigations;
+  tracker["victim_refreshes"] = r.tracker.victim_refreshes;
+  v["tracker"] = std::move(tracker);
+  auto locker = Value::object();
+  locker["rw_instructions"] = r.locker.rw_instructions;
+  locker["denied"] = r.locker.denied;
+  locker["unlock_swaps"] = r.locker.unlock_swaps;
+  locker["relocks"] = r.locker.relocks;
+  locker["swap_copy_errors"] = r.locker.swap_copy_errors;
+  locker["pool_exhausted_denials"] = r.locker.pool_exhausted_denials;
+  locker["swap_budget_denials"] = r.locker.swap_budget_denials;
+  locker["degraded_locks"] = r.locker.degraded_locks;
+  locker["degraded_swaps"] = r.locker.degraded_swaps;
+  locker["fallback_refreshes"] = r.locker.fallback_refreshes;
+  v["locker"] = std::move(locker);
+  v["swaps"] = r.swaps;
+  v["unswaps"] = r.unswaps;
+  v["degraded_migrations"] = r.degraded_migrations;
+  v["rowclones"] = r.rowclones;
+  v["total_flips"] = r.total_flips;
+  v["locked_rows"] = r.locked_rows;
+  v["defense_time"] = r.defense_time;
+  v["elapsed"] = r.elapsed;
+  auto tenants = Value::array();
+  for (const auto& t : r.tenants) {
+    auto tv = Value::object();
+    tv["name"] = t.name;
+    tv["kind"] = static_cast<std::uint8_t>(t.kind);
+    tv["issued"] = t.issued;
+    tv["granted"] = t.granted;
+    tv["denied"] = t.denied;
+    tv["rejected_enqueues"] = t.rejected_enqueues;
+    tv["reads"] = t.reads;
+    tv["writes"] = t.writes;
+    tv["hammer_acts"] = t.hammer_acts;
+    tv["row_hits"] = t.row_hits;
+    tv["data_bytes"] = t.data_bytes;
+    tv["service_time"] = t.service_time;
+    auto lat = Value::array();
+    for (const Picoseconds p : t.queue_latency) lat.push_back(p);
+    tv["queue_latency"] = std::move(lat);
+    tenants.push_back(std::move(tv));
+  }
+  v["tenants"] = std::move(tenants);
+  v["integrity_enabled"] = r.integrity_enabled;
+  if (r.integrity_enabled) {
+    v["integrity_config"] = integrity_config_to_journal(r.integrity_config);
+    auto s = Value::object();
+    s["passes"] = r.integrity.passes;
+    s["scrub_reads"] = r.integrity.scrub_reads;
+    s["scrub_read_bytes"] = r.integrity.scrub_read_bytes;
+    s["denied_accesses"] = r.integrity.denied_accesses;
+    s["correction_writes"] = r.integrity.correction_writes;
+    s["verified_groups"] = r.integrity.verified_groups;
+    s["detections"] = r.integrity.detections;
+    s["corrected_bits"] = r.integrity.corrected_bits;
+    s["zeroed_groups"] = r.integrity.zeroed_groups;
+    s["zeroed_corrupt_bytes"] = r.integrity.zeroed_corrupt_bytes;
+    s["checksum_repairs"] = r.integrity.checksum_repairs;
+    s["uncorrectable"] = r.integrity.uncorrectable;
+    s["unrecoverable_faults"] = r.integrity.unrecoverable_faults;
+    s["first_detection_at"] = r.integrity.first_detection_at;
+    v["integrity"] = std::move(s);
+    v["integrity_audit"] = audit_to_journal(r.integrity_audit);
+  }
+  v["faults_enabled"] = r.faults_enabled;
+  if (r.faults_enabled) {
+    auto f = Value::object();
+    f["events"] = r.faults.events;
+    f["retention_faults"] = r.faults.retention_faults;
+    f["transient_faults"] = r.faults.transient_faults;
+    f["stuck_cells"] = r.faults.stuck_cells;
+    f["stuck_overrides"] = r.faults.stuck_overrides;
+    f["lock_evictions"] = r.faults.lock_evictions;
+    f["remap_faults"] = r.faults.remap_faults;
+    f["checksum_faults"] = r.faults.checksum_faults;
+    v["faults"] = std::move(f);
+  }
+  v["degraded"] = r.degraded;
+  return v;
+}
+
+HammerCampaignResult hammer_from_journal(const Value& v) {
+  HammerCampaignResult r;
+  r.name = v.at("name").as_string();
+  r.status = status_from(v.at("status").as_string());
+  r.error = v.at("error").as_string();
+  r.completed_cycles = v.at("completed_cycles").as_u64();
+  const Value& attack = v.at("attack");
+  r.attack.granted_acts = attack.at("granted_acts").as_u64();
+  r.attack.denied_acts = attack.at("denied_acts").as_u64();
+  r.attack.flips_in_victim = attack.at("flips_in_victim").as_u64();
+  r.attack.flips_elsewhere = attack.at("flips_elsewhere").as_u64();
+  r.attack.elapsed = attack.at("elapsed").as_i64();
+  const Value& tracker = v.at("tracker");
+  r.tracker.observed_acts = tracker.at("observed_acts").as_u64();
+  r.tracker.mitigations = tracker.at("mitigations").as_u64();
+  r.tracker.victim_refreshes = tracker.at("victim_refreshes").as_u64();
+  const Value& locker = v.at("locker");
+  r.locker.rw_instructions = locker.at("rw_instructions").as_u64();
+  r.locker.denied = locker.at("denied").as_u64();
+  r.locker.unlock_swaps = locker.at("unlock_swaps").as_u64();
+  r.locker.relocks = locker.at("relocks").as_u64();
+  r.locker.swap_copy_errors = locker.at("swap_copy_errors").as_u64();
+  r.locker.pool_exhausted_denials =
+      locker.at("pool_exhausted_denials").as_u64();
+  r.locker.swap_budget_denials = locker.at("swap_budget_denials").as_u64();
+  r.locker.degraded_locks = locker.at("degraded_locks").as_u64();
+  r.locker.degraded_swaps = locker.at("degraded_swaps").as_u64();
+  r.locker.fallback_refreshes = locker.at("fallback_refreshes").as_u64();
+  r.swaps = v.at("swaps").as_u64();
+  r.unswaps = v.at("unswaps").as_u64();
+  r.degraded_migrations = v.at("degraded_migrations").as_u64();
+  r.rowclones = v.at("rowclones").as_u64();
+  r.total_flips = v.at("total_flips").as_u64();
+  r.locked_rows = static_cast<std::size_t>(v.at("locked_rows").as_u64());
+  r.defense_time = v.at("defense_time").as_i64();
+  r.elapsed = v.at("elapsed").as_i64();
+  const Value& tenants = v.at("tenants");
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const Value& tv = tenants.item(i);
+    dl::traffic::TenantStats t;
+    t.name = tv.at("name").as_string();
+    t.kind = static_cast<dl::traffic::StreamKind>(tv.at("kind").as_u64());
+    t.issued = tv.at("issued").as_u64();
+    t.granted = tv.at("granted").as_u64();
+    t.denied = tv.at("denied").as_u64();
+    t.rejected_enqueues = tv.at("rejected_enqueues").as_u64();
+    t.reads = tv.at("reads").as_u64();
+    t.writes = tv.at("writes").as_u64();
+    t.hammer_acts = tv.at("hammer_acts").as_u64();
+    t.row_hits = tv.at("row_hits").as_u64();
+    t.data_bytes = tv.at("data_bytes").as_u64();
+    t.service_time = tv.at("service_time").as_i64();
+    const Value& lat = tv.at("queue_latency");
+    t.queue_latency.reserve(lat.size());
+    for (std::size_t j = 0; j < lat.size(); ++j) {
+      t.queue_latency.push_back(lat.item(j).as_i64());
+    }
+    r.tenants.push_back(std::move(t));
+  }
+  r.integrity_enabled = v.at("integrity_enabled").as_bool();
+  if (r.integrity_enabled) {
+    r.integrity_config = integrity_config_from(v.at("integrity_config"));
+    const Value& s = v.at("integrity");
+    r.integrity.passes = s.at("passes").as_u64();
+    r.integrity.scrub_reads = s.at("scrub_reads").as_u64();
+    r.integrity.scrub_read_bytes = s.at("scrub_read_bytes").as_u64();
+    r.integrity.denied_accesses = s.at("denied_accesses").as_u64();
+    r.integrity.correction_writes = s.at("correction_writes").as_u64();
+    r.integrity.verified_groups = s.at("verified_groups").as_u64();
+    r.integrity.detections = s.at("detections").as_u64();
+    r.integrity.corrected_bits = s.at("corrected_bits").as_u64();
+    r.integrity.zeroed_groups = s.at("zeroed_groups").as_u64();
+    r.integrity.zeroed_corrupt_bytes = s.at("zeroed_corrupt_bytes").as_u64();
+    r.integrity.checksum_repairs = s.at("checksum_repairs").as_u64();
+    r.integrity.uncorrectable = s.at("uncorrectable").as_u64();
+    r.integrity.unrecoverable_faults = s.at("unrecoverable_faults").as_u64();
+    r.integrity.first_detection_at = s.at("first_detection_at").as_i64();
+    r.integrity_audit = audit_from(v.at("integrity_audit"));
+  }
+  r.faults_enabled = v.at("faults_enabled").as_bool();
+  if (r.faults_enabled) {
+    const Value& f = v.at("faults");
+    r.faults.events = f.at("events").as_u64();
+    r.faults.retention_faults = f.at("retention_faults").as_u64();
+    r.faults.transient_faults = f.at("transient_faults").as_u64();
+    r.faults.stuck_cells = f.at("stuck_cells").as_u64();
+    r.faults.stuck_overrides = f.at("stuck_overrides").as_u64();
+    r.faults.lock_evictions = f.at("lock_evictions").as_u64();
+    r.faults.remap_faults = f.at("remap_faults").as_u64();
+    r.faults.checksum_faults = f.at("checksum_faults").as_u64();
+  }
+  r.degraded = v.at("degraded").as_bool();
+  return r;
+}
+
+Value bfa_to_journal(const BfaCampaignResult& r) {
+  auto v = Value::object();
+  v["kind"] = "bfa";
+  v["name"] = r.name;
+  v["status"] = to_string(r.status);
+  v["error"] = r.error;
+  auto curve = Value::array();
+  for (const double a : r.accuracy) curve.push_back(encode_double(a));
+  v["accuracy"] = std::move(curve);
+  v["flips_landed"] = r.flips_landed;
+  v["flips_blocked"] = r.flips_blocked;
+  v["gate_attempts"] = r.gate_attempts;
+  v["gate_landed"] = r.gate_landed;
+  v["test_accuracy_after"] = encode_double(r.test_accuracy_after);
+  v["integrity_enabled"] = r.integrity_enabled;
+  if (r.integrity_enabled) {
+    v["integrity_config"] = integrity_config_to_journal(r.integrity_config);
+    auto s = Value::object();
+    s["verified_groups"] = r.integrity.verified_groups;
+    s["detections"] = r.integrity.detections;
+    s["corrected_bits"] = r.integrity.corrected_bits;
+    s["zeroed_groups"] = r.integrity.zeroed_groups;
+    s["zeroed_corrupt_bytes"] = r.integrity.zeroed_corrupt_bytes;
+    s["checksum_repairs"] = r.integrity.checksum_repairs;
+    s["uncorrectable"] = r.integrity.uncorrectable;
+    v["integrity"] = std::move(s);
+    v["integrity_audit"] = audit_to_journal(r.integrity_audit);
+    v["accuracy_before_recovery"] = encode_double(r.accuracy_before_recovery);
+    v["recovered_accuracy"] = encode_double(r.recovered_accuracy);
+  }
+  return v;
+}
+
+BfaCampaignResult bfa_from_journal(const Value& v) {
+  BfaCampaignResult r;
+  r.name = v.at("name").as_string();
+  r.status = status_from(v.at("status").as_string());
+  r.error = v.at("error").as_string();
+  const Value& curve = v.at("accuracy");
+  r.accuracy.reserve(curve.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    r.accuracy.push_back(decode_double(curve.item(i).as_string()));
+  }
+  r.flips_landed = static_cast<std::size_t>(v.at("flips_landed").as_u64());
+  r.flips_blocked = static_cast<std::size_t>(v.at("flips_blocked").as_u64());
+  r.gate_attempts = v.at("gate_attempts").as_u64();
+  r.gate_landed = v.at("gate_landed").as_u64();
+  r.test_accuracy_after = decode_double(v.at("test_accuracy_after").as_string());
+  r.integrity_enabled = v.at("integrity_enabled").as_bool();
+  if (r.integrity_enabled) {
+    r.integrity_config = integrity_config_from(v.at("integrity_config"));
+    const Value& s = v.at("integrity");
+    r.integrity.verified_groups = s.at("verified_groups").as_u64();
+    r.integrity.detections = s.at("detections").as_u64();
+    r.integrity.corrected_bits = s.at("corrected_bits").as_u64();
+    r.integrity.zeroed_groups = s.at("zeroed_groups").as_u64();
+    r.integrity.zeroed_corrupt_bytes = s.at("zeroed_corrupt_bytes").as_u64();
+    r.integrity.checksum_repairs = s.at("checksum_repairs").as_u64();
+    r.integrity.uncorrectable = s.at("uncorrectable").as_u64();
+    r.integrity_audit = audit_from(v.at("integrity_audit"));
+    r.accuracy_before_recovery =
+        decode_double(v.at("accuracy_before_recovery").as_string());
+    r.recovered_accuracy =
+        decode_double(v.at("recovered_accuracy").as_string());
+  }
+  return r;
+}
+
+}  // namespace
+
+CampaignJournal::CampaignJournal(std::string path) : path_(std::move(path)) {
+  DL_REQUIRE(!path_.empty(), "journal path must not be empty");
+  std::ifstream in(path_);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // A torn tail line (process killed mid-write) or other unparsable
+    // garbage costs exactly that campaign — everything before it survives.
+    try {
+      const Value v = Value::parse(line);
+      const std::string& kind = v.at("kind").as_string();
+      if (kind == "hammer") {
+        HammerCampaignResult r = hammer_from_journal(v);
+        hammer_.insert_or_assign(r.name, std::move(r));
+      } else if (kind == "bfa") {
+        BfaCampaignResult r = bfa_from_journal(v);
+        bfa_.insert_or_assign(r.name, std::move(r));
+      }
+      ++loaded_;
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  in.close();
+  out_ = std::fopen(path_.c_str(), "a");
+  DL_REQUIRE(out_ != nullptr, "cannot open journal '" + path_ +
+                                  "' for appending");
+}
+
+CampaignJournal::~CampaignJournal() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+const HammerCampaignResult* CampaignJournal::find_hammer(
+    const std::string& name) const {
+  const auto it = hammer_.find(name);
+  return it == hammer_.end() ? nullptr : &it->second;
+}
+
+const BfaCampaignResult* CampaignJournal::find_bfa(
+    const std::string& name) const {
+  const auto it = bfa_.find(name);
+  return it == bfa_.end() ? nullptr : &it->second;
+}
+
+void CampaignJournal::append_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), out_);
+  std::fputc('\n', out_);
+  std::fflush(out_);
+}
+
+void CampaignJournal::record(const HammerCampaignResult& r) {
+  append_line(hammer_to_journal(r).dump());
+}
+
+void CampaignJournal::record(const BfaCampaignResult& r) {
+  append_line(bfa_to_journal(r).dump());
+}
+
+std::vector<HammerCampaignResult> run_journaled(
+    const std::vector<HammerCampaign>& campaigns, CampaignJournal& journal) {
+  std::vector<HammerCampaignResult> results(campaigns.size());
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < campaigns.size(); ++i) {
+    if (const auto* cached = journal.find_hammer(campaigns[i].name)) {
+      results[i] = *cached;
+    } else {
+      todo.push_back(i);
+    }
+  }
+  dl::parallel::parallel_for(
+      0, todo.size(), 1,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t t = begin; t < end; ++t) {
+          const std::size_t i = todo[t];
+          results[i] = run_one_isolated(campaigns[i]);
+          journal.record(results[i]);
+        }
+      });
+  return results;
+}
+
+std::vector<BfaCampaignResult> run_bfa_journaled(
+    const VictimRef& victim, const std::vector<BfaCampaign>& campaigns,
+    CampaignJournal& journal) {
+  std::vector<BfaCampaignResult> results;
+  results.reserve(campaigns.size());
+  for (const BfaCampaign& c : campaigns) {
+    if (const auto* cached = journal.find_bfa(c.name)) {
+      results.push_back(*cached);
+      continue;
+    }
+    results.push_back(run_bfa_isolated(victim, c));
+    journal.record(results.back());
+  }
+  victim.qmodel.restore();
+  return results;
+}
+
+}  // namespace dl::scenario

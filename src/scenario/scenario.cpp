@@ -1,5 +1,6 @@
 #include "scenario/scenario.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_map>
 
@@ -14,6 +15,15 @@ namespace dl::scenario {
 
 using dl::dram::Controller;
 using dl::dram::GlobalRowId;
+
+const char* to_string(CampaignStatus status) {
+  switch (status) {
+    case CampaignStatus::kOk:        return "ok";
+    case CampaignStatus::kFailed:    return "failed";
+    case CampaignStatus::kTruncated: return "truncated";
+  }
+  return "?";
+}
 
 // --------------------------------------------------------- DefenseSpec
 
@@ -177,7 +187,9 @@ struct DefenseInstance {
         row_swap = std::make_unique<dl::defense::RowSwap>(
             ctrl,
             dl::defense::RowSwapConfig{.threshold = spec.threshold,
-                                       .lazy_unswap = spec.lazy_unswap},
+                                       .lazy_unswap = spec.lazy_unswap,
+                                       .swap_budget = spec.swap_budget,
+                                       .degrade_radius = spec.radius},
             dl::Rng(spec.seed));
         ctrl.add_listener(row_swap.get());
         break;
@@ -207,6 +219,7 @@ struct DefenseInstance {
     if (row_swap != nullptr) {
       r.swaps = row_swap->swaps();
       r.unswaps = row_swap->unswaps();
+      r.degraded_migrations = row_swap->degraded();
     }
     if (shadow != nullptr) r.swaps = shadow->shuffles();
     if (locker != nullptr) r.locker = locker->stats();
@@ -342,6 +355,34 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
            (cycle + 1) % ispec.scrub_interval == 0;
   };
 
+  // Fault injection attaches last, after the scrubber snapshot: the
+  // stuck-at assertion in the injector's constructor lands *post*-snapshot,
+  // so weak cells read as corruption from the first scrub pass on.
+  std::unique_ptr<dl::faults::FaultInjector> injector;
+  if (campaign.env.faults.enabled()) {
+    injector =
+        std::make_unique<dl::faults::FaultInjector>(ctrl, campaign.env.faults);
+    if (defense.locker != nullptr) {
+      injector->attach_lock_table(&defense.locker->lock_table());
+    }
+    if (scrubber != nullptr) {
+      injector->attach_checksums(&scrubber->checksums());
+    }
+    ctrl.add_listener(injector.get());
+  }
+
+  // Budget enforcement: a cycle cap shrinks the loop up front; an ACT cap
+  // is checked between cycles (a cycle always finishes once started).
+  const std::uint64_t cycle_cap =
+      campaign.budget.max_cycles > 0
+          ? std::min(campaign.cycles, campaign.budget.max_cycles)
+          : campaign.cycles;
+  const auto acts_exhausted = [&] {
+    return campaign.budget.max_acts > 0 &&
+           ctrl.counters().value(dl::dram::Counter::kActivates) >=
+               static_cast<double>(campaign.budget.max_acts);
+  };
+
   dl::rowhammer::HammerAttacker attacker(ctrl, model);
   HammerCampaignResult r;
   r.name = campaign.name;
@@ -360,13 +401,15 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
           }
           ++r.attack.flips_elsewhere;
         });
-    for (std::uint64_t c = 0; c < campaign.cycles; ++c) {
+    for (std::uint64_t c = 0; c < cycle_cap; ++c) {
       issue_traffic(ctrl, campaign.pre_traffic);
       run_traffic_cycle(ctrl, campaign, c, r, scrubber.get(), scrub_due(c));
       issue_traffic(ctrl, campaign.post_traffic);
+      ++r.completed_cycles;
+      if (acts_exhausted()) break;
     }
   } else {
-    for (std::uint64_t c = 0; c < campaign.cycles; ++c) {
+    for (std::uint64_t c = 0; c < cycle_cap; ++c) {
       issue_traffic(ctrl, campaign.pre_traffic);
       const auto res =
           attacker.attack(campaign.attack.victim_row, campaign.attack.pattern,
@@ -379,7 +422,12 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
       r.attack.elapsed += res.elapsed;
       issue_traffic(ctrl, campaign.post_traffic);
       if (scrub_due(c)) scrubber->scrub_pass();
+      ++r.completed_cycles;
+      if (acts_exhausted()) break;
     }
+  }
+  if (r.completed_cycles < campaign.cycles) {
+    r.status = CampaignStatus::kTruncated;
   }
 
   defense.harvest(r);
@@ -389,12 +437,31 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
     r.integrity = scrubber->stats();
     r.integrity_audit = scrubber->audit();
   }
+  if (injector != nullptr) {
+    r.faults_enabled = true;
+    r.faults = injector->stats();
+  }
+  r.degraded = r.locker.degraded_locks > 0 || r.locker.degraded_swaps > 0 ||
+               r.degraded_migrations > 0 ||
+               r.integrity.unrecoverable_faults > 0;
   r.rowclones = static_cast<std::uint64_t>(
       ctrl.counters().value(dl::dram::Counter::kRowClones));
   r.total_flips = model.total_flips();
   r.defense_time = ctrl.defense_time();
   r.elapsed = ctrl.now();
   return r;
+}
+
+HammerCampaignResult run_one_isolated(const HammerCampaign& campaign) {
+  try {
+    return run_one(campaign);
+  } catch (const std::exception& e) {
+    HammerCampaignResult r;
+    r.name = campaign.name;
+    r.status = CampaignStatus::kFailed;
+    r.error = e.what();
+    return r;
+  }
 }
 
 std::vector<HammerCampaignResult> run(
@@ -404,7 +471,7 @@ std::vector<HammerCampaignResult> run(
       0, campaigns.size(), 1,
       [&](std::size_t begin, std::size_t end, std::size_t) {
         for (std::size_t i = begin; i < end; ++i) {
-          results[i] = run_one(campaigns[i]);
+          results[i] = run_one_isolated(campaigns[i]);
         }
       });
   return results;
@@ -449,8 +516,10 @@ std::vector<HammerCampaign> expand(const MatrixSpec& spec) {
         // Decorrelated per-campaign sub-streams: the disturbance, the
         // defense, and every tenant draw from distinct epochs of the same
         // base seed, keyed by the campaign's position in the matrix.
+        c.budget = spec.budget;
         c.env.disturbance_seed = dl::substream_seed(spec.base_seed, 0, index);
         c.defense.seed = dl::substream_seed(spec.base_seed, 1, index);
+        c.env.faults.seed = dl::substream_seed(spec.base_seed, 2, index);
         for (std::size_t ti = 0; ti < c.traffic.tenants.size(); ++ti) {
           auto& tenant = c.traffic.tenants[ti];
           tenant.seed = dl::substream_seed(spec.base_seed, 4 + ti, index);
@@ -603,12 +672,26 @@ BfaCampaignResult run_bfa(const VictimRef& victim,
   return r;
 }
 
+BfaCampaignResult run_bfa_isolated(const VictimRef& victim,
+                                   const BfaCampaign& campaign) {
+  try {
+    return run_bfa(victim, campaign);
+  } catch (const std::exception& e) {
+    BfaCampaignResult r;
+    r.name = campaign.name;
+    r.status = CampaignStatus::kFailed;
+    r.error = e.what();
+    victim.qmodel.restore();  // leave no half-attacked weights behind
+    return r;
+  }
+}
+
 std::vector<BfaCampaignResult> run_bfa(
     const VictimRef& victim, const std::vector<BfaCampaign>& campaigns) {
   std::vector<BfaCampaignResult> results;
   results.reserve(campaigns.size());
   for (const BfaCampaign& c : campaigns) {
-    results.push_back(run_bfa(victim, c));
+    results.push_back(run_bfa_isolated(victim, c));
   }
   victim.qmodel.restore();
   return results;
@@ -654,6 +737,9 @@ void put_integrity_outcome(dl::json::Value& v, const Counters& s,
 dl::json::Value to_json(const HammerCampaignResult& r) {
   auto v = dl::json::Value::object();
   v["name"] = r.name;
+  v["status"] = to_string(r.status);
+  if (!r.error.empty()) v["error"] = r.error;
+  v["completed_cycles"] = r.completed_cycles;
   // Nested objects are built as locals and moved in: a reference returned
   // by operator[] dies on the next sibling insertion.
   auto attack = dl::json::Value::object();
@@ -675,9 +761,15 @@ dl::json::Value to_json(const HammerCampaignResult& r) {
   locker["relocks"] = r.locker.relocks;
   locker["swap_copy_errors"] = r.locker.swap_copy_errors;
   locker["pool_exhausted_denials"] = r.locker.pool_exhausted_denials;
+  locker["swap_budget_denials"] = r.locker.swap_budget_denials;
+  locker["degraded_locks"] = r.locker.degraded_locks;
+  locker["degraded_swaps"] = r.locker.degraded_swaps;
+  locker["fallback_refreshes"] = r.locker.fallback_refreshes;
   v["dram_locker"] = std::move(locker);
   v["swaps"] = r.swaps;
   v["unswaps"] = r.unswaps;
+  v["degraded_migrations"] = r.degraded_migrations;
+  v["degraded"] = r.degraded;
   v["rowclones"] = r.rowclones;
   v["total_flips"] = r.total_flips;
   v["locked_rows"] = r.locked_rows;
@@ -697,6 +789,7 @@ dl::json::Value to_json(const HammerCampaignResult& r) {
     integrity["scrub_reads"] = r.integrity.scrub_reads;
     integrity["scrub_read_bytes"] = r.integrity.scrub_read_bytes;
     integrity["denied_accesses"] = r.integrity.denied_accesses;
+    integrity["unrecoverable_faults"] = r.integrity.unrecoverable_faults;
     integrity["correction_writes"] = r.integrity.correction_writes;
     integrity["first_detection_ps"] = r.integrity.first_detection_at;
     put_integrity_outcome(integrity, r.integrity, r.integrity_audit);
@@ -706,12 +799,26 @@ dl::json::Value to_json(const HammerCampaignResult& r) {
                    : 0.0;
     v["integrity"] = std::move(integrity);
   }
+  if (r.faults_enabled) {
+    auto faults = dl::json::Value::object();
+    faults["events"] = r.faults.events;
+    faults["retention_faults"] = r.faults.retention_faults;
+    faults["transient_faults"] = r.faults.transient_faults;
+    faults["stuck_cells"] = r.faults.stuck_cells;
+    faults["stuck_overrides"] = r.faults.stuck_overrides;
+    faults["lock_evictions"] = r.faults.lock_evictions;
+    faults["remap_faults"] = r.faults.remap_faults;
+    faults["checksum_faults"] = r.faults.checksum_faults;
+    v["faults"] = std::move(faults);
+  }
   return v;
 }
 
 dl::json::Value to_json(const BfaCampaignResult& r) {
   auto v = dl::json::Value::object();
   v["name"] = r.name;
+  v["status"] = to_string(r.status);
+  if (!r.error.empty()) v["error"] = r.error;
   v["flips_landed"] = r.flips_landed;
   v["flips_blocked"] = r.flips_blocked;
   v["gate_attempts"] = r.gate_attempts;

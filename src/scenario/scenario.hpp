@@ -49,6 +49,7 @@
 #include "defense/dram_locker.hpp"
 #include "defense/trackers.hpp"
 #include "dram/controller.hpp"
+#include "faults/faults.hpp"
 #include "integrity/checksum.hpp"
 #include "integrity/scrubber.hpp"
 #include "integrity/weight_integrity.hpp"
@@ -59,6 +60,28 @@
 #include "traffic/engine.hpp"
 
 namespace dl::scenario {
+
+// ------------------------------------------------------------- resilience
+
+/// Terminal state of a campaign run.  Failed and truncated campaigns still
+/// produce a result entry (with whatever was harvested before the cut), so
+/// one bad cell never takes down a matrix.
+enum class CampaignStatus : std::uint8_t {
+  kOk,         ///< ran to completion
+  kFailed,     ///< threw; result carries the error string, stats are empty
+  kTruncated,  ///< stopped early by a BudgetSpec limit
+};
+
+[[nodiscard]] const char* to_string(CampaignStatus status);
+
+/// Per-campaign resource limits (0 = unlimited).  A campaign that exceeds
+/// a limit is truncated — it keeps everything accumulated so far and
+/// reports status "truncated" — rather than running away with the matrix's
+/// wall-clock budget.
+struct BudgetSpec {
+  std::uint64_t max_acts = 0;    ///< stop once total ACTs reach this
+  std::uint64_t max_cycles = 0;  ///< run at most this many cycles
+};
 
 // ---------------------------------------------------------------- defenses
 
@@ -111,6 +134,7 @@ struct DefenseSpec {
   std::size_t entries = 64;             ///< kGraphene table entries
   std::uint32_t group_rows = 64;        ///< kCounterTree / kHydra
   bool lazy_unswap = false;             ///< kRowSwap: SRS behaviour
+  std::uint64_t swap_budget = 0;        ///< kRowSwap migration cap (0 = off)
   dl::defense::DramLockerConfig locker; ///< kDramLocker
   std::uint64_t seed = 2;               ///< defense-private RNG stream
   /// Reactive integrity add-on; composes with any kind (incl. kNone).
@@ -152,6 +176,10 @@ struct DramEnv {
   dl::dram::Timing timing = dl::dram::ddr4_2400();
   dl::rowhammer::DisturbanceConfig disturbance;
   std::uint64_t disturbance_seed = 1;  ///< victim-bit selection stream
+  /// Deterministic fault model (retention/transient/stuck-at data faults,
+  /// defense-metadata faults); inactive unless faults.enabled().  expand()
+  /// derives the seed from the matrix seed tree (epoch 2).
+  dl::faults::FaultSpec faults;
 };
 
 // ----------------------------------------------------------------- attacker
@@ -209,15 +237,21 @@ struct HammerCampaign {
   std::vector<TrafficOp> post_traffic;
   /// Multi-tenant contention mix; replaces the attack burst when enabled.
   TrafficSpec traffic;
+  /// Resource limits; exceeding one truncates (status = kTruncated).
+  BudgetSpec budget;
 };
 
 struct HammerCampaignResult {
   std::string name;
+  CampaignStatus status = CampaignStatus::kOk;
+  std::string error;                      ///< what() of a kFailed campaign
+  std::uint64_t completed_cycles = 0;
   dl::rowhammer::HammerResult attack;     ///< summed over cycles
   dl::defense::TrackerStats tracker;      ///< tracker defenses only
   dl::defense::DramLocker::Stats locker;  ///< kDramLocker only
   std::uint64_t swaps = 0;                ///< kRowSwap / kShadow migrations
   std::uint64_t unswaps = 0;
+  std::uint64_t degraded_migrations = 0;  ///< kRowSwap budget-degraded
   std::uint64_t rowclones = 0;
   std::uint64_t total_flips = 0;          ///< all flips, incl. collateral
   std::size_t locked_rows = 0;            ///< locks installed at setup
@@ -230,14 +264,27 @@ struct HammerCampaignResult {
   dl::integrity::Config integrity_config;
   dl::integrity::ScrubStats integrity;
   dl::integrity::Audit integrity_audit;   ///< end-of-campaign ground truth
+  /// Fault-injection outcome (env.faults campaigns only).
+  bool faults_enabled = false;
+  dl::faults::FaultStats faults;
+  /// Any defense ran in a degraded mode (fallback monitoring, budgeted
+  /// swaps downgraded to refreshes, unrecoverable scrub faults).
+  bool degraded = false;
 };
 
-/// Runs one campaign on the calling thread.
+/// Runs one campaign on the calling thread.  Throws on a malformed spec.
 [[nodiscard]] HammerCampaignResult run_one(const HammerCampaign& campaign);
+
+/// run_one with error isolation: a throwing campaign yields a result with
+/// status = kFailed and the exception message in `error` instead of
+/// propagating (so sibling campaigns in a matrix keep running).
+[[nodiscard]] HammerCampaignResult run_one_isolated(
+    const HammerCampaign& campaign);
 
 /// Runs every campaign, fanning out over the parallel pool (each campaign
 /// is self-contained).  Results are ordered like the input and are
-/// bit-identical for any DL_THREADS value.
+/// bit-identical for any DL_THREADS value.  Campaigns are error-isolated:
+/// a throwing campaign becomes a kFailed entry, the rest complete.
 [[nodiscard]] std::vector<HammerCampaignResult> run(
     const std::vector<HammerCampaign>& campaigns);
 
@@ -265,6 +312,8 @@ struct MatrixSpec {
   TrafficSpec traffic;
   std::uint64_t repetitions = 1;
   std::uint64_t base_seed = 7;
+  /// Per-campaign resource limits applied to every cell.
+  BudgetSpec budget;
 };
 
 [[nodiscard]] std::vector<HammerCampaign> expand(const MatrixSpec& spec);
@@ -314,6 +363,8 @@ struct BfaCampaign {
 
 struct BfaCampaignResult {
   std::string name;
+  CampaignStatus status = CampaignStatus::kOk;
+  std::string error;  ///< what() of a kFailed campaign
   /// accuracy[0] is the clean accuracy; accuracy[i] the sample-batch
   /// accuracy after iteration i.  With integrity enabled, entries at
   /// verify points reflect the victim's *post-recovery* state.
@@ -337,6 +388,11 @@ struct BfaCampaignResult {
 /// is left in its post-attack state on return.
 [[nodiscard]] BfaCampaignResult run_bfa(const VictimRef& victim,
                                         const BfaCampaign& campaign);
+
+/// run_bfa with error isolation (see run_one_isolated).  Restores the
+/// victim's weights after a failure so the next campaign starts clean.
+[[nodiscard]] BfaCampaignResult run_bfa_isolated(const VictimRef& victim,
+                                                 const BfaCampaign& campaign);
 
 /// Runs the campaigns in order against the shared victim, restoring the
 /// weights between campaigns and after the last one.  Campaigns run

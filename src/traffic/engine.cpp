@@ -37,6 +37,7 @@ void TenantStats::merge(const TenantStats& other) {
   issued += other.issued;
   granted += other.granted;
   denied += other.denied;
+  rejected_enqueues += other.rejected_enqueues;
   reads += other.reads;
   writes += other.writes;
   hammer_acts += other.hammer_acts;
@@ -109,7 +110,10 @@ TrafficReport TrafficEngine::run() {
         auto req = stream.peek();
         if (!req.has_value()) break;
         req->seq = next_seq_;
-        if (!scheduler_.try_enqueue(*req)) break;
+        if (!scheduler_.try_enqueue(*req)) {
+          ++stats_[i].rejected_enqueues;
+          break;
+        }
         ++next_seq_;
         ++stats_[i].issued;
         stream.pop();
@@ -136,6 +140,7 @@ dl::json::Value to_json(const TenantStats& t, Picoseconds elapsed) {
   v["issued"] = t.issued;
   v["granted"] = t.granted;
   v["denied"] = t.denied;
+  v["rejected_enqueues"] = t.rejected_enqueues;
   v["reads"] = t.reads;
   v["writes"] = t.writes;
   v["hammer_acts"] = t.hammer_acts;

@@ -34,6 +34,9 @@ struct TenantStats {
   std::uint64_t issued = 0;       ///< requests handed to the scheduler
   std::uint64_t granted = 0;
   std::uint64_t denied = 0;       ///< blocked by the access gate
+  /// Enqueue attempts refused on a full bank ring (back-pressure stalls;
+  /// the request is retried next round, never dropped).
+  std::uint64_t rejected_enqueues = 0;
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   std::uint64_t hammer_acts = 0;  ///< granted ACT-only requests

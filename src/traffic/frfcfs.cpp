@@ -27,7 +27,10 @@ void FrFcfsScheduler::decode(Request& req) const {
 bool FrFcfsScheduler::try_enqueue(Request req) {
   decode(req);
   BankQueue& q = queues_[ctrl_.bank_of_row(req.physical_row)];
-  if (q.full()) return false;
+  if (q.full()) {
+    ctrl_.counters().add(dl::dram::Counter::kRejectedEnqueues);
+    return false;
+  }
   req.enqueued_at = ctrl_.now();
   q.push_back(req);
   ++pending_;

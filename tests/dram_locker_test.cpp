@@ -206,6 +206,92 @@ TEST_F(DramLockerTest, ConfigValidation) {
   bad = cfg();
   bad.relock_rw_interval = 0;
   EXPECT_THROW(DramLocker(ctrl, bad, dl::Rng(1)), dl::Error);
+  bad = cfg();
+  bad.fallback_act_threshold = 0;
+  EXPECT_THROW(DramLocker(ctrl, bad, dl::Rng(1)), dl::Error);
+}
+
+// ------------------------------------------------- graceful degradation
+
+TEST_F(DramLockerTest, TableExhaustionDegradesToMonitoredFallback) {
+  auto c = cfg();
+  c.lock_table_entries = 2;  // one radius-1 protect (rows 19, 21) fills it
+  c.relock_rw_interval = 1000000;
+  c.fallback_act_threshold = 8;
+  auto locker = make(c);
+  EXPECT_EQ(locker->protect_data_row(20), 2u);
+  EXPECT_EQ(locker->stats().degraded_locks, 0u);
+
+  // The second protected row finds the table full: both neighbours are
+  // demoted to the monitored fallback instead of being silently dropped.
+  EXPECT_EQ(locker->protect_data_row(30), 0u);
+  EXPECT_EQ(locker->stats().degraded_locks, 2u);
+  EXPECT_EQ(locker->monitored_rows(), 2u);
+  EXPECT_EQ(ctrl.counters().value(Counter::kDegradedLocks), 2.0);
+
+  // A demoted row still answers unprivileged accesses, and after
+  // fallback_act_threshold of them its neighbourhood gets a targeted
+  // refresh — tracker-level protection instead of silent exposure.
+  std::array<std::uint8_t, 1> buf{};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ctrl.read(ctrl.mapper().row_base(29), buf).granted);
+  }
+  EXPECT_EQ(locker->stats().fallback_refreshes, 1u);
+}
+
+TEST_F(DramLockerTest, DuplicateLockIsNotCountedAsDegraded) {
+  auto c = cfg();
+  c.lock_table_entries = 2;
+  auto locker = make(c);
+  ASSERT_TRUE(locker->lock_physical_row(20));
+  ASSERT_TRUE(locker->lock_physical_row(21));  // table now full
+  // Re-locking an already-locked row is an idempotent no-op, not a
+  // degradation, even with the table full.
+  EXPECT_FALSE(locker->lock_physical_row(20));
+  EXPECT_EQ(locker->stats().degraded_locks, 0u);
+  EXPECT_EQ(locker->monitored_rows(), 0u);
+  // A genuinely new row on a full table is what degrades.
+  EXPECT_FALSE(locker->lock_physical_row(30));
+  EXPECT_EQ(locker->stats().degraded_locks, 1u);
+}
+
+TEST_F(DramLockerTest, SwapBudgetSpentDeniesFurtherUnlocks) {
+  auto c = cfg();
+  c.relock_rw_interval = 1000000;
+  c.swap_budget = 1;
+  auto locker = make(c);
+  locker->protect_data_row(20);
+  locker->protect_data_row(30);
+  std::array<std::uint8_t, 1> buf{};
+  EXPECT_TRUE(
+      ctrl.read(ctrl.mapper().row_base(19), buf, /*can_unlock=*/true).granted);
+  EXPECT_FALSE(
+      ctrl.read(ctrl.mapper().row_base(29), buf, /*can_unlock=*/true).granted);
+  EXPECT_EQ(locker->stats().unlock_swaps, 1u);
+  EXPECT_EQ(locker->stats().swap_budget_denials, 1u);
+  EXPECT_EQ(locker->stats().pool_exhausted_denials, 0u);
+}
+
+TEST_F(DramLockerTest, SwapBudgetDegradesWhenConfigured) {
+  auto c = cfg();
+  c.relock_rw_interval = 1000000;
+  c.swap_budget = 1;
+  c.degrade_on_exhaustion = true;
+  auto locker = make(c);
+  locker->protect_data_row(20);
+  locker->protect_data_row(30);
+  std::array<std::uint8_t, 1> buf{};
+  EXPECT_TRUE(
+      ctrl.read(ctrl.mapper().row_base(19), buf, /*can_unlock=*/true).granted);
+  // Budget spent: the privileged access proceeds anyway, with the row
+  // demoted from the lock table into the monitored fallback.
+  EXPECT_TRUE(
+      ctrl.read(ctrl.mapper().row_base(29), buf, /*can_unlock=*/true).granted);
+  EXPECT_EQ(locker->stats().degraded_swaps, 1u);
+  EXPECT_EQ(locker->stats().swap_budget_denials, 0u);
+  EXPECT_FALSE(locker->lock_table().is_locked(29));
+  EXPECT_EQ(locker->monitored_rows(), 1u);
+  EXPECT_EQ(ctrl.counters().value(Counter::kDegradedSwaps), 1.0);
 }
 
 }  // namespace

@@ -307,6 +307,46 @@ TEST(DramScrubber, ScrubTimeIsChargedAsDefenseOverhead) {
   EXPECT_GT(ctrl.defense_time(), before);
 }
 
+/// Gate double that denies every write: the scrubber can see the fault but
+/// cannot land the recovery.
+struct DenyWritesGate final : dram::AccessGate {
+  dram::GateDecision before_access(const dram::AccessRequest& req,
+                                   dram::Controller&) override {
+    return req.is_write ? dram::GateDecision::kDeny
+                        : dram::GateDecision::kAllow;
+  }
+};
+
+TEST(DramScrubber, DeniedRecoveryCountsUnrecoverableFaults) {
+  const auto env = small_env();
+  dram::Controller ctrl(env.geometry, env.timing);
+  Config cfg;
+  cfg.group_size = 64;
+  integrity::DramScrubber scrubber(ctrl, {20}, cfg);
+  DenyWritesGate gate;
+  ctrl.set_gate(&gate);
+
+  const std::uint8_t before = ctrl.data().read_byte(20, 100);
+  ctrl.data().flip_bit(20, 100, 3);
+  scrubber.scrub_pass();
+
+  // Detected, correction attempted, write denied: the fault stays in DRAM
+  // and is reported as unrecoverable instead of silently re-counted as a
+  // fresh detection forever.
+  EXPECT_EQ(scrubber.stats().detections, 1u);
+  EXPECT_EQ(scrubber.stats().corrected_bits, 0u);
+  EXPECT_EQ(scrubber.stats().denied_accesses, 1u);
+  EXPECT_EQ(scrubber.stats().unrecoverable_faults, 1u);
+  EXPECT_NE(ctrl.data().read_byte(20, 100), before);
+
+  // Lifting the denial lets the next pass repair it.
+  ctrl.set_gate(nullptr);
+  scrubber.scrub_pass();
+  EXPECT_EQ(scrubber.stats().corrected_bits, 1u);
+  EXPECT_EQ(scrubber.stats().unrecoverable_faults, 1u);
+  EXPECT_EQ(ctrl.data().read_byte(20, 100), before);
+}
+
 // --------------------------------------------- scenario campaign wiring
 
 scenario::HammerCampaign integrity_campaign(std::uint64_t budget = 30000) {

@@ -1,0 +1,246 @@
+// Tests for the campaign checkpoint journal: byte-identical resume for
+// hammer and BFA campaigns, torn-tail tolerance, and failed-entry replay.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/data.hpp"
+#include "nn/layers.hpp"
+#include "nn/model.hpp"
+#include "nn/quant.hpp"
+#include "nn/train.hpp"
+#include "scenario/journal.hpp"
+#include "scenario/scenario.hpp"
+#include "traffic/stream.hpp"
+
+namespace {
+
+using namespace dl;
+using scenario::CampaignJournal;
+using scenario::DefenseSpec;
+using scenario::HammerCampaign;
+
+std::string journal_path(const char* name) {
+  const std::string path = testing::TempDir() + "dl_journal_" + name +
+                           ".jsonl";
+  std::remove(path.c_str());
+  return path;
+}
+
+scenario::DramEnv small_env() {
+  scenario::DramEnv e;
+  e.geometry.channels = 1;
+  e.geometry.ranks = 1;
+  e.geometry.banks = 2;
+  e.geometry.subarrays_per_bank = 4;
+  e.geometry.rows_per_subarray = 128;
+  e.geometry.row_bytes = 4096;
+  e.disturbance.t_rh = 1000;
+  e.disturbance_seed = 1;
+  return e;
+}
+
+/// A small campaign set covering the result surface: a plain cell, a
+/// DRAM-Locker cell, a multi-tenant cell with integrity (tenant latency
+/// arrays + integrity stats), a fault-injection cell, a budget-truncated
+/// cell, and a deliberately broken one (tenant stream outside the
+/// geometry -> constructor throw -> "failed").
+std::vector<HammerCampaign> journal_campaigns() {
+  std::vector<HammerCampaign> campaigns;
+
+  HammerCampaign plain;
+  plain.name = "plain";
+  plain.env = small_env();
+  plain.attack.victim_row = 20;
+  plain.attack.act_budget = 4000;
+  campaigns.push_back(plain);
+
+  HammerCampaign locker = plain;
+  locker.name = "locker";
+  defense::DramLockerConfig locker_cfg;
+  locker_cfg.protect_radius = 2;
+  locker.defense = DefenseSpec::dram_locker(locker_cfg, 2);
+  locker.protected_rows = {20};
+  campaigns.push_back(locker);
+
+  HammerCampaign traffic = plain;
+  traffic.name = "traffic+integrity";
+  traffic.defense = DefenseSpec::none().with_integrity({});
+  traffic.defense.integrity.enabled = true;
+  traffic.protected_rows = {20};
+  traffic.traffic.tenants = {
+      dl::traffic::StreamSpec::weight_reader(16, 8, 500),
+      dl::traffic::StreamSpec::hammer(rowhammer::HammerPattern::kDoubleSided,
+                                      20, 2000),
+  };
+  campaigns.push_back(traffic);
+
+  HammerCampaign faulty = plain;
+  faulty.name = "faulty";
+  faulty.env.faults.period_acts = 64;
+  faulty.env.faults.transient_rate = 0.5;
+  faulty.env.faults.retention_rate = 0.5;
+  campaigns.push_back(faulty);
+
+  HammerCampaign truncated = plain;
+  truncated.name = "truncated";
+  truncated.cycles = 100;
+  truncated.budget.max_cycles = 2;
+  campaigns.push_back(truncated);
+
+  HammerCampaign broken = plain;
+  broken.name = "broken";
+  broken.traffic.tenants = {
+      dl::traffic::StreamSpec::weight_reader(1u << 20, 8, 100)};
+  campaigns.push_back(broken);
+
+  return campaigns;
+}
+
+TEST(Journal, HammerResumeIsByteIdentical) {
+  const auto campaigns = journal_campaigns();
+  const std::string path = journal_path("hammer");
+
+  const auto direct = scenario::run(campaigns);
+  const std::string expected = scenario::report_json(direct).dump(2);
+
+  std::string first;
+  {
+    CampaignJournal journal(path);
+    EXPECT_EQ(journal.loaded(), 0u);
+    first = scenario::report_json(scenario::run_journaled(campaigns, journal))
+                .dump(2);
+  }
+  EXPECT_EQ(first, expected);
+
+  // Second run restores every campaign from disk — including the failed
+  // and truncated ones — and reproduces the report byte for byte.
+  {
+    CampaignJournal journal(path);
+    EXPECT_EQ(journal.loaded(), campaigns.size());
+    const auto* cached = journal.find_hammer("broken");
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(cached->status, scenario::CampaignStatus::kFailed);
+    EXPECT_FALSE(cached->error.empty());
+    const auto resumed = scenario::run_journaled(campaigns, journal);
+    EXPECT_EQ(scenario::report_json(resumed).dump(2), expected);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, PartialJournalRunsOnlyTheRest) {
+  const auto campaigns = journal_campaigns();
+  const std::string path = journal_path("partial");
+
+  const auto direct = scenario::run(campaigns);
+  // Journal only a prefix, as if the first run died after two campaigns.
+  {
+    CampaignJournal journal(path);
+    journal.record(direct[0]);
+    journal.record(direct[1]);
+  }
+  CampaignJournal journal(path);
+  EXPECT_EQ(journal.loaded(), 2u);
+  const auto resumed = scenario::run_journaled(campaigns, journal);
+  EXPECT_EQ(scenario::report_json(resumed).dump(2),
+            scenario::report_json(direct).dump(2));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailLineIsSkippedOnLoad) {
+  const auto campaigns = journal_campaigns();
+  const std::string path = journal_path("torn");
+  {
+    CampaignJournal journal(path);
+    (void)scenario::run_journaled(campaigns, journal);
+  }
+  {
+    // The process died mid-append: an unterminated half line.
+    std::ofstream torn(path, std::ios::app);
+    torn << "{\"kind\":\"hammer\",\"name\":\"torn-victim\",\"gr";
+  }
+  CampaignJournal journal(path);
+  EXPECT_EQ(journal.loaded(), campaigns.size());  // torn line dropped
+  EXPECT_EQ(journal.find_hammer("torn-victim"), nullptr);
+  const auto resumed = scenario::run_journaled(campaigns, journal);
+  EXPECT_EQ(scenario::report_json(resumed).dump(2),
+            scenario::report_json(scenario::run(campaigns)).dump(2));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, DuplicateEntriesResolveLastWins) {
+  const auto campaigns = journal_campaigns();
+  const std::string path = journal_path("dup");
+  const auto direct = scenario::run(campaigns);
+  {
+    CampaignJournal journal(path);
+    auto doctored = direct[0];
+    doctored.attack.granted_acts = 1;  // stale line, superseded below
+    journal.record(doctored);
+    journal.record(direct[0]);
+  }
+  CampaignJournal journal(path);
+  const auto* cached = journal.find_hammer(direct[0].name);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached->attack.granted_acts, direct[0].attack.granted_acts);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ BFA journal
+
+TEST(Journal, BfaResumeIsByteIdentical) {
+  // Tiny trained victim: the BFA result carries hexfloat-encoded accuracy
+  // curves, the exact-round-trip stress case for the journal.
+  nn::SynthConfig cfg = nn::synth_cifar10();
+  cfg.num_classes = 4;
+  const nn::Dataset train = nn::make_synth_cifar(cfg, 64, 41);
+  const nn::Dataset sample = nn::make_synth_cifar(cfg, 16, 42);
+  nn::Model model;
+  dl::Rng rng(43);
+  model.add(std::make_unique<nn::Conv2d>(3, 4, 3, 2, 1, rng));
+  model.add(std::make_unique<nn::ReLU>());
+  model.add(std::make_unique<nn::GlobalAvgPool>());
+  model.add(std::make_unique<nn::Linear>(4, 4, rng));
+  nn::SgdConfig scfg;
+  scfg.epochs = 2;
+  scfg.batch_size = 16;
+  nn::SgdTrainer trainer(model, scfg, dl::Rng(44));
+  trainer.fit(train);
+  nn::QuantizedModel qmodel(model);
+  const scenario::VictimRef victim{model, qmodel, sample,
+                                   nn::evaluate_accuracy(model, sample)};
+
+  scenario::BfaCampaign attacked;
+  attacked.name = "bfa/plain";
+  attacked.bfa.max_iterations = 4;
+  attacked.bfa.layers_evaluated = 1;
+  attacked.fixed_iterations = true;
+  scenario::BfaCampaign defended = attacked;
+  defended.name = "bfa/integrity";
+  defended.integrity.enabled = true;
+  defended.integrity.verify_interval = 1;
+  const std::vector<scenario::BfaCampaign> campaigns = {attacked, defended};
+
+  const auto direct = scenario::run_bfa(victim, campaigns);
+  const std::string expected = scenario::report_json({}, direct).dump(2);
+
+  const std::string path = journal_path("bfa");
+  {
+    CampaignJournal journal(path);
+    const auto first = scenario::run_bfa_journaled(victim, campaigns, journal);
+    EXPECT_EQ(scenario::report_json({}, first).dump(2), expected);
+  }
+  CampaignJournal journal(path);
+  EXPECT_EQ(journal.loaded(), campaigns.size());
+  ASSERT_NE(journal.find_bfa("bfa/integrity"), nullptr);
+  const auto resumed = scenario::run_bfa_journaled(victim, campaigns, journal);
+  EXPECT_EQ(scenario::report_json({}, resumed).dump(2), expected);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -59,6 +59,27 @@ TEST_F(RowSwapTest, SrsUnswapsAtWindowEnd) {
   EXPECT_EQ(ctrl.indirection().to_physical(20), 20u);
 }
 
+TEST_F(RowSwapTest, SwapBudgetDegradesToNeighborRefresh) {
+  RowSwap rrs(ctrl,
+              {.threshold = 100,
+               .lazy_unswap = false,
+               .swap_budget = 1,
+               .degrade_radius = 1},
+              dl::Rng(5));
+  ctrl.add_listener(&rrs);
+  hammer_n(20, 50);
+  ASSERT_EQ(rrs.swaps(), 1u);
+  EXPECT_EQ(rrs.degraded(), 0u);
+  const std::size_t displaced = ctrl.indirection().displaced_rows();
+  // Budget spent: further hot rows get a targeted neighbour refresh
+  // instead of a migration — no new remapping, mitigation still happens.
+  hammer_n(30, 50);
+  EXPECT_EQ(rrs.swaps(), 1u);
+  EXPECT_EQ(rrs.degraded(), 1u);
+  EXPECT_EQ(ctrl.indirection().displaced_rows(), displaced);
+  EXPECT_EQ(ctrl.counters().value(Counter::kDegradedSwaps), 1.0);
+}
+
 TEST_F(RowSwapTest, RrsNeverUnswaps) {
   RowSwap rrs(ctrl, {.threshold = 100, .lazy_unswap = false}, dl::Rng(5));
   ctrl.add_listener(&rrs);

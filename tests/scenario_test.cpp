@@ -199,4 +199,93 @@ TEST(ScenarioTest, JsonReportCarriesCampaignStats) {
   EXPECT_NE(doc.dump(2).find("\"granted_acts\": 100"), std::string::npos);
 }
 
+// ---------------------------------------------- error isolation & budgets
+
+TEST(ScenarioTest, ThrowingCampaignFailsWithoutKillingSiblings) {
+  auto good = small_campaign("good", DefenseSpec::none(), 2000);
+  HammerCampaign broken = good;
+  broken.name = "broken";
+  // A tenant stream outside the geometry throws inside campaign setup.
+  broken.traffic.tenants = {
+      dl::traffic::StreamSpec::weight_reader(1u << 20, 8, 100)};
+  auto good2 = small_campaign("good2", DefenseSpec::none(), 2000);
+
+  const auto results = scenario::run({good, broken, good2});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].status, scenario::CampaignStatus::kOk);
+  EXPECT_EQ(results[2].status, scenario::CampaignStatus::kOk);
+  EXPECT_EQ(results[0].attack.granted_acts, 2000u);
+  EXPECT_EQ(results[2].attack.granted_acts, 2000u);
+  EXPECT_EQ(results[1].status, scenario::CampaignStatus::kFailed);
+  EXPECT_NE(results[1].error.find("exceeds the geometry"), std::string::npos);
+  EXPECT_EQ(results[1].attack.granted_acts, 0u);
+
+  const std::string text = scenario::report_json(results).dump();
+  EXPECT_NE(text.find("\"status\":\"failed\""), std::string::npos);
+  EXPECT_NE(text.find("\"error\":"), std::string::npos);
+  EXPECT_NE(text.find("\"status\":\"ok\""), std::string::npos);
+}
+
+TEST(ScenarioTest, CycleBudgetTruncatesCampaign) {
+  auto c = small_campaign("budgeted", DefenseSpec::none(), 500);
+  c.cycles = 50;
+  c.budget.max_cycles = 4;
+  const auto r = scenario::run_one(c);
+  EXPECT_EQ(r.status, scenario::CampaignStatus::kTruncated);
+  EXPECT_EQ(r.completed_cycles, 4u);
+  EXPECT_EQ(r.attack.granted_acts, 4u * 500u);
+  EXPECT_NE(scenario::report_json({r}).dump().find("\"status\":\"truncated\""),
+            std::string::npos);
+}
+
+TEST(ScenarioTest, ActBudgetTruncatesCampaign) {
+  auto c = small_campaign("act-budgeted", DefenseSpec::none(), 500);
+  c.cycles = 50;
+  c.budget.max_acts = 1200;  // hit mid-way through cycle 3
+  const auto r = scenario::run_one(c);
+  EXPECT_EQ(r.status, scenario::CampaignStatus::kTruncated);
+  EXPECT_LT(r.completed_cycles, 50u);
+  EXPECT_GE(r.attack.granted_acts, 1200u);  // budget checked per cycle
+}
+
+TEST(ScenarioTest, FaultCampaignIsDeterministicAndReported) {
+  auto c = small_campaign("faulty", DefenseSpec::none(), 3000);
+  c.env.faults.period_acts = 128;
+  c.env.faults.retention_rate = 0.5;
+  c.env.faults.transient_rate = 0.5;
+  c.env.faults.stuck_cells = 2;
+
+  parallel::set_threads(1);
+  const auto serial = scenario::run({c});
+  parallel::set_threads(8);
+  const auto threaded = scenario::run({c});
+  parallel::set_threads(0);
+  EXPECT_EQ(scenario::report_json(serial).dump(2),
+            scenario::report_json(threaded).dump(2));
+
+  const auto& r = serial[0];
+  ASSERT_TRUE(r.faults_enabled);
+  EXPECT_GT(r.faults.events, 0u);
+  EXPECT_GT(r.faults.retention_faults + r.faults.transient_faults, 0u);
+  const std::string text = scenario::report_json(serial).dump();
+  EXPECT_NE(text.find("\"faults\":"), std::string::npos);
+  EXPECT_NE(text.find("\"retention_faults\""), std::string::npos);
+}
+
+TEST(ScenarioTest, ExpandDerivesFaultSeedsPerCell) {
+  scenario::MatrixSpec spec;
+  spec.env = small_env();
+  spec.env.faults.period_acts = 64;
+  spec.env.faults.transient_rate = 1.0;
+  spec.attack.victim_row = 20;
+  spec.attack.act_budget = 100;
+  spec.patterns = {rowhammer::HammerPattern::kDoubleSided};
+  spec.defenses = {DefenseSpec::none(), DefenseSpec::none()};
+  spec.budget.max_cycles = 7;
+  const auto campaigns = scenario::expand(spec);
+  ASSERT_EQ(campaigns.size(), 2u);
+  EXPECT_NE(campaigns[0].env.faults.seed, campaigns[1].env.faults.seed);
+  EXPECT_EQ(campaigns[0].budget.max_cycles, 7u);  // budget reaches every cell
+}
+
 }  // namespace
