@@ -1,3 +1,4 @@
+// dl-lint: hot-path — counters go through dram::Counter, not StatSet::add.
 #include "defense/dram_locker.hpp"
 
 #include <algorithm>

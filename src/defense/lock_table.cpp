@@ -45,6 +45,7 @@ bool LockTable::relocate(dl::dram::GlobalRowId from, dl::dram::GlobalRowId to) {
 std::vector<dl::dram::GlobalRowId> LockTable::locked_rows() const {
   std::vector<std::pair<std::uint64_t, dl::dram::GlobalRowId>> order;
   order.reserve(rows_.size());
+  // dl-lint: allow(unordered-iter): collected pairs are sorted by seq below
   for (const auto& [row, seq] : rows_) order.emplace_back(seq, row);
   std::sort(order.begin(), order.end());
   std::vector<dl::dram::GlobalRowId> out;

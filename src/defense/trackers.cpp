@@ -92,6 +92,8 @@ void Graphene::on_activate(GlobalRowId row, Picoseconds) {
     // Decrement phase: every tracked count and the incoming item share one
     // decrement; items reaching the spill floor are evicted.
     ++spill_;
+    // dl-lint: allow(unordered-iter): erase-if sweep; the surviving set is
+    // independent of visit order
     for (auto t = table_.begin(); t != table_.end();) {
       if (t->second <= spill_) {
         t = table_.erase(t);

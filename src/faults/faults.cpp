@@ -1,3 +1,4 @@
+// dl-lint: hot-path — counters go through dram::Counter, not StatSet::add.
 #include "faults/faults.hpp"
 
 #include "common/error.hpp"

@@ -1,3 +1,4 @@
+// dl-lint: hot-path — counters go through dram::Counter, not StatSet::add.
 #include "traffic/engine.hpp"
 
 #include <algorithm>
@@ -58,8 +59,13 @@ TrafficEngine::TrafficEngine(dl::dram::Controller& ctrl,
   stats_.resize(tenants.size());
   for (std::size_t i = 0; i < tenants.size(); ++i) {
     if (tenants[i].name.empty()) {
-      tenants[i].name = "t" + std::to_string(i) + "/" +
-                        to_string(tenants[i].kind);
+      // Built with append rather than operator+ chains: GCC 12's -Wrestrict
+      // fires a false positive (PR 105651) on `"lit" + std::string&&`.
+      std::string name = "t";
+      name += std::to_string(i);
+      name += '/';
+      name += to_string(tenants[i].kind);
+      tenants[i].name = std::move(name);
     }
     streams_.emplace_back(tenants[i], static_cast<std::uint16_t>(i), ctrl_);
     stats_[i].name = tenants[i].name;

@@ -1,3 +1,4 @@
+// dl-lint: hot-path — counters go through dram::Counter, not StatSet::add.
 #include "traffic/frfcfs.hpp"
 
 #include "common/error.hpp"

@@ -196,7 +196,9 @@ TEST(FaultInjector, RemapFaultSwapsWithinTargetAndBumpsEpoch) {
        ++logical) {
     const GlobalRowId phys = ctrl.indirection().to_physical(logical);
     EXPECT_EQ(ctrl.indirection().to_logical(phys), logical);
-    if (logical < 32 || logical >= 48) EXPECT_EQ(phys, logical);
+    if (logical < 32 || logical >= 48) {
+      EXPECT_EQ(phys, logical);
+    }
   }
 }
 

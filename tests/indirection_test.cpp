@@ -71,7 +71,7 @@ TEST(Indirection, ResetClearsEverything) {
 TEST(Indirection, OutOfRangeRejected) {
   const Geometry g = Geometry::tiny();
   RowIndirection ind(g);
-  EXPECT_THROW(ind.to_physical(g.total_rows()), dl::Error);
+  EXPECT_THROW(static_cast<void>(ind.to_physical(g.total_rows())), dl::Error);
   EXPECT_THROW(ind.swap_logical(0, g.total_rows()), dl::Error);
 }
 

@@ -63,15 +63,15 @@ TEST(Isa, InstructionsAre16Bit) {
 }
 
 TEST(Isa, ReservedOpcodeRejected) {
-  EXPECT_THROW(Uop::decode(0x0000), dl::Error);
+  EXPECT_THROW(static_cast<void>(Uop::decode(0x0000)), dl::Error);
 }
 
 TEST(Isa, RegisterBoundsChecked) {
-  EXPECT_THROW(Uop::copy(128, 0), dl::Error);
-  EXPECT_THROW(Uop::copy(0, 128), dl::Error);
-  EXPECT_THROW(Uop::bnez(128, 0), dl::Error);
-  EXPECT_THROW(Uop::bnez(0, 64), dl::Error);
-  EXPECT_THROW(Uop::bnez(0, -65), dl::Error);
+  EXPECT_THROW(static_cast<void>(Uop::copy(128, 0)), dl::Error);
+  EXPECT_THROW(static_cast<void>(Uop::copy(0, 128)), dl::Error);
+  EXPECT_THROW(static_cast<void>(Uop::bnez(128, 0)), dl::Error);
+  EXPECT_THROW(static_cast<void>(Uop::bnez(0, 64)), dl::Error);
+  EXPECT_THROW(static_cast<void>(Uop::bnez(0, -65)), dl::Error);
 }
 
 TEST(Isa, SwapProgramShape) {

@@ -1,0 +1,17 @@
+// EXPECT-LINT-FILE: counter-parity x3
+//   (kOrphan missing a case, duplicate key "hits", stray kGhost case)
+#include "counters.hpp"
+
+namespace corpus {
+
+const char* to_string(Counter c) {
+  switch (c) {
+    case Counter::kHits:   return "hits";
+    case Counter::kMisses: return "misses";
+    case Counter::kAlias:  return "hits";
+    case Counter::kGhost:  return "ghost";
+  }
+  return "?";
+}
+
+}  // namespace corpus

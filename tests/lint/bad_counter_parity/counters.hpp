@@ -1,0 +1,23 @@
+// Corpus counters pair with deliberate parity breaks (not built):
+//   - kOrphan has no to_string case in counters.cpp;
+//   - kAlias exports under the same key as kHits;
+//   - kNumCounters is derived from the wrong (non-last) enumerator.
+#pragma once
+
+#include <cstddef>
+
+namespace corpus {
+
+enum class Counter : unsigned char {
+  kHits,
+  kMisses,
+  kAlias,
+  kOrphan,
+};
+
+inline constexpr std::size_t kNumCounters =  // EXPECT-LINT: counter-parity
+    static_cast<std::size_t>(Counter::kAlias) + 1;
+
+const char* to_string(Counter c);
+
+}  // namespace corpus

@@ -1,0 +1,49 @@
+// Intentional shared-RNG-in-parallel-chunk violations (corpus; not built).
+#include <cstddef>
+#include <vector>
+
+namespace dl {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed);
+  double next_double();
+};
+unsigned long long substream_seed(unsigned long long, unsigned long long,
+                                  unsigned long long);
+namespace parallel {
+template <typename Fn>
+void parallel_for(std::size_t, std::size_t, std::size_t, Fn&&);
+}  // namespace parallel
+}  // namespace dl
+
+namespace corpus {
+
+double bad_shared_stream(std::size_t n) {
+  dl::Rng rng(1234);
+  std::vector<double> out(n);
+  dl::parallel::parallel_for(
+      0, n, 64, [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t i = b; i < e; ++i) {
+          out[i] = rng.next_double();  // EXPECT-LINT: rng-ref-capture
+        }
+      });
+  double sum = 0.0;
+  for (double v : out) sum += v;
+  return sum;
+}
+
+double good_chunk_local_stream(std::size_t n) {
+  std::vector<double> out(n);
+  dl::parallel::parallel_for(
+      0, n, 64, [&](std::size_t b, std::size_t e, std::size_t ci) {
+        dl::Rng chunk_rng(dl::substream_seed(7, 0, ci));
+        for (std::size_t i = b; i < e; ++i) {
+          out[i] = chunk_rng.next_double();
+        }
+      });
+  double sum = 0.0;
+  for (double v : out) sum += v;
+  return sum;
+}
+
+}  // namespace corpus

@@ -1,0 +1,23 @@
+// dl-lint: hot-path — corpus stand-in for a PR 5 typed-counter file.
+// Intentional string-keyed StatSet::add on a hot path (corpus; not built).
+#include <string>
+
+namespace corpus {
+
+struct StatSet {
+  void add(const std::string& name, double delta = 1.0);
+};
+
+class Controller {
+ public:
+  void on_access() {
+    stats_.add("row_hits");          // EXPECT-LINT: stat-string-hotpath
+    stats().add("activates", 2.0);   // EXPECT-LINT: stat-string-hotpath
+  }
+
+ private:
+  StatSet& stats() { return stats_; }
+  StatSet stats_;
+};
+
+}  // namespace corpus

@@ -1,0 +1,21 @@
+// A suppression without a reason is itself a finding, and does NOT
+// suppress the underlying violation (corpus; not built).
+#include <cstdint>
+#include <unordered_set>
+
+namespace corpus {
+
+class NoReason {
+ public:
+  std::uint64_t sum() const {
+    std::uint64_t total = 0;
+    // dl-lint: allow(unordered-iter) // EXPECT-LINT: bad-suppression
+    for (std::uint64_t v : rows_) total += v;  // EXPECT-LINT: unordered-iter
+    return total;
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> rows_;
+};
+
+}  // namespace corpus

@@ -1,0 +1,15 @@
+// Iterates a container whose unordered-ness is only visible in the paired
+// header (corpus; not built).
+#include "bad_unordered_header.hpp"
+
+namespace corpus {
+
+std::uint64_t HeaderDeclared::sum() const {
+  std::uint64_t total = 0;
+  for (const auto& [k, v] : table_) {  // EXPECT-LINT: unordered-iter
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace corpus

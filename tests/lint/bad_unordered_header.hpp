@@ -1,0 +1,18 @@
+// Paired header for bad_unordered_header.cpp: the container is declared
+// here, iterated in the .cpp — the linter must see across the pair.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace corpus {
+
+class HeaderDeclared {
+ public:
+  std::uint64_t sum() const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> table_;
+};
+
+}  // namespace corpus

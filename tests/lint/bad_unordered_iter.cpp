@@ -1,0 +1,40 @@
+// Intentional unordered-container iteration violations (corpus; not built).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace corpus {
+
+class Tracker {
+ public:
+  std::vector<std::uint64_t> export_rows() const {
+    std::vector<std::uint64_t> out;
+    for (const auto& [row, count] : counts_) {  // EXPECT-LINT: unordered-iter
+      out.push_back(row * count);
+    }
+    return out;
+  }
+
+  std::size_t walk_members() const {
+    std::size_t sum = 0;
+    for (auto it = members_.begin();  // EXPECT-LINT: unordered-iter
+         it != members_.end(); ++it) {
+      sum += *it;
+    }
+    return sum;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+  std::unordered_set<std::size_t> members_;
+};
+
+std::size_t local_decl_iteration() {
+  std::unordered_map<int, int> local;
+  std::size_t n = 0;
+  for (const auto& kv : local) n += kv.second;  // EXPECT-LINT: unordered-iter
+  return n;
+}
+
+}  // namespace corpus

@@ -1,0 +1,39 @@
+// Intentional wall-clock / ambient-entropy violations (corpus; not built).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace corpus {
+
+unsigned bad_seed_from_entropy() {
+  std::random_device rd;  // EXPECT-LINT: wall-clock
+  return rd();
+}
+
+int bad_libc_rand() {
+  srand(42);              // EXPECT-LINT: wall-clock
+  return rand();          // EXPECT-LINT: wall-clock
+}
+
+long bad_wall_time() {
+  return time(nullptr);   // EXPECT-LINT: wall-clock
+}
+
+long bad_std_wall_time() {
+  return std::time(nullptr);  // EXPECT-LINT: wall-clock
+}
+
+long bad_cpu_clock() {
+  return clock();         // EXPECT-LINT: wall-clock
+}
+
+double bad_chrono_now() {
+  auto t0 = std::chrono::system_clock::now();  // EXPECT-LINT: wall-clock
+  auto t1 = std::chrono::steady_clock::now();  // EXPECT-LINT: wall-clock
+  return std::chrono::duration<double>(t1.time_since_epoch() -
+                                       t0.time_since_epoch())
+      .count();
+}
+
+}  // namespace corpus

@@ -1,0 +1,83 @@
+// Near-miss patterns that every dl-lint rule must leave alone.  A single
+// finding anywhere in this file is a linter regression (corpus; not built).
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dl {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed);
+  double next_double();
+};
+unsigned long long substream_seed(unsigned long long, unsigned long long,
+                                  unsigned long long);
+namespace parallel {
+template <typename Fn>
+void parallel_for(std::size_t, std::size_t, std::size_t, Fn&&);
+}  // namespace parallel
+}  // namespace dl
+
+namespace corpus {
+
+// --- wall-clock near misses: members, own identifiers, strings, comments.
+struct Timer {
+  long time() const;
+  long clock() const;
+};
+
+long member_calls_are_fine(const Timer& t, Timer* p) {
+  return t.time() + p->clock();
+}
+
+long my_time(long x) { return x; }      // own function named *time
+long rand_max_lookalike = 0;            // identifier containing "rand"
+
+long own_namespace_call() {
+  return my_time(3);  // and rand() in a comment is ignored
+}
+
+std::string rand_in_string() {
+  return "call rand() and time(nullptr) here";  // literal, not code
+}
+
+// --- unordered-iter near misses: ordered containers, matching names.
+class OrderedExport {
+ public:
+  std::uint64_t sum() const {
+    std::uint64_t total = 0;
+    for (const auto& [k, v] : counts_) total += v;  // std::map: ordered
+    for (std::uint64_t v : rows_) total += v;       // vector
+    return total;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::vector<std::uint64_t> rows_;
+};
+
+// --- stat-string near miss: string-keyed add outside any hot-path file.
+struct StatSet {
+  void add(const std::string& name, double delta = 1.0);
+};
+
+void cold_path_stats(StatSet& stats) {
+  stats.add("campaign_summary_rows");  // fine here: not a hot path
+}
+
+// --- rng-ref-capture near misses: chunk-local stream; outer Rng that the
+// lambda never touches.
+double chunk_local_rng(std::size_t n) {
+  dl::Rng outer(99);  // consumed only outside the parallel region
+  std::vector<double> out(n);
+  dl::parallel::parallel_for(
+      0, n, 32, [&](std::size_t b, std::size_t e, std::size_t ci) {
+        dl::Rng rng(dl::substream_seed(5, 1, ci));
+        for (std::size_t i = b; i < e; ++i) out[i] = rng.next_double();
+      });
+  return outer.next_double();
+}
+
+}  // namespace corpus

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Regression harness for tools/dl_lint.py (ctest `lint_corpus`).
+
+Runs the linter in regex mode over the tests/lint corpus and requires the
+finding set to equal the expectation markers exactly:
+
+    // EXPECT-LINT: <rule>[, <rule>]      finding on this line
+    // EXPECT-LINT-FILE: <rule> xN        N findings of <rule> anywhere in
+                                          this file (for cross-file rules
+                                          that report whole-file lines)
+
+Any unexpected finding (false positive) or missing finding (dead rule)
+fails with a diff.  The clean corpus file asserts zero findings by simply
+carrying no markers.
+"""
+
+import collections
+import pathlib
+import re
+import subprocess
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parent.parent
+LINTER = REPO / "tools" / "dl_lint.py"
+
+INLINE = re.compile(r"//\s*EXPECT-LINT:\s*([a-z\-]+(?:\s*,\s*[a-z\-]+)*)")
+PER_FILE = re.compile(r"//\s*EXPECT-LINT-FILE:\s*([a-z\-]+)\s*x(\d+)")
+FINDING = re.compile(r"^(.*?):(\d+): \[([a-z\-]+)\]")
+
+
+def expected_markers():
+    inline = set()              # (relpath, line, rule)
+    per_file = collections.Counter()   # (relpath, rule) -> count
+    for path in sorted(HERE.rglob("*.hpp")) + sorted(HERE.rglob("*.cpp")):
+        rel = path.relative_to(REPO).as_posix()
+        for no, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            m = INLINE.search(line)
+            if m:
+                for rule in re.split(r"\s*,\s*", m.group(1)):
+                    inline.add((rel, no, rule))
+            m = PER_FILE.search(line)
+            if m:
+                per_file[(rel, m.group(1))] += int(m.group(2))
+    return inline, per_file
+
+
+def main():
+    proc = subprocess.run(
+        [sys.executable, str(LINTER), "--mode=regex", str(HERE)],
+        capture_output=True, text=True, check=False)
+    if proc.returncode not in (0, 1):
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        print(f"lint_corpus: dl_lint.py crashed (exit {proc.returncode})")
+        return 1
+
+    got = collections.Counter()  # same line+rule may fire more than once
+    for line in proc.stdout.splitlines():
+        m = FINDING.match(line)
+        if m:
+            got[(m.group(1), int(m.group(2)), m.group(3))] += 1
+
+    inline, per_file = expected_markers()
+    failures = []
+
+    # Pull per-file-counted rules out of the line-exact comparison.
+    counted_rules = {(rel, rule) for (rel, rule) in per_file}
+    got_counted = collections.Counter()
+    for (rel, _line, rule), n in got.items():
+        if (rel, rule) in counted_rules:
+            got_counted[(rel, rule)] += n
+    got_exact = {(rel, line, rule) for (rel, line, rule) in got
+                 if (rel, rule) not in counted_rules}
+
+    for key, want in sorted(per_file.items()):
+        have = got_counted.get(key, 0)
+        if have != want:
+            failures.append(
+                f"{key[0]}: expected {want} x [{key[1]}], got {have}")
+    for rel, line, rule in sorted(inline - got_exact):
+        failures.append(f"{rel}:{line}: expected [{rule}] — rule went dead")
+    for rel, line, rule in sorted(got_exact - inline):
+        failures.append(f"{rel}:{line}: unexpected [{rule}] — false positive")
+
+    if proc.returncode == 0 and (inline or per_file):
+        failures.append("dl_lint exited 0 although violations are expected")
+
+    if failures:
+        print("lint_corpus: FAILED")
+        for f in failures:
+            print("  " + f)
+        print("--- linter output ---")
+        print(proc.stdout)
+        return 1
+    n = len(inline) + sum(per_file.values())
+    print(f"lint_corpus: OK — {n} expected findings matched exactly, "
+          f"no false positives")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

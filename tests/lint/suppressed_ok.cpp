@@ -1,0 +1,43 @@
+// Suppressions with reasons are honored — nothing here may be flagged
+// (corpus; not built).
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace corpus {
+
+class Sorted {
+ public:
+  std::vector<std::uint64_t> keys_sorted() const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> order;
+    order.reserve(counts_.size());
+    // dl-lint: allow(unordered-iter): collected pairs are sorted below, so
+    // the exported order is independent of bucket order
+    for (const auto& [k, v] : counts_) order.emplace_back(v, k);
+    std::sort(order.begin(), order.end());
+    std::vector<std::uint64_t> out;
+    for (const auto& [v, k] : order) out.push_back(k);
+    return out;
+  }
+
+  std::size_t erase_stale(std::uint64_t floor) {
+    std::size_t erased = 0;
+    for (auto it = counts_.begin();  // dl-lint: allow(unordered-iter): erase-if sweep, survivors independent of visit order
+         it != counts_.end();) {
+      if (it->second < floor) {
+        it = counts_.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    return erased;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+};
+
+}  // namespace corpus

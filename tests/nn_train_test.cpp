@@ -126,7 +126,7 @@ TEST(Models, ScaledChannelsFloor) {
   EXPECT_EQ(scaled_channels(16, 0.01f), 4u);
   EXPECT_EQ(scaled_channels(16, 1.0f), 16u);
   EXPECT_EQ(scaled_channels(16, 0.5f), 8u);
-  EXPECT_THROW(scaled_channels(16, 0.0f), dl::Error);
+  EXPECT_THROW(static_cast<void>(scaled_channels(16, 0.0f)), dl::Error);
 }
 
 TEST(Training, LossDecreasesOnTinyProblem) {

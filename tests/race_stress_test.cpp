@@ -1,0 +1,283 @@
+// Race-stress suite for the ThreadSanitizer CI lane.
+//
+// Every test here is correct at any thread count; the point is to create
+// as much *concurrent overlap* as possible — pool workers swapping between
+// regions, campaigns fanning out with adversarial chunk layouts, journal
+// appends from every worker — so TSan (and, at lower fidelity, ASan and
+// the plain lanes) can observe the synchronization under contention.
+// Assertions double as determinism checks: the parallel results must be
+// byte-identical to the serial ones, not merely race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "scenario/journal.hpp"
+#include "scenario/scenario.hpp"
+#include "traffic/stream.hpp"
+
+namespace {
+
+using namespace dl;
+using scenario::DefenseSpec;
+using scenario::HammerCampaign;
+
+/// Forces `n` pool threads for the test body, then re-detects from the
+/// environment so later suites see the DL_THREADS default again.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(std::size_t n) { parallel::set_threads(n); }
+  ~ThreadGuard() { parallel::set_threads(0); }
+};
+
+scenario::DramEnv small_env() {
+  scenario::DramEnv e;
+  e.geometry.channels = 1;
+  e.geometry.ranks = 1;
+  e.geometry.banks = 2;
+  e.geometry.subarrays_per_bank = 4;
+  e.geometry.rows_per_subarray = 128;
+  e.geometry.row_bytes = 4096;
+  e.disturbance.t_rh = 1000;
+  e.disturbance_seed = 1;
+  return e;
+}
+
+HammerCampaign small_campaign(std::string name, DefenseSpec defense,
+                              std::uint64_t budget = 4000) {
+  HammerCampaign c;
+  c.name = std::move(name);
+  c.env = small_env();
+  c.defense = defense;
+  c.attack.victim_row = 20;
+  c.attack.act_budget = budget;
+  if (defense.kind == DefenseSpec::Kind::kDramLocker) {
+    c.protected_rows = {20};
+  }
+  return c;
+}
+
+std::vector<HammerCampaign> stress_campaigns(std::size_t copies) {
+  std::vector<HammerCampaign> out;
+  for (std::size_t r = 0; r < copies; ++r) {
+    // Built by append, not `"/" + std::to_string(r)`: GCC 12's -Wrestrict
+    // false-positives on `const char* + std::string&&` (GCC PR 105651).
+    std::string suffix = "/";
+    suffix += std::to_string(r);
+    out.push_back(small_campaign("none" + suffix, DefenseSpec::none()));
+    out.push_back(
+        small_campaign("cpr" + suffix, DefenseSpec::counter_per_row(500, 2)));
+    out.push_back(
+        small_campaign("graphene" + suffix, DefenseSpec::graphene(500, 64, 2)));
+    defense::DramLockerConfig lcfg;
+    lcfg.protect_radius = 2;
+    out.push_back(
+        small_campaign("locker" + suffix, DefenseSpec::dram_locker(lcfg, 5)));
+  }
+  return out;
+}
+
+std::string report_of(const std::vector<HammerCampaign>& campaigns) {
+  return scenario::report_json(scenario::run(campaigns)).dump();
+}
+
+// --- the pool itself -------------------------------------------------------
+
+TEST(RaceStress, PoolAdversarialGrains) {
+  const ThreadGuard guard(8);
+  constexpr std::size_t kN = 20'000;
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{7}, std::size_t{64},
+                                  std::size_t{19'999}, std::size_t{40'000}}) {
+    std::vector<std::uint64_t> out(kN, 0);
+    parallel::parallel_for(
+        0, kN, grain, [&](std::size_t lo, std::size_t hi, std::size_t) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            out[i] = i * 2654435761u;
+          }
+        });
+    for (std::size_t i = 0; i < kN; i += 977) {
+      ASSERT_EQ(out[i], i * 2654435761u) << "grain " << grain;
+    }
+  }
+}
+
+TEST(RaceStress, PoolChunkSumsMatchSerial) {
+  const ThreadGuard guard(8);
+  constexpr std::size_t kN = 10'000;
+  constexpr std::size_t kGrain = 13;
+  std::vector<std::uint64_t> partial(parallel::chunk_count(0, kN, kGrain));
+  parallel::parallel_for(
+      0, kN, kGrain, [&](std::size_t lo, std::size_t hi, std::size_t ci) {
+        std::uint64_t s = 0;
+        for (std::size_t i = lo; i < hi; ++i) s += i * i;
+        partial[ci] = s;
+      });
+  std::uint64_t fanned = 0;
+  for (const std::uint64_t p : partial) fanned += p;
+  std::uint64_t serial = 0;
+  for (std::size_t i = 0; i < kN; ++i) serial += i * i;
+  EXPECT_EQ(fanned, serial);
+}
+
+TEST(RaceStress, ConcurrentRegionsFromExternalThreads) {
+  // Two plain threads race to open pool regions; workers may drain chunks
+  // of either job.  Each opener must still observe exactly its own
+  // region's results (the Job shared_ptr keeps stale workers harmless).
+  const ThreadGuard guard(4);
+  constexpr std::size_t kOpeners = 4;
+  constexpr std::size_t kRounds = 25;
+  std::atomic<std::size_t> failures{0};
+  std::vector<std::thread> openers;
+  openers.reserve(kOpeners);
+  for (std::size_t t = 0; t < kOpeners; ++t) {
+    openers.emplace_back([t, &failures] {
+      for (std::size_t round = 0; round < kRounds; ++round) {
+        const std::size_t n = 500 + 37 * t + round;
+        std::vector<std::uint32_t> out(n, 0);
+        parallel::parallel_for(
+            0, n, 3, [&](std::size_t lo, std::size_t hi, std::size_t) {
+              for (std::size_t i = lo; i < hi; ++i) {
+                out[i] = static_cast<std::uint32_t>(i + t);
+              }
+            });
+        for (std::size_t i = 0; i < n; ++i) {
+          if (out[i] != i + t) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : openers) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+}
+
+TEST(RaceStress, NestedRegionsRunInline) {
+  const ThreadGuard guard(8);
+  constexpr std::size_t kOuter = 16;
+  std::vector<std::uint64_t> sums(kOuter, 0);
+  parallel::parallel_for(
+      0, kOuter, 1, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t o = lo; o < hi; ++o) {
+          EXPECT_TRUE(parallel::in_parallel_region());
+          std::uint64_t inner_sum = 0;
+          // Nested region: must run inline on this worker, no pool
+          // re-entry, no cross-worker chunk mixing.
+          parallel::parallel_for(
+              0, 100, 7, [&](std::size_t a, std::size_t b, std::size_t) {
+                for (std::size_t i = a; i < b; ++i) inner_sum += i + o;
+              });
+          sums[o] = inner_sum;
+        }
+      });
+  for (std::size_t o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(sums[o], 4950u + 100u * o);
+  }
+}
+
+TEST(RaceStress, SetThreadsChurnKeepsResultsIdentical) {
+  std::vector<std::string> reports;
+  const auto campaigns = stress_campaigns(1);
+  for (const std::size_t threads : {1u, 2u, 8u, 3u, 1u, 5u}) {
+    parallel::set_threads(threads);
+    reports.push_back(report_of(campaigns));
+  }
+  parallel::set_threads(0);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[0], reports[i]) << "thread count run " << i;
+  }
+}
+
+// --- campaign fan-out ------------------------------------------------------
+
+TEST(RaceStress, ScenarioFanoutByteIdentical) {
+  const auto campaigns = stress_campaigns(4);  // 16 campaigns, grain 1
+  parallel::set_threads(1);
+  const std::string serial = report_of(campaigns);
+  parallel::set_threads(8);
+  const std::string fanned = report_of(campaigns);
+  parallel::set_threads(0);
+  EXPECT_EQ(serial, fanned);
+}
+
+TEST(RaceStress, TrafficDrainFanoutByteIdentical) {
+  // FR-FCFS engines (one per campaign) under an adversarial scheduler
+  // config: tiny queues, batch 1, aggressive row-hit bypass — maximum
+  // enqueue/drain churn while campaigns fan out across the pool.
+  std::vector<HammerCampaign> campaigns;
+  for (std::size_t r = 0; r < 6; ++r) {
+    std::string name = "traffic/";
+    name += std::to_string(r);
+    HammerCampaign c = small_campaign(std::move(name),
+                                      r % 2 == 0
+                                          ? DefenseSpec::none()
+                                          : DefenseSpec::graphene(500, 64, 2),
+                                      2000);
+    c.traffic.tenants = {
+        traffic::StreamSpec::weight_reader(/*base_row=*/32, /*rows=*/8,
+                                           /*requests=*/3000),
+        traffic::StreamSpec::synthetic(/*base_row=*/96, /*rows=*/32,
+                                       /*requests=*/2000, /*locality=*/0.3,
+                                       /*write_fraction=*/0.4,
+                                       /*seed=*/7 + r),
+        traffic::StreamSpec::hammer(rowhammer::HammerPattern::kDoubleSided,
+                                    /*victim_row=*/20, /*acts=*/2000),
+    };
+    c.traffic.scheduler.queue_capacity = 4;
+    c.traffic.scheduler.batch = 1;
+    c.traffic.scheduler.row_hit_cap = 1;
+    campaigns.push_back(std::move(c));
+  }
+  parallel::set_threads(1);
+  const std::string serial = report_of(campaigns);
+  parallel::set_threads(8);
+  const std::string fanned = report_of(campaigns);
+  parallel::set_threads(0);
+  EXPECT_EQ(serial, fanned);
+}
+
+// --- journaled runs --------------------------------------------------------
+
+TEST(RaceStress, JournaledFanoutAppendsAreAtomic) {
+  const std::string path =
+      testing::TempDir() + "race_stress_journal.jsonl";
+  std::remove(path.c_str());
+  const auto campaigns = stress_campaigns(3);  // 12 campaigns
+
+  parallel::set_threads(1);
+  const std::string serial = report_of(campaigns);
+
+  parallel::set_threads(8);
+  std::string journaled;
+  {
+    scenario::CampaignJournal journal(path);
+    journaled =
+        scenario::report_json(scenario::run_journaled(campaigns, journal))
+            .dump();
+  }
+  EXPECT_EQ(serial, journaled);
+
+  // Resume from the journal: every campaign cached, nothing re-runs, and
+  // the report is still byte-identical despite the append order having
+  // been whatever the workers raced to.
+  {
+    scenario::CampaignJournal journal(path);
+    EXPECT_EQ(journal.loaded(), campaigns.size());
+    const std::string resumed =
+        scenario::report_json(scenario::run_journaled(campaigns, journal))
+            .dump();
+    EXPECT_EQ(serial, resumed);
+  }
+  parallel::set_threads(0);
+  std::remove(path.c_str());
+}
+
+}  // namespace

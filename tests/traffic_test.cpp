@@ -128,7 +128,9 @@ TEST(FrFcfsScheduler, RowHitFirstBypassesConflictingHead) {
   std::vector<std::uint64_t> order;
   sched.drain_pass([&](const traffic::Serviced& s) {
     order.push_back(s.req.seq);
-    if (s.req.seq == 1) EXPECT_TRUE(s.result.row_hit);
+    if (s.req.seq == 1) {
+      EXPECT_TRUE(s.result.row_hit);
+    }
   });
   EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 0}));
 }
@@ -191,7 +193,9 @@ TEST(FrFcfsScheduler, IndirectionSwapInvalidatesDecodeCache) {
   std::vector<std::uint64_t> order;
   sched.drain_pass([&](const traffic::Serviced& s) {
     order.push_back(s.req.seq);
-    if (s.req.seq == 1) EXPECT_TRUE(s.result.row_hit);
+    if (s.req.seq == 1) {
+      EXPECT_TRUE(s.result.row_hit);
+    }
   });
   // Stale caches would keep seq 1 mapped to physical 6 and service FCFS
   // {0, 1}; the re-translation promotes it to a row hit.

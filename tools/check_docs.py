@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Offline documentation link checker (CI `docs` job).
+"""Offline documentation checker (CI `docs` job).
 
 Scans the repo's top-level *.md files and docs/*.md for Markdown links and
 verifies every *intra-repo* target:
@@ -12,7 +12,15 @@ verifies every *intra-repo* target:
   - http(s)/mailto links are *not* fetched — the check is hermetic — but a
     bare-looking URL scheme typo (e.g. "http:/x") still fails the parse.
 
-Exit status 1 lists every dangling link.  Run locally from the repo root:
+Also checks the docs side of the counter-parity invariant: the counter
+table in docs/ARCHITECTURE.md must list exactly the (enumerator, export
+key) pairs defined by src/dram/counters.cpp's to_string() switch — a
+counter added to the enum without a doc row, a doc row for a removed
+counter, or a renamed export key all fail the `docs` job.  (dl-lint
+checks the enum <-> export-table side inside the source tree.)
+
+Exit status 1 lists every dangling link / drifted row.  Run locally from
+the repo root:
 
   python3 tools/check_docs.py
 """
@@ -102,6 +110,48 @@ def check_file(md_path):
     return errors
 
 
+COUNTERS_CPP = REPO / "src" / "dram" / "counters.cpp"
+ARCHITECTURE_MD = REPO / "docs" / "ARCHITECTURE.md"
+# `case Counter::kRowHits: return "row_hits";`
+COUNTER_CASE = re.compile(
+    r"case\s+Counter::(k\w+)\s*:\s*return\s+\"([^\"]+)\"")
+# `| `kRowHits` | `row_hits` | ... |`
+COUNTER_ROW = re.compile(r"^\|\s*`(k\w+)`\s*\|\s*`([^`]+)`\s*\|")
+
+
+def check_counter_table():
+    """Source counters vs the ARCHITECTURE.md counter table, both ways."""
+    errors = []
+    if not COUNTERS_CPP.exists() or not ARCHITECTURE_MD.exists():
+        return [(0, "counter table",
+                 "counters.cpp or ARCHITECTURE.md missing")]
+    code = dict(COUNTER_CASE.findall(
+        COUNTERS_CPP.read_text(encoding="utf-8")))
+    doc = {}
+    doc_lines = {}
+    for lineno, line in enumerate(
+            ARCHITECTURE_MD.read_text(encoding="utf-8").splitlines(),
+            start=1):
+        m = COUNTER_ROW.match(line)
+        if m:
+            doc[m.group(1)] = m.group(2)
+            doc_lines[m.group(1)] = lineno
+    if not code:
+        return [(0, str(COUNTERS_CPP.relative_to(REPO)),
+                 "no `case Counter::...` lines parsed — regex drift?")]
+    for enum, key in sorted(code.items()):
+        if enum not in doc:
+            errors.append((0, f"{enum} -> {key}",
+                           "counter missing from the ARCHITECTURE.md table"))
+        elif doc[enum] != key:
+            errors.append((doc_lines[enum], f"{enum}",
+                           f"doc says `{doc[enum]}`, code exports `{key}`"))
+    for enum in sorted(set(doc) - set(code)):
+        errors.append((doc_lines[enum], f"{enum}",
+                       "doc row for a counter that no longer exists"))
+    return errors
+
+
 def main():
     files = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("*.md"))
     if not files:
@@ -116,11 +166,17 @@ def main():
             failed = True
             print(f"{md.relative_to(REPO)}:{lineno}: dangling link "
                   f"'{target}' ({why})")
-    print(f"check_docs: {len(files)} files, {checked_links} links checked")
+    counter_errors = check_counter_table()
+    for lineno, what, why in counter_errors:
+        failed = True
+        where = f"docs/ARCHITECTURE.md:{lineno}" if lineno else "counters"
+        print(f"{where}: counter drift: {what} ({why})")
+    print(f"check_docs: {len(files)} files, {checked_links} links, "
+          f"counter table checked")
     if failed:
         print("check_docs: FAILED")
         return 1
-    print("check_docs: all intra-repo links resolve")
+    print("check_docs: all intra-repo links resolve, counter table in sync")
     return 0
 
 

@@ -1,0 +1,697 @@
+#!/usr/bin/env python3
+"""dl-lint: DRAM-Locker's determinism & concurrency invariant linter.
+
+The repository's load-bearing guarantee is that every campaign report is
+byte-identical for any DL_THREADS value.  The runtime net (1-vs-8-thread
+byte compares in CI) only covers the paths the smoke matrix exercises;
+dl-lint enforces the invariants statically, across all of src/:
+
+  wall-clock            no ambient entropy or wall-clock reads in
+                        simulation code: rand()/srand(), std::random_device,
+                        time()/clock()/gettimeofday()/clock_gettime(),
+                        std::chrono::{system,steady,high_resolution}_clock.
+                        Simulated time comes from the Timing model; all
+                        randomness flows from dl::Rng seeds.
+  unordered-iter        no iteration over std::unordered_map/_set declared
+                        in the file or its paired header: hash-bucket order
+                        is implementation-defined, so any iteration that
+                        feeds a report, StatSet export, or RNG consumption
+                        order breaks run-to-run stability.  Iterate a sorted
+                        copy, or suppress with the sort spelled out.
+  stat-string-hotpath   no string-keyed StatSet::add in the hot-path files
+                        PR 5 converted to the typed dram::Counter enum —
+                        string keys there reintroduce a linear name lookup
+                        per DRAM access.
+  rng-ref-capture       a dl::Rng declared outside a dl::parallel chunk
+                        lambda must not be used inside it: chunks run
+                        concurrently and in any order, so a shared stream
+                        both races and breaks substream discipline.  Chunks
+                        construct their own Rng from substream_seed().
+  counter-parity        src/dram/counters.hpp's Counter enum, counters.cpp's
+                        to_string() export table, and kNumCounters must
+                        agree: every enumerator has exactly one case with a
+                        unique non-"?" key, and kNumCounters is derived from
+                        the last enumerator.
+
+Suppression (same line or the line directly above), reason mandatory:
+
+    // dl-lint: allow(unordered-iter): sorted by seq before use
+
+A suppression without a reason is itself reported (rule bad-suppression).
+
+Engines: --mode=clang parses each TU with libclang over the build tree's
+compile_commands.json (-p builddir) for AST-accurate findings; --mode=regex
+runs the dependency-free text engine; --mode=auto (default) tries libclang
+and silently falls back per file.  Both engines honor the same suppression
+comments and report the same rule ids, so CI pins --mode=regex for
+reproducibility while developers with LLVM get the sharper engine.
+
+Usage:
+    tools/dl_lint.py                      # lint src/ (auto engine)
+    tools/dl_lint.py --mode=regex src     # CI invocation
+    tools/dl_lint.py -p build             # point libclang at a build dir
+    tools/dl_lint.py --github-summary $GITHUB_STEP_SUMMARY  # CI summary
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import bisect
+import json
+import os
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+RULES = {
+    "wall-clock": "wall-clock or ambient-entropy read in simulation code",
+    "unordered-iter": "iteration over an unordered container",
+    "stat-string-hotpath": "string-keyed StatSet::add on a typed hot path",
+    "rng-ref-capture": "outer dl::Rng used inside a parallel chunk lambda",
+    "counter-parity": "Counter enum / export table / kNumCounters mismatch",
+    "bad-suppression": "dl-lint suppression without a reason",
+}
+
+# Files PR 5 moved to enum-indexed counters; string-keyed StatSet::add here
+# is a perf regression even when the output is still deterministic.
+HOT_PATH_FILES = {
+    "src/dram/controller.cpp",
+    "src/dram/counters.cpp",
+    "src/traffic/frfcfs.cpp",
+    "src/traffic/engine.cpp",
+    "src/traffic/stream.cpp",
+    "src/defense/dram_locker.cpp",
+    "src/defense/row_swap.cpp",
+    "src/defense/sequencer.cpp",
+    "src/integrity/scrubber.cpp",
+    "src/faults/faults.cpp",
+    "src/rowhammer/attacker.cpp",
+}
+
+SUPPRESS = re.compile(
+    r"//\s*dl-lint:\s*allow\(([a-z\-,\s]+)\)(\s*:\s*(.*\S))?")
+
+# ----------------------------------------------------------------- findings
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path, self.line, self.rule, self.message = (
+            path, line, rule, message)
+
+    def __str__(self):
+        rel = os.path.relpath(self.path, REPO)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+    def sort_key(self):
+        return (str(self.path), self.line, self.rule)
+
+
+class Suppressions:
+    """Parses `// dl-lint: allow(rule): reason` comments of one file."""
+
+    def __init__(self, lines):
+        self.by_line = {}   # line number -> set of rule names
+        self.bad = []       # line numbers of reason-less suppressions
+        for no, line in enumerate(lines, start=1):
+            m = SUPPRESS.search(line)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            if not m.group(3):
+                self.bad.append((no, rules))
+                continue
+            # A comment on its own line covers the next non-comment line
+            # (the reason may wrap across comment lines); an inline
+            # comment covers its own.
+            target = no
+            if line.lstrip().startswith("//"):
+                target = no + 1
+                while (target <= len(lines)
+                       and lines[target - 1].lstrip().startswith("//")):
+                    target += 1
+            self.by_line.setdefault(target, set()).update(rules)
+            self.by_line.setdefault(no, set()).update(rules)
+
+    def allows(self, line, rule):
+        return rule in self.by_line.get(line, ())
+
+
+# ------------------------------------------------------------- regex engine
+
+BANNED_CALLS = {
+    "rand": "rand() draws from hidden global state",
+    "srand": "srand() mutates hidden global state",
+    "time": "time() reads the wall clock",
+    "clock": "clock() reads process CPU time",
+    "gettimeofday": "gettimeofday() reads the wall clock",
+    "clock_gettime": "clock_gettime() reads the wall clock",
+}
+BANNED_TYPES = {
+    "random_device": "std::random_device is ambient entropy",
+    "system_clock": "std::chrono::system_clock reads the wall clock",
+    "steady_clock": "std::chrono::steady_clock reads the wall clock",
+    "high_resolution_clock":
+        "std::chrono::high_resolution_clock reads the wall clock",
+}
+# `time(` must be a free or std-qualified call: not a member (./->), not
+# otherwise qualified (my_ns::time), not part of a longer identifier.
+CALL_RE = re.compile(
+    r"(?:(?<![\w.:>])|(?<=std::))(" + "|".join(BANNED_CALLS) + r")\s*\(")
+TYPE_RE = re.compile(
+    r"\b(" + "|".join(BANNED_TYPES) + r")\b")
+STRING_OR_CHAR = re.compile(r'"(?:[^"\\]|\\.)*"|' + r"'(?:[^'\\]|\\.)*'")
+
+STAT_ADD_RE = re.compile(r"\bstats\w*(?:\(\s*\))?\s*\.\s*add\s*\(\s*\"")
+
+RNG_DECL_RE = re.compile(
+    r"\b(?:dl::)?Rng\s*&?\s+(\w+)\s*[;,)({=]")
+PARALLEL_CALL_RE = re.compile(r"\bparallel_for\s*\(")
+UNORDERED_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*(?:const\s+)?[^;)]*?:\s*([^)]+)\)")
+ITER_BEGIN_RE = re.compile(r"\b(\w+)\s*\.\s*(?:begin|cbegin)\s*\(\s*\)")
+
+
+def strip_comments_strings(text):
+    """Blanks comments and string/char literals, preserving offsets."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append(re.sub(r"[^\n]", " ", text[i:j]))
+            i = j
+        elif c in "\"'":
+            j = i + 1
+            while j < n and text[j] != c:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(c + " " * (j - i - 2) + (c if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Source:
+    """One file's text plus offset -> line bookkeeping."""
+
+    def __init__(self, path):
+        self.path = path
+        self.text = path.read_text(encoding="utf-8")
+        self.lines = self.text.splitlines()
+        self.code = strip_comments_strings(self.text)
+        self.line_starts = [0]
+        for m in re.finditer("\n", self.text):
+            self.line_starts.append(m.end())
+        self.suppressions = Suppressions(self.lines)
+
+    def line_of(self, offset):
+        return bisect.bisect_right(self.line_starts, offset)
+
+
+def balanced_span(code, open_pos, open_ch, close_ch):
+    """Offset one past the matching close bracket, or -1."""
+    depth = 0
+    for i in range(open_pos, len(code)):
+        if code[i] == open_ch:
+            depth += 1
+        elif code[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def unordered_names(code):
+    """Identifiers declared as unordered_map/_set in this code blob."""
+    names = set()
+    for m in UNORDERED_RE.finditer(code):
+        close = balanced_angle(code, m.end() - 1)
+        if close < 0:
+            continue
+        d = re.match(r"\s*&?\s*(\w+)\s*[;,){=(]", code[close:])
+        if d:
+            names.add(d.group(1))
+    return names
+
+
+def balanced_angle(code, open_pos):
+    depth = 0
+    for i in range(open_pos, len(code)):
+        c = code[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return -1  # statement ended before the template closed
+    return -1
+
+
+def paired_header_code(path):
+    """Code of the .hpp sharing this .cpp's stem, if it exists."""
+    if path.suffix != ".cpp":
+        return ""
+    hpp = path.with_suffix(".hpp")
+    if hpp.exists():
+        return strip_comments_strings(hpp.read_text(encoding="utf-8"))
+    return ""
+
+
+# Keywords that legitimately precede a call expression; any *other*
+# identifier directly before the name means a declaration like
+# `long time() const;`, which is the caller's own function, not libc's.
+CALL_CONTEXT_KEYWORDS = {
+    "return", "case", "do", "else", "while", "throw", "co_return",
+    "co_yield", "co_await",
+}
+
+
+def is_declaration(code, start):
+    i = start - 1
+    while i >= 0 and code[i] in " \t":
+        i -= 1
+    j = i
+    while j >= 0 and (code[j].isalnum() or code[j] == "_"):
+        j -= 1
+    word = code[j + 1:i + 1]
+    return bool(word) and word not in CALL_CONTEXT_KEYWORDS
+
+
+def regex_wall_clock(src, findings):
+    for m in CALL_RE.finditer(src.code):
+        name = m.group(1)
+        if is_declaration(src.code, m.start(1)):
+            continue
+        findings.append(Finding(
+            src.path, src.line_of(m.start()), "wall-clock",
+            f"{BANNED_CALLS[name]}; derive values from the simulation "
+            f"clock or a seeded dl::Rng"))
+    for m in TYPE_RE.finditer(src.code):
+        name = m.group(1)
+        findings.append(Finding(
+            src.path, src.line_of(m.start()), "wall-clock",
+            f"{BANNED_TYPES[name]}; simulation state must be a pure "
+            f"function of the seed"))
+
+
+def regex_unordered_iter(src, findings):
+    names = unordered_names(src.code) | unordered_names(
+        paired_header_code(src.path))
+    if not names:
+        return
+    for m in RANGE_FOR_RE.finditer(src.code):
+        expr = m.group(1)
+        ident = re.search(r"(\w+)\s*$", expr.strip())
+        if ident and ident.group(1) in names:
+            findings.append(Finding(
+                src.path, src.line_of(m.start()), "unordered-iter",
+                f"range-for over unordered container '{ident.group(1)}': "
+                f"bucket order is not deterministic across "
+                f"implementations; iterate a sorted copy"))
+    for m in ITER_BEGIN_RE.finditer(src.code):
+        if m.group(1) in names:
+            findings.append(Finding(
+                src.path, src.line_of(m.start()), "unordered-iter",
+                f"iterator walk of unordered container '{m.group(1)}': "
+                f"bucket order is not deterministic across "
+                f"implementations; iterate a sorted copy"))
+
+
+def regex_stat_string(src, findings):
+    # A file is hot-path when listed above or when it declares itself with
+    # a `// dl-lint: hot-path` marker (the real hot files carry both, so
+    # the contract survives file moves; the corpus uses the marker).
+    rel = os.path.relpath(src.path, REPO).replace(os.sep, "/")
+    if rel not in HOT_PATH_FILES and "dl-lint: hot-path" not in src.text:
+        return
+    for m in STAT_ADD_RE.finditer(src.text):
+        findings.append(Finding(
+            src.path, src.line_of(m.start()), "stat-string-hotpath",
+            "string-keyed StatSet::add on a hot path converted to typed "
+            "counters (PR 5); use CounterBlock::add(dram::Counter::k...)"))
+
+
+def lambda_bodies(code, call_start):
+    """(body_start, body_end, capture) of lambdas inside one call's args."""
+    open_paren = code.find("(", call_start)
+    if open_paren < 0:
+        return
+    end = balanced_span(code, open_paren, "(", ")")
+    if end < 0:
+        return
+    args = code[open_paren:end]
+    for m in re.finditer(r"\[([^\]]*)\]\s*(?:\([^)]*\))?\s*(?:mutable\s*)?"
+                         r"(?:->\s*[\w:<>]+\s*)?\{", args):
+        brace = open_paren + m.end() - 1
+        body_end = balanced_span(code, brace, "{", "}")
+        if body_end > 0:
+            yield brace, body_end, m.group(1)
+
+
+def regex_rng_capture(src, findings):
+    outer_rngs = {m.group(1) for m in RNG_DECL_RE.finditer(src.code)}
+    outer_rngs |= {m.group(1)
+                   for m in RNG_DECL_RE.finditer(paired_header_code(src.path))}
+    if not outer_rngs:
+        return
+    for call in PARALLEL_CALL_RE.finditer(src.code):
+        for body_start, body_end, _capture in lambda_bodies(
+                src.code, call.end() - 1):
+            body = src.code[body_start:body_end]
+            inner = {m.group(1) for m in RNG_DECL_RE.finditer(body)}
+            for name in sorted(outer_rngs - inner):
+                for use in re.finditer(r"\b%s\b" % re.escape(name), body):
+                    findings.append(Finding(
+                        src.path, src.line_of(body_start + use.start()),
+                        "rng-ref-capture",
+                        f"dl::Rng '{name}' from the enclosing scope used "
+                        f"inside a parallel chunk lambda; construct a "
+                        f"chunk-local Rng from substream_seed()"))
+
+
+ENUMERATOR_RE = re.compile(r"^\s*(k\w+)\s*[,=]?", re.M)
+CASE_RE = re.compile(
+    r"case\s+Counter::(k\w+)\s*:\s*return\s*\"([^\"]*)\"")
+NUM_COUNTERS_RE = re.compile(
+    r"kNumCounters\s*=\s*static_cast<std::size_t>\(Counter::(k\w+)\)\s*\+\s*1")
+
+
+def counter_parity(hpp, cpp, findings):
+    """Cross-checks the Counter enum against its export table."""
+    hpp_src = Source(hpp)
+    cpp_src = Source(cpp)
+    enum_m = re.search(r"enum\s+class\s+Counter[^{]*\{", hpp_src.code)
+    if not enum_m:
+        findings.append(Finding(hpp, 1, "counter-parity",
+                                "no `enum class Counter` found"))
+        return
+    enum_end = balanced_span(hpp_src.code, enum_m.end() - 1, "{", "}")
+    enum_body = hpp_src.code[enum_m.end():enum_end - 1]
+    enumerators = ENUMERATOR_RE.findall(enum_body)
+    # Parsed from raw text: the export keys are string literals, which the
+    # comment/string-stripped view blanks out.
+    cases = CASE_RE.findall(cpp_src.text)
+    case_map = {}
+    for name, key in cases:
+        if name in case_map:
+            line = next(cpp_src.line_of(m.start())
+                        for m in CASE_RE.finditer(cpp_src.code)
+                        if m.group(1) == name)
+            findings.append(Finding(
+                cpp, line, "counter-parity",
+                f"duplicate to_string case for Counter::{name}"))
+        case_map[name] = key
+    for name in enumerators:
+        if name not in case_map:
+            findings.append(Finding(
+                cpp, 1, "counter-parity",
+                f"Counter::{name} has no to_string export case — the "
+                f"counter would export as '?' and vanish from reports"))
+        elif not case_map[name] or case_map[name] == "?":
+            findings.append(Finding(
+                cpp, 1, "counter-parity",
+                f"Counter::{name} exports under placeholder key "
+                f"'{case_map[name]}'"))
+    for name in case_map:
+        if name not in enumerators:
+            findings.append(Finding(
+                cpp, 1, "counter-parity",
+                f"to_string case for unknown enumerator Counter::{name}"))
+    keys = [k for k in case_map.values() if k]
+    dup = {k for k in keys if keys.count(k) > 1}
+    for k in sorted(dup):
+        findings.append(Finding(
+            cpp, 1, "counter-parity",
+            f"export key '{k}' used by more than one counter"))
+    num_m = NUM_COUNTERS_RE.search(hpp_src.code)
+    if enumerators:
+        if not num_m:
+            findings.append(Finding(
+                hpp, 1, "counter-parity",
+                "kNumCounters is not derived as `static_cast<std::size_t>"
+                "(Counter::<last>) + 1`"))
+        elif num_m.group(1) != enumerators[-1]:
+            findings.append(Finding(
+                hpp, hpp_src.line_of(num_m.start()), "counter-parity",
+                f"kNumCounters is derived from Counter::{num_m.group(1)} "
+                f"but the last enumerator is Counter::{enumerators[-1]}"))
+
+
+# ------------------------------------------------------------- clang engine
+
+
+def load_compile_commands(build_dir):
+    db = {}
+    path = pathlib.Path(build_dir) / "compile_commands.json"
+    if not path.exists():
+        return db
+    for entry in json.loads(path.read_text(encoding="utf-8")):
+        args = entry.get("arguments")
+        if args is None:
+            args = entry.get("command", "").split()
+        # Drop the compiler itself, the -o/-c operands and the input file;
+        # libclang only wants the flags.
+        flags, skip = [], False
+        for a in args[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-o", "-c"):
+                skip = a == "-o"
+                continue
+            if a.endswith((".cpp", ".cc", ".o")):
+                continue
+            flags.append(a)
+        db[pathlib.Path(entry["file"]).resolve()] = (
+            flags, entry.get("directory", "."))
+    return db
+
+
+def clang_lint_file(src, cindex, ccdb, findings):
+    """AST passes for one file; raises on any libclang trouble so the
+    caller can fall back to the regex engine."""
+    flags, directory = ccdb.get(src.path.resolve(), (["-std=c++20"], "."))
+    flags = [f for f in flags if not f.startswith(("-W", "-fsanitize"))]
+    index = cindex.Index.create()
+    tu = index.parse(str(src.path), args=flags + ["-I" + directory])
+    ck = cindex.CursorKind
+
+    def here(cursor):
+        loc = cursor.location
+        return (loc.file is not None
+                and pathlib.Path(loc.file.name).resolve()
+                == src.path.resolve())
+
+    def walk(cursor, in_chunk_lambda, inner_rng_names):
+        for child in cursor.get_children():
+            # Skip included-header subtrees at the TU level; below that,
+            # per-node `here()` guards keep findings inside this file.
+            if cursor.kind == ck.TRANSLATION_UNIT and not here(child):
+                continue
+            kind = child.kind
+            line = child.location.line
+            if here(child) and kind == ck.CALL_EXPR:
+                name = child.spelling
+                if name in BANNED_CALLS:
+                    findings.append(Finding(
+                        src.path, line, "wall-clock",
+                        f"{BANNED_CALLS[name]}; derive values from the "
+                        f"simulation clock or a seeded dl::Rng"))
+            if here(child) and kind in (ck.TYPE_REF, ck.DECL_REF_EXPR,
+                                        ck.VAR_DECL):
+                type_spelling = child.type.spelling or ""
+                for t, why in BANNED_TYPES.items():
+                    if t in type_spelling or t in (child.spelling or ""):
+                        findings.append(Finding(
+                            src.path, line, "wall-clock",
+                            f"{why}; simulation state must be a pure "
+                            f"function of the seed"))
+                        break
+            if here(child) and kind == ck.CXX_FOR_RANGE_STMT:
+                kids = list(child.get_children())
+                if len(kids) >= 2:
+                    range_type = kids[-2].type.spelling or ""
+                    if "unordered_map" in range_type or \
+                            "unordered_set" in range_type:
+                        findings.append(Finding(
+                            src.path, line, "unordered-iter",
+                            "range-for over unordered container: bucket "
+                            "order is not deterministic across "
+                            "implementations; iterate a sorted copy"))
+            chunk = in_chunk_lambda
+            inner = inner_rng_names
+            if kind == ck.LAMBDA_EXPR and _inside_parallel_call(child, ck):
+                chunk = True
+                inner = {c.spelling for c in child.walk_preorder()
+                         if c.kind == ck.VAR_DECL
+                         and "Rng" in (c.type.spelling or "")}
+            if (here(child) and chunk and kind == ck.DECL_REF_EXPR
+                    and "Rng" in (child.type.spelling or "")
+                    and child.spelling not in inner):
+                findings.append(Finding(
+                    src.path, line, "rng-ref-capture",
+                    f"dl::Rng '{child.spelling}' from the enclosing scope "
+                    f"used inside a parallel chunk lambda; construct a "
+                    f"chunk-local Rng from substream_seed()"))
+            walk(child, chunk, inner)
+
+    def _inside_parallel_call(cursor, ck):
+        p = cursor.semantic_parent
+        lex = cursor
+        for _ in range(4):
+            lex = getattr(lex, "lexical_parent", None) or p
+            if lex is None:
+                break
+            if lex.kind == ck.CALL_EXPR and "parallel_for" in (
+                    lex.spelling or ""):
+                return True
+        # Fall back to a token scan of the call site line.
+        line_idx = cursor.location.line - 1
+        if 0 <= line_idx < len(src.lines):
+            window = "\n".join(src.lines[max(0, line_idx - 3):line_idx + 1])
+            return "parallel_for" in window
+        return False
+
+    walk(tu.cursor, False, set())
+    # Text-level rules run identically in both engines.
+    regex_stat_string(src, findings)
+
+
+# -------------------------------------------------------------------- driver
+
+
+def lint_file(src, mode, cindex, ccdb, findings):
+    if mode in ("clang", "auto") and cindex is not None \
+            and src.path.suffix == ".cpp":
+        try:
+            clang_lint_file(src, cindex, ccdb, findings)
+            return "clang"
+        except Exception:
+            if mode == "clang":
+                raise
+    regex_wall_clock(src, findings)
+    regex_unordered_iter(src, findings)
+    regex_stat_string(src, findings)
+    regex_rng_capture(src, findings)
+    return "regex"
+
+
+def collect_files(paths):
+    files = []
+    for p in paths:
+        p = pathlib.Path(p)
+        if not p.is_absolute():
+            p = REPO / p
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.hpp")) + sorted(p.rglob("*.cpp")))
+        elif p.exists():
+            files.append(p)
+        else:
+            print(f"dl-lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(set(files))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="files or directories to lint (default: src/)")
+    ap.add_argument("--mode", choices=("auto", "clang", "regex"),
+                    default="auto")
+    ap.add_argument("-p", "--build-dir", default="build",
+                    help="build dir holding compile_commands.json")
+    ap.add_argument("--github-summary", metavar="FILE",
+                    help="append a Markdown findings table to FILE")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:22s} {desc}")
+        return 0
+
+    cindex = None
+    if args.mode in ("auto", "clang"):
+        try:
+            from clang import cindex as _cindex  # noqa: PLC0415
+            cindex = _cindex
+        except ImportError:
+            if args.mode == "clang":
+                print("dl-lint: --mode=clang but python3-clang is not "
+                      "installed", file=sys.stderr)
+                return 2
+    ccdb = load_compile_commands(args.build_dir) if cindex else {}
+
+    files = collect_files(args.paths or ["src"])
+    findings = []
+    engines = set()
+    sources = {}
+    for path in files:
+        src = Source(path)
+        sources[path] = src
+        engines.add(lint_file(src, args.mode, cindex, ccdb, findings))
+
+    # Counter parity runs once per counters.hpp/.cpp pair in scope.
+    for path in files:
+        if path.name == "counters.hpp":
+            cpp = path.with_suffix(".cpp")
+            if cpp.exists():
+                counter_parity(path, cpp, findings)
+
+    # Apply suppressions, then add reason-less suppressions as findings.
+    kept = []
+    for f in findings:
+        src = sources.get(f.path) or Source(f.path)
+        sources[f.path] = src
+        if not src.suppressions.allows(f.line, f.rule):
+            kept.append(f)
+    for path, src in sources.items():
+        for line, _rules in src.suppressions.bad:
+            kept.append(Finding(
+                path, line, "bad-suppression",
+                "suppression must carry a reason: "
+                "// dl-lint: allow(<rule>): <why this is safe>"))
+
+    kept = sorted({(str(f)): f for f in kept}.values(),
+                  key=Finding.sort_key)
+    for f in kept:
+        print(f)
+    engine = "+".join(sorted(engines)) or "none"
+    print(f"dl-lint: {len(files)} files, engine={engine}, "
+          f"{len(kept)} finding(s)")
+
+    if args.github_summary:
+        with open(args.github_summary, "a", encoding="utf-8") as out:
+            out.write(f"### dl-lint: {len(kept)} finding(s) "
+                      f"({len(files)} files, engine {engine})\n\n")
+            if kept:
+                out.write("| Location | Rule | Message |\n|---|---|---|\n")
+                for f in kept:
+                    rel = os.path.relpath(f.path, REPO)
+                    out.write(f"| `{rel}:{f.line}` | `{f.rule}` | "
+                              f"{f.message} |\n")
+            else:
+                out.write("Determinism invariants hold across the tree.\n")
+
+    return 1 if kept else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
