@@ -23,6 +23,7 @@
 #include "nn/models.hpp"
 #include "nn/tensor.hpp"
 #include "rowhammer/attacker.hpp"
+#include "scenario/scenario.hpp"
 #include "traffic/engine.hpp"
 
 namespace {
@@ -343,6 +344,52 @@ void BM_ChecksumVerify(benchmark::State& state) {
                           static_cast<std::int64_t>(image.size()));
 }
 BENCHMARK(BM_ChecksumVerify)->ArgName("scheme")->Arg(0)->Arg(1);
+
+// Sharded-fabric serving throughput: one serve() round of a four-tenant
+// mix over a 1- vs 4-channel fabric (arg 0 = channels, arg 1 = threads,
+// 0 = autodetect).  Channels run independent engines over the pool, so the
+// 4-channel × autodetect cell should show near-linear aggregate speedup on
+// a multi-core host.
+void BM_FabricServe(benchmark::State& state) {
+  parallel::set_threads(static_cast<std::size_t>(state.range(1)));
+  scenario::ServeCampaign campaign;
+  campaign.name = "bench";
+  campaign.env.geometry.channels = 1;
+  campaign.env.geometry.banks = 2;
+  campaign.env.geometry.subarrays_per_bank = 4;
+  campaign.env.geometry.rows_per_subarray = 256;
+  campaign.env.geometry.row_bytes = 4096;
+  campaign.env.fabric.channels = static_cast<std::uint32_t>(state.range(0));
+  campaign.env.fabric.interleave = dram::InterleavePolicy::kRowRoundRobin;
+  campaign.traffic.tenants = {
+      traffic::StreamSpec::weight_reader(/*base_row=*/32, /*rows=*/64, 4096),
+      traffic::StreamSpec::synthetic(/*base_row=*/256, /*rows=*/256, 2048,
+                                     /*locality=*/0.4, /*write_fraction=*/0.2,
+                                     /*seed=*/1),
+      traffic::StreamSpec::weight_reader(/*base_row=*/512, /*rows=*/64, 4096),
+      traffic::StreamSpec::hammer(rowhammer::HammerPattern::kDoubleSided,
+                                  /*victim_row=*/40, 2048),
+  };
+  campaign.traffic.scheduler.batch = 2;
+  // Several rounds so the steady-state engine work dominates the one-time
+  // per-channel stack construction (serve() is the long-running mode).
+  campaign.rounds = 8;
+  std::uint64_t serviced = 0;
+  for (auto _ : state) {
+    const auto r = scenario::run_serve(campaign);
+    serviced += r.merged.serviced;
+    benchmark::DoNotOptimize(r.merged.serviced);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(serviced));
+  parallel::set_threads(0);
+}
+BENCHMARK(BM_FabricServe)
+    ->ArgNames({"channels", "threads"})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_ScrubPass(benchmark::State& state) {
   // One clean scrub sweep of 8 rows through the controller (accounted

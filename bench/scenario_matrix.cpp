@@ -199,9 +199,28 @@ int main(int argc, char** argv) {
           .with_integrity(radar),
   };
 
+  // Sharded-fabric wing: the serving contention mix replayed over a
+  // 4-channel fabric (round-robin row interleave, so every tenant's
+  // working set stripes across all four channels), against the headline
+  // defense cells.  Each channel owns an independent defense/disturbance
+  // stack; channel 0 re-derives the single-channel seeds verbatim.
+  scenario::MatrixSpec fabric_grid = serving;
+  fabric_grid.name_prefix = "fabric/4ch";
+  fabric_grid.base_seed = 31;
+  fabric_grid.env.fabric.channels = 4;
+  fabric_grid.env.fabric.interleave = dram::InterleavePolicy::kRowRoundRobin;
+  fabric_grid.patterns = {HammerPattern::kDoubleSided};
+  fabric_grid.defenses = {
+      scenario::DefenseSpec::none(),
+      scenario::DefenseSpec::dram_locker(locker_cfg, /*seed=*/0),
+      scenario::DefenseSpec::dram_locker(locker_cfg, /*seed=*/0)
+          .with_integrity(radar),
+  };
+
   auto campaigns = scenario::expand(spec);
   const std::size_t plain_cells = campaigns.size();
-  for (const auto& m : {serving, loaded, integrity_grid, faults_grid}) {
+  for (const auto& m : {serving, loaded, integrity_grid, faults_grid,
+                        fabric_grid}) {
     auto cells = scenario::expand(m);
     campaigns.insert(campaigns.end(), std::make_move_iterator(cells.begin()),
                      std::make_move_iterator(cells.end()));
@@ -326,6 +345,57 @@ int main(int argc, char** argv) {
               "\n%s",
               resil.to_string().c_str());
 
+  // ---- Serving wing: the always-on fabric campaign -----------------------
+  // A steady-state tenant mix (web filler + DNN weight readers + a hammer
+  // attacker, with the integrity scrubber as a contending tenant) streamed
+  // over the fabric for several rounds, at 1 and 4 channels, reporting
+  // per-tenant / per-channel SLO stats.
+  traffic::StreamSpec web = filler;
+  web.name = "web";
+  traffic::StreamSpec weights = reader;
+  weights.name = "weights";
+  traffic::StreamSpec hammer_tenant = attacker;
+  hammer_tenant.name = "hammer";
+
+  scenario::ServeCampaign serve1;
+  serve1.name = "serve/1ch";
+  serve1.env = spec.env;
+  serve1.defense = scenario::DefenseSpec::dram_locker(locker_cfg, /*seed=*/5)
+                       .with_integrity(radar);
+  serve1.protected_rows = {40};
+  serve1.traffic.tenants = {web, weights, hammer_tenant};
+  serve1.traffic.scheduler.batch = 2;
+  serve1.rounds = scale == bench::Scale::kFast ? 2 : 4;
+
+  scenario::ServeCampaign serve4 = serve1;
+  serve4.name = "serve/4ch";
+  serve4.env.fabric.channels = 4;
+  serve4.env.fabric.interleave = dram::InterleavePolicy::kRowRoundRobin;
+
+  std::vector<scenario::ServeCampaignResult> serve_results;
+  for (const auto& s : {serve1, serve4}) {
+    serve_results.push_back(scenario::run_serve_isolated(s));
+  }
+
+  TextTable slo({"campaign", "tenant", "granted", "denied", "rejected",
+                 "p50 lat (ns)", "p99 lat (ns)", "req/s"});
+  for (const auto& r : serve_results) {
+    const double secs = to_seconds(r.merged.elapsed);
+    for (const auto& t : r.merged.tenants) {
+      slo.add_row({r.name, t.name, std::to_string(t.granted),
+                   std::to_string(t.denied),
+                   std::to_string(t.rejected_enqueues),
+                   TextTable::num(to_nanoseconds(t.latency_quantile(0.5)), 0),
+                   TextTable::num(to_nanoseconds(t.latency_quantile(0.99)), 0),
+                   TextTable::num(secs > 0.0
+                                      ? static_cast<double>(t.granted) / secs
+                                      : 0.0,
+                                  0)});
+    }
+  }
+  std::printf("\nserving mode (steady-state SLO, merged over channels):\n%s",
+              slo.to_string().c_str());
+
   // ---- BFA wing: the same four defense cells against a trained victim ----
   // (fast-trained; see fig_radar_compare / fig8_bfa_defense for the
   // paper-scale curves).  Deny-all stands in for an error-free DRAM-Locker.
@@ -401,7 +471,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s for writing\n", path);
       return 1;
     }
-    out << scenario::report_json(results, bfa_results).dump(2) << '\n';
+    out << scenario::report_json(results, bfa_results, serve_results).dump(2)
+        << '\n';
     std::printf("JSON report written to %s\n", path);
   }
   return 0;

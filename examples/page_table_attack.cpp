@@ -38,8 +38,7 @@ void run(bool with_locker) {
   auto attacker_space = sys.make_address_space();
   attack::PtaConfig pcfg;
   pcfg.act_budget = 100000;
-  attack::PageTableAttack pta(sys.controller(), sys.disturbance(),
-                              sys.frames(), pcfg, sys.make_rng());
+  auto pta = sys.make_page_table_attack(pcfg);
   pta.prepare(*attacker_space, victim_pte->pfn);
 
   if (with_locker) {

@@ -33,8 +33,7 @@ double attack_once(bool with_locker, dl::nn::Model& model,
                    const dl::nn::Dataset& sample) {
   dl::core::DramLockerSystem sys(system_config());
   auto space = sys.make_address_space();
-  dl::attack::WeightBinding binding(sys.controller(), *space, qmodel,
-                                    0x100000);
+  auto binding = sys.make_weight_binding(*space, qmodel, 0x100000);
   binding.upload();
 
   if (with_locker) {
@@ -47,8 +46,7 @@ double attack_once(bool with_locker, dl::nn::Model& model,
                 locked);
   }
 
-  dl::attack::HammerFlipGate gate(sys.controller(), sys.disturbance(),
-                                  binding, /*act_budget=*/8000);
+  auto gate = sys.make_hammer_gate(binding, /*act_budget=*/8000);
   dl::attack::BfaConfig bcfg;
   bcfg.max_iterations = 10;
   bcfg.layers_evaluated = 2;

@@ -19,10 +19,9 @@ int main() {
   core::DramLockerSystem sys(config);
 
   // 2. Write data we care about into row 100.
-  auto& ctrl = sys.controller();
   const std::array<std::uint8_t, 11> secret{"top-secret"};
-  const dram::PhysAddr addr = ctrl.mapper().row_base(100);
-  ctrl.write(addr, secret);
+  const dram::PhysAddr addr = sys.row_base(100);
+  sys.write(addr, secret);
 
   // 3. Install DRAM-Locker and protect the region: the rows physically
   //    adjacent to our data get locked.
@@ -31,8 +30,7 @@ int main() {
   std::printf("locked %zu aggressor-candidate rows around row 100\n", locked);
 
   // 4. The attacker hammers the neighbours — every activation is denied.
-  rowhammer::HammerAttacker attacker(ctrl, sys.disturbance());
-  const auto result = attacker.attack(
+  const auto result = sys.hammer_attack(
       /*victim=*/100, rowhammer::HammerPattern::kDoubleSided,
       /*act_budget=*/50000);
   std::printf("attacker: %llu activations granted, %llu denied, "
@@ -43,7 +41,7 @@ int main() {
 
   // 5. We can still read our data (and unlock our own rows when needed).
   std::array<std::uint8_t, 11> readback{};
-  ctrl.read(addr, readback, /*can_unlock=*/true);
+  sys.read(addr, readback, /*can_unlock=*/true);
   std::printf("readback: \"%s\" — %s\n",
               reinterpret_cast<const char*>(readback.data()),
               readback == secret ? "intact" : "CORRUPTED");
@@ -51,6 +49,6 @@ int main() {
               "%.1f ns of mitigation traffic\n",
               static_cast<unsigned long long>(locker.stats().denied),
               static_cast<unsigned long long>(locker.stats().unlock_swaps),
-              to_nanoseconds(ctrl.defense_time()));
+              to_nanoseconds(sys.channel().defense_time()));
   return 0;
 }

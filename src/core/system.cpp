@@ -1,80 +1,373 @@
 #include "core/system.hpp"
 
+#include <algorithm>
+#include <string>
+#include <utility>
+
 #include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "traffic/sharding.hpp"
 
 namespace dl::core {
 
-DramLockerSystem::DramLockerSystem(SystemConfig config)
-    : config_(config), rng_(config.seed) {
-  ctrl_ = std::make_unique<dl::dram::Controller>(
-      config_.geometry, config_.timing, config_.map_scheme);
-  disturbance_ = std::make_unique<dl::rowhammer::DisturbanceModel>(
-      *ctrl_, config_.disturbance, rng_.split());
-  ctrl_->add_listener(disturbance_.get());
-  frames_ = std::make_unique<dl::sys::FrameAllocator>(config_.geometry);
+namespace {
+
+/// Per-channel geometry of a fabric config: the channel count lives at the
+/// fabric level, each channel is a single-channel stack.
+dl::dram::Geometry channel_geometry_of(const SystemConfig& config) {
+  dl::dram::Geometry g = config.geometry;
+  g.channels = 1;
+  return g;
 }
 
-std::unique_ptr<dl::sys::AddressSpace>
-DramLockerSystem::make_address_space() {
-  return std::make_unique<dl::sys::AddressSpace>(*ctrl_, *frames_);
+}  // namespace
+
+void validate(const SystemConfig& config) {
+  const auto& g = config.geometry;
+  if (g.channels == 0) {
+    throw dl::Error("SystemConfig: geometry.channels must be >= 1");
+  }
+  if (g.channels > 64) {
+    std::string msg = "SystemConfig: geometry.channels = ";
+    msg += std::to_string(g.channels);
+    msg += " exceeds the fabric limit of 64 channels";
+    throw dl::Error(msg);
+  }
+  if (g.ranks == 0 || g.banks == 0 || g.subarrays_per_bank == 0 ||
+      g.rows_per_subarray == 0) {
+    throw dl::Error(
+        "SystemConfig: every geometry dimension (ranks, banks, "
+        "subarrays_per_bank, rows_per_subarray) must be >= 1");
+  }
+  if (g.row_bytes == 0) {
+    throw dl::Error("SystemConfig: geometry.row_bytes must be >= 1");
+  }
+  if (config.interleave == dl::dram::InterleavePolicy::kRowRoundRobin &&
+      g.channels > 1 && g.rows_per_subarray < 2 * g.channels) {
+    // Round-robin spaces a channel's consecutive fabric rows N apart, so a
+    // subarray shorter than 2N cannot hold both distance-1 neighbours of
+    // any victim — every hammer campaign would silently degenerate.
+    std::string msg = "SystemConfig: row-round-robin interleave over ";
+    msg += std::to_string(g.channels);
+    msg += " channels needs rows_per_subarray >= ";
+    msg += std::to_string(2 * g.channels);
+    msg += " (got ";
+    msg += std::to_string(g.rows_per_subarray);
+    msg += ")";
+    throw dl::Error(msg);
+  }
 }
 
-dl::Rng DramLockerSystem::make_rng() { return rng_.split(); }
+dl::dram::CounterBlock FabricView::counter_totals() const {
+  dl::dram::CounterBlock total;
+  // Channel order x per-channel first-touch order keeps the aggregate's
+  // export ordering deterministic and, at one channel, identical to the
+  // channel's own block.
+  for (const auto& ch : *chs_) {
+    const auto& block = ch->ctrl->counters();
+    for (std::size_t i = 0; i < block.touched_count(); ++i) {
+      const auto c = block.touched_at(i);
+      total.add(c, block.value(c));
+    }
+  }
+  return total;
+}
 
-dl::defense::DramLocker& DramLockerSystem::enable_locker(
+dl::json::Value to_json(const FabricReport& report) {
+  const auto report_body = [](const dl::traffic::TrafficReport& r) {
+    dl::json::Value v = dl::json::Value::object();
+    v["serviced"] = r.serviced;
+    v["elapsed_ps"] = r.elapsed;
+    dl::json::Value tenants = dl::json::Value::array();
+    for (const auto& t : r.tenants) {
+      tenants.push_back(dl::traffic::to_json(t, r.elapsed));
+    }
+    v["tenants"] = std::move(tenants);
+    return v;
+  };
+  dl::json::Value v = report_body(report.merged);
+  dl::json::Value channels = dl::json::Value::array();
+  for (std::size_t c = 0; c < report.channels.size(); ++c) {
+    dl::json::Value cv = dl::json::Value::object();
+    cv["channel"] = c;
+    dl::json::Value body = report_body(report.channels[c]);
+    cv["serviced"] = std::move(body["serviced"]);
+    cv["elapsed_ps"] = std::move(body["elapsed_ps"]);
+    cv["tenants"] = std::move(body["tenants"]);
+    channels.push_back(std::move(cv));
+  }
+  v["channels"] = std::move(channels);
+  return v;
+}
+
+Fabric::Fabric(SystemConfig config)
+    : config_(config),
+      channel_geometry_(channel_geometry_of(config)),
+      fabric_map_((validate(config), config.geometry.channels),
+                  channel_geometry_.total_rows(), config.geometry.row_bytes,
+                  config.interleave),
+      rng_(config.seed) {
+  channels_.reserve(config_.geometry.channels);
+  for (std::uint32_t c = 0; c < config_.geometry.channels; ++c) {
+    auto ch = std::make_unique<detail::FabricChannel>();
+    ch->ctrl = std::make_unique<dl::dram::Controller>(
+        channel_geometry_, config_.timing, config_.map_scheme);
+    // One split per channel in channel order: channel 0 of any fabric draws
+    // the same stream the pre-fabric single-channel system drew.
+    ch->disturbance = std::make_unique<dl::rowhammer::DisturbanceModel>(
+        *ch->ctrl, config_.disturbance, rng_.split());
+    ch->ctrl->add_listener(ch->disturbance.get());
+    ch->frames = std::make_unique<dl::sys::FrameAllocator>(channel_geometry_);
+    channels_.push_back(std::move(ch));
+  }
+}
+
+detail::FabricChannel& Fabric::channel_at(ChannelId c) {
+  DL_REQUIRE(c < channels_.size(), "channel out of range");
+  return *channels_[c];
+}
+
+const detail::FabricChannel& Fabric::channel_at(ChannelId c) const {
+  DL_REQUIRE(c < channels_.size(), "channel out of range");
+  return *channels_[c];
+}
+
+// -- fabric-global memory operations ------------------------------------------
+
+dl::dram::AccessResult Fabric::read(dl::dram::PhysAddr addr,
+                                    std::span<std::uint8_t> out,
+                                    bool can_unlock) {
+  const auto ga = fabric_map_.decode(addr);
+  if (channels() > 1) {
+    DL_REQUIRE(ga.byte + out.size() <= fabric_map_.row_bytes(),
+               "fabric access must not cross a row-interleave boundary");
+  }
+  return channel_at(ga.channel).ctrl->read(fabric_map_.local_addr(ga), out,
+                                           can_unlock);
+}
+
+dl::dram::AccessResult Fabric::write(dl::dram::PhysAddr addr,
+                                     std::span<const std::uint8_t> in,
+                                     bool can_unlock) {
+  const auto ga = fabric_map_.decode(addr);
+  if (channels() > 1) {
+    DL_REQUIRE(ga.byte + in.size() <= fabric_map_.row_bytes(),
+               "fabric access must not cross a row-interleave boundary");
+  }
+  return channel_at(ga.channel).ctrl->write(fabric_map_.local_addr(ga), in,
+                                            can_unlock);
+}
+
+dl::dram::AccessResult Fabric::hammer(dl::dram::PhysAddr addr,
+                                      bool can_unlock) {
+  const auto ga = fabric_map_.decode(addr);
+  return channel_at(ga.channel).ctrl->hammer(fabric_map_.local_addr(ga),
+                                             can_unlock);
+}
+
+dl::dram::PhysAddr Fabric::row_base(dl::dram::GlobalRowId fabric_row) const {
+  const ChannelId c = fabric_map_.channel_of(fabric_row);
+  const dl::dram::GlobalRowId local = fabric_map_.local_row(fabric_row);
+  // The channel's address map decides where the logical row lives in the
+  // channel-local address space; re-encode that slab as a fabric address.
+  const dl::dram::PhysAddr local_base =
+      channel_at(c).ctrl->mapper().row_base(local);
+  const auto slab =
+      static_cast<dl::dram::GlobalRowId>(local_base / fabric_map_.row_bytes());
+  return fabric_map_.encode(dl::dram::GlobalAddress{
+      .channel = c,
+      .row = slab,
+      .byte = static_cast<std::uint32_t>(local_base %
+                                         fabric_map_.row_bytes())});
+}
+
+dl::dram::GlobalRowId Fabric::row_of(dl::dram::PhysAddr fabric_addr) const {
+  const auto ga = fabric_map_.decode(fabric_addr);
+  const dl::dram::GlobalRowId local =
+      channel_at(ga.channel).ctrl->mapper().row_of(fabric_map_.local_addr(ga));
+  return fabric_map_.fabric_row(ga.channel, local);
+}
+
+void Fabric::advance_time(Picoseconds delta) {
+  for (auto& ch : channels_) ch->ctrl->advance_time(delta);
+}
+
+// -- experiment drivers -------------------------------------------------------
+
+std::vector<dl::dram::GlobalRowId> Fabric::aggressors_for(
+    dl::dram::GlobalRowId fabric_victim_row,
+    dl::rowhammer::HammerPattern pattern) const {
+  const ChannelId c = fabric_map_.channel_of(fabric_victim_row);
+  auto rows = dl::rowhammer::aggressor_rows(
+      channel_geometry_, fabric_map_.local_row(fabric_victim_row), pattern);
+  for (auto& row : rows) row = fabric_map_.fabric_row(c, row);
+  return rows;
+}
+
+dl::rowhammer::HammerResult Fabric::hammer_attack(
+    dl::dram::GlobalRowId fabric_victim_row,
+    dl::rowhammer::HammerPattern pattern, std::uint64_t act_budget,
+    std::uint64_t stop_after_flips) {
+  const ChannelId c = fabric_map_.channel_of(fabric_victim_row);
+  auto& ch = channel_at(c);
+  dl::rowhammer::HammerAttacker attacker(*ch.ctrl, *ch.disturbance);
+  return attacker.attack(fabric_map_.local_row(fabric_victim_row), pattern,
+                         act_budget, stop_after_flips);
+}
+
+dl::rowhammer::DisturbanceModel& Fabric::disturbance(ChannelId c) {
+  return *channel_at(c).disturbance;
+}
+
+dl::sys::FrameAllocator& Fabric::frames(ChannelId c) {
+  return *channel_at(c).frames;
+}
+
+std::unique_ptr<dl::sys::AddressSpace> Fabric::make_address_space(
+    ChannelId c) {
+  auto& ch = channel_at(c);
+  return std::make_unique<dl::sys::AddressSpace>(*ch.ctrl, *ch.frames);
+}
+
+dl::attack::WeightBinding Fabric::make_weight_binding(
+    dl::sys::AddressSpace& space, dl::nn::QuantizedModel& qmodel,
+    dl::sys::VirtAddr base_va, ChannelId c) {
+  return dl::attack::WeightBinding(*channel_at(c).ctrl, space, qmodel,
+                                   base_va);
+}
+
+dl::attack::HammerFlipGate Fabric::make_hammer_gate(
+    dl::attack::WeightBinding& binding, std::uint64_t act_budget,
+    dl::rowhammer::HammerPattern pattern, ChannelId c) {
+  auto& ch = channel_at(c);
+  return dl::attack::HammerFlipGate(*ch.ctrl, *ch.disturbance, binding,
+                                    act_budget, pattern);
+}
+
+dl::attack::PageTableAttack Fabric::make_page_table_attack(
+    dl::attack::PtaConfig config, ChannelId c) {
+  auto& ch = channel_at(c);
+  return dl::attack::PageTableAttack(*ch.ctrl, *ch.disturbance, *ch.frames,
+                                     config, rng_.split());
+}
+
+dl::Rng Fabric::make_rng() { return rng_.split(); }
+
+// -- defense management -------------------------------------------------------
+
+dl::defense::DramLocker& Fabric::enable_locker(
     dl::defense::DramLockerConfig config) {
-  DL_REQUIRE(locker_ == nullptr, "locker already enabled");
-  locker_ = std::make_unique<dl::defense::DramLocker>(*ctrl_, config,
-                                                      rng_.split());
-  ctrl_->set_gate(locker_.get());
-  return *locker_;
+  DL_REQUIRE(channels_.front()->locker == nullptr, "locker already enabled");
+  for (auto& ch : channels_) {
+    ch->locker = std::make_unique<dl::defense::DramLocker>(*ch->ctrl, config,
+                                                           rng_.split());
+    ch->ctrl->set_gate(ch->locker.get());
+  }
+  return *channels_.front()->locker;
 }
 
-dl::defense::Shadow& DramLockerSystem::enable_shadow(
-    dl::defense::ShadowConfig config) {
-  DL_REQUIRE(shadow_ == nullptr, "shadow already enabled");
-  shadow_ = std::make_unique<dl::defense::Shadow>(*ctrl_, config,
-                                                  rng_.split());
-  ctrl_->add_listener(shadow_.get());
-  return *shadow_;
+dl::defense::Shadow& Fabric::enable_shadow(dl::defense::ShadowConfig config) {
+  DL_REQUIRE(channels_.front()->shadow == nullptr, "shadow already enabled");
+  for (auto& ch : channels_) {
+    ch->shadow = std::make_unique<dl::defense::Shadow>(*ch->ctrl, config,
+                                                       rng_.split());
+    ch->ctrl->add_listener(ch->shadow.get());
+  }
+  return *channels_.front()->shadow;
 }
 
-void DramLockerSystem::disable_gate() { ctrl_->set_gate(nullptr); }
-
-dl::traffic::TrafficReport DramLockerSystem::serve(
-    std::vector<dl::traffic::StreamSpec> tenants,
-    const dl::traffic::SchedulerConfig& scheduler) {
-  dl::traffic::TrafficEngine engine(*ctrl_, std::move(tenants), scheduler);
-  return engine.run();
+void Fabric::disable_gate() {
+  for (auto& ch : channels_) ch->ctrl->set_gate(nullptr);
 }
 
-std::size_t DramLockerSystem::protect_physical_range(dl::dram::PhysAddr base,
-                                                     std::uint64_t bytes) {
-  DL_REQUIRE(locker_ != nullptr, "enable_locker() first");
+// -- traffic ------------------------------------------------------------------
+
+FabricReport Fabric::serve(std::vector<dl::traffic::StreamSpec> tenants,
+                           const dl::traffic::SchedulerConfig& scheduler) {
+  const auto rosters = dl::traffic::shard_tenants(fabric_map_, tenants);
+  FabricReport report;
+  report.channels.resize(channels_.size());
+  // One engine per channel; channels share no mutable state, so the fabric
+  // fans out across them (grain 1 = one channel per chunk) and results are
+  // identical for any DL_THREADS value.
+  dl::parallel::parallel_for(
+      0, channels_.size(), 1,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t c = begin; c < end; ++c) {
+          dl::traffic::TrafficEngine engine(*channels_[c]->ctrl, rosters[c],
+                                            scheduler);
+          report.channels[c] = engine.run();
+        }
+      });
+  // Merge in channel order: every channel carries the full tenant roster
+  // (stubs where a tenant has no local share), so stats merge element-wise.
+  report.merged.tenants = report.channels.front().tenants;
+  report.merged.serviced = report.channels.front().serviced;
+  report.merged.elapsed = report.channels.front().elapsed;
+  for (std::size_t c = 1; c < report.channels.size(); ++c) {
+    const auto& r = report.channels[c];
+    DL_REQUIRE(r.tenants.size() == report.merged.tenants.size(),
+               "channel rosters must be identical");
+    for (std::size_t t = 0; t < r.tenants.size(); ++t) {
+      report.merged.tenants[t].merge(r.tenants[t]);
+    }
+    report.merged.serviced += r.serviced;
+    // Channels run concurrently; the fabric's makespan is the slowest
+    // channel's clock, not the sum.
+    report.merged.elapsed = std::max(report.merged.elapsed, r.elapsed);
+  }
+  return report;
+}
+
+// -- protection API -----------------------------------------------------------
+
+std::size_t Fabric::protect_local_range(ChannelId c,
+                                        dl::dram::PhysAddr local_base,
+                                        std::uint64_t bytes) {
+  auto& ch = channel_at(c);
+  DL_REQUIRE(ch.locker != nullptr, "enable_locker() first");
   DL_REQUIRE(bytes > 0, "range must be non-empty");
-  const auto& g = config_.geometry;
+  const std::uint32_t row_bytes = channel_geometry_.row_bytes;
   std::size_t locked = 0;
   // Walk the overlapped rows through the mapper to stay scheme-agnostic.
-  for (dl::dram::PhysAddr addr = base - (base % g.row_bytes);
-       addr < base + bytes; addr += g.row_bytes) {
-    locked += locker_->protect_data_row(ctrl_->mapper().row_of(addr));
+  for (dl::dram::PhysAddr addr = local_base - (local_base % row_bytes);
+       addr < local_base + bytes; addr += row_bytes) {
+    locked += ch.locker->protect_data_row(ch.ctrl->mapper().row_of(addr));
   }
   return locked;
 }
 
-std::size_t DramLockerSystem::protect_virtual_range(
-    dl::sys::AddressSpace& space, dl::sys::VirtAddr va, std::uint64_t bytes) {
-  DL_REQUIRE(locker_ != nullptr, "enable_locker() first");
+std::size_t Fabric::protect_physical_range(dl::dram::PhysAddr base,
+                                           std::uint64_t bytes) {
+  DL_REQUIRE(channels_.front()->locker != nullptr, "enable_locker() first");
+  DL_REQUIRE(bytes > 0, "range must be non-empty");
+  const std::uint32_t row_bytes = fabric_map_.row_bytes();
+  std::size_t locked = 0;
+  // Walk the overlapped fabric row slabs; each slab lands wholly on one
+  // channel, whose own mapper picks the logical row.
+  for (dl::dram::PhysAddr addr = base - (base % row_bytes);
+       addr < base + bytes; addr += row_bytes) {
+    const auto ga = fabric_map_.decode(addr);
+    auto& ch = channel_at(ga.channel);
+    locked += ch.locker->protect_data_row(
+        ch.ctrl->mapper().row_of(fabric_map_.local_addr(ga)));
+  }
+  return locked;
+}
+
+std::size_t Fabric::protect_virtual_range(dl::sys::AddressSpace& space,
+                                          dl::sys::VirtAddr va,
+                                          std::uint64_t bytes, ChannelId c) {
+  DL_REQUIRE(channel_at(c).locker != nullptr, "enable_locker() first");
   DL_REQUIRE(dl::sys::page_offset(va) == 0, "va must be page-aligned");
   std::size_t locked = 0;
   for (std::uint64_t off = 0; off < bytes; off += dl::sys::kPageBytes) {
     const auto pte = space.walk(va + off);
     DL_REQUIRE(pte.has_value(), "virtual range must be mapped");
-    const dl::dram::PhysAddr base =
-        pte->pfn * dl::sys::kPageBytes;
+    const dl::dram::PhysAddr base = pte->pfn * dl::sys::kPageBytes;
     const std::uint64_t len =
         std::min<std::uint64_t>(dl::sys::kPageBytes, bytes - off);
-    locked += protect_physical_range(base, len);
+    locked += protect_local_range(c, base, len);
   }
   return locked;
 }

@@ -1,24 +1,49 @@
-// DramLockerSystem: the top-level facade of the library.
+// core::Fabric: the top-level facade of the library — a sharded
+// multi-channel DRAM fabric.
 //
-// Wires together the DRAM controller, the RowHammer disturbance model, the
-// OS-lite layer (frames + page tables) and, optionally, a defense
-// (DRAM-Locker or a baseline) into one object with a small protection API:
+// A Fabric owns N identical channels; each channel is a full single-channel
+// DRAM stack: its own Controller, RowHammer disturbance model, OS-lite
+// frame allocator, and (optionally) defense state (DRAM-Locker lock table /
+// SHADOW shuffler).  A fabric-global physical address space interleaves
+// across the channels under SystemConfig::interleave (dram::FabricMapper),
+// and multi-tenant traffic fans out over dl::parallel with one FR-FCFS
+// engine per channel:
 //
-//   DramLockerSystem sys(SystemConfig{});
-//   sys.enable_locker();                       // install DRAM-Locker
-//   sys.protect_physical_range(base, bytes);   // lock neighbours of a range
+//   core::Fabric fabric(SystemConfig{...});       // validated, throws on
+//   fabric.enable_locker();                       // nonsense configs
+//   fabric.protect_physical_range(base, bytes);   // fabric-global addrs
+//   auto report = fabric.serve(tenants);          // sharded across channels
 //
-// Experiment drivers use the lower-level accessors (controller(),
-// disturbance(), locker(), ...) to stage attacks and measure outcomes.
+// API shape (PR 8 redesign): mutation goes through the facade (read /
+// write / hammer / hammer_attack / serve / protect_*), introspection goes
+// through the read-only FabricView / ChannelView hierarchy — there is no
+// mutable escape hatch to a channel's controller.  Experiment drivers that
+// predate the fabric (attack::WeightBinding, attack::PageTableAttack,
+// attack::HammerFlipGate, sys::AddressSpace) are constructed through the
+// make_* factories, which wire them to the owning channel internally; the
+// OS-lite process model stays channel-local (one process's frames and page
+// tables live on one channel), matching the paper's single-DIMM victim.
+//
+// Determinism contract: all stochastic state derives from SystemConfig::
+// seed (channel components split the root RNG in channel order at
+// construction; serve() re-derives tenant sub-streams per channel), and
+// serve() merges per-channel reports in channel order — results are
+// byte-identical for any DL_THREADS value.  At channels = 1 the fabric is
+// bit-compatible with the pre-fabric DramLockerSystem.
 #pragma once
 
 #include <memory>
-#include <optional>
+#include <vector>
 
+#include "attack/hammer_gate.hpp"
+#include "attack/pta.hpp"
+#include "attack/weight_binding.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "defense/dram_locker.hpp"
 #include "defense/shadow.hpp"
 #include "dram/controller.hpp"
+#include "dram/fabric.hpp"
 #include "rowhammer/attacker.hpp"
 #include "rowhammer/disturbance.hpp"
 #include "sys/address_space.hpp"
@@ -27,7 +52,11 @@
 
 namespace dl::core {
 
+using dl::dram::ChannelId;
+
 struct SystemConfig {
+  /// Per-channel geometry; `channels` is the fabric's channel count (each
+  /// channel owns an identical single-channel stack of ranks x banks).
   dl::dram::Geometry geometry{
       .channels = 1,
       .ranks = 1,
@@ -38,80 +67,276 @@ struct SystemConfig {
   };
   dl::dram::Timing timing = dl::dram::ddr4_2400();
   dl::dram::MapScheme map_scheme = dl::dram::MapScheme::kRowBankColumn;
+  dl::dram::InterleavePolicy interleave =
+      dl::dram::InterleavePolicy::kRowBlocked;
   dl::rowhammer::DisturbanceConfig disturbance{};
   std::uint64_t seed = 0xD7A871;
 };
 
-class DramLockerSystem {
+/// Validates a SystemConfig, throwing dl::Error with an explicit message
+/// (channel count vs. rows, degenerate geometry) instead of clamping.
+/// The Fabric constructor calls this; campaign runners surface the message
+/// as status:"failed".
+void validate(const SystemConfig& config);
+
+namespace detail {
+
+/// One channel's component stack.  Owned by the Fabric; views and the
+/// make_* factories reference it.
+struct FabricChannel {
+  std::unique_ptr<dl::dram::Controller> ctrl;
+  std::unique_ptr<dl::rowhammer::DisturbanceModel> disturbance;
+  std::unique_ptr<dl::sys::FrameAllocator> frames;
+  std::unique_ptr<dl::defense::DramLocker> locker;
+  std::unique_ptr<dl::defense::Shadow> shadow;
+};
+
+}  // namespace detail
+
+/// Read-only view of one channel: topology, counters, clocks, mapper.
+/// Everything a scheduler, report, or test may *query*; mutation goes
+/// through the Fabric facade.
+class ChannelView {
  public:
-  explicit DramLockerSystem(SystemConfig config = {});
+  ChannelView(const detail::FabricChannel& ch, ChannelId id)
+      : ch_(&ch), id_(id) {}
+
+  [[nodiscard]] ChannelId id() const { return id_; }
+  [[nodiscard]] const dl::dram::Geometry& geometry() const {
+    return ch_->ctrl->geometry();
+  }
+  [[nodiscard]] dl::dram::Topology topology() const {
+    return ch_->ctrl->topology();
+  }
+  [[nodiscard]] const dl::dram::AddressMapper& mapper() const {
+    return ch_->ctrl->mapper();
+  }
+  [[nodiscard]] const dl::dram::RowIndirection& indirection() const {
+    return ch_->ctrl->indirection();
+  }
+  [[nodiscard]] const dl::dram::CounterBlock& counters() const {
+    return ch_->ctrl->counters();
+  }
+  [[nodiscard]] const StatSet& stats() const { return ch_->ctrl->stats(); }
+  [[nodiscard]] Picoseconds now() const { return ch_->ctrl->now(); }
+  [[nodiscard]] Picoseconds defense_time() const {
+    return ch_->ctrl->defense_time();
+  }
+  [[nodiscard]] std::uint64_t refresh_windows() const {
+    return ch_->ctrl->refresh_windows();
+  }
+  [[nodiscard]] const dl::rowhammer::DisturbanceModel& disturbance() const {
+    return *ch_->disturbance;
+  }
+  [[nodiscard]] const dl::defense::DramLocker* locker() const {
+    return ch_->locker.get();
+  }
+  [[nodiscard]] const dl::defense::Shadow* shadow() const {
+    return ch_->shadow.get();
+  }
+
+ private:
+  const detail::FabricChannel* ch_;
+  ChannelId id_;
+};
+
+/// Read-only view of the whole fabric: per-channel views plus fabric-wide
+/// aggregates.
+class FabricView {
+ public:
+  FabricView(const std::vector<std::unique_ptr<detail::FabricChannel>>& chs,
+             const dl::dram::FabricMapper& mapper)
+      : chs_(&chs), mapper_(&mapper) {}
+
+  [[nodiscard]] std::uint32_t channels() const {
+    return static_cast<std::uint32_t>(chs_->size());
+  }
+  [[nodiscard]] ChannelView channel(ChannelId c) const {
+    DL_REQUIRE(c < chs_->size(), "channel out of range");
+    return ChannelView(*(*chs_)[c], c);
+  }
+  [[nodiscard]] const dl::dram::FabricMapper& map() const { return *mapper_; }
+
+  /// Sum of every channel's typed counters (enum order).
+  [[nodiscard]] dl::dram::CounterBlock counter_totals() const;
+
+ private:
+  const std::vector<std::unique_ptr<detail::FabricChannel>>* chs_;
+  const dl::dram::FabricMapper* mapper_;
+};
+
+/// serve() outcome: one TrafficReport per channel (channel-local tenant
+/// stats, full roster on every channel) plus the element-wise merged
+/// fabric-wide report.  merged.elapsed is the slowest channel's clock (the
+/// steady-state makespan); per-tenant SLO quantiles come from the merged
+/// latency samples.
+struct FabricReport {
+  std::vector<dl::traffic::TrafficReport> channels;
+  dl::traffic::TrafficReport merged;
+};
+
+/// {"serviced", "elapsed_ps", "tenants": [...], "channels": [{"channel",
+/// "serviced", "elapsed_ps", "tenants": [...]}, ...]} — the per-tenant
+/// blocks carry the SLO fields (queue-latency p50/p95/p99, acts_per_sec,
+/// rejected_enqueues); see docs/SCENARIO_SCHEMA.md.
+[[nodiscard]] dl::json::Value to_json(const FabricReport& report);
+
+class Fabric {
+ public:
+  explicit Fabric(SystemConfig config = {});
 
   // Non-copyable/movable: components hold references into each other.
-  DramLockerSystem(const DramLockerSystem&) = delete;
-  DramLockerSystem& operator=(const DramLockerSystem&) = delete;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
 
-  // -- component access ---------------------------------------------------
+  // -- topology & views -------------------------------------------------------
 
-  [[nodiscard]] dl::dram::Controller& controller() { return *ctrl_; }
-  [[nodiscard]] dl::rowhammer::DisturbanceModel& disturbance() {
-    return *disturbance_;
+  [[nodiscard]] std::uint32_t channels() const {
+    return static_cast<std::uint32_t>(channels_.size());
   }
-  [[nodiscard]] dl::sys::FrameAllocator& frames() { return *frames_; }
+  [[nodiscard]] FabricView view() const {
+    return FabricView(channels_, fabric_map_);
+  }
+  [[nodiscard]] ChannelView channel(ChannelId c = 0) const {
+    return view().channel(c);
+  }
+  [[nodiscard]] const dl::dram::FabricMapper& fabric_map() const {
+    return fabric_map_;
+  }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
 
-  /// Creates a fresh address space (victim process, attacker process, ...).
-  [[nodiscard]] std::unique_ptr<dl::sys::AddressSpace> make_address_space();
+  // -- fabric-global memory operations ----------------------------------------
+  // Addresses and row ids are fabric-global; the mapper routes them to the
+  // owning channel's controller (gates, listeners, and defense mitigation
+  // traffic stay on the accounted path).
+
+  dl::dram::AccessResult read(dl::dram::PhysAddr addr,
+                              std::span<std::uint8_t> out,
+                              bool can_unlock = false);
+  dl::dram::AccessResult write(dl::dram::PhysAddr addr,
+                               std::span<const std::uint8_t> in,
+                               bool can_unlock = false);
+  dl::dram::AccessResult hammer(dl::dram::PhysAddr addr,
+                                bool can_unlock = false);
+
+  /// Fabric-global physical address of the first byte of a fabric row.
+  [[nodiscard]] dl::dram::PhysAddr row_base(
+      dl::dram::GlobalRowId fabric_row) const;
+
+  /// Fabric-global logical row holding a fabric-global physical address.
+  [[nodiscard]] dl::dram::GlobalRowId row_of(
+      dl::dram::PhysAddr fabric_addr) const;
+
+  /// Advances every channel's clock (idle gaps between workload phases).
+  void advance_time(Picoseconds delta);
+
+  // -- experiment drivers -----------------------------------------------------
+
+  /// Rows an attacker hammers to disturb `fabric_victim_row` (fabric-global
+  /// ids; adjacency is channel-local, so all aggressors share the victim's
+  /// channel).
+  [[nodiscard]] std::vector<dl::dram::GlobalRowId> aggressors_for(
+      dl::dram::GlobalRowId fabric_victim_row,
+      dl::rowhammer::HammerPattern pattern) const;
+
+  /// Runs a RowHammer campaign against a fabric row on its owning channel.
+  dl::rowhammer::HammerResult hammer_attack(
+      dl::dram::GlobalRowId fabric_victim_row,
+      dl::rowhammer::HammerPattern pattern, std::uint64_t act_budget,
+      std::uint64_t stop_after_flips = 0);
+
+  /// Mutable disturbance-model access (experiment surface: flip logs,
+  /// callbacks); per channel.
+  [[nodiscard]] dl::rowhammer::DisturbanceModel& disturbance(
+      ChannelId c = 0);
+  [[nodiscard]] dl::sys::FrameAllocator& frames(ChannelId c = 0);
+
+  /// Creates a fresh address space (victim process, attacker process, ...)
+  /// on one channel — the OS-lite layer is channel-local.
+  [[nodiscard]] std::unique_ptr<dl::sys::AddressSpace> make_address_space(
+      ChannelId c = 0);
+
+  /// Attack-driver factories: construct the pre-fabric drivers against the
+  /// owning channel's internals, so callers never touch a controller.
+  [[nodiscard]] dl::attack::WeightBinding make_weight_binding(
+      dl::sys::AddressSpace& space, dl::nn::QuantizedModel& qmodel,
+      dl::sys::VirtAddr base_va, ChannelId c = 0);
+  [[nodiscard]] dl::attack::HammerFlipGate make_hammer_gate(
+      dl::attack::WeightBinding& binding, std::uint64_t act_budget,
+      dl::rowhammer::HammerPattern pattern =
+          dl::rowhammer::HammerPattern::kDoubleSided,
+      ChannelId c = 0);
+  [[nodiscard]] dl::attack::PageTableAttack make_page_table_attack(
+      dl::attack::PtaConfig config = {}, ChannelId c = 0);
 
   /// A derived deterministic RNG stream for experiment drivers.
   [[nodiscard]] dl::Rng make_rng();
 
-  // -- defense management ----------------------------------------------------
+  // -- defense management -----------------------------------------------------
 
-  /// Installs DRAM-Locker as the controller's access gate.
+  /// Installs DRAM-Locker as every channel's access gate (one lock table
+  /// per channel, split RNG streams).  Returns channel 0's instance.
   dl::defense::DramLocker& enable_locker(
       dl::defense::DramLockerConfig config = {});
 
-  /// Installs the SHADOW baseline (activation listener; no gate).
+  /// Installs the SHADOW baseline on every channel (listener; no gate).
   dl::defense::Shadow& enable_shadow(dl::defense::ShadowConfig config = {});
 
-  /// Removes the active gate (keeps listeners registered — the controller
-  /// owns no listener lifetime; call before destroying a defense).
+  /// Removes every channel's active gate (keeps listeners registered — the
+  /// controller owns no listener lifetime; call before destroying a
+  /// defense).
   void disable_gate();
 
-  [[nodiscard]] dl::defense::DramLocker* locker() { return locker_.get(); }
-  [[nodiscard]] dl::defense::Shadow* shadow() { return shadow_.get(); }
+  [[nodiscard]] dl::defense::DramLocker* locker(ChannelId c = 0) {
+    return channel_at(c).locker.get();
+  }
+  [[nodiscard]] dl::defense::Shadow* shadow(ChannelId c = 0) {
+    return channel_at(c).shadow.get();
+  }
 
-  // -- traffic ---------------------------------------------------------------
+  // -- traffic ----------------------------------------------------------------
 
-  /// Runs a multi-tenant traffic mix against this system's controller
-  /// through the per-bank FR-FCFS engine.  The active defense stays on the
-  /// accounted path (gate denials, mitigation traffic, listener updates),
-  /// so co-location scenarios compose with the protection API below.
-  dl::traffic::TrafficReport serve(
-      std::vector<dl::traffic::StreamSpec> tenants,
-      const dl::traffic::SchedulerConfig& scheduler = {});
+  /// Runs a fabric-level multi-tenant traffic mix: tenants are declared in
+  /// fabric row coordinates, sharded per channel (traffic::shard_tenants),
+  /// and each channel drains its own FR-FCFS engine in parallel over
+  /// dl::parallel.  Active defenses stay on the accounted path.  Throws
+  /// dl::Error on a roster that violates the fabric layout (range beyond
+  /// the row space, invalid channel pin).
+  FabricReport serve(std::vector<dl::traffic::StreamSpec> tenants,
+                     const dl::traffic::SchedulerConfig& scheduler = {});
 
   // -- protection API ---------------------------------------------------------
 
-  /// Locks the neighbours of every DRAM row overlapped by
+  /// Locks the neighbours of every fabric row overlapped by
   /// [base, base+bytes).  Requires an enabled locker.  Returns rows locked.
   std::size_t protect_physical_range(dl::dram::PhysAddr base,
                                      std::uint64_t bytes);
 
-  /// Locks the neighbours of the rows backing `pages` virtual pages of an
-  /// address space starting at `va` (e.g. a weight buffer or a page-table
-  /// page).  Returns rows locked.
+  /// Locks the neighbours of the rows backing `bytes` of an address space
+  /// starting at `va` (e.g. a weight buffer or a page-table page); the
+  /// space lives on channel `c` (see make_address_space).  Returns rows
+  /// locked.
   std::size_t protect_virtual_range(dl::sys::AddressSpace& space,
-                                    dl::sys::VirtAddr va, std::uint64_t bytes);
+                                    dl::sys::VirtAddr va, std::uint64_t bytes,
+                                    ChannelId c = 0);
 
  private:
   SystemConfig config_;
+  dl::dram::Geometry channel_geometry_;  ///< config_.geometry at channels=1
+  dl::dram::FabricMapper fabric_map_;
   dl::Rng rng_;
-  std::unique_ptr<dl::dram::Controller> ctrl_;
-  std::unique_ptr<dl::rowhammer::DisturbanceModel> disturbance_;
-  std::unique_ptr<dl::sys::FrameAllocator> frames_;
-  std::unique_ptr<dl::defense::DramLocker> locker_;
-  std::unique_ptr<dl::defense::Shadow> shadow_;
+  std::vector<std::unique_ptr<detail::FabricChannel>> channels_;
+
+  [[nodiscard]] detail::FabricChannel& channel_at(ChannelId c);
+  [[nodiscard]] const detail::FabricChannel& channel_at(ChannelId c) const;
+
+  /// Channel-local protect of one channel-local logical row range walk.
+  std::size_t protect_local_range(ChannelId c, dl::dram::PhysAddr local_base,
+                                  std::uint64_t bytes);
 };
+
+/// Pre-fabric name; the facade grew into the fabric in place, so existing
+/// single-channel call sites keep compiling unchanged.
+using DramLockerSystem = Fabric;
 
 }  // namespace dl::core

@@ -14,7 +14,7 @@ Controller::Controller(const Geometry& geometry, const Timing& timing,
       mapper_(geometry, scheme),
       data_(geometry),
       indirection_(geometry),
-      open_row_(geometry.total_banks(), kNoRow),
+      open_row_(geometry.total_banks(), Topology::kNoRow),
       rows_per_bank_(geometry.rows_per_bank()),
       total_rows_(geometry.total_rows()),
       window_end_(timing.tREFW) {}
@@ -30,11 +30,6 @@ std::size_t Controller::bank_index(const RowAddress& a) const {
   return (static_cast<std::size_t>(a.channel) * geometry_.ranks + a.rank) *
              geometry_.banks +
          a.bank;
-}
-
-GlobalRowId Controller::open_row_in_bank(std::size_t bank) const {
-  DL_REQUIRE(bank < open_row_.size(), "bank index out of range");
-  return open_row_[bank];
 }
 
 void Controller::elapse(Picoseconds delta) {
@@ -63,13 +58,13 @@ void Controller::notify_activate(GlobalRowId phys) {
 }
 
 bool Controller::open_row(GlobalRowId phys, Picoseconds& latency) {
-  const std::size_t bank = bank_of_row(phys);
+  const std::size_t bank = bank_of(phys);
   if (open_row_[bank] == phys) {
     counters_.add(Counter::kRowHits);
     return true;
   }
   Picoseconds cost = 0;
-  if (open_row_[bank] != kNoRow) {
+  if (open_row_[bank] != Topology::kNoRow) {
     cost += timing_.tRP;  // PRE the open row
     counters_.add(Counter::kPrecharges);
     if (trace_.enabled()) {
@@ -215,14 +210,14 @@ AccessResult Controller::hammer(PhysAddr addr, bool can_unlock) {
   }
 
   const GlobalRowId phys = indirection_.to_physical(rb.row);
-  const std::size_t bank = bank_of_row(phys);
+  const std::size_t bank = bank_of(phys);
   Picoseconds cost = 0;
-  if (open_row_[bank] != kNoRow) {
+  if (open_row_[bank] != Topology::kNoRow) {
     cost += timing_.tRP;
     counters_.add(Counter::kPrecharges);
   }
   cost += timing_.tRAS;  // row must stay open tRAS before the next PRE
-  open_row_[bank] = kNoRow;  // attacker immediately precharges
+  open_row_[bank] = Topology::kNoRow;  // attacker immediately precharges
   counters_.add(Counter::kActivates);
   counters_.add(Counter::kHammerActs);
   if (trace_.enabled()) {
@@ -245,13 +240,13 @@ void Controller::row_clone(GlobalRowId src_phys, GlobalRowId dst_phys,
              "RowClone requires source and destination in one subarray");
   const std::size_t bank = bank_index(src);
   Picoseconds cost = 0;
-  if (open_row_[bank] != kNoRow) {
+  if (open_row_[bank] != Topology::kNoRow) {
     cost += timing_.tRP;
     counters_.add(Counter::kPrecharges);
   }
   // Back-to-back ACT(src), ACT(dst) without intervening PRE, then PRE.
   cost += timing_.tAAP + timing_.tRP;
-  open_row_[bank] = kNoRow;
+  open_row_[bank] = Topology::kNoRow;
   data_.copy_row(src_phys, dst_phys);
   if (corrupt) {
     data_.flip_bit(dst_phys, corrupt_byte % geometry_.row_bytes,

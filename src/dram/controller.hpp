@@ -23,6 +23,7 @@
 #include "dram/data_store.hpp"
 #include "dram/indirection.hpp"
 #include "dram/timing.hpp"
+#include "dram/topology.hpp"
 #include "dram/types.hpp"
 
 namespace dl::dram {
@@ -146,25 +147,15 @@ class Controller {
   void push_defense_scope();
   void pop_defense_scope();
 
-  // -- row-buffer introspection -----------------------------------------------
-  // Schedulers sitting above the controller (dl::traffic FR-FCFS) peek at
-  // the per-bank row-buffer state to prioritize row hits.
+  // -- row-buffer topology ----------------------------------------------------
 
-  /// Sentinel: no row is open in a bank.
-  static constexpr GlobalRowId kNoRow = ~GlobalRowId{0};
-
-  /// Number of banks (channel x rank x bank, flat).
-  [[nodiscard]] std::size_t bank_count() const { return open_row_.size(); }
-
-  /// Flat bank index of a physical row, consistent with open_row_in_bank().
-  /// One divide — global row ids are dense in (channel, rank, bank) order.
-  [[nodiscard]] std::size_t bank_of_row(GlobalRowId physical_row) const {
-    DL_REQUIRE(physical_row < total_rows_, "row out of range");
-    return static_cast<std::size_t>(physical_row / rows_per_bank_);
+  /// Read-only bank/row-buffer topology view.  Schedulers sitting above the
+  /// controller (dl::traffic FR-FCFS) query bank structure and open-row
+  /// state through this; the view stays valid (and live) for the
+  /// controller's lifetime.
+  [[nodiscard]] Topology topology() const {
+    return Topology(open_row_, rows_per_bank_, total_rows_);
   }
-
-  /// Physical row currently latched in `bank`'s row buffer, or kNoRow.
-  [[nodiscard]] GlobalRowId open_row_in_bank(std::size_t bank) const;
 
   // -- introspection ----------------------------------------------------------
 
@@ -220,6 +211,12 @@ class Controller {
   CommandTrace trace_;
 
   [[nodiscard]] std::size_t bank_index(const RowAddress& a) const;
+
+  /// Flat bank of a physical row (hot path; see Topology::bank_of_row).
+  [[nodiscard]] std::size_t bank_of(GlobalRowId physical_row) const {
+    DL_REQUIRE(physical_row < total_rows_, "row out of range");
+    return static_cast<std::size_t>(physical_row / rows_per_bank_);
+  }
 
   /// Opens `phys` in its bank (PRE+ACT on miss); returns row-buffer hit and
   /// accumulates latency.  Notifies activation listeners on a real ACT.

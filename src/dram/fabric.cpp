@@ -1,0 +1,50 @@
+#include "dram/fabric.hpp"
+
+#include <algorithm>
+
+namespace dl::dram {
+
+const char* to_string(InterleavePolicy policy) {
+  switch (policy) {
+    case InterleavePolicy::kRowBlocked:    return "row-blocked";
+    case InterleavePolicy::kRowRoundRobin: return "row-round-robin";
+  }
+  return "?";
+}
+
+FabricMapper::FabricMapper(std::uint32_t channels,
+                           std::uint64_t rows_per_channel,
+                           std::uint32_t row_bytes, InterleavePolicy policy)
+    : channels_(channels),
+      rows_per_channel_(rows_per_channel),
+      row_bytes_(row_bytes),
+      policy_(policy) {
+  DL_REQUIRE(channels_ > 0, "fabric needs at least one channel");
+  DL_REQUIRE(rows_per_channel_ > 0, "channel needs at least one row");
+  DL_REQUIRE(row_bytes_ > 0, "rows must hold at least one byte");
+}
+
+LocalRowRange FabricMapper::local_range(ChannelId channel, GlobalRowId begin,
+                                        GlobalRowId end) const {
+  DL_REQUIRE(channel < channels_, "channel out of range");
+  DL_REQUIRE(begin <= end && end <= total_rows(),
+             "fabric row range out of range");
+  if (begin == end) return {};
+  if (policy_ == InterleavePolicy::kRowRoundRobin) {
+    // Smallest fabric row >= begin that lands on `channel`.
+    const std::uint64_t phase = begin % channels_;
+    const GlobalRowId first =
+        begin + ((channel + channels_ - phase) % channels_);
+    if (first >= end) return {};
+    const std::uint64_t count = (end - first + channels_ - 1) / channels_;
+    const GlobalRowId local = first / channels_;
+    return {local, local + count};
+  }
+  const GlobalRowId slab_begin = std::uint64_t{channel} * rows_per_channel_;
+  const GlobalRowId lo = std::max(begin, slab_begin);
+  const GlobalRowId hi = std::min(end, slab_begin + rows_per_channel_);
+  if (lo >= hi) return {};
+  return {lo - slab_begin, hi - slab_begin};
+}
+
+}  // namespace dl::dram

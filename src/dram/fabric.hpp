@@ -1,0 +1,142 @@
+// Channel-qualified addressing for a sharded multi-channel DRAM fabric.
+//
+// A fabric is N identical single-channel DRAM stacks (each its own
+// Controller with private defense/integrity/fault state) presenting one
+// flat physical address space.  The FabricMapper splits a fabric-global
+// physical address into a channel-qualified GlobalAddress (channel,
+// channel-local row, byte) under an interleave policy:
+//
+//   kRowBlocked    — fabric row r lives on channel r / rows_per_channel;
+//                    each channel owns one contiguous slab of the row space
+//                    (matches the pre-fabric dense row layout at N = 1).
+//   kRowRoundRobin — fabric row r lives on channel r % N; consecutive rows
+//                    stripe across channels, spreading any contiguous
+//                    working set over every channel's banks.
+//
+// Both policies map a contiguous fabric row range to (at most N)
+// *contiguous* channel-local row ranges — local_range() below — which is
+// what lets tenant working sets shard into per-channel stream specs
+// without per-request translation.
+//
+// RowHammer adjacency stays channel-local: aggressor/victim geometry is
+// computed inside one channel's row space, so the interleave policy decides
+// which fabric rows are physically adjacent (under round-robin, fabric rows
+// r and r+N are neighbours; r and r+1 are on different channels entirely).
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "dram/address_map.hpp"
+#include "dram/types.hpp"
+
+namespace dl::dram {
+
+using ChannelId = std::uint32_t;
+
+enum class InterleavePolicy : std::uint8_t {
+  kRowBlocked,
+  kRowRoundRobin,
+};
+
+[[nodiscard]] const char* to_string(InterleavePolicy policy);
+
+/// Channel-qualified physical location of a byte in the fabric.
+struct GlobalAddress {
+  ChannelId channel = 0;
+  GlobalRowId row = 0;    ///< channel-local physical row
+  std::uint32_t byte = 0; ///< byte offset within the row
+};
+
+/// A contiguous channel-local row range (end exclusive; empty when equal).
+struct LocalRowRange {
+  GlobalRowId begin = 0;
+  GlobalRowId end = 0;
+
+  [[nodiscard]] std::uint64_t size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin == end; }
+};
+
+class FabricMapper {
+ public:
+  FabricMapper(std::uint32_t channels, std::uint64_t rows_per_channel,
+               std::uint32_t row_bytes, InterleavePolicy policy);
+
+  [[nodiscard]] std::uint32_t channels() const { return channels_; }
+  [[nodiscard]] std::uint64_t rows_per_channel() const {
+    return rows_per_channel_;
+  }
+  [[nodiscard]] std::uint64_t total_rows() const {
+    return rows_per_channel_ * channels_;
+  }
+  [[nodiscard]] std::uint32_t row_bytes() const { return row_bytes_; }
+  [[nodiscard]] InterleavePolicy policy() const { return policy_; }
+
+  // -- row translation --------------------------------------------------------
+
+  [[nodiscard]] ChannelId channel_of(GlobalRowId fabric_row) const {
+    DL_REQUIRE(fabric_row < total_rows(), "fabric row out of range");
+    return policy_ == InterleavePolicy::kRowRoundRobin
+               ? static_cast<ChannelId>(fabric_row % channels_)
+               : static_cast<ChannelId>(fabric_row / rows_per_channel_);
+  }
+
+  [[nodiscard]] GlobalRowId local_row(GlobalRowId fabric_row) const {
+    DL_REQUIRE(fabric_row < total_rows(), "fabric row out of range");
+    return policy_ == InterleavePolicy::kRowRoundRobin
+               ? fabric_row / channels_
+               : fabric_row % rows_per_channel_;
+  }
+
+  [[nodiscard]] GlobalRowId fabric_row(ChannelId channel,
+                                       GlobalRowId local) const {
+    DL_REQUIRE(channel < channels_, "channel out of range");
+    DL_REQUIRE(local < rows_per_channel_, "local row out of range");
+    return policy_ == InterleavePolicy::kRowRoundRobin
+               ? local * channels_ + channel
+               : channel * rows_per_channel_ + local;
+  }
+
+  // -- byte-address translation -----------------------------------------------
+
+  /// Fabric physical address -> channel-qualified location.  Fabric rows
+  /// are row_bytes-sized address slabs, so the byte offset is preserved.
+  [[nodiscard]] GlobalAddress decode(PhysAddr fabric_addr) const {
+    const GlobalRowId frow = fabric_addr / row_bytes_;
+    return GlobalAddress{
+        .channel = channel_of(frow),
+        .row = local_row(frow),
+        .byte = static_cast<std::uint32_t>(fabric_addr % row_bytes_)};
+  }
+
+  /// Channel-qualified location -> fabric physical address.
+  [[nodiscard]] PhysAddr encode(const GlobalAddress& ga) const {
+    return static_cast<PhysAddr>(fabric_row(ga.channel, ga.row)) *
+               row_bytes_ +
+           ga.byte;
+  }
+
+  /// Channel-local physical address of a channel-qualified location (what
+  /// the owning channel's Controller/AddressMapper consumes).
+  [[nodiscard]] PhysAddr local_addr(const GlobalAddress& ga) const {
+    return static_cast<PhysAddr>(ga.row) * row_bytes_ + ga.byte;
+  }
+
+  // -- range sharding ---------------------------------------------------------
+
+  /// The contiguous channel-local row range that `channel` contributes to
+  /// the fabric row range [begin, end).  Both interleave policies keep the
+  /// per-channel image of a contiguous fabric range contiguous, so tenant
+  /// working sets shard into one local (base_row, rows) pair per channel.
+  [[nodiscard]] LocalRowRange local_range(ChannelId channel,
+                                          GlobalRowId begin,
+                                          GlobalRowId end) const;
+
+ private:
+  std::uint32_t channels_;
+  std::uint64_t rows_per_channel_;
+  std::uint32_t row_bytes_;
+  InterleavePolicy policy_;
+};
+
+}  // namespace dl::dram

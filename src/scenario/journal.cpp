@@ -162,6 +162,22 @@ Value hammer_to_journal(const HammerCampaignResult& r) {
     v["faults"] = std::move(f);
   }
   v["degraded"] = r.degraded;
+  v["fabric_channels"] = r.fabric_channels;
+  auto channels = Value::array();
+  for (const ChannelBreakdown& cb : r.channels) {
+    auto cv = Value::object();
+    cv["granted_acts"] = cb.granted_acts;
+    cv["denied_acts"] = cb.denied_acts;
+    cv["flips_in_victim"] = cb.flips_in_victim;
+    cv["flips_elsewhere"] = cb.flips_elsewhere;
+    cv["rowclones"] = cb.rowclones;
+    cv["total_flips"] = cb.total_flips;
+    cv["serviced"] = cb.serviced;
+    cv["defense_time"] = cb.defense_time;
+    cv["elapsed"] = cb.elapsed;
+    channels.push_back(std::move(cv));
+  }
+  v["channels"] = std::move(channels);
   return v;
 }
 
@@ -257,6 +273,24 @@ HammerCampaignResult hammer_from_journal(const Value& v) {
     r.faults.checksum_faults = f.at("checksum_faults").as_u64();
   }
   r.degraded = v.at("degraded").as_bool();
+  r.fabric_channels =
+      static_cast<std::uint32_t>(v.at("fabric_channels").as_u64());
+  const Value& channels = v.at("channels");
+  r.channels.reserve(channels.size());
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const Value& cv = channels.item(i);
+    ChannelBreakdown cb;
+    cb.granted_acts = cv.at("granted_acts").as_u64();
+    cb.denied_acts = cv.at("denied_acts").as_u64();
+    cb.flips_in_victim = cv.at("flips_in_victim").as_u64();
+    cb.flips_elsewhere = cv.at("flips_elsewhere").as_u64();
+    cb.rowclones = cv.at("rowclones").as_u64();
+    cb.total_flips = cv.at("total_flips").as_u64();
+    cb.serviced = cv.at("serviced").as_u64();
+    cb.defense_time = cv.at("defense_time").as_i64();
+    cb.elapsed = cv.at("elapsed").as_i64();
+    r.channels.push_back(cb);
+  }
   return r;
 }
 

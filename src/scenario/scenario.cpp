@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "defense/row_swap.hpp"
 #include "defense/shadow.hpp"
+#include "traffic/sharding.hpp"
 
 namespace dl::scenario {
 
@@ -299,12 +300,8 @@ std::vector<GlobalRowId> traffic_victims(const HammerCampaign& campaign) {
   return victims;
 }
 
-/// Rows the integrity scrubber guards: the campaign's protected rows, or
-/// the victim rows when none are declared; deduplicated, order-preserving.
-std::vector<GlobalRowId> scrub_rows_for(const HammerCampaign& campaign) {
-  std::vector<GlobalRowId> rows = campaign.protected_rows.empty()
-                                      ? traffic_victims(campaign)
-                                      : campaign.protected_rows;
+/// Deduplicates a row list, preserving first-occurrence order.
+std::vector<GlobalRowId> dedup_rows(const std::vector<GlobalRowId>& rows) {
   std::vector<GlobalRowId> unique;
   for (const GlobalRowId row : rows) {
     bool seen = false;
@@ -312,6 +309,14 @@ std::vector<GlobalRowId> scrub_rows_for(const HammerCampaign& campaign) {
     if (!seen) unique.push_back(row);
   }
   return unique;
+}
+
+/// Rows the integrity scrubber guards: the campaign's protected rows, or
+/// the victim rows when none are declared; deduplicated, order-preserving.
+std::vector<GlobalRowId> scrub_rows_for(const HammerCampaign& campaign) {
+  return dedup_rows(campaign.protected_rows.empty()
+                        ? traffic_victims(campaign)
+                        : campaign.protected_rows);
 }
 
 /// Seeds the guarded rows with a deterministic non-zero pattern (the
@@ -329,9 +334,464 @@ void seed_scrub_rows(Controller& ctrl, const std::vector<GlobalRowId>& rows) {
   }
 }
 
+// ------------------------------------------------------------ fabric path
+//
+// A sharded campaign (env.fabric.channels > 1) runs N independent
+// single-channel stacks and merges their results; the single-channel path
+// above stays untouched so channels <= 1 campaigns replay bit-for-bit.
+
+using dl::dram::ChannelId;
+
+/// Seed epoch reserved for per-channel fabric sub-streams (epochs 0-4 are
+/// taken by expand() and the per-cycle tenant reseed; 6 by tenant sharding).
+constexpr std::uint64_t kFabricSeedEpoch = 5;
+
+/// Channel 0 keeps every declared seed verbatim — it replays the
+/// single-channel campaign — and channels > 0 draw decorrelated
+/// sub-streams.
+std::uint64_t channel_seed(std::uint64_t declared, ChannelId channel) {
+  return channel == 0
+             ? declared
+             : dl::substream_seed(declared, kFabricSeedEpoch, channel);
+}
+
+// Field-wise sums for merging per-channel stats into the fabric result.
+
+void add_to(dl::defense::TrackerStats& a, const dl::defense::TrackerStats& b) {
+  a.observed_acts += b.observed_acts;
+  a.mitigations += b.mitigations;
+  a.victim_refreshes += b.victim_refreshes;
+}
+
+void add_to(dl::defense::DramLocker::Stats& a,
+            const dl::defense::DramLocker::Stats& b) {
+  a.rw_instructions += b.rw_instructions;
+  a.denied += b.denied;
+  a.unlock_swaps += b.unlock_swaps;
+  a.relocks += b.relocks;
+  a.swap_copy_errors += b.swap_copy_errors;
+  a.pool_exhausted_denials += b.pool_exhausted_denials;
+  a.swap_budget_denials += b.swap_budget_denials;
+  a.degraded_locks += b.degraded_locks;
+  a.degraded_swaps += b.degraded_swaps;
+  a.fallback_refreshes += b.fallback_refreshes;
+}
+
+void add_to(dl::integrity::ScrubStats& a, const dl::integrity::ScrubStats& b) {
+  a.passes += b.passes;
+  a.scrub_reads += b.scrub_reads;
+  a.scrub_read_bytes += b.scrub_read_bytes;
+  a.denied_accesses += b.denied_accesses;
+  a.correction_writes += b.correction_writes;
+  a.verified_groups += b.verified_groups;
+  a.detections += b.detections;
+  a.corrected_bits += b.corrected_bits;
+  a.zeroed_groups += b.zeroed_groups;
+  a.zeroed_corrupt_bytes += b.zeroed_corrupt_bytes;
+  a.checksum_repairs += b.checksum_repairs;
+  a.uncorrectable += b.uncorrectable;
+  a.unrecoverable_faults += b.unrecoverable_faults;
+  // Earliest detection across channels (0 means none yet on that channel).
+  if (b.first_detection_at != 0 &&
+      (a.first_detection_at == 0 ||
+       b.first_detection_at < a.first_detection_at)) {
+    a.first_detection_at = b.first_detection_at;
+  }
+}
+
+void add_to(dl::integrity::Audit& a, const dl::integrity::Audit& b) {
+  a.corrupt_bytes += b.corrupt_bytes;
+  a.missed_bytes += b.missed_bytes;
+}
+
+void add_to(dl::faults::FaultStats& a, const dl::faults::FaultStats& b) {
+  a.events += b.events;
+  a.retention_faults += b.retention_faults;
+  a.transient_faults += b.transient_faults;
+  a.stuck_cells += b.stuck_cells;
+  a.stuck_overrides += b.stuck_overrides;
+  a.lock_evictions += b.lock_evictions;
+  a.remap_faults += b.remap_faults;
+  a.checksum_faults += b.checksum_faults;
+}
+
+/// One channel of a sharded campaign: a full single-channel stack
+/// (controller, disturbance, defense, scrubber, fault injector), built in
+/// channel order so RNG sub-streams are reproducible.
+struct ChannelStack {
+  std::unique_ptr<Controller> ctrl;
+  std::unique_ptr<dl::rowhammer::DisturbanceModel> model;
+  DefenseInstance defense;
+  std::unique_ptr<dl::integrity::DramScrubber> scrubber;
+  std::unique_ptr<dl::faults::FaultInjector> injector;
+};
+
+void validate_fabric(const DramEnv& env) {
+  DL_REQUIRE(env.geometry.channels == 1,
+             "fabric campaigns declare per-channel geometry "
+             "(geometry.channels must stay 1; the channel count lives in "
+             "env.fabric.channels)");
+  DL_REQUIRE(env.fabric.channels >= 1, "env.fabric.channels must be >= 1");
+  DL_REQUIRE(env.fabric.channel_defenses.empty() ||
+                 env.fabric.channel_defenses.size() == env.fabric.channels,
+             "env.fabric.channel_defenses must be empty or declare exactly "
+             "one defense per channel");
+}
+
+/// Fabric rows -> per-channel lists of channel-local rows (channel order
+/// preserved within each list).
+std::vector<std::vector<GlobalRowId>> partition_rows(
+    const dl::dram::FabricMapper& mapper,
+    const std::vector<GlobalRowId>& fabric_rows, const char* what) {
+  std::vector<std::vector<GlobalRowId>> local(mapper.channels());
+  for (const GlobalRowId row : fabric_rows) {
+    if (row >= mapper.total_rows()) {
+      std::string msg = what;
+      msg += " row ";
+      msg += std::to_string(row);
+      msg += " exceeds the fabric row space (";
+      msg += std::to_string(mapper.total_rows());
+      msg += " rows)";
+      throw dl::Error(msg);
+    }
+    local[mapper.channel_of(row)].push_back(mapper.local_row(row));
+  }
+  return local;
+}
+
+/// Builds the per-channel stacks of a fabric campaign.  The integrity
+/// add-on is fabric-wide (taken from `base_defense`); per-channel defense
+/// overrides replace only the preventive mechanism.  Fault targets
+/// (faults.target_base/target_rows) are interpreted channel-locally.
+std::vector<std::unique_ptr<ChannelStack>> build_channel_stacks(
+    const DramEnv& env, const DefenseSpec& base_defense,
+    const dl::dram::FabricMapper& mapper,
+    const std::vector<GlobalRowId>& protected_fabric_rows,
+    const std::vector<GlobalRowId>& scrub_fabric_rows) {
+  const auto protected_local =
+      partition_rows(mapper, protected_fabric_rows, "protected");
+  const auto scrub_local = partition_rows(mapper, scrub_fabric_rows, "scrub");
+  const IntegritySpec& ispec = base_defense.integrity;
+  std::vector<std::unique_ptr<ChannelStack>> stacks;
+  stacks.reserve(mapper.channels());
+  for (ChannelId c = 0; c < mapper.channels(); ++c) {
+    auto s = std::make_unique<ChannelStack>();
+    s->ctrl = std::make_unique<Controller>(env.geometry, env.timing);
+    s->model = std::make_unique<dl::rowhammer::DisturbanceModel>(
+        *s->ctrl, env.disturbance,
+        dl::Rng(channel_seed(env.disturbance_seed, c)));
+    s->ctrl->add_listener(s->model.get());
+    DefenseSpec dspec = env.fabric.channel_defenses.empty()
+                            ? base_defense
+                            : env.fabric.channel_defenses[c];
+    dspec.seed = channel_seed(dspec.seed, c);
+    s->defense.install(dspec, *s->ctrl, protected_local[c]);
+    if (ispec.enabled && !scrub_local[c].empty()) {
+      seed_scrub_rows(*s->ctrl, scrub_local[c]);
+      s->scrubber = std::make_unique<dl::integrity::DramScrubber>(
+          *s->ctrl, scrub_local[c], ispec.config);
+    }
+    // Same attach order as the single-channel path: the injector lands
+    // after the scrubber snapshot so weak cells read as corruption.
+    if (env.faults.enabled()) {
+      dl::faults::FaultSpec fspec = env.faults;
+      fspec.seed = channel_seed(fspec.seed, c);
+      s->injector =
+          std::make_unique<dl::faults::FaultInjector>(*s->ctrl, fspec);
+      if (s->defense.locker != nullptr) {
+        s->injector->attach_lock_table(&s->defense.locker->lock_table());
+      }
+      if (s->scrubber != nullptr) {
+        s->injector->attach_checksums(&s->scrubber->checksums());
+      }
+      s->ctrl->add_listener(s->injector.get());
+    }
+    stacks.push_back(std::move(s));
+  }
+  return stacks;
+}
+
+/// Harvests one channel's defense stats into the fabric-wide merge.
+void merge_defense_harvest(HammerCampaignResult& r, const ChannelStack& s) {
+  HammerCampaignResult ch;
+  s.defense.harvest(ch);
+  add_to(r.tracker, ch.tracker);
+  add_to(r.locker, ch.locker);
+  r.swaps += ch.swaps;
+  r.unswaps += ch.unswaps;
+  r.degraded_migrations += ch.degraded_migrations;
+  r.locked_rows += ch.locked_rows;
+}
+
+/// Appends the per-channel scrub tenant to each channel's roster: the
+/// channel's guarded rows when it owns any, else an inert placeholder that
+/// keeps the roster shape (and thus the merged tenant table) identical on
+/// every channel.
+void append_scrub_tenants(
+    std::vector<std::vector<dl::traffic::StreamSpec>>& rosters,
+    const std::vector<std::unique_ptr<ChannelStack>>& stacks,
+    std::uint32_t row_bytes, bool due) {
+  for (std::size_t c = 0; c < stacks.size(); ++c) {
+    const auto* scrubber = stacks[c]->scrubber.get();
+    auto spec = scrubber != nullptr
+                    ? dl::traffic::StreamSpec::scrub(
+                          scrubber->rows(), scrubber->chunk_bytes(),
+                          due ? scrubber->chunks_per_pass() : 0)
+                    : dl::traffic::StreamSpec::scrub({0}, row_bytes, 0);
+    spec.name = "scrub";
+    rosters[c].push_back(std::move(spec));
+  }
+}
+
+/// Per-channel accumulation of a sharded campaign (merged at the end).
+struct ChannelPartial {
+  dl::rowhammer::HammerResult attack;
+  std::vector<dl::traffic::TenantStats> tenants;
+  std::uint64_t serviced = 0;
+};
+
+/// Merges a per-cycle engine report into a channel's running totals,
+/// mirroring the single-channel run_traffic_cycle bookkeeping.
+void merge_cycle_report(ChannelPartial& part,
+                        const dl::traffic::TrafficReport& report) {
+  if (part.tenants.empty()) {
+    part.tenants = report.tenants;
+  } else {
+    DL_REQUIRE(part.tenants.size() == report.tenants.size(),
+               "tenant count changed across cycles");
+    for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+      part.tenants[i].merge(report.tenants[i]);
+    }
+  }
+  for (const auto& t : report.tenants) {
+    if (t.kind != dl::traffic::StreamKind::kHammer) continue;
+    part.attack.granted_acts += t.hammer_acts;
+    part.attack.denied_acts += t.denied;
+  }
+  part.attack.elapsed += report.elapsed;
+  part.serviced += report.serviced;
+}
+
+/// Merges channel tenant tables element-wise (every channel ran the same
+/// sharded roster, so index i is the same tenant everywhere).
+void merge_channel_tenants(std::vector<dl::traffic::TenantStats>& merged,
+                           const std::vector<dl::traffic::TenantStats>& part) {
+  if (part.empty()) return;
+  if (merged.empty()) {
+    merged = part;
+    return;
+  }
+  DL_REQUIRE(merged.size() == part.size(),
+             "tenant roster diverged across channels");
+  for (std::size_t i = 0; i < part.size(); ++i) merged[i].merge(part[i]);
+}
+
+HammerCampaignResult run_one_fabric(const HammerCampaign& campaign) {
+  DL_REQUIRE(campaign.cycles > 0, "campaign needs at least one cycle");
+  validate_fabric(campaign.env);
+  const FabricSpec& fs = campaign.env.fabric;
+  const dl::dram::FabricMapper mapper(
+      fs.channels, campaign.env.geometry.total_rows(),
+      campaign.env.geometry.row_bytes, fs.interleave);
+  const IntegritySpec& ispec = campaign.defense.integrity;
+  const std::vector<GlobalRowId> scrub_fabric =
+      ispec.enabled ? scrub_rows_for(campaign) : std::vector<GlobalRowId>{};
+  auto stacks = build_channel_stacks(campaign.env, campaign.defense, mapper,
+                                     campaign.protected_rows, scrub_fabric);
+  const std::uint32_t n = fs.channels;
+  std::vector<ChannelPartial> partial(n);
+
+  HammerCampaignResult r;
+  r.name = campaign.name;
+
+  const auto scrub_due = [&](std::uint64_t cycle) {
+    return ispec.enabled && ispec.scrub_interval > 0 &&
+           (cycle + 1) % ispec.scrub_interval == 0;
+  };
+  const std::uint64_t cycle_cap =
+      campaign.budget.max_cycles > 0
+          ? std::min(campaign.cycles, campaign.budget.max_cycles)
+          : campaign.cycles;
+  const auto acts_exhausted = [&] {
+    if (campaign.budget.max_acts == 0) return false;
+    double total = 0.0;
+    for (const auto& s : stacks) {
+      total += s->ctrl->counters().value(dl::dram::Counter::kActivates);
+    }
+    return total >= static_cast<double>(campaign.budget.max_acts);
+  };
+  // Pre/post TrafficOps address fabric rows; each op routes to the owning
+  // channel in declaration order.
+  const auto issue_fabric_traffic = [&](const std::vector<TrafficOp>& ops) {
+    std::vector<std::uint8_t> buf;
+    for (const TrafficOp& op : ops) {
+      DL_REQUIRE(op.row < mapper.total_rows(),
+                 "traffic op row exceeds the fabric row space");
+      Controller& ctrl = *stacks[mapper.channel_of(op.row)]->ctrl;
+      const GlobalRowId local = mapper.local_row(op.row);
+      buf.resize(op.bytes);
+      for (std::uint32_t i = 0; i < op.repeat; ++i) {
+        ctrl.read(ctrl.mapper().row_base(local), buf, op.can_unlock);
+      }
+    }
+  };
+
+  if (campaign.traffic.enabled()) {
+    // Sharded multi-tenant path: each cycle splits the fabric tenant mix
+    // to its owning channels and runs one engine per channel over the
+    // pool (channels share no state, so per-channel results are
+    // independent of DL_THREADS).  Flips are attributed per channel in
+    // channel-local coordinates.
+    std::vector<std::vector<GlobalRowId>> victims_local(n);
+    for (const GlobalRowId v : traffic_victims(campaign)) {
+      DL_REQUIRE(v < mapper.total_rows(),
+                 "victim row exceeds the fabric row space");
+      victims_local[mapper.channel_of(v)].push_back(mapper.local_row(v));
+    }
+    std::vector<std::unique_ptr<dl::rowhammer::FlipCallbackScope>> scopes;
+    scopes.reserve(n);
+    for (std::uint32_t c = 0; c < n; ++c) {
+      ChannelStack& stack = *stacks[c];
+      ChannelPartial& part = partial[c];
+      const std::vector<GlobalRowId>& victims = victims_local[c];
+      scopes.push_back(std::make_unique<dl::rowhammer::FlipCallbackScope>(
+          *stack.model,
+          [&stack, &part, &victims](const dl::rowhammer::FlipEvent& ev) {
+            for (const GlobalRowId v : victims) {
+              if (ev.victim_row == stack.ctrl->indirection().to_physical(v)) {
+                ++part.attack.flips_in_victim;
+                return;
+              }
+            }
+            ++part.attack.flips_elsewhere;
+          }));
+    }
+    for (std::uint64_t cycle = 0; cycle < cycle_cap; ++cycle) {
+      issue_fabric_traffic(campaign.pre_traffic);
+      std::vector<dl::traffic::StreamSpec> tenants = campaign.traffic.tenants;
+      for (auto& t : tenants) {
+        t.seed = dl::substream_seed(t.seed, /*epoch=*/3, cycle);
+      }
+      auto rosters = dl::traffic::shard_tenants(mapper, tenants);
+      const std::size_t scrub_tenant = tenants.size();
+      const bool due = scrub_due(cycle);
+      if (ispec.enabled) {
+        append_scrub_tenants(rosters, stacks,
+                             campaign.env.geometry.row_bytes, due);
+      }
+      dl::parallel::parallel_for(
+          0, n, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+            for (std::size_t c = begin; c < end; ++c) {
+              ChannelStack& stack = *stacks[c];
+              dl::traffic::TrafficEngine engine(*stack.ctrl,
+                                                std::move(rosters[c]),
+                                                campaign.traffic.scheduler);
+              if (stack.scrubber != nullptr) {
+                engine.set_data_sink([&](const dl::traffic::Serviced& s) {
+                  if (s.req.tenant == scrub_tenant) {
+                    stack.scrubber->on_read(s.req.addr, s.data);
+                  }
+                });
+              }
+              const auto report = engine.run();
+              if (stack.scrubber != nullptr && due) {
+                stack.scrubber->count_pass();
+              }
+              merge_cycle_report(partial[c], report);
+            }
+          });
+      issue_fabric_traffic(campaign.post_traffic);
+      ++r.completed_cycles;
+      if (acts_exhausted()) break;
+    }
+  } else {
+    // Burst path: the attack runs on the victim's owning channel; scrub
+    // sweeps run directly on every guarded channel when due.
+    DL_REQUIRE(campaign.attack.victim_row < mapper.total_rows(),
+               "victim row exceeds the fabric row space");
+    const ChannelId vch = mapper.channel_of(campaign.attack.victim_row);
+    const GlobalRowId vlocal = mapper.local_row(campaign.attack.victim_row);
+    dl::rowhammer::HammerAttacker attacker(*stacks[vch]->ctrl,
+                                           *stacks[vch]->model);
+    for (std::uint64_t cycle = 0; cycle < cycle_cap; ++cycle) {
+      issue_fabric_traffic(campaign.pre_traffic);
+      const auto res =
+          attacker.attack(vlocal, campaign.attack.pattern,
+                          campaign.attack.act_budget,
+                          campaign.attack.stop_after_flips);
+      ChannelPartial& part = partial[vch];
+      part.attack.granted_acts += res.granted_acts;
+      part.attack.denied_acts += res.denied_acts;
+      part.attack.flips_in_victim += res.flips_in_victim;
+      part.attack.flips_elsewhere += res.flips_elsewhere;
+      part.attack.elapsed += res.elapsed;
+      issue_fabric_traffic(campaign.post_traffic);
+      if (scrub_due(cycle)) {
+        for (auto& s : stacks) {
+          if (s->scrubber != nullptr) s->scrubber->scrub_pass();
+        }
+      }
+      ++r.completed_cycles;
+      if (acts_exhausted()) break;
+    }
+  }
+  if (r.completed_cycles < campaign.cycles) {
+    r.status = CampaignStatus::kTruncated;
+  }
+
+  // Merge: scalar stats are fabric-wide sums; elapsed times are makespans
+  // over channels; the per-channel slices keep the unmerged view.
+  r.fabric_channels = n;
+  r.channels.reserve(n);
+  for (std::uint32_t c = 0; c < n; ++c) {
+    ChannelStack& stack = *stacks[c];
+    const ChannelPartial& part = partial[c];
+    r.attack.granted_acts += part.attack.granted_acts;
+    r.attack.denied_acts += part.attack.denied_acts;
+    r.attack.flips_in_victim += part.attack.flips_in_victim;
+    r.attack.flips_elsewhere += part.attack.flips_elsewhere;
+    r.attack.elapsed = std::max(r.attack.elapsed, part.attack.elapsed);
+    merge_defense_harvest(r, stack);
+    if (stack.scrubber != nullptr) {
+      add_to(r.integrity, stack.scrubber->stats());
+      add_to(r.integrity_audit, stack.scrubber->audit());
+    }
+    if (stack.injector != nullptr) add_to(r.faults, stack.injector->stats());
+    merge_channel_tenants(r.tenants, part.tenants);
+    const auto rowclones = static_cast<std::uint64_t>(
+        stack.ctrl->counters().value(dl::dram::Counter::kRowClones));
+    const std::uint64_t channel_flips = stack.model->total_flips();
+    r.rowclones += rowclones;
+    r.total_flips += channel_flips;
+    r.defense_time += stack.ctrl->defense_time();
+    r.elapsed = std::max(r.elapsed, stack.ctrl->now());
+    ChannelBreakdown cb;
+    cb.granted_acts = part.attack.granted_acts;
+    cb.denied_acts = part.attack.denied_acts;
+    cb.flips_in_victim = part.attack.flips_in_victim;
+    cb.flips_elsewhere = part.attack.flips_elsewhere;
+    cb.rowclones = rowclones;
+    cb.total_flips = channel_flips;
+    cb.serviced = part.serviced;
+    cb.defense_time = stack.ctrl->defense_time();
+    cb.elapsed = stack.ctrl->now();
+    r.channels.push_back(cb);
+  }
+  if (ispec.enabled) {
+    r.integrity_enabled = true;
+    r.integrity_config = ispec.config;
+  }
+  r.faults_enabled = campaign.env.faults.enabled();
+  r.degraded = r.locker.degraded_locks > 0 || r.locker.degraded_swaps > 0 ||
+               r.degraded_migrations > 0 ||
+               r.integrity.unrecoverable_faults > 0;
+  return r;
+}
+
 }  // namespace
 
 HammerCampaignResult run_one(const HammerCampaign& campaign) {
+  if (campaign.env.fabric.sharded()) return run_one_fabric(campaign);
   DL_REQUIRE(campaign.cycles > 0, "campaign needs at least one cycle");
   Controller ctrl(campaign.env.geometry, campaign.env.timing);
   dl::rowhammer::DisturbanceModel model(ctrl, campaign.env.disturbance,
@@ -540,6 +1000,136 @@ std::vector<HammerCampaign> expand(const MatrixSpec& spec) {
     }
   }
   return campaigns;
+}
+
+// ------------------------------------------------------------ serve runner
+
+ServeCampaignResult run_serve(const ServeCampaign& campaign) {
+  DL_REQUIRE(campaign.rounds > 0, "serve campaign needs at least one round");
+  DL_REQUIRE(campaign.traffic.enabled(),
+             "serve campaign needs at least one tenant");
+  validate_fabric(campaign.env);
+  const FabricSpec& fs = campaign.env.fabric;
+  const dl::dram::FabricMapper mapper(
+      fs.channels, campaign.env.geometry.total_rows(),
+      campaign.env.geometry.row_bytes, fs.interleave);
+  const IntegritySpec& ispec = campaign.defense.integrity;
+  // Scrub targets mirror the hammer-campaign rule: the declared protected
+  // rows, falling back to the attackers' victim rows.
+  std::vector<GlobalRowId> scrub_fabric;
+  if (ispec.enabled) {
+    if (!campaign.protected_rows.empty()) {
+      scrub_fabric = dedup_rows(campaign.protected_rows);
+    } else {
+      std::vector<GlobalRowId> victims;
+      for (const auto& t : campaign.traffic.tenants) {
+        if (t.kind == dl::traffic::StreamKind::kHammer) {
+          victims.push_back(t.victim_row);
+        }
+      }
+      scrub_fabric = dedup_rows(victims);
+    }
+  }
+  auto stacks = build_channel_stacks(campaign.env, campaign.defense, mapper,
+                                     campaign.protected_rows, scrub_fabric);
+  const std::uint32_t n = fs.channels;
+
+  ServeCampaignResult r;
+  r.name = campaign.name;
+  r.fabric_channels = n;
+  r.per_channel.resize(n);
+  const auto scrub_due = [&](std::uint64_t round) {
+    return ispec.enabled && ispec.scrub_interval > 0 &&
+           (round + 1) % ispec.scrub_interval == 0;
+  };
+
+  for (std::uint64_t round = 0; round < campaign.rounds; ++round) {
+    std::vector<dl::traffic::StreamSpec> tenants = campaign.traffic.tenants;
+    for (auto& t : tenants) {
+      t.seed = dl::substream_seed(t.seed, /*epoch=*/3, round);
+    }
+    auto rosters = dl::traffic::shard_tenants(mapper, tenants);
+    const std::size_t scrub_tenant = tenants.size();
+    const bool due = scrub_due(round);
+    if (ispec.enabled) {
+      append_scrub_tenants(rosters, stacks, campaign.env.geometry.row_bytes,
+                           due);
+    }
+    dl::parallel::parallel_for(
+        0, n, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t c = begin; c < end; ++c) {
+            ChannelStack& stack = *stacks[c];
+            dl::traffic::TrafficEngine engine(*stack.ctrl,
+                                              std::move(rosters[c]),
+                                              campaign.traffic.scheduler);
+            if (stack.scrubber != nullptr) {
+              engine.set_data_sink([&](const dl::traffic::Serviced& s) {
+                if (s.req.tenant == scrub_tenant) {
+                  stack.scrubber->on_read(s.req.addr, s.data);
+                }
+              });
+            }
+            const auto report = engine.run();
+            if (stack.scrubber != nullptr && due) {
+              stack.scrubber->count_pass();
+            }
+            dl::traffic::TrafficReport& acc = r.per_channel[c];
+            if (acc.tenants.empty()) {
+              acc.tenants = report.tenants;
+            } else {
+              DL_REQUIRE(acc.tenants.size() == report.tenants.size(),
+                         "tenant count changed across rounds");
+              for (std::size_t i = 0; i < report.tenants.size(); ++i) {
+                acc.tenants[i].merge(report.tenants[i]);
+              }
+            }
+            acc.serviced += report.serviced;
+            acc.elapsed += report.elapsed;
+          }
+        });
+    ++r.completed_rounds;
+  }
+
+  // Merge across channels: tenants element-wise, serviced summed, elapsed
+  // as the makespan; defense/integrity/fault stats are fabric-wide sums.
+  HammerCampaignResult harvest;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    const dl::traffic::TrafficReport& ch = r.per_channel[c];
+    merge_channel_tenants(r.merged.tenants, ch.tenants);
+    r.merged.serviced += ch.serviced;
+    r.merged.elapsed = std::max(r.merged.elapsed, ch.elapsed);
+    ChannelStack& stack = *stacks[c];
+    merge_defense_harvest(harvest, stack);
+    if (stack.scrubber != nullptr) {
+      add_to(r.integrity, stack.scrubber->stats());
+      add_to(r.integrity_audit, stack.scrubber->audit());
+    }
+    if (stack.injector != nullptr) add_to(r.faults, stack.injector->stats());
+    r.defense_time += stack.ctrl->defense_time();
+  }
+  r.locker = harvest.locker;
+  r.locked_rows = harvest.locked_rows;
+  if (ispec.enabled) {
+    r.integrity_enabled = true;
+    r.integrity_config = ispec.config;
+  }
+  r.faults_enabled = campaign.env.faults.enabled();
+  r.degraded = r.locker.degraded_locks > 0 || r.locker.degraded_swaps > 0 ||
+               harvest.degraded_migrations > 0 ||
+               r.integrity.unrecoverable_faults > 0;
+  return r;
+}
+
+ServeCampaignResult run_serve_isolated(const ServeCampaign& campaign) {
+  try {
+    return run_serve(campaign);
+  } catch (const std::exception& e) {
+    ServeCampaignResult r;
+    r.name = campaign.name;
+    r.status = CampaignStatus::kFailed;
+    r.error = e.what();
+    return r;
+  }
 }
 
 // -------------------------------------------------------------- BFA runner
@@ -775,6 +1365,28 @@ dl::json::Value to_json(const HammerCampaignResult& r) {
   v["locked_rows"] = r.locked_rows;
   v["defense_time_ps"] = r.defense_time;
   v["elapsed_ps"] = r.elapsed;
+  if (r.fabric_channels > 1) {
+    auto fabric = dl::json::Value::object();
+    fabric["channels"] = r.fabric_channels;
+    auto per = dl::json::Value::array();
+    for (std::size_t c = 0; c < r.channels.size(); ++c) {
+      const ChannelBreakdown& cb = r.channels[c];
+      auto ch = dl::json::Value::object();
+      ch["channel"] = c;
+      ch["granted_acts"] = cb.granted_acts;
+      ch["denied_acts"] = cb.denied_acts;
+      ch["flips_in_victim"] = cb.flips_in_victim;
+      ch["flips_elsewhere"] = cb.flips_elsewhere;
+      ch["rowclones"] = cb.rowclones;
+      ch["total_flips"] = cb.total_flips;
+      ch["serviced"] = cb.serviced;
+      ch["defense_time_ps"] = cb.defense_time;
+      ch["elapsed_ps"] = cb.elapsed;
+      per.push_back(std::move(ch));
+    }
+    fabric["per_channel"] = std::move(per);
+    v["fabric"] = std::move(fabric);
+  }
   if (!r.tenants.empty()) {
     auto tenants = dl::json::Value::array();
     for (const auto& t : r.tenants) {
@@ -838,8 +1450,81 @@ dl::json::Value to_json(const BfaCampaignResult& r) {
   return v;
 }
 
+dl::json::Value to_json(const ServeCampaignResult& r) {
+  auto v = dl::json::Value::object();
+  v["name"] = r.name;
+  v["status"] = to_string(r.status);
+  if (!r.error.empty()) v["error"] = r.error;
+  v["fabric_channels"] = r.fabric_channels;
+  v["completed_rounds"] = r.completed_rounds;
+  v["serviced"] = r.merged.serviced;
+  v["elapsed_ps"] = r.merged.elapsed;
+  auto tenants = dl::json::Value::array();
+  for (const auto& t : r.merged.tenants) {
+    tenants.push_back(dl::traffic::to_json(t, r.merged.elapsed));
+  }
+  v["tenants"] = std::move(tenants);
+  auto channels = dl::json::Value::array();
+  for (std::size_t c = 0; c < r.per_channel.size(); ++c) {
+    const dl::traffic::TrafficReport& rep = r.per_channel[c];
+    auto ch = dl::json::Value::object();
+    ch["channel"] = c;
+    ch["serviced"] = rep.serviced;
+    ch["elapsed_ps"] = rep.elapsed;
+    auto ct = dl::json::Value::array();
+    for (const auto& t : rep.tenants) {
+      ct.push_back(dl::traffic::to_json(t, rep.elapsed));
+    }
+    ch["tenants"] = std::move(ct);
+    channels.push_back(std::move(ch));
+  }
+  v["channels"] = std::move(channels);
+  auto locker = dl::json::Value::object();
+  locker["rw_instructions"] = r.locker.rw_instructions;
+  locker["denied"] = r.locker.denied;
+  locker["unlock_swaps"] = r.locker.unlock_swaps;
+  locker["relocks"] = r.locker.relocks;
+  locker["swap_copy_errors"] = r.locker.swap_copy_errors;
+  locker["pool_exhausted_denials"] = r.locker.pool_exhausted_denials;
+  locker["swap_budget_denials"] = r.locker.swap_budget_denials;
+  locker["degraded_locks"] = r.locker.degraded_locks;
+  locker["degraded_swaps"] = r.locker.degraded_swaps;
+  locker["fallback_refreshes"] = r.locker.fallback_refreshes;
+  v["dram_locker"] = std::move(locker);
+  v["locked_rows"] = r.locked_rows;
+  v["defense_time_ps"] = r.defense_time;
+  v["degraded"] = r.degraded;
+  if (r.integrity_enabled) {
+    auto integrity = dl::json::Value::object();
+    put_integrity_config(integrity, r.integrity_config);
+    integrity["passes"] = r.integrity.passes;
+    integrity["scrub_reads"] = r.integrity.scrub_reads;
+    integrity["scrub_read_bytes"] = r.integrity.scrub_read_bytes;
+    integrity["denied_accesses"] = r.integrity.denied_accesses;
+    integrity["unrecoverable_faults"] = r.integrity.unrecoverable_faults;
+    integrity["correction_writes"] = r.integrity.correction_writes;
+    integrity["first_detection_ps"] = r.integrity.first_detection_at;
+    put_integrity_outcome(integrity, r.integrity, r.integrity_audit);
+    v["integrity"] = std::move(integrity);
+  }
+  if (r.faults_enabled) {
+    auto faults = dl::json::Value::object();
+    faults["events"] = r.faults.events;
+    faults["retention_faults"] = r.faults.retention_faults;
+    faults["transient_faults"] = r.faults.transient_faults;
+    faults["stuck_cells"] = r.faults.stuck_cells;
+    faults["stuck_overrides"] = r.faults.stuck_overrides;
+    faults["lock_evictions"] = r.faults.lock_evictions;
+    faults["remap_faults"] = r.faults.remap_faults;
+    faults["checksum_faults"] = r.faults.checksum_faults;
+    v["faults"] = std::move(faults);
+  }
+  return v;
+}
+
 dl::json::Value report_json(const std::vector<HammerCampaignResult>& hammer,
-                            const std::vector<BfaCampaignResult>& bfa) {
+                            const std::vector<BfaCampaignResult>& bfa,
+                            const std::vector<ServeCampaignResult>& serve) {
   auto doc = dl::json::Value::object();
   auto h = dl::json::Value::array();
   for (const auto& r : hammer) h.push_back(to_json(r));
@@ -847,6 +1532,11 @@ dl::json::Value report_json(const std::vector<HammerCampaignResult>& hammer,
   auto b = dl::json::Value::array();
   for (const auto& r : bfa) b.push_back(to_json(r));
   doc["bfa_campaigns"] = std::move(b);
+  if (!serve.empty()) {
+    auto s = dl::json::Value::array();
+    for (const auto& r : serve) s.push_back(to_json(r));
+    doc["serve_campaigns"] = std::move(s);
+  }
   return doc;
 }
 

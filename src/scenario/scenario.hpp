@@ -49,6 +49,7 @@
 #include "defense/dram_locker.hpp"
 #include "defense/trackers.hpp"
 #include "dram/controller.hpp"
+#include "dram/fabric.hpp"
 #include "faults/faults.hpp"
 #include "integrity/checksum.hpp"
 #include "integrity/scrubber.hpp"
@@ -170,8 +171,27 @@ struct DefenseSpec {
 
 // ------------------------------------------------------------- environment
 
+/// Multi-channel fabric topology for a campaign.  `channels` identical
+/// single-channel stacks (each its own Controller + defense + integrity +
+/// fault state) share one flat fabric row space under `interleave`; tenant
+/// working sets, protected rows, and victim rows in the campaign spec are
+/// *fabric* rows and are sharded to their owning channels.  channels <= 1
+/// keeps the original single-controller path, byte-for-byte.
+struct FabricSpec {
+  std::uint32_t channels = 1;
+  dl::dram::InterleavePolicy interleave =
+      dl::dram::InterleavePolicy::kRowBlocked;
+  /// Per-channel defense overrides; empty = every channel runs the
+  /// campaign's declared defense, otherwise size must equal `channels`.
+  std::vector<DefenseSpec> channel_defenses;
+
+  [[nodiscard]] bool sharded() const { return channels > 1; }
+};
+
 /// The simulated memory system one campaign runs against.
 struct DramEnv {
+  /// Per-channel geometry (geometry.channels must stay 1; the fabric-wide
+  /// channel count lives in fabric.channels).
   dl::dram::Geometry geometry;
   dl::dram::Timing timing = dl::dram::ddr4_2400();
   dl::rowhammer::DisturbanceConfig disturbance;
@@ -180,6 +200,10 @@ struct DramEnv {
   /// defense-metadata faults); inactive unless faults.enabled().  expand()
   /// derives the seed from the matrix seed tree (epoch 2).
   dl::faults::FaultSpec faults;
+  /// Channel fabric; channel c > 0 derives its disturbance / defense /
+  /// fault seeds from the declared ones via substream epoch 5, so channel 0
+  /// of any fabric replays the single-channel campaign bit-for-bit.
+  FabricSpec fabric;
 };
 
 // ----------------------------------------------------------------- attacker
@@ -241,6 +265,20 @@ struct HammerCampaign {
   BudgetSpec budget;
 };
 
+/// Per-channel slice of a fabric campaign's result (fabric campaigns only;
+/// single-channel campaigns leave the vector empty).
+struct ChannelBreakdown {
+  std::uint64_t granted_acts = 0;
+  std::uint64_t denied_acts = 0;
+  std::uint64_t flips_in_victim = 0;
+  std::uint64_t flips_elsewhere = 0;
+  std::uint64_t rowclones = 0;
+  std::uint64_t total_flips = 0;
+  std::uint64_t serviced = 0;  ///< traffic requests drained on this channel
+  Picoseconds defense_time = 0;
+  Picoseconds elapsed = 0;  ///< channel controller clock at the end
+};
+
 struct HammerCampaignResult {
   std::string name;
   CampaignStatus status = CampaignStatus::kOk;
@@ -270,6 +308,11 @@ struct HammerCampaignResult {
   /// Any defense ran in a degraded mode (fallback monitoring, budgeted
   /// swaps downgraded to refreshes, unrecoverable scrub faults).
   bool degraded = false;
+  /// Fabric shape and per-channel slices (env.fabric.sharded() campaigns
+  /// only; the scalar stats above are fabric-wide merges — sums, except
+  /// `elapsed` which is the makespan over channels).
+  std::uint32_t fabric_channels = 1;
+  std::vector<ChannelBreakdown> channels;
 };
 
 /// Runs one campaign on the calling thread.  Throws on a malformed spec.
@@ -317,6 +360,61 @@ struct MatrixSpec {
 };
 
 [[nodiscard]] std::vector<HammerCampaign> expand(const MatrixSpec& spec);
+
+// ------------------------------------------------------------- serving mode
+
+/// An always-on serving campaign: a steady-state tenant mix (web front-ends,
+/// filler, weight readers, hammer attackers, scrubbers) streamed through the
+/// fabric for `rounds` scheduling rounds, with per-tenant, per-channel SLO
+/// stats (p50/p99 queue latency, ACT rate, rejected enqueues) in the report.
+/// Unlike HammerCampaign there is no burst path — traffic *is* the workload
+/// — and the mix runs on every channel of the fabric concurrently.
+struct ServeCampaign {
+  std::string name;
+  DramEnv env;
+  DefenseSpec defense;  ///< per-channel overrides via env.fabric
+  /// Fabric rows DRAM-Locker protects (and the integrity scrubber guards)
+  /// on their owning channels before serving starts.
+  std::vector<dl::dram::GlobalRowId> protected_rows;
+  /// Tenant working sets / victim rows are fabric rows; shard_tenants()
+  /// splits them to their owning channels each round.
+  TrafficSpec traffic;
+  /// Scheduling rounds; tenant seeds are re-derived per round (epoch 3) so
+  /// synthetic streams decorrelate across rounds.
+  std::uint64_t rounds = 1;
+};
+
+/// Steady-state serving outcome.  `merged` aggregates tenants element-wise
+/// over channels and rounds; `per_channel[c]` keeps channel c's own view
+/// (same tenant roster) for SLO attribution.
+struct ServeCampaignResult {
+  std::string name;
+  CampaignStatus status = CampaignStatus::kOk;
+  std::string error;  ///< what() of a kFailed campaign
+  std::uint32_t fabric_channels = 1;
+  std::uint64_t completed_rounds = 0;
+  dl::traffic::TrafficReport merged;
+  std::vector<dl::traffic::TrafficReport> per_channel;
+  dl::defense::DramLocker::Stats locker;  ///< summed over channels
+  std::size_t locked_rows = 0;
+  Picoseconds defense_time = 0;           ///< summed over channels
+  bool integrity_enabled = false;
+  dl::integrity::Config integrity_config;
+  dl::integrity::ScrubStats integrity;    ///< summed over channels
+  dl::integrity::Audit integrity_audit;
+  bool faults_enabled = false;
+  dl::faults::FaultStats faults;          ///< summed over channels
+  bool degraded = false;
+};
+
+/// Runs one serving campaign; channels execute concurrently over the
+/// parallel pool with byte-identical reports for any DL_THREADS value.
+/// Throws on a malformed spec.
+[[nodiscard]] ServeCampaignResult run_serve(const ServeCampaign& campaign);
+
+/// run_serve with error isolation (see run_one_isolated).
+[[nodiscard]] ServeCampaignResult run_serve_isolated(
+    const ServeCampaign& campaign);
 
 // ------------------------------------------------------------ BFA campaigns
 
@@ -406,11 +504,13 @@ struct BfaCampaignResult {
 
 [[nodiscard]] dl::json::Value to_json(const HammerCampaignResult& r);
 [[nodiscard]] dl::json::Value to_json(const BfaCampaignResult& r);
+[[nodiscard]] dl::json::Value to_json(const ServeCampaignResult& r);
 
-/// {"hammer_campaigns": [...], "bfa_campaigns": [...]} — either vector may
-/// be empty.
+/// {"hammer_campaigns": [...], "bfa_campaigns": [...]} plus
+/// "serve_campaigns" when any are given — either vector may be empty.
 [[nodiscard]] dl::json::Value report_json(
     const std::vector<HammerCampaignResult>& hammer,
-    const std::vector<BfaCampaignResult>& bfa = {});
+    const std::vector<BfaCampaignResult>& bfa = {},
+    const std::vector<ServeCampaignResult>& serve = {});
 
 }  // namespace dl::scenario

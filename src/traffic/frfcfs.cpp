@@ -11,9 +11,10 @@ using dl::dram::GlobalRowId;
 FrFcfsScheduler::FrFcfsScheduler(Controller& ctrl,
                                  const SchedulerConfig& config)
     : ctrl_(ctrl),
+      topo_(ctrl.topology()),
       config_(config),
-      queues_(ctrl.bank_count()),
-      head_bypasses_(ctrl.bank_count(), 0) {
+      queues_(topo_.bank_count()),
+      head_bypasses_(topo_.bank_count(), 0) {
   DL_REQUIRE(config_.queue_capacity > 0, "queue capacity must be positive");
   DL_REQUIRE(config_.batch > 0, "batch must be positive");
   for (auto& q : queues_) q.init(config_.queue_capacity);
@@ -27,7 +28,7 @@ void FrFcfsScheduler::decode(Request& req) const {
 
 bool FrFcfsScheduler::try_enqueue(Request req) {
   decode(req);
-  BankQueue& q = queues_[ctrl_.bank_of_row(req.physical_row)];
+  BankQueue& q = queues_[topo_.bank_of_row(req.physical_row)];
   if (q.full()) {
     ctrl_.counters().add(dl::dram::Counter::kRejectedEnqueues);
     return false;
@@ -44,8 +45,8 @@ std::size_t FrFcfsScheduler::pick(std::size_t bank) {
       head_bypasses_[bank] >= config_.row_hit_cap) {
     return 0;  // FCFS / fairness cap reached: queue head
   }
-  const GlobalRowId open = ctrl_.open_row_in_bank(bank);
-  if (open == Controller::kNoRow) return 0;
+  const GlobalRowId open = topo_.open_row(bank);
+  if (open == dl::dram::Topology::kNoRow) return 0;
   const std::uint64_t epoch = ctrl_.indirection().epoch();
   for (std::uint32_t i = 0; i < q.size(); ++i) {
     // Row-hit test under the *current* indirection: a swap defense may have

@@ -73,7 +73,7 @@ class FrFcfsScheduler {
   /// Bank a request would queue to (under the current row indirection).
   /// Introspection only — try_enqueue decodes and caches on its own.
   [[nodiscard]] std::size_t bank_of(const Request& req) const {
-    return ctrl_.bank_of_row(
+    return topo_.bank_of_row(
         ctrl_.indirection().to_physical(ctrl_.mapper().row_of(req.addr)));
   }
 
@@ -153,6 +153,9 @@ class FrFcfsScheduler {
   };
 
   dl::dram::Controller& ctrl_;
+  /// Bank/row-buffer topology view, cached at construction (valid for the
+  /// controller's lifetime; reads live open-row state).
+  dl::dram::Topology topo_;
   SchedulerConfig config_;
   std::vector<BankQueue> queues_;                ///< per bank, arrival order
   std::vector<std::uint32_t> head_bypasses_;     ///< per bank fairness state

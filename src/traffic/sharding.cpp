@@ -1,0 +1,264 @@
+#include "traffic/sharding.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dl::traffic {
+
+namespace {
+
+using dl::dram::ChannelId;
+using dl::dram::FabricMapper;
+using dl::dram::GlobalRowId;
+using dl::dram::InterleavePolicy;
+
+/// Report label of a tenant for error messages (defaults mirror the
+/// engine's "t<i>/<kind>" naming for unnamed specs).
+std::string label_of(const StreamSpec& spec, std::size_t index) {
+  if (!spec.name.empty()) return spec.name;
+  std::string label = "t";
+  label += std::to_string(index);
+  label += '/';
+  label += to_string(spec.kind);
+  return label;
+}
+
+[[noreturn]] void fail(const StreamSpec& spec, std::size_t index,
+                       const std::string& detail) {
+  std::string msg = "fabric tenant '";
+  msg += label_of(spec, index);
+  msg += "': ";
+  msg += detail;
+  throw dl::Error(msg);
+}
+
+/// The fabric row range a tenant's working set occupies (end exclusive).
+/// kHammer uses the victim row; kScrub is handled separately (explicit
+/// non-contiguous list).
+void check_range(const FabricMapper& mapper, const StreamSpec& spec,
+                 std::size_t index) {
+  const std::uint64_t total = mapper.total_rows();
+  switch (spec.kind) {
+    case StreamKind::kWeightReader:
+    case StreamKind::kSynthetic: {
+      if (spec.rows == 0) fail(spec, index, "working set must be >= 1 row");
+      if (spec.base_row >= total || spec.rows > total - spec.base_row) {
+        std::string detail = "rows [";
+        detail += std::to_string(spec.base_row);
+        detail += ", ";
+        detail += std::to_string(spec.base_row + spec.rows);
+        detail += ") exceed the fabric row space (";
+        detail += std::to_string(total);
+        detail += " rows across ";
+        detail += std::to_string(mapper.channels());
+        detail += " channels)";
+        fail(spec, index, detail);
+      }
+      break;
+    }
+    case StreamKind::kHammer:
+      if (spec.victim_row >= total) {
+        std::string detail = "victim row ";
+        detail += std::to_string(spec.victim_row);
+        detail += " exceeds the fabric row space (";
+        detail += std::to_string(total);
+        detail += " rows)";
+        fail(spec, index, detail);
+      }
+      break;
+    case StreamKind::kScrub:
+      for (const GlobalRowId row : spec.scrub_rows) {
+        if (row >= total) {
+          std::string detail = "scrub row ";
+          detail += std::to_string(row);
+          detail += " exceeds the fabric row space (";
+          detail += std::to_string(total);
+          detail += " rows)";
+          fail(spec, index, detail);
+        }
+      }
+      break;
+  }
+}
+
+void check_pin(const FabricMapper& mapper, const StreamSpec& spec,
+               std::size_t index) {
+  if (spec.pin_channel < 0) return;
+  const auto pin = static_cast<std::uint32_t>(spec.pin_channel);
+  if (pin >= mapper.channels()) {
+    std::string detail = "pinned to channel ";
+    detail += std::to_string(pin);
+    detail += " but the fabric has ";
+    detail += std::to_string(mapper.channels());
+    detail += " channels";
+    fail(spec, index, detail);
+  }
+  if (mapper.policy() == InterleavePolicy::kRowRoundRobin &&
+      mapper.channels() > 1) {
+    fail(spec, index,
+         "channel pinning requires row-blocked interleave "
+         "(row-round-robin stripes every contiguous range over all "
+         "channels)");
+  }
+  // The pinned tenant's working set must be fully owned by the channel.
+  const auto owned_by_pin = [&](GlobalRowId begin, GlobalRowId end) {
+    const auto local = mapper.local_range(pin, begin, end);
+    return local.size() == end - begin;
+  };
+  switch (spec.kind) {
+    case StreamKind::kWeightReader:
+    case StreamKind::kSynthetic:
+      if (!owned_by_pin(spec.base_row, spec.base_row + spec.rows)) {
+        std::string detail = "pinned to channel ";
+        detail += std::to_string(pin);
+        detail += " but rows [";
+        detail += std::to_string(spec.base_row);
+        detail += ", ";
+        detail += std::to_string(spec.base_row + spec.rows);
+        detail += ") are not fully owned by that channel";
+        fail(spec, index, detail);
+      }
+      break;
+    case StreamKind::kHammer:
+      if (mapper.channel_of(spec.victim_row) != pin) {
+        fail(spec, index,
+             "pinned to a channel that does not own its victim row");
+      }
+      break;
+    case StreamKind::kScrub:
+      for (const GlobalRowId row : spec.scrub_rows) {
+        if (mapper.channel_of(row) != pin) {
+          fail(spec, index,
+               "pinned to a channel that does not own every scrub row");
+        }
+      }
+      break;
+  }
+}
+
+/// Splits `requests` proportionally to `share` (out of `total`), with the
+/// remainder going to the lowest channel indices that hold any share.
+std::vector<std::uint64_t> split_requests(
+    std::uint64_t requests, const std::vector<std::uint64_t>& share) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : share) total += s;
+  std::vector<std::uint64_t> out(share.size(), 0);
+  if (total == 0) return out;
+  std::uint64_t assigned = 0;
+  for (std::size_t c = 0; c < share.size(); ++c) {
+    out[c] = requests / total * share[c] +
+             (requests % total) * share[c] / total;
+    assigned += out[c];
+  }
+  for (std::size_t c = 0; assigned < requests && c < share.size(); ++c) {
+    if (share[c] == 0) continue;
+    ++out[c];
+    ++assigned;
+    if (assigned < requests && c + 1 == share.size()) c = std::size_t(-1);
+  }
+  return out;
+}
+
+/// Zero-budget stub keeping the roster (indices, names, kinds) identical on
+/// channels where a tenant has no local share.
+StreamSpec stub_of(const StreamSpec& spec) {
+  StreamSpec stub = spec;
+  stub.requests = 0;
+  stub.base_row = 0;
+  stub.rows = 1;
+  stub.victim_row = 0;
+  // Stream's ctor validates kScrub specs eagerly and insists on at least
+  // one row, so the inert stub keeps a placeholder (never read: 0 requests).
+  stub.scrub_rows.assign(1, 0);
+  stub.pin_channel = -1;
+  return stub;
+}
+
+}  // namespace
+
+void validate_fabric_tenants(const FabricMapper& mapper,
+                             const std::vector<StreamSpec>& tenants) {
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    check_range(mapper, tenants[i], i);
+    check_pin(mapper, tenants[i], i);
+  }
+}
+
+std::vector<std::vector<StreamSpec>> shard_tenants(
+    const FabricMapper& mapper, const std::vector<StreamSpec>& tenants) {
+  validate_fabric_tenants(mapper, tenants);
+  const std::uint32_t n = mapper.channels();
+  std::vector<std::vector<StreamSpec>> rosters(n);
+  for (auto& r : rosters) r.reserve(tenants.size());
+
+  for (std::size_t ti = 0; ti < tenants.size(); ++ti) {
+    const StreamSpec& t = tenants[ti];
+    // Per-channel row share of the working set.
+    std::vector<std::uint64_t> share(n, 0);
+    std::vector<dl::dram::LocalRowRange> local(n);
+    std::vector<std::vector<GlobalRowId>> scrub_local(n);
+    switch (t.kind) {
+      case StreamKind::kWeightReader:
+      case StreamKind::kSynthetic:
+        for (std::uint32_t c = 0; c < n; ++c) {
+          local[c] =
+              mapper.local_range(c, t.base_row, t.base_row + t.rows);
+          share[c] = local[c].size();
+        }
+        break;
+      case StreamKind::kHammer:
+        share[mapper.channel_of(t.victim_row)] = 1;
+        break;
+      case StreamKind::kScrub:
+        for (const GlobalRowId row : t.scrub_rows) {
+          scrub_local[mapper.channel_of(row)].push_back(
+              mapper.local_row(row));
+        }
+        for (std::uint32_t c = 0; c < n; ++c) {
+          share[c] = scrub_local[c].size();
+        }
+        break;
+    }
+    if (t.pin_channel >= 0) {
+      // Validation guaranteed the pinned channel owns the whole working
+      // set; collapse the split so every request lands there.
+      for (std::uint32_t c = 0; c < n; ++c) {
+        if (c != static_cast<std::uint32_t>(t.pin_channel)) share[c] = 0;
+      }
+    }
+    const auto requests = split_requests(t.requests, share);
+
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if (share[c] == 0) {
+        rosters[c].push_back(stub_of(t));
+        continue;
+      }
+      StreamSpec s = t;
+      s.pin_channel = -1;
+      s.requests = requests[c];
+      // Channel-local coordinates + a decorrelated per-channel RNG stream
+      // (kSynthetic only draws; harmless elsewhere).
+      s.seed = n > 1 ? dl::substream_seed(t.seed, kShardSeedEpoch, c)
+                     : t.seed;
+      switch (t.kind) {
+        case StreamKind::kWeightReader:
+        case StreamKind::kSynthetic:
+          s.base_row = local[c].begin;
+          s.rows = local[c].size();
+          break;
+        case StreamKind::kHammer:
+          s.victim_row = mapper.local_row(t.victim_row);
+          break;
+        case StreamKind::kScrub:
+          s.scrub_rows = std::move(scrub_local[c]);
+          break;
+      }
+      rosters[c].push_back(std::move(s));
+    }
+  }
+  return rosters;
+}
+
+}  // namespace dl::traffic

@@ -1,0 +1,57 @@
+// Tenant sharding across a multi-channel DRAM fabric.
+//
+// Fabric-level StreamSpecs describe tenant working sets in *fabric* row
+// coordinates.  shard_tenants() turns one fabric-level roster into N
+// per-channel rosters in channel-local coordinates, so each channel runs an
+// ordinary single-controller TrafficEngine:
+//
+//   kWeightReader / kSynthetic — the fabric row range is cut into its (at
+//     most one per channel) contiguous channel-local sub-range via
+//     FabricMapper::local_range(); the request budget is split
+//     proportionally to each channel's row share (remainders go to the
+//     lowest channel indices).
+//   kHammer — RowHammer adjacency is channel-local, so the whole tenant
+//     lands on the channel owning its victim row (victim translated to
+//     local coordinates); every other channel gets a zero-budget stub.
+//   kScrub — the explicit row list is partitioned by owning channel
+//     (declared order preserved); the sweep bound splits proportionally to
+//     each channel's row count.
+//
+// Every channel receives the *full* tenant roster (zero-request stubs where
+// a tenant has no local share), so tenant indices, default names, and
+// report rosters are identical on every channel and per-channel stats merge
+// element-wise.
+//
+// Determinism contract: sharding is a pure function of (mapper, specs);
+// per-channel kSynthetic streams draw from substream_seed(spec.seed,
+// kShardSeedEpoch, channel), so reports are byte-identical for any
+// DL_THREADS value and any machine.
+#pragma once
+
+#include <vector>
+
+#include "dram/fabric.hpp"
+#include "traffic/stream.hpp"
+
+namespace dl::traffic {
+
+/// Sub-stream epoch tenant seeds are re-derived under when a tenant is
+/// sharded across channels (epochs 0–4 belong to the scenario matrix seed
+/// tree; see scenario::expand()).
+inline constexpr std::uint64_t kShardSeedEpoch = 6;
+
+/// Validates a fabric-level tenant roster against the fabric's row space
+/// and interleave policy.  Throws dl::Error with an explicit message on the
+/// first violation (range beyond the fabric row space, pin to a
+/// non-existent channel, pinning under round-robin interleave, pinned range
+/// not owned by the pinned channel).
+void validate_fabric_tenants(const dl::dram::FabricMapper& mapper,
+                             const std::vector<StreamSpec>& tenants);
+
+/// Shards a validated fabric-level roster into one channel-local roster per
+/// channel (see file comment for per-kind semantics).
+[[nodiscard]] std::vector<std::vector<StreamSpec>> shard_tenants(
+    const dl::dram::FabricMapper& mapper,
+    const std::vector<StreamSpec>& tenants);
+
+}  // namespace dl::traffic

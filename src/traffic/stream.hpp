@@ -109,6 +109,14 @@ struct StreamSpec {
   /// is bytes_per_access and must divide the geometry's row_bytes.
   std::vector<dl::dram::GlobalRowId> scrub_rows;
 
+  /// Fabric placement pin: -1 lets the fabric shard this tenant's working
+  /// set across channels under the interleave policy; >= 0 forces every
+  /// request onto that channel.  Pinning requires row-blocked interleave
+  /// and a working set fully owned by the pinned channel (validated by
+  /// traffic::validate_fabric_tenants); single-controller engines ignore
+  /// the field.
+  std::int32_t pin_channel = -1;
+
   static StreamSpec weight_reader(dl::dram::GlobalRowId base_row,
                                   std::uint64_t rows, std::uint64_t requests,
                                   std::uint32_t burst = 4,

@@ -1,4 +1,4 @@
-// Tests for the DramLockerSystem facade and cross-cutting properties.
+// Tests for the core::Fabric facade and cross-cutting properties.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -23,8 +23,7 @@ core::SystemConfig tiny_system() {
 TEST(System, ComponentsAreWired) {
   core::DramLockerSystem sys(tiny_system());
   // The disturbance model is registered: hammering accumulates.
-  auto& ctrl = sys.controller();
-  for (int i = 0; i < 10; ++i) ctrl.hammer(ctrl.mapper().row_base(10));
+  for (int i = 0; i < 10; ++i) sys.hammer(sys.row_base(10));
   EXPECT_DOUBLE_EQ(sys.disturbance().disturbance(9), 10.0);
 }
 
@@ -49,11 +48,10 @@ TEST(System, DisableGateRestoresAccess) {
   core::DramLockerSystem sys(tiny_system());
   auto& locker = sys.enable_locker();
   locker.protect_data_row(10);
-  auto& ctrl = sys.controller();
   std::array<std::uint8_t, 1> buf{};
-  EXPECT_FALSE(ctrl.read(ctrl.mapper().row_base(9), buf).granted);
+  EXPECT_FALSE(sys.read(sys.row_base(9), buf).granted);
   sys.disable_gate();
-  EXPECT_TRUE(ctrl.read(ctrl.mapper().row_base(9), buf).granted);
+  EXPECT_TRUE(sys.read(sys.row_base(9), buf).granted);
 }
 
 TEST(System, MakeRngStreamsDiffer) {
@@ -69,8 +67,7 @@ TEST(System, SameSeedSameBehaviour) {
   // Two systems with the same config produce identical flip sequences.
   auto run = [] {
     core::DramLockerSystem sys(tiny_system());
-    auto& ctrl = sys.controller();
-    for (int i = 0; i < 500; ++i) ctrl.hammer(ctrl.mapper().row_base(10));
+    for (int i = 0; i < 500; ++i) sys.hammer(sys.row_base(10));
     std::vector<std::pair<std::uint32_t, unsigned>> flips;
     for (const auto& f : sys.disturbance().flips()) {
       flips.emplace_back(f.byte, f.bit);
@@ -90,6 +87,33 @@ TEST(System, AddressSpacesShareFrameAllocator) {
   EXPECT_NE(a->walk(0x10000)->pfn, b->walk(0x10000)->pfn);
 }
 
+TEST(System, ChannelViewExposesTopology) {
+  core::DramLockerSystem sys(tiny_system());
+  const auto view = sys.channel();
+  const auto topo = view.topology();
+  EXPECT_EQ(topo.bank_count(), view.geometry().total_banks());
+  // No row opened yet; after a read the accessed bank holds an open row.
+  EXPECT_EQ(topo.open_row(0), dram::Topology::kNoRow);
+  std::array<std::uint8_t, 1> buf{};
+  sys.read(sys.row_base(0), buf);
+  EXPECT_NE(sys.channel().topology().open_row(0), dram::Topology::kNoRow);
+}
+
+TEST(System, ValidateRejectsDegenerateConfigs) {
+  core::SystemConfig cfg = tiny_system();
+  cfg.geometry.channels = 0;
+  EXPECT_THROW(core::DramLockerSystem{cfg}, dl::Error);
+  cfg.geometry.channels = 65;
+  EXPECT_THROW(core::DramLockerSystem{cfg}, dl::Error);
+  cfg = tiny_system();
+  cfg.geometry.channels = 4;
+  cfg.geometry.rows_per_subarray = 4;  // < 2 * channels
+  cfg.interleave = dram::InterleavePolicy::kRowRoundRobin;
+  EXPECT_THROW(core::DramLockerSystem{cfg}, dl::Error);
+  cfg.interleave = dram::InterleavePolicy::kRowBlocked;
+  EXPECT_NO_THROW(core::DramLockerSystem{cfg});
+}
+
 // --- cross-cutting property sweeps ------------------------------------------
 
 class ProtectRadiusSweep : public ::testing::TestWithParam<std::uint32_t> {};
@@ -103,21 +127,18 @@ TEST_P(ProtectRadiusSweep, DeniesEveryAggressorWithinRadius) {
   const dram::GlobalRowId victim = 50;
   locker.protect_data_row(victim);
 
-  auto& ctrl = sys.controller();
   for (std::uint32_t d = 1; d <= radius; ++d) {
-    const auto lo = ctrl.hammer(ctrl.mapper().row_base(victim - d));
-    const auto hi = ctrl.hammer(ctrl.mapper().row_base(victim + d));
+    const auto lo = sys.hammer(sys.row_base(victim - d));
+    const auto hi = sys.hammer(sys.row_base(victim + d));
     EXPECT_FALSE(lo.granted) << "distance " << d;
     EXPECT_FALSE(hi.granted) << "distance " << d;
   }
   // Just beyond the radius: allowed.
-  EXPECT_TRUE(
-      ctrl.hammer(ctrl.mapper().row_base(victim - radius - 1)).granted);
-  EXPECT_TRUE(
-      ctrl.hammer(ctrl.mapper().row_base(victim + radius + 1)).granted);
+  EXPECT_TRUE(sys.hammer(sys.row_base(victim - radius - 1)).granted);
+  EXPECT_TRUE(sys.hammer(sys.row_base(victim + radius + 1)).granted);
   // The data row itself is always accessible.
   std::array<std::uint8_t, 1> buf{};
-  EXPECT_TRUE(ctrl.read(ctrl.mapper().row_base(victim), buf).granted);
+  EXPECT_TRUE(sys.read(sys.row_base(victim), buf).granted);
 }
 
 INSTANTIATE_TEST_SUITE_P(Radii, ProtectRadiusSweep,
@@ -136,26 +157,24 @@ TEST_P(UnlockCycleSweep, SwapBackPreservesDataAcrossManyCycles) {
   lcfg.relock_policy = defense::RelockPolicy::kSwapBack;
   auto& locker = sys.enable_locker(lcfg);
 
-  auto& ctrl = sys.controller();
   const std::array<std::uint8_t, 4> data{0xAB, 0xCD, 0xEF, 0x01};
-  ctrl.write(ctrl.mapper().row_base(9), data);
+  sys.write(sys.row_base(9), data);
   locker.protect_data_row(10);
 
   std::array<std::uint8_t, 4> buf{};
   for (int c = 0; c < cycles; ++c) {
-    const auto r =
-        ctrl.read(ctrl.mapper().row_base(9), buf, /*can_unlock=*/true);
+    const auto r = sys.read(sys.row_base(9), buf, /*can_unlock=*/true);
     ASSERT_TRUE(r.granted);
     ASSERT_EQ(buf, data) << "cycle " << c;
     for (int i = 0; i < 25; ++i) {
-      ctrl.read(ctrl.mapper().row_base(100), buf);
+      sys.read(sys.row_base(100), buf);
     }
   }
   EXPECT_EQ(locker.stats().unlock_swaps, static_cast<std::uint64_t>(cycles));
   EXPECT_EQ(locker.stats().relocks, static_cast<std::uint64_t>(cycles));
   // Layout restored, lock intact, attacker still denied.
-  EXPECT_EQ(ctrl.indirection().to_physical(9), 9u);
-  EXPECT_FALSE(ctrl.hammer(ctrl.mapper().row_base(9)).granted);
+  EXPECT_EQ(sys.channel().indirection().to_physical(9), 9u);
+  EXPECT_FALSE(sys.hammer(sys.row_base(9)).granted);
 }
 
 INSTANTIATE_TEST_SUITE_P(Cycles, UnlockCycleSweep,
@@ -168,21 +187,19 @@ TEST_P(MapSchemeSweep, ProtectionWorksUnderAnyAddressMapping) {
   core::SystemConfig cfg = tiny_system();
   cfg.map_scheme = GetParam();
   core::DramLockerSystem sys(cfg);
-  auto& ctrl = sys.controller();
   const std::array<std::uint8_t, 2> data{0x12, 0x34};
   const dram::PhysAddr addr = 13 * cfg.geometry.row_bytes + 7;
-  ctrl.write(addr, data);
+  sys.write(addr, data);
   sys.enable_locker();
   EXPECT_GT(sys.protect_physical_range(addr, data.size()), 0u);
   // The row's physical neighbours are locked regardless of the mapping.
-  const dram::GlobalRowId logical = ctrl.mapper().row_of(addr);
-  rowhammer::HammerAttacker attacker(ctrl, sys.disturbance());
-  const auto res = attacker.attack(
+  const dram::GlobalRowId logical = sys.row_of(addr);
+  const auto res = sys.hammer_attack(
       logical, rowhammer::HammerPattern::kDoubleSided, 1000);
   EXPECT_EQ(res.granted_acts, 0u);
   EXPECT_EQ(res.flips_in_victim, 0u);
   std::array<std::uint8_t, 2> buf{};
-  ctrl.read(addr, buf, /*can_unlock=*/true);
+  sys.read(addr, buf, /*can_unlock=*/true);
   EXPECT_EQ(buf, data);
 }
 

@@ -67,8 +67,7 @@ TEST(Integration, WeightsSurviveDramRoundTrip) {
   t.qmodel->restore();
   core::DramLockerSystem sys(small_system());
   auto space = sys.make_address_space();
-  attack::WeightBinding binding(sys.controller(), *space, *t.qmodel,
-                                0x100000);
+  auto binding = sys.make_weight_binding(*space, *t.qmodel, 0x100000);
   binding.upload();
   const auto image_before = t.qmodel->serialize();
   ASSERT_TRUE(binding.sync_from_dram());
@@ -81,8 +80,7 @@ TEST(Integration, WeightRowsAreTracked) {
   t.qmodel->restore();
   core::DramLockerSystem sys(small_system());
   auto space = sys.make_address_space();
-  attack::WeightBinding binding(sys.controller(), *space, *t.qmodel,
-                                0x100000);
+  auto binding = sys.make_weight_binding(*space, *t.qmodel, 0x100000);
   binding.upload();
   const auto rows = binding.weight_rows();
   EXPECT_FALSE(rows.empty());
@@ -98,12 +96,10 @@ TEST(Integration, HammerGateRealizesFlipsWithoutDefense) {
   t.qmodel->restore();
   core::DramLockerSystem sys(small_system());
   auto space = sys.make_address_space();
-  attack::WeightBinding binding(sys.controller(), *space, *t.qmodel,
-                                0x100000);
+  auto binding = sys.make_weight_binding(*space, *t.qmodel, 0x100000);
   binding.upload();
 
-  attack::HammerFlipGate gate(sys.controller(), sys.disturbance(), binding,
-                              /*act_budget=*/10000);
+  auto gate = sys.make_hammer_gate(binding, /*act_budget=*/10000);
   attack::BfaConfig cfg;
   cfg.max_iterations = 6;
   cfg.layers_evaluated = 2;
@@ -126,8 +122,7 @@ TEST(Integration, DramLockerBlocksHammeredFlips) {
   t.qmodel->restore();
   core::DramLockerSystem sys(small_system());
   auto space = sys.make_address_space();
-  attack::WeightBinding binding(sys.controller(), *space, *t.qmodel,
-                                0x100000);
+  auto binding = sys.make_weight_binding(*space, *t.qmodel, 0x100000);
   binding.upload();
 
   defense::DramLockerConfig lcfg;
@@ -141,8 +136,7 @@ TEST(Integration, DramLockerBlocksHammeredFlips) {
   auto& locker = sys.enable_locker(lcfg);
   EXPECT_GT(binding.protect_all(locker), 0u);
 
-  attack::HammerFlipGate gate(sys.controller(), sys.disturbance(), binding,
-                              /*act_budget=*/5000);
+  auto gate = sys.make_hammer_gate(binding, /*act_budget=*/5000);
   attack::BfaConfig cfg;
   cfg.max_iterations = 5;
   cfg.layers_evaluated = 2;
@@ -163,8 +157,7 @@ TEST(Integration, VictimStillReadsWeightsUnderProtection) {
   t.qmodel->restore();
   core::DramLockerSystem sys(small_system());
   auto space = sys.make_address_space();
-  attack::WeightBinding binding(sys.controller(), *space, *t.qmodel,
-                                0x100000);
+  auto binding = sys.make_weight_binding(*space, *t.qmodel, 0x100000);
   binding.upload();
   auto& locker = sys.enable_locker();
   binding.protect_all(locker);
@@ -193,23 +186,21 @@ TEST(Integration, RelockNewLocationReopensSurface) {
   auto& locker = sys.enable_locker(lcfg);
   locker.protect_data_row(10);  // locks rows 9 and 11
 
-  auto& ctrl = sys.controller();
   std::array<std::uint8_t, 1> buf{};
   // Legitimate unlock of row 9, then enough traffic to trigger the relock.
-  ASSERT_TRUE(ctrl.read(ctrl.mapper().row_base(9), buf, true).granted);
-  for (int i = 0; i < 60; ++i) ctrl.read(ctrl.mapper().row_base(40), buf);
+  ASSERT_TRUE(sys.read(sys.row_base(9), buf, true).granted);
+  for (int i = 0; i < 60; ++i) sys.read(sys.row_base(40), buf);
   ASSERT_EQ(locker.stats().relocks, 1u);
   // Second unlock: pool rotation swaps the data back to physical row 9,
   // which is now unlocked (the lock stayed at the pool row).
-  ASSERT_TRUE(ctrl.read(ctrl.mapper().row_base(9), buf, true).granted);
-  EXPECT_EQ(ctrl.indirection().to_physical(9), 9u);
+  ASSERT_TRUE(sys.read(sys.row_base(9), buf, true).granted);
+  EXPECT_EQ(sys.channel().indirection().to_physical(9), 9u);
   EXPECT_FALSE(locker.lock_table().is_locked(9));
 
   // The attacker's original aggressor addresses work again: row 11 is
   // still locked, but the double-sided pattern's row-9 activations land —
   // within the window before the next relock tick re-locks the row.
-  rowhammer::HammerAttacker attacker(ctrl, sys.disturbance());
-  const auto res = attacker.attack(
+  const auto res = sys.hammer_attack(
       10, rowhammer::HammerPattern::kDoubleSided, /*act_budget=*/48,
       /*stop_after_flips=*/1);
   EXPECT_GT(res.granted_acts, 0u);
@@ -230,8 +221,7 @@ TEST(Integration, PtaRedirectsWithoutDefense) {
 
   attack::PtaConfig pcfg;
   pcfg.act_budget = 100000;
-  attack::PageTableAttack pta(sys.controller(), sys.disturbance(),
-                              sys.frames(), pcfg, sys.make_rng());
+  auto pta = sys.make_page_table_attack(pcfg);
   const std::array<std::uint8_t, 4> payload{1, 2, 3, 4};
   const auto res = pta.run(*attacker_space, victim_pte->pfn, payload);
   EXPECT_TRUE(res.redirected);
@@ -253,8 +243,7 @@ TEST(Integration, DramLockerBlocksPta) {
 
   attack::PtaConfig pcfg;
   pcfg.act_budget = 50000;
-  attack::PageTableAttack pta(sys.controller(), sys.disturbance(),
-                              sys.frames(), pcfg, sys.make_rng());
+  auto pta = sys.make_page_table_attack(pcfg);
   // Defender: prepare() exposes where the attacker's PTE lives; the kernel
   // protects page-table rows wholesale (here: that row).
   ASSERT_TRUE(pta.prepare(*attacker_space, victim_pte->pfn));
@@ -297,7 +286,7 @@ TEST(Integration, ShadowSystemWiring) {
   core::DramLockerSystem sys(small_system(200));
   auto& shadow = sys.enable_shadow({.threshold = 200, .table_entries = 100});
   for (int i = 0; i < 150; ++i) {
-    sys.controller().hammer(sys.controller().mapper().row_base(20));
+    sys.hammer(sys.row_base(20));
   }
   EXPECT_GE(shadow.shuffles(), 1u);
 }
