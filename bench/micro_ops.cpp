@@ -60,6 +60,28 @@ void BM_ControllerRead(benchmark::State& state) {
 }
 BENCHMARK(BM_ControllerRead);
 
+// Same sweep through the cycle-approximate timing engine: the delta vs
+// BM_ControllerRead is the per-access cost of the TimingModel bookkeeping
+// (bank-state updates, tFAW ring, REF schedule), and sim_ns_per_read now
+// includes REF contention.
+void BM_TimedControllerRead(benchmark::State& state) {
+  dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
+  ctrl.set_timing_spec({.enabled = true, .scheduled_refresh = true});
+  std::array<std::uint8_t, 64> buf{};
+  std::uint64_t addr = 0;
+  Picoseconds total_sim = 0;
+  for (auto _ : state) {
+    const auto r = ctrl.read(addr % (dram::Geometry::tiny().total_bytes() - 64),
+                             buf);
+    total_sim += r.latency;
+    addr += 4096;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sim_ns_per_read"] = benchmark::Counter(
+      to_nanoseconds(total_sim) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_TimedControllerRead);
+
 void BM_HammerActivation(benchmark::State& state) {
   dram::Controller ctrl(dram::Geometry::tiny(), dram::ddr4_2400());
   const auto base = ctrl.mapper().row_base(10);
@@ -390,6 +412,49 @@ BENCHMARK(BM_FabricServe)
     ->Args({4, 0})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// Serve round with the timing engine on (2 channels, serial): the delta vs
+// the untimed BM_FabricServe cells is the end-to-end cost of cycle-
+// approximate timing plus scheduled REF on the multi-tenant drain path.
+void BM_TimedServe(benchmark::State& state) {
+  parallel::set_threads(1);
+  scenario::ServeCampaign campaign;
+  campaign.name = "bench-timed";
+  campaign.env.geometry.channels = 1;
+  campaign.env.geometry.banks = 2;
+  campaign.env.geometry.subarrays_per_bank = 4;
+  campaign.env.geometry.rows_per_subarray = 256;
+  campaign.env.geometry.row_bytes = 4096;
+  campaign.env.fabric.channels = 2;
+  campaign.env.fabric.interleave = dram::InterleavePolicy::kRowRoundRobin;
+  campaign.env.timing_spec = {.enabled = true, .scheduled_refresh = true};
+  campaign.traffic.tenants = {
+      traffic::StreamSpec::weight_reader(/*base_row=*/32, /*rows=*/64, 2048),
+      traffic::StreamSpec::synthetic(/*base_row=*/256, /*rows=*/256, 1024,
+                                     /*locality=*/0.4, /*write_fraction=*/0.2,
+                                     /*seed=*/1),
+      traffic::StreamSpec::hammer(rowhammer::HammerPattern::kDoubleSided,
+                                  /*victim_row=*/40, 1024),
+  };
+  campaign.traffic.scheduler.batch = 2;
+  campaign.rounds = 4;
+  std::uint64_t serviced = 0;
+  std::uint64_t refs = 0;
+  for (auto _ : state) {
+    const auto r = scenario::run_serve(campaign);
+    serviced += r.merged.serviced;
+    refs += r.refresh.refs_issued;
+    benchmark::DoNotOptimize(r.merged.serviced);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(serviced));
+  if (state.iterations() > 0) {
+    state.counters["refs_per_round"] = benchmark::Counter(
+        static_cast<double>(refs) /
+        static_cast<double>(state.iterations() * campaign.rounds));
+  }
+  parallel::set_threads(0);
+}
+BENCHMARK(BM_TimedServe)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_ScrubPass(benchmark::State& state) {
   // One clean scrub sweep of 8 rows through the controller (accounted

@@ -6,10 +6,23 @@
 
 #include <cstdint>
 
+#include "common/error.hpp"
+
 namespace dl {
 
 /// Simulation time in picoseconds.
 using Picoseconds = std::int64_t;
+
+/// Overflow-checked picosecond addition.  Long serve campaigns accumulate
+/// totals where a single refresh window is already 6.4e10 ps; clock and
+/// report accumulators must fail loudly rather than wrap.  Throws dl::Error
+/// on signed-64-bit overflow.
+inline Picoseconds checked_ps_add(Picoseconds a, Picoseconds b) {
+  Picoseconds out = 0;
+  DL_REQUIRE(!__builtin_add_overflow(a, b, &out),
+             "picosecond accumulator overflowed int64");
+  return out;
+}
 
 constexpr Picoseconds operator""_ps(unsigned long long v) {
   return static_cast<Picoseconds>(v);

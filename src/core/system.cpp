@@ -112,6 +112,7 @@ Fabric::Fabric(SystemConfig config)
     auto ch = std::make_unique<detail::FabricChannel>();
     ch->ctrl = std::make_unique<dl::dram::Controller>(
         channel_geometry_, config_.timing, config_.map_scheme);
+    ch->ctrl->set_timing_spec(config_.timing_model);
     // One split per channel in channel order: channel 0 of any fabric draws
     // the same stream the pre-fabric single-channel system drew.
     ch->disturbance = std::make_unique<dl::rowhammer::DisturbanceModel>(

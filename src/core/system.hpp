@@ -70,6 +70,10 @@ struct SystemConfig {
   dl::dram::InterleavePolicy interleave =
       dl::dram::InterleavePolicy::kRowBlocked;
   dl::rowhammer::DisturbanceConfig disturbance{};
+  /// Opt-in cycle-approximate timing engine, applied to every channel
+  /// controller (see dram::TimingSpec).  Off by default: reports stay
+  /// byte-identical to the analytic-latency fabric.
+  dl::dram::TimingSpec timing_model{};
   std::uint64_t seed = 0xD7A871;
 };
 

@@ -10,6 +10,7 @@ const char* to_string(CommandKind kind) {
     case CommandKind::kWrite:     return "WR";
     case CommandKind::kRefresh:   return "REF";
     case CommandKind::kRowClone:  return "AAP";
+    case CommandKind::kRefreshAll: return "REFab";
   }
   return "?";
 }

@@ -17,6 +17,7 @@ enum class CommandKind : std::uint8_t {
   kWrite,
   kRefresh,      ///< targeted row refresh (defense-issued)
   kRowClone,     ///< ACT-ACT intra-subarray bulk copy
+  kRefreshAll,   ///< scheduled all-bank auto-refresh (timed mode)
 };
 
 [[nodiscard]] const char* to_string(CommandKind kind);

@@ -34,21 +34,57 @@ std::size_t Controller::bank_index(const RowAddress& a) const {
 
 void Controller::elapse(Picoseconds delta) {
   DL_REQUIRE(delta >= 0, "time must not run backwards");
-  now_ += delta;
-  if (defense_depth_ > 0) defense_time_ += delta;
+  now_ = checked_ps_add(now_, delta);
+  if (defense_depth_ > 0) defense_time_ = checked_ps_add(defense_time_, delta);
   while (now_ >= window_end_) {
     ++windows_;
     // Advance the boundary *before* notifying listeners: a listener may
     // consume time itself (e.g. SRS unswaps), which re-enters elapse().
     const Picoseconds boundary = window_end_;
     window_end_ += timing_.tREFW;
-    // Account the aggregate auto-refresh cost of one window: one REF of
-    // duration tRFC every tREFI.
-    const double refs =
-        static_cast<double>(timing_.tREFW) / static_cast<double>(timing_.tREFI);
-    counters_.add(Counter::kAutoRefreshTimePs,
-                  refs * static_cast<double>(timing_.tRFC));
+    if (timing_model_ == nullptr) {
+      // Account the aggregate auto-refresh cost of one window: one REF of
+      // duration tRFC every tREFI.  In timed mode the TimingModel issues
+      // and charges every REF explicitly instead.
+      const double refs = static_cast<double>(timing_.tREFW) /
+                          static_cast<double>(timing_.tREFI);
+      counters_.add(Counter::kAutoRefreshTimePs,
+                    refs * static_cast<double>(timing_.tRFC));
+    }
     for (auto* l : listeners_) l->on_refresh_window(boundary);
+  }
+}
+
+void Controller::set_timing_spec(const TimingSpec& spec) {
+  if (!spec.enabled) {
+    timing_model_.reset();
+    return;
+  }
+  timing_model_ = std::make_unique<TimingModel>(
+      timing_, geometry_.total_banks(), spec, now_);
+  timing_model_->set_trace(&trace_);
+}
+
+void Controller::timed_catch_up() {
+  const int refs = timing_model_->catch_up(now_);
+  if (refs > 0) {
+    counters_.add(Counter::kAutoRefreshes, refs);
+    std::fill(open_row_.begin(), open_row_.end(), Topology::kNoRow);
+  }
+}
+
+void Controller::timed_commit(const TimedAccess& t, GlobalRowId prev) {
+  if (t.refs > 0) {
+    // A REF slot preceded the ACT: every bank was precharged mid-command.
+    counters_.add(Counter::kAutoRefreshes, t.refs);
+    std::fill(open_row_.begin(), open_row_.end(), Topology::kNoRow);
+  }
+  if (t.pre_at >= 0) {
+    counters_.add(Counter::kPrecharges);
+    if (trace_.enabled()) {
+      trace_.record({CommandKind::kPrecharge, prev, 0, 0, defense_depth_ > 0,
+                     t.pre_at});
+    }
   }
 }
 
@@ -113,6 +149,46 @@ AccessResult Controller::access(PhysAddr addr, bool is_write,
 
   const GlobalRowId phys = indirection_.to_physical(rb.row);
   AccessResult res;
+
+  if (timing_model_ != nullptr) {
+    timed_catch_up();
+    const std::size_t bank = bank_of(phys);
+    const GlobalRowId prev = open_row_[bank];
+    const bool hit = prev == phys;
+    const TimedAccess t = timing_model_->read_write(
+        bank, hit, prev != Topology::kNoRow, is_write && data_transfer, now_);
+    timed_commit(t, prev);
+    res.row_hit = hit;
+    if (hit) {
+      counters_.add(Counter::kRowHits);
+    } else {
+      open_row_[bank] = phys;
+      counters_.add(Counter::kActivates);
+      counters_.add(Counter::kRowMisses);
+      if (trace_.enabled()) {
+        trace_.record(
+            {CommandKind::kActivate, phys, 0, 0, defense_depth_ > 0, t.act_at});
+      }
+    }
+    if (data_transfer) {
+      if (is_write) {
+        data_.write(phys, rb.byte, in);
+        counters_.add(Counter::kWrites);
+      } else {
+        data_.read(phys, rb.byte, out);
+        counters_.add(Counter::kReads);
+      }
+      if (trace_.enabled()) {
+        trace_.record({is_write ? CommandKind::kWrite : CommandKind::kRead,
+                       phys, 0, rb.byte, defense_depth_ > 0, t.col_at});
+      }
+    }
+    res.latency = t.done_at - now_;
+    elapse(res.latency);
+    if (!hit) notify_activate(phys);
+    return res;
+  }
+
   res.row_hit = open_row(phys, res.latency);
 
   if (data_transfer) {
@@ -211,6 +287,27 @@ AccessResult Controller::hammer(PhysAddr addr, bool can_unlock) {
 
   const GlobalRowId phys = indirection_.to_physical(rb.row);
   const std::size_t bank = bank_of(phys);
+
+  if (timing_model_ != nullptr) {
+    timed_catch_up();
+    const GlobalRowId prev = open_row_[bank];
+    const TimedAccess t =
+        timing_model_->hammer(bank, prev != Topology::kNoRow, now_);
+    timed_commit(t, prev);
+    open_row_[bank] = Topology::kNoRow;  // attacker immediately precharges
+    counters_.add(Counter::kActivates);
+    counters_.add(Counter::kHammerActs);
+    if (trace_.enabled()) {
+      trace_.record(
+          {CommandKind::kActivate, phys, 0, 0, defense_depth_ > 0, t.act_at});
+    }
+    AccessResult res;
+    res.latency = t.done_at - now_;
+    elapse(res.latency);
+    notify_activate(phys);
+    return res;
+  }
+
   Picoseconds cost = 0;
   if (open_row_[bank] != Topology::kNoRow) {
     cost += timing_.tRP;
@@ -239,6 +336,32 @@ void Controller::row_clone(GlobalRowId src_phys, GlobalRowId dst_phys,
   DL_REQUIRE(same_subarray(src, dst),
              "RowClone requires source and destination in one subarray");
   const std::size_t bank = bank_index(src);
+
+  if (timing_model_ != nullptr) {
+    timed_catch_up();
+    const GlobalRowId prev = open_row_[bank];
+    const TimedAccess t =
+        timing_model_->row_clone(bank, prev != Topology::kNoRow, now_);
+    timed_commit(t, prev);
+    open_row_[bank] = Topology::kNoRow;
+    data_.copy_row(src_phys, dst_phys);
+    if (corrupt) {
+      data_.flip_bit(dst_phys, corrupt_byte % geometry_.row_bytes,
+                     corrupt_bit % 8);
+      counters_.add(Counter::kRowCloneCorruptions);
+    }
+    counters_.add(Counter::kRowClones);
+    counters_.add(Counter::kActivates, 2);
+    if (trace_.enabled()) {
+      trace_.record({CommandKind::kRowClone, src_phys, dst_phys, 0,
+                     defense_depth_ > 0, t.act_at});
+    }
+    elapse(t.done_at - now_);
+    notify_activate(src_phys);
+    notify_activate(dst_phys);
+    return;
+  }
+
   Picoseconds cost = 0;
   if (open_row_[bank] != Topology::kNoRow) {
     cost += timing_.tRP;
@@ -266,6 +389,25 @@ void Controller::row_clone(GlobalRowId src_phys, GlobalRowId dst_phys,
 
 void Controller::refresh_row(GlobalRowId physical_row) {
   DL_REQUIRE(physical_row < total_rows_, "row out of range");
+
+  if (timing_model_ != nullptr) {
+    timed_catch_up();
+    const std::size_t bank = bank_of(physical_row);
+    const GlobalRowId prev = open_row_[bank];
+    const TimedAccess t =
+        timing_model_->refresh_row(bank, prev != Topology::kNoRow, now_);
+    timed_commit(t, prev);
+    open_row_[bank] = Topology::kNoRow;  // ACT+PRE leaves the bank closed
+    counters_.add(Counter::kTargetedRefreshes);
+    if (trace_.enabled()) {
+      trace_.record({CommandKind::kRefresh, physical_row, 0, 0,
+                     defense_depth_ > 0, t.act_at});
+    }
+    elapse(t.done_at - now_);
+    for (auto* l : listeners_) l->on_row_refresh(physical_row);
+    return;
+  }
+
   const Picoseconds cost = timing_.row_cycle();
   counters_.add(Counter::kTargetedRefreshes);
   if (trace_.enabled()) {

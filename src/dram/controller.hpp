@@ -23,6 +23,7 @@
 #include "dram/data_store.hpp"
 #include "dram/indirection.hpp"
 #include "dram/timing.hpp"
+#include "dram/timing_model.hpp"
 #include "dram/topology.hpp"
 #include "dram/types.hpp"
 
@@ -135,6 +136,21 @@ class Controller {
   /// Defense-issued targeted refresh of a physical row (resets disturbance).
   void refresh_row(GlobalRowId physical_row);
 
+  // -- timing engine ---------------------------------------------------------
+
+  /// Switches between the legacy analytic latencies (spec.enabled == false,
+  /// the default — byte-identical to the pre-timing controller) and the
+  /// cycle-approximate TimingModel.  Enabling mid-run aligns the model to
+  /// the current clock (first REF due one tREFI from now()).
+  void set_timing_spec(const TimingSpec& spec);
+
+  [[nodiscard]] bool timed() const { return timing_model_ != nullptr; }
+
+  /// The live timing engine, or nullptr when running analytic latencies.
+  [[nodiscard]] const TimingModel* timing_model() const {
+    return timing_model_.get();
+  }
+
   // -- time -----------------------------------------------------------------
 
   [[nodiscard]] Picoseconds now() const { return now_; }
@@ -209,6 +225,7 @@ class Controller {
   CounterBlock counters_;
   mutable StatSet stats_;  ///< export target of counters_; see stats()
   CommandTrace trace_;
+  std::unique_ptr<TimingModel> timing_model_;  ///< null = analytic latencies
 
   [[nodiscard]] std::size_t bank_index(const RowAddress& a) const;
 
@@ -224,6 +241,12 @@ class Controller {
 
   void elapse(Picoseconds delta);
   void notify_activate(GlobalRowId phys);
+
+  /// Timed mode: issue REFs due at now_ and close all rows if any fired.
+  void timed_catch_up();
+  /// Timed mode: account the in-command REFs and the conflict PRE of `t`
+  /// (ACT accounting stays at the call site — access/hammer/clone differ).
+  void timed_commit(const TimedAccess& t, GlobalRowId prev);
   AccessResult access(PhysAddr addr, bool is_write, std::uint32_t len,
                       std::span<std::uint8_t> out,
                       std::span<const std::uint8_t> in, bool can_unlock,

@@ -24,6 +24,7 @@ const char* to_string(Counter c) {
     case Counter::kFaultEvents:         return "fault_events";
     case Counter::kDegradedLocks:       return "degraded_locks";
     case Counter::kDegradedSwaps:       return "degraded_swaps";
+    case Counter::kAutoRefreshes:       return "auto_refreshes";
   }
   return "?";
 }

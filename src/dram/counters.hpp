@@ -50,10 +50,12 @@ enum class Counter : std::uint8_t {
   kFaultEvents,         ///< injection events fired (faults::FaultInjector)
   kDegradedLocks,       ///< rows demoted to tracker-only fallback protection
   kDegradedSwaps,       ///< swap operations degraded to targeted refreshes
+  // Timed-mode accounting.
+  kAutoRefreshes,       ///< scheduled all-bank REFs issued by the TimingModel
 };
 
 inline constexpr std::size_t kNumCounters =
-    static_cast<std::size_t>(Counter::kDegradedSwaps) + 1;
+    static_cast<std::size_t>(Counter::kAutoRefreshes) + 1;
 static_assert(kNumCounters <= 256, "order_ stores uint8_t indices");
 
 /// StatSet key the counter exports under (the legacy string name).

@@ -15,6 +15,8 @@ Timing ddr4_2400() {
   t.tREFW = 64000000000;
   t.tBURST = 3333;
   t.tAAP = 49000;
+  t.tRRD = 4900;
+  t.tFAW = 21000;
   return t;
 }
 
@@ -31,6 +33,8 @@ Timing ddr3_1600() {
   t.tREFW = 64000000000;
   t.tBURST = 5000;
   t.tAAP = 52000;
+  t.tRRD = 6000;
+  t.tFAW = 30000;
   return t;
 }
 
@@ -47,6 +51,8 @@ Timing lpddr4_3200() {
   t.tREFW = 32000000000;
   t.tBURST = 2500;
   t.tAAP = 60000;
+  t.tRRD = 10000;
+  t.tFAW = 40000;
   return t;
 }
 

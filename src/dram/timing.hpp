@@ -28,6 +28,8 @@ struct Timing {
   Picoseconds tBURST = 3333;   ///< data burst (BL8)
   Picoseconds tAAP = 49000;    ///< back-to-back ACT-ACT RowClone step
                                ///< (intra-subarray copy, <100 ns total)
+  Picoseconds tRRD = 4900;     ///< ACT -> ACT, different banks
+  Picoseconds tFAW = 21000;    ///< four-activate window (rolling)
 
   [[nodiscard]] Picoseconds row_cycle() const { return tRAS + tRP; }  ///< tRC
 
@@ -37,6 +39,15 @@ struct Timing {
   }
   /// Read latency for a row-buffer hit: CAS + burst.
   [[nodiscard]] Picoseconds hit_latency() const { return tCAS + tBURST; }
+};
+
+/// Opt-in switch for the cycle-approximate timing engine.  When `enabled`
+/// the controller charges every command against a per-bank/per-channel
+/// `TimingModel` (tRC/tRRD/tFAW bookkeeping, scheduled REF every tREFI);
+/// when off it keeps the legacy analytic latencies, byte-for-byte.
+struct TimingSpec {
+  bool enabled = false;
+  bool scheduled_refresh = true;  ///< issue all-bank REF every tREFI
 };
 
 /// One DRAM generation as surveyed in Fig. 1(b): name, timing, and the

@@ -1,0 +1,148 @@
+// dl-lint: hot-path — counters go through dram::Counter, not StatSet::add.
+#include "dram/timing_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dl::dram {
+
+namespace {
+// Far enough in the past that `+ tFAW`/`+ tRRD` never binds at start-up,
+// but far from INT64_MIN so the addition cannot wrap.
+constexpr Picoseconds kLongAgo = std::numeric_limits<Picoseconds>::min() / 4;
+}  // namespace
+
+TimingModel::TimingModel(const Timing& timing, std::size_t num_banks,
+                         const TimingSpec& spec, Picoseconds start)
+    : t_(timing),
+      spec_(spec),
+      banks_(num_banks),
+      last_act_(kLongAgo),
+      quiet_at_(start),
+      next_ref_at_(checked_ps_add(start, timing.tREFI)) {
+  DL_REQUIRE(num_banks > 0, "timing model needs at least one bank");
+  DL_REQUIRE(timing.tREFI > timing.tRFC,
+             "tREFI must exceed tRFC or REF starves the channel");
+  faw_.fill(kLongAgo);
+  for (auto& b : banks_) {
+    b.act_ok = start;
+    b.pre_ok = start;
+    b.col_ok = start;
+  }
+}
+
+void TimingModel::do_ref() {
+  // REF needs all banks precharged and the channel quiet; a REF whose slot
+  // falls inside an in-flight command slips to that command's completion.
+  const Picoseconds start = std::max(next_ref_at_, quiet_at_);
+  const Picoseconds end = checked_ps_add(start, t_.tRFC);
+  for (auto& b : banks_) b.act_ok = std::max(b.act_ok, end);
+  ++stats_.refs_issued;
+  stats_.ref_busy_ps = checked_ps_add(stats_.ref_busy_ps, t_.tRFC);
+  stats_.max_ref_slip_ps =
+      std::max(stats_.max_ref_slip_ps, start - next_ref_at_);
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->record({CommandKind::kRefreshAll, 0, 0, 0, false, start});
+  }
+  next_ref_at_ = checked_ps_add(next_ref_at_, t_.tREFI);
+  quiet_at_ = end;
+}
+
+int TimingModel::catch_up(Picoseconds now) {
+  if (!spec_.scheduled_refresh) return 0;
+  int refs = 0;
+  while (next_ref_at_ <= now) {
+    do_ref();
+    ++refs;
+  }
+  return refs;
+}
+
+Picoseconds TimingModel::activate(std::size_t bank, bool bank_open,
+                                  Picoseconds now, TimedAccess& out) {
+  BankState& b = banks_[bank];
+  for (;;) {
+    Picoseconds pre_at = -1;
+    Picoseconds floor = now;
+    if (bank_open) {
+      pre_at = std::max(now, b.pre_ok);
+      floor = pre_at + t_.tRP;
+    }
+    Picoseconds act = std::max(floor, b.act_ok);
+    act = std::max(act, last_act_ + t_.tRRD);
+    act = std::max(act, faw_[faw_head_] + t_.tFAW);
+    if (spec_.scheduled_refresh && next_ref_at_ <= act) {
+      // The REF slot precedes this ACT: refresh first (REF never starves),
+      // which precharges every bank — retry without the conflict PRE.
+      do_ref();
+      ++out.refs;
+      bank_open = false;
+      continue;
+    }
+    out.pre_at = pre_at;
+    out.act_at = act;
+    b.act_ok = checked_ps_add(act, t_.row_cycle());
+    b.pre_ok = act + t_.tRAS;
+    b.col_ok = act + t_.tRCD;
+    last_act_ = act;
+    faw_[faw_head_] = act;
+    faw_head_ = (faw_head_ + 1) % kFawDepth;
+    return act;
+  }
+}
+
+TimedAccess TimingModel::read_write(std::size_t bank, bool hit, bool bank_open,
+                                    bool is_write, Picoseconds now) {
+  TimedAccess out;
+  Picoseconds col;
+  if (hit) {
+    col = std::max(now, banks_[bank].col_ok);
+  } else {
+    col = activate(bank, bank_open, now, out) + t_.tRCD;
+  }
+  out.col_at = col;
+  Picoseconds done = checked_ps_add(col, t_.tCAS + t_.tBURST);
+  if (is_write) done += t_.tWR;  // write recovery before data is stable
+  out.done_at = done;
+  banks_[bank].pre_ok = std::max(banks_[bank].pre_ok, done);
+  // REF needs the (still open) row precharged first: the earliest REF start
+  // after this access is the bank's precharge-all completion, not `done`.
+  quiet_at_ = std::max(quiet_at_, banks_[bank].pre_ok + t_.tRP);
+  return out;
+}
+
+TimedAccess TimingModel::hammer(std::size_t bank, bool bank_open,
+                                Picoseconds now) {
+  TimedAccess out;
+  const Picoseconds act = activate(bank, bank_open, now, out);
+  out.done_at = checked_ps_add(act, t_.tCK);
+  // The bank auto-precharges after tRAS (pre_ok/act_ok set by activate);
+  // the channel is quiet for REF purposes once the row cycle completes.
+  quiet_at_ = std::max(quiet_at_, act + t_.row_cycle());
+  return out;
+}
+
+TimedAccess TimingModel::row_clone(std::size_t bank, bool bank_open,
+                                   Picoseconds now) {
+  TimedAccess out;
+  const Picoseconds act = activate(bank, bank_open, now, out);
+  const Picoseconds done = checked_ps_add(act, t_.tAAP + t_.tRP);
+  out.done_at = done;
+  banks_[bank].act_ok = std::max(banks_[bank].act_ok, done);
+  banks_[bank].pre_ok = std::max(banks_[bank].pre_ok, done);
+  quiet_at_ = std::max(quiet_at_, done);
+  return out;
+}
+
+TimedAccess TimingModel::refresh_row(std::size_t bank, bool bank_open,
+                                     Picoseconds now) {
+  TimedAccess out;
+  const Picoseconds act = activate(bank, bank_open, now, out);
+  out.done_at = checked_ps_add(act, t_.row_cycle());
+  quiet_at_ = std::max(quiet_at_, out.done_at);
+  return out;
+}
+
+}  // namespace dl::dram

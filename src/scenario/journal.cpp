@@ -162,6 +162,14 @@ Value hammer_to_journal(const HammerCampaignResult& r) {
     v["faults"] = std::move(f);
   }
   v["degraded"] = r.degraded;
+  v["timed"] = r.timed;
+  if (r.timed) {
+    auto t = Value::object();
+    t["refs_issued"] = r.refresh.refs_issued;
+    t["ref_busy_ps"] = r.refresh.ref_busy_ps;
+    t["max_ref_slip_ps"] = r.refresh.max_ref_slip_ps;
+    v["refresh"] = std::move(t);
+  }
   v["fabric_channels"] = r.fabric_channels;
   auto channels = Value::array();
   for (const ChannelBreakdown& cb : r.channels) {
@@ -273,6 +281,13 @@ HammerCampaignResult hammer_from_journal(const Value& v) {
     r.faults.checksum_faults = f.at("checksum_faults").as_u64();
   }
   r.degraded = v.at("degraded").as_bool();
+  r.timed = v.at("timed").as_bool();
+  if (r.timed) {
+    const Value& t = v.at("refresh");
+    r.refresh.refs_issued = t.at("refs_issued").as_u64();
+    r.refresh.ref_busy_ps = t.at("ref_busy_ps").as_i64();
+    r.refresh.max_ref_slip_ps = t.at("max_ref_slip_ps").as_i64();
+  }
   r.fabric_channels =
       static_cast<std::uint32_t>(v.at("fabric_channels").as_u64());
   const Value& channels = v.at("channels");

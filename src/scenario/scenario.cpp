@@ -477,6 +477,7 @@ std::vector<std::unique_ptr<ChannelStack>> build_channel_stacks(
   for (ChannelId c = 0; c < mapper.channels(); ++c) {
     auto s = std::make_unique<ChannelStack>();
     s->ctrl = std::make_unique<Controller>(env.geometry, env.timing);
+    s->ctrl->set_timing_spec(env.timing_spec);
     s->model = std::make_unique<dl::rowhammer::DisturbanceModel>(
         *s->ctrl, env.disturbance,
         dl::Rng(channel_seed(env.disturbance_seed, c)));
@@ -509,6 +510,18 @@ std::vector<std::unique_ptr<ChannelStack>> build_channel_stacks(
     stacks.push_back(std::move(s));
   }
   return stacks;
+}
+
+/// Merges one controller's refresh stats into a fabric-wide total: sums,
+/// except max_ref_slip_ps (worst over channels).  No-op when not timed.
+void merge_refresh(dl::dram::RefreshStats& into,
+                   const dl::dram::Controller& ctrl) {
+  const auto* tm = ctrl.timing_model();
+  if (tm == nullptr) return;
+  const auto& s = tm->refresh_stats();
+  into.refs_issued += s.refs_issued;
+  into.ref_busy_ps = checked_ps_add(into.ref_busy_ps, s.ref_busy_ps);
+  into.max_ref_slip_ps = std::max(into.max_ref_slip_ps, s.max_ref_slip_ps);
 }
 
 /// Harvests one channel's defense stats into the fabric-wide merge.
@@ -765,6 +778,7 @@ HammerCampaignResult run_one_fabric(const HammerCampaign& campaign) {
     r.total_flips += channel_flips;
     r.defense_time += stack.ctrl->defense_time();
     r.elapsed = std::max(r.elapsed, stack.ctrl->now());
+    merge_refresh(r.refresh, *stack.ctrl);
     ChannelBreakdown cb;
     cb.granted_acts = part.attack.granted_acts;
     cb.denied_acts = part.attack.denied_acts;
@@ -782,6 +796,7 @@ HammerCampaignResult run_one_fabric(const HammerCampaign& campaign) {
     r.integrity_config = ispec.config;
   }
   r.faults_enabled = campaign.env.faults.enabled();
+  r.timed = campaign.env.timing_spec.enabled;
   r.degraded = r.locker.degraded_locks > 0 || r.locker.degraded_swaps > 0 ||
                r.degraded_migrations > 0 ||
                r.integrity.unrecoverable_faults > 0;
@@ -794,6 +809,7 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
   if (campaign.env.fabric.sharded()) return run_one_fabric(campaign);
   DL_REQUIRE(campaign.cycles > 0, "campaign needs at least one cycle");
   Controller ctrl(campaign.env.geometry, campaign.env.timing);
+  ctrl.set_timing_spec(campaign.env.timing_spec);
   dl::rowhammer::DisturbanceModel model(ctrl, campaign.env.disturbance,
                                         dl::Rng(campaign.env.disturbance_seed));
   ctrl.add_listener(&model);
@@ -909,6 +925,8 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
   r.total_flips = model.total_flips();
   r.defense_time = ctrl.defense_time();
   r.elapsed = ctrl.now();
+  r.timed = campaign.env.timing_spec.enabled;
+  merge_refresh(r.refresh, ctrl);
   return r;
 }
 
@@ -1106,6 +1124,7 @@ ServeCampaignResult run_serve(const ServeCampaign& campaign) {
     }
     if (stack.injector != nullptr) add_to(r.faults, stack.injector->stats());
     r.defense_time += stack.ctrl->defense_time();
+    merge_refresh(r.refresh, *stack.ctrl);
   }
   r.locker = harvest.locker;
   r.locked_rows = harvest.locked_rows;
@@ -1114,6 +1133,7 @@ ServeCampaignResult run_serve(const ServeCampaign& campaign) {
     r.integrity_config = ispec.config;
   }
   r.faults_enabled = campaign.env.faults.enabled();
+  r.timed = campaign.env.timing_spec.enabled;
   r.degraded = r.locker.degraded_locks > 0 || r.locker.degraded_swaps > 0 ||
                harvest.degraded_migrations > 0 ||
                r.integrity.unrecoverable_faults > 0;
@@ -1322,6 +1342,31 @@ void put_integrity_outcome(dl::json::Value& v, const Counters& s,
       s.corrected_bits, s.zeroed_corrupt_bytes, audit);
 }
 
+/// Appends the opt-in "timing" block: nanosecond-denominated durations and
+/// the refresh-schedule outcome.  Emitted only for campaigns that ran the
+/// cycle-approximate engine, so untimed reports stay byte-identical.
+/// `scrub_bytes` > 0 adds the scrub bandwidth in GB/s.
+void put_timing_block(dl::json::Value& v, const dl::dram::RefreshStats& refresh,
+                      Picoseconds elapsed, Picoseconds defense_time,
+                      std::uint64_t scrub_bytes) {
+  auto timing = dl::json::Value::object();
+  timing["elapsed_ns"] = to_nanoseconds(elapsed);
+  timing["defense_time_ns"] = to_nanoseconds(defense_time);
+  timing["defense_overhead_pct"] =
+      elapsed > 0
+          ? 100.0 * static_cast<double>(defense_time) / static_cast<double>(elapsed)
+          : 0.0;
+  timing["refs_issued"] = refresh.refs_issued;
+  timing["ref_busy_ps"] = refresh.ref_busy_ps;
+  timing["max_ref_slip_ps"] = refresh.max_ref_slip_ps;
+  if (scrub_bytes > 0) {
+    const double secs = to_seconds(elapsed);
+    timing["scrub_bandwidth_gb_per_sec"] =
+        secs > 0.0 ? static_cast<double>(scrub_bytes) / secs / 1e9 : 0.0;
+  }
+  v["timing"] = std::move(timing);
+}
+
 }  // namespace
 
 dl::json::Value to_json(const HammerCampaignResult& r) {
@@ -1423,6 +1468,10 @@ dl::json::Value to_json(const HammerCampaignResult& r) {
     faults["checksum_faults"] = r.faults.checksum_faults;
     v["faults"] = std::move(faults);
   }
+  if (r.timed) {
+    put_timing_block(v, r.refresh, r.elapsed, r.defense_time,
+                     r.integrity_enabled ? r.integrity.scrub_read_bytes : 0);
+  }
   return v;
 }
 
@@ -1518,6 +1567,10 @@ dl::json::Value to_json(const ServeCampaignResult& r) {
     faults["remap_faults"] = r.faults.remap_faults;
     faults["checksum_faults"] = r.faults.checksum_faults;
     v["faults"] = std::move(faults);
+  }
+  if (r.timed) {
+    put_timing_block(v, r.refresh, r.merged.elapsed, r.defense_time,
+                     r.integrity_enabled ? r.integrity.scrub_read_bytes : 0);
   }
   return v;
 }

@@ -194,6 +194,11 @@ struct DramEnv {
   /// channel count lives in fabric.channels).
   dl::dram::Geometry geometry;
   dl::dram::Timing timing = dl::dram::ddr4_2400();
+  /// Opt-in cycle-approximate timing engine (per-bank tRC/tRRD/tFAW
+  /// bookkeeping, scheduled REF every tREFI).  Off by default: reports stay
+  /// byte-identical to the analytic-latency controller.  When enabled the
+  /// result carries a "timing" block with nanosecond-denominated fields.
+  dl::dram::TimingSpec timing_spec;
   dl::rowhammer::DisturbanceConfig disturbance;
   std::uint64_t disturbance_seed = 1;  ///< victim-bit selection stream
   /// Deterministic fault model (retention/transient/stuck-at data faults,
@@ -313,6 +318,11 @@ struct HammerCampaignResult {
   /// `elapsed` which is the makespan over channels).
   std::uint32_t fabric_channels = 1;
   std::vector<ChannelBreakdown> channels;
+  /// Timing-engine outcome (env.timing_spec.enabled campaigns only).
+  /// Refresh stats are fabric-wide: sums, except max_ref_slip_ps which is
+  /// the worst slip over channels.
+  bool timed = false;
+  dl::dram::RefreshStats refresh;
 };
 
 /// Runs one campaign on the calling thread.  Throws on a malformed spec.
@@ -405,6 +415,10 @@ struct ServeCampaignResult {
   bool faults_enabled = false;
   dl::faults::FaultStats faults;          ///< summed over channels
   bool degraded = false;
+  /// Timing-engine outcome (env.timing_spec.enabled campaigns only; see
+  /// HammerCampaignResult::refresh for the merge rules).
+  bool timed = false;
+  dl::dram::RefreshStats refresh;
 };
 
 /// Runs one serving campaign; channels execute concurrently over the

@@ -1,0 +1,35 @@
+// Intentional host-clock leaks into timing-engine code (corpus; not built).
+// The cycle-approximate DRAM clock is integer picoseconds derived purely
+// from Timing presets — any host time source smuggled into a latency or
+// REF-schedule computation breaks bit-for-bit determinism.
+#include <chrono>
+#include <ctime>
+
+namespace corpus {
+
+long bad_timespec_epoch() {
+  timespec ts{};
+  timespec_get(&ts, TIME_UTC);  // EXPECT-LINT: wall-clock
+  return ts.tv_nsec;
+}
+
+unsigned long long bad_tsc_as_dram_clock() {
+  // "Calibrating" the picosecond clock against the host TSC.
+  return __rdtsc();  // EXPECT-LINT: wall-clock
+}
+
+unsigned long long bad_builtin_cycle_counter() {
+  return __builtin_readcyclecounter();  // EXPECT-LINT: wall-clock
+}
+
+double bad_utc_ref_deadline() {
+  using clock = std::chrono::utc_clock;  // EXPECT-LINT: wall-clock
+  return 0.0;
+}
+
+double bad_file_clock_stamp() {
+  using clock = std::chrono::file_clock;  // EXPECT-LINT: wall-clock
+  return 0.0;
+}
+
+}  // namespace corpus

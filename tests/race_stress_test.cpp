@@ -244,6 +244,36 @@ TEST(RaceStress, TrafficDrainFanoutByteIdentical) {
   EXPECT_EQ(serial, fanned);
 }
 
+TEST(RaceStress, TimedServeFanoutByteIdentical) {
+  // The timing engine under the TSan lane: per-channel TimingModels are
+  // controller-owned (no shared mutable state), so a sharded serve with
+  // timing enabled must stay race-free and byte-deterministic while the
+  // fabric fans channels out across the pool.
+  scenario::ServeCampaign c;
+  c.name = "timed-serve-race";
+  c.env = small_env();
+  c.env.timing_spec = {.enabled = true, .scheduled_refresh = true};
+  c.env.fabric.channels = 2;
+  c.defense = DefenseSpec::graphene(500, 64, 2);
+  c.traffic.tenants = {
+      traffic::StreamSpec::weight_reader(/*base_row=*/64, /*rows=*/16,
+                                         /*requests=*/2000),
+      traffic::StreamSpec::synthetic(/*base_row=*/256, /*rows=*/64,
+                                     /*requests=*/2000, /*locality=*/0.4,
+                                     /*write_fraction=*/0.3, /*seed=*/11),
+      traffic::StreamSpec::hammer(rowhammer::HammerPattern::kDoubleSided,
+                                  /*victim_row=*/40, /*acts=*/1500),
+  };
+  c.rounds = 2;
+  parallel::set_threads(1);
+  const std::string serial = scenario::to_json(scenario::run_serve(c)).dump();
+  parallel::set_threads(8);
+  const std::string fanned = scenario::to_json(scenario::run_serve(c)).dump();
+  parallel::set_threads(0);
+  EXPECT_EQ(serial, fanned);
+  EXPECT_NE(serial.find("\"timing\""), std::string::npos);
+}
+
 // --- journaled runs --------------------------------------------------------
 
 TEST(RaceStress, JournaledFanoutAppendsAreAtomic) {

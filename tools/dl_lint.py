@@ -150,6 +150,10 @@ BANNED_CALLS = {
     "clock": "clock() reads process CPU time",
     "gettimeofday": "gettimeofday() reads the wall clock",
     "clock_gettime": "clock_gettime() reads the wall clock",
+    "timespec_get": "timespec_get() reads the wall clock",
+    "__rdtsc": "__rdtsc() reads the CPU cycle counter",
+    "__builtin_readcyclecounter":
+        "__builtin_readcyclecounter() reads the CPU cycle counter",
 }
 BANNED_TYPES = {
     "random_device": "std::random_device is ambient entropy",
@@ -157,6 +161,8 @@ BANNED_TYPES = {
     "steady_clock": "std::chrono::steady_clock reads the wall clock",
     "high_resolution_clock":
         "std::chrono::high_resolution_clock reads the wall clock",
+    "utc_clock": "std::chrono::utc_clock reads the wall clock",
+    "file_clock": "std::chrono::file_clock reads the wall clock",
 }
 # `time(` must be a free or std-qualified call: not a member (./->), not
 # otherwise qualified (my_ns::time), not part of a longer identifier.
