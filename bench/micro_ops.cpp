@@ -456,6 +456,68 @@ void BM_TimedServe(benchmark::State& state) {
 }
 BENCHMARK(BM_TimedServe)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Full chaos campaign (2 channels, serial): resilience + admission armed,
+// fault storm ramping from round 0, channel 1 killed mid-run and restored.
+// The delta vs BM_TimedServe prices the whole self-healing ladder —
+// retirement bookkeeping, failover mirroring, availability accounting —
+// on the serve path.
+void BM_ChaosServe(benchmark::State& state) {
+  parallel::set_threads(1);
+  scenario::ServeCampaign campaign;
+  campaign.name = "bench-chaos";
+  campaign.env.geometry.channels = 1;
+  campaign.env.geometry.banks = 2;
+  campaign.env.geometry.subarrays_per_bank = 4;
+  campaign.env.geometry.rows_per_subarray = 256;
+  campaign.env.geometry.row_bytes = 4096;
+  campaign.env.fabric.channels = 2;
+  campaign.env.resilience.spare_rows = 8;
+  campaign.env.resilience.strike_threshold = 2;
+  campaign.env.faults.period_acts = 128;
+  campaign.env.faults.transient_rate = 0.5;
+  campaign.env.faults.retention_rate = 0.5;
+  campaign.env.faults.target_base = 32;
+  campaign.env.faults.target_rows = 32;
+  campaign.defense = scenario::DefenseSpec::none().with_integrity({});
+  campaign.defense.integrity.enabled = true;
+  campaign.traffic.admission.enabled = true;
+  campaign.traffic.tenants = {
+      traffic::StreamSpec::weight_reader(/*base_row=*/32, /*rows=*/64, 2048),
+      traffic::StreamSpec::synthetic(/*base_row=*/256, /*rows=*/256, 1024,
+                                     /*locality=*/0.4, /*write_fraction=*/0.2,
+                                     /*seed=*/1),
+  };
+  traffic::StreamSpec pinned = traffic::StreamSpec::weight_reader(
+      /*base_row=*/campaign.env.geometry.total_rows() + 32, /*rows=*/64,
+      1024);
+  pinned.pin_channel = 1;
+  campaign.traffic.tenants.push_back(pinned);
+  campaign.traffic.scheduler.batch = 2;
+  campaign.rounds = 4;
+  campaign.chaos.storm_start = 0;
+  campaign.chaos.storm_rounds = 2;
+  campaign.chaos.min_period_acts = 32;
+  campaign.chaos.stuck_cells_per_round = 2;
+  campaign.chaos.kill_channel = 1;
+  campaign.chaos.kill_at_round = 1;
+  campaign.chaos.restore_at_round = 2;
+  std::uint64_t serviced = 0;
+  double availability = 0.0;
+  for (auto _ : state) {
+    const auto r = scenario::run_serve(campaign);
+    serviced += r.merged.serviced;
+    availability += r.availability.availability();
+    benchmark::DoNotOptimize(r.merged.serviced);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(serviced));
+  if (state.iterations() > 0) {
+    state.counters["availability"] = benchmark::Counter(
+        availability / static_cast<double>(state.iterations()));
+  }
+  parallel::set_threads(0);
+}
+BENCHMARK(BM_ChaosServe)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_ScrubPass(benchmark::State& state) {
   // One clean scrub sweep of 8 rows through the controller (accounted
   // reads + group verification); sim_ns counts the DRAM time one pass

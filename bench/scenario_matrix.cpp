@@ -372,9 +372,55 @@ int main(int argc, char** argv) {
   serve4.env.fabric.channels = 4;
   serve4.env.fabric.interleave = dram::InterleavePolicy::kRowRoundRobin;
 
+  // ---- Chaos / self-healing resilience grid ------------------------------
+  // Row-blocked interleave gives each channel an ownable row range, so the
+  // weight reader pinned to channel 1 is a failover candidate when chaos
+  // kills that channel mid-run.  The resilience spec arms row retirement
+  // (scrubber strikes -> per-channel spare slab) and admission control
+  // bounds enqueue retries and sheds past-deadline work.
+  const dram::GlobalRowId rows_per_channel = spec.env.geometry.total_rows();
+  traffic::StreamSpec web_slo = web;
+  web_slo.slo_p99 = 1'000'000;   // 1 us p99 target
+  web_slo.deadline = 2'000'000;  // 2 us per-request deadline
+  traffic::StreamSpec weights_ch1 = weights;
+  weights_ch1.name = "weights-ch1";
+  weights_ch1.base_row = rows_per_channel + 32;  // home: channel 1
+  weights_ch1.pin_channel = 1;
+
+  scenario::ServeCampaign chaos_base = serve4;
+  chaos_base.name = "chaos/baseline";
+  chaos_base.env.fabric.interleave = dram::InterleavePolicy::kRowBlocked;
+  chaos_base.env.resilience.spare_rows = 8;
+  chaos_base.env.resilience.strike_threshold = 2;
+  chaos_base.traffic.admission.enabled = true;
+  chaos_base.traffic.admission.retry_budget = 4;
+  chaos_base.traffic.tenants = {web_slo, weights, weights_ch1, hammer_tenant};
+  chaos_base.rounds = scale == bench::Scale::kFast ? 3 : 5;
+
+  scenario::ServeCampaign chaos_storm = chaos_base;
+  chaos_storm.name = "chaos/storm";
+  chaos_storm.env.faults = faults_grid.env.faults;
+  chaos_storm.chaos.storm_start = 1;
+  chaos_storm.chaos.storm_rounds = 2;
+  chaos_storm.chaos.period_ramp = 0.5;
+  chaos_storm.chaos.min_period_acts = 32;
+  chaos_storm.chaos.stuck_cells_per_round = 2;
+
+  scenario::ServeCampaign chaos_kill = chaos_storm;
+  chaos_kill.name = "chaos/kill";
+  chaos_kill.chaos.kill_channel = 1;
+  chaos_kill.chaos.kill_at_round = 1;
+  chaos_kill.chaos.restore_at_round = 2;
+
+  const std::vector<scenario::ServeCampaign> serve_campaigns = {
+      serve1, serve4, chaos_base, chaos_storm, chaos_kill};
   std::vector<scenario::ServeCampaignResult> serve_results;
-  for (const auto& s : {serve1, serve4}) {
-    serve_results.push_back(scenario::run_serve_isolated(s));
+  if (journal) {
+    serve_results = scenario::run_serve_journaled(serve_campaigns, *journal);
+  } else {
+    for (const auto& s : serve_campaigns) {
+      serve_results.push_back(scenario::run_serve_isolated(s));
+    }
   }
 
   TextTable slo({"campaign", "tenant", "granted", "denied", "rejected",
@@ -395,6 +441,30 @@ int main(int argc, char** argv) {
   }
   std::printf("\nserving mode (steady-state SLO, merged over channels):\n%s",
               slo.to_string().c_str());
+
+  TextTable chaos_grid({"campaign", "health", "retired", "spares left",
+                        "availability", "shed", "failed", "redirected",
+                        "degraded (us)", "mttr (us)"});
+  for (const auto& r : serve_results) {
+    if (!r.resilience_enabled && !r.chaos_enabled) continue;
+    std::string health;
+    for (const resilience::ChannelHealth h : r.channel_health) {
+      if (!health.empty()) health += '/';
+      health += resilience::to_string(h);
+    }
+    const auto& av = r.availability;
+    chaos_grid.add_row(
+        {r.name, health, std::to_string(r.resilience.retired_rows),
+         std::to_string(r.resilience.spares_remaining),
+         r.chaos_enabled ? TextTable::num(av.availability(), 4) : "-",
+         std::to_string(av.shed), std::to_string(av.failed),
+         std::to_string(av.redirected),
+         TextTable::num(to_seconds(av.time_in_degraded) * 1e6, 2),
+         TextTable::num(to_seconds(av.mttr) * 1e6, 2)});
+  }
+  std::printf("\nself-healing resilience (chaos campaigns, availability "
+              "SLOs):\n%s",
+              chaos_grid.to_string().c_str());
 
   // ---- BFA wing: the same four defense cells against a trained victim ----
   // (fast-trained; see fig_radar_compare / fig8_bfa_defense for the

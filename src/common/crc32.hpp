@@ -1,0 +1,24 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Used by the campaign journal to detect mid-line corruption that still
+// parses as JSON: each journal line carries the CRC of its payload and the
+// loader drops (with a warning) any line whose checksum disagrees.  The
+// implementation is the classic byte-at-a-time table walk — fast enough for
+// journal lines and free of dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dl {
+
+/// CRC32 of `data` (initial value 0xFFFFFFFF, final xor 0xFFFFFFFF — the
+/// standard zlib/PNG convention).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size);
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view s) {
+  return crc32(s.data(), s.size());
+}
+
+}  // namespace dl

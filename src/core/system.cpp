@@ -73,6 +73,14 @@ dl::dram::CounterBlock FabricView::counter_totals() const {
   return total;
 }
 
+std::uint32_t FabricView::healthy_channels() const {
+  std::uint32_t n = 0;
+  for (const auto& ch : *chs_) {
+    if (ch->health != dl::resilience::ChannelHealth::kOffline) ++n;
+  }
+  return n;
+}
+
 dl::json::Value to_json(const FabricReport& report) {
   const auto report_body = [](const dl::traffic::TrafficReport& r) {
     dl::json::Value v = dl::json::Value::object();
@@ -143,8 +151,23 @@ dl::dram::AccessResult Fabric::read(dl::dram::PhysAddr addr,
     DL_REQUIRE(ga.byte + out.size() <= fabric_map_.row_bytes(),
                "fabric access must not cross a row-interleave boundary");
   }
-  return channel_at(ga.channel).ctrl->read(fabric_map_.local_addr(ga), out,
-                                           can_unlock);
+  auto& ch = channel_at(ga.channel);
+  const dl::dram::PhysAddr local = fabric_map_.local_addr(ga);
+  if (ch.health == dl::resilience::ChannelHealth::kOffline) {
+    const dl::dram::GlobalRowId local_row = ch.ctrl->mapper().row_of(local);
+    if (ch.mirrored.count(local_row) != 0) {
+      // Mirrored (protected) region: serve from the replica's copy, which
+      // lives at the same channel-local address.  The read is accounted on
+      // the replica — it's the one doing the work.
+      auto& rep = channel_at(replica_of(ga.channel));
+      const auto res = rep.ctrl->read(local, out, can_unlock);
+      rep.ctrl->counters().add(dl::dram::Counter::kFailoverReads);
+      return res;
+    }
+    return dl::dram::AccessResult{.granted = false, .row_hit = false,
+                                  .latency = 0};
+  }
+  return ch.ctrl->read(local, out, can_unlock);
 }
 
 dl::dram::AccessResult Fabric::write(dl::dram::PhysAddr addr,
@@ -155,15 +178,51 @@ dl::dram::AccessResult Fabric::write(dl::dram::PhysAddr addr,
     DL_REQUIRE(ga.byte + in.size() <= fabric_map_.row_bytes(),
                "fabric access must not cross a row-interleave boundary");
   }
-  return channel_at(ga.channel).ctrl->write(fabric_map_.local_addr(ga), in,
-                                            can_unlock);
+  auto& ch = channel_at(ga.channel);
+  const dl::dram::PhysAddr local = fabric_map_.local_addr(ga);
+  const bool offline = ch.health == dl::resilience::ChannelHealth::kOffline;
+  if (ch.mirrored.empty()) {
+    if (offline) {
+      // Unmirrored write to a dead channel: explicit error, never a silent
+      // drop into a void.
+      ch.ctrl->counters().add(dl::dram::Counter::kFailedWrites);
+      return dl::dram::AccessResult{.granted = false, .row_hit = false,
+                                    .latency = 0};
+    }
+    return ch.ctrl->write(local, in, can_unlock);
+  }
+  const dl::dram::GlobalRowId local_row = ch.ctrl->mapper().row_of(local);
+  const bool mirrored = ch.mirrored.count(local_row) != 0;
+  if (offline) {
+    if (!mirrored) {
+      ch.ctrl->counters().add(dl::dram::Counter::kFailedWrites);
+      return dl::dram::AccessResult{.granted = false, .row_hit = false,
+                                    .latency = 0};
+    }
+    // Mirrored write while the owner is down lands on the replica so the
+    // protected copy stays current for when the owner is restored.
+    return channel_at(replica_of(ga.channel)).ctrl->write(local, in,
+                                                          can_unlock);
+  }
+  const auto res = ch.ctrl->write(local, in, can_unlock);
+  if (mirrored && res.granted) {
+    // Write-through: the replica's copy must track the primary, and that
+    // bandwidth is the real cost of mirroring, so it stays accounted.
+    channel_at(replica_of(ga.channel)).ctrl->write(local, in, can_unlock);
+  }
+  return res;
 }
 
 dl::dram::AccessResult Fabric::hammer(dl::dram::PhysAddr addr,
                                       bool can_unlock) {
   const auto ga = fabric_map_.decode(addr);
-  return channel_at(ga.channel).ctrl->hammer(fabric_map_.local_addr(ga),
-                                             can_unlock);
+  auto& ch = channel_at(ga.channel);
+  if (ch.health == dl::resilience::ChannelHealth::kOffline) {
+    // No failover for ACT-only traffic: a dead channel cannot be hammered.
+    return dl::dram::AccessResult{.granted = false, .row_hit = false,
+                                  .latency = 0};
+  }
+  return ch.ctrl->hammer(fabric_map_.local_addr(ga), can_unlock);
 }
 
 dl::dram::PhysAddr Fabric::row_base(dl::dram::GlobalRowId fabric_row) const {
@@ -318,6 +377,48 @@ FabricReport Fabric::serve(std::vector<dl::traffic::StreamSpec> tenants,
     report.merged.elapsed = std::max(report.merged.elapsed, r.elapsed);
   }
   return report;
+}
+
+// -- resilience / failover ----------------------------------------------------
+
+std::size_t Fabric::mirror_physical_range(dl::dram::PhysAddr base,
+                                          std::uint64_t bytes) {
+  DL_REQUIRE(channels() > 1, "mirroring needs a replica channel");
+  DL_REQUIRE(bytes > 0, "range must be non-empty");
+  const std::uint32_t row_bytes = fabric_map_.row_bytes();
+  std::size_t mirrored = 0;
+  std::vector<std::uint8_t> buf(row_bytes);
+  for (dl::dram::PhysAddr addr = base - (base % row_bytes);
+       addr < base + bytes; addr += row_bytes) {
+    const auto ga = fabric_map_.decode(addr);
+    auto& ch = channel_at(ga.channel);
+    const dl::dram::GlobalRowId local_row =
+        ch.ctrl->mapper().row_of(fabric_map_.local_addr(ga));
+    if (!ch.mirrored.insert(local_row).second) continue;
+    // Seed the replica's copy from the owner's current contents.  Like
+    // scrubber registration this is setup, not accounted traffic — a
+    // deployment mirrors before the attack window opens.
+    auto& rep = channel_at(replica_of(ga.channel));
+    ch.ctrl->data().read(ch.ctrl->indirection().to_physical(local_row), 0,
+                         buf);
+    rep.ctrl->data().write(rep.ctrl->indirection().to_physical(local_row), 0,
+                           buf);
+    ++mirrored;
+  }
+  return mirrored;
+}
+
+void Fabric::kill_channel(ChannelId c) {
+  channel_at(c).health = dl::resilience::ChannelHealth::kOffline;
+}
+
+void Fabric::restore_channel(ChannelId c) {
+  channel_at(c).health = dl::resilience::ChannelHealth::kHealthy;
+}
+
+void Fabric::set_channel_health(ChannelId c,
+                                dl::resilience::ChannelHealth h) {
+  channel_at(c).health = h;
 }
 
 // -- protection API -----------------------------------------------------------

@@ -33,6 +33,7 @@
 #pragma once
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "attack/hammer_gate.hpp"
@@ -44,6 +45,7 @@
 #include "defense/shadow.hpp"
 #include "dram/controller.hpp"
 #include "dram/fabric.hpp"
+#include "resilience/resilience.hpp"
 #include "rowhammer/attacker.hpp"
 #include "rowhammer/disturbance.hpp"
 #include "sys/address_space.hpp"
@@ -93,6 +95,12 @@ struct FabricChannel {
   std::unique_ptr<dl::sys::FrameAllocator> frames;
   std::unique_ptr<dl::defense::DramLocker> locker;
   std::unique_ptr<dl::defense::Shadow> shadow;
+  /// Self-healing ladder rung (see resilience::ChannelHealth); offline
+  /// channels fail writes and reroute mirrored reads to the replica.
+  dl::resilience::ChannelHealth health =
+      dl::resilience::ChannelHealth::kHealthy;
+  /// Channel-local logical rows with a live replica on channel (c+1)%N.
+  std::unordered_set<dl::dram::GlobalRowId> mirrored;
 };
 
 }  // namespace detail
@@ -138,6 +146,13 @@ class ChannelView {
   [[nodiscard]] const dl::defense::Shadow* shadow() const {
     return ch_->shadow.get();
   }
+  [[nodiscard]] dl::resilience::ChannelHealth health() const {
+    return ch_->health;
+  }
+  /// Channel-local logical rows mirrored onto the replica channel.
+  [[nodiscard]] std::size_t mirrored_rows() const {
+    return ch_->mirrored.size();
+  }
 
  private:
   const detail::FabricChannel* ch_;
@@ -163,6 +178,9 @@ class FabricView {
 
   /// Sum of every channel's typed counters (enum order).
   [[nodiscard]] dl::dram::CounterBlock counter_totals() const;
+
+  /// Channels currently serving (health != kOffline).
+  [[nodiscard]] std::uint32_t healthy_channels() const;
 
  private:
   const std::vector<std::unique_ptr<detail::FabricChannel>>* chs_;
@@ -309,6 +327,30 @@ class Fabric {
   FabricReport serve(std::vector<dl::traffic::StreamSpec> tenants,
                      const dl::traffic::SchedulerConfig& scheduler = {});
 
+  // -- resilience / failover --------------------------------------------------
+  // The self-healing ladder's fabric face: mirrored (protected) regions
+  // keep serving reads when their owning channel goes offline; everything
+  // else fails explicitly instead of silently reading stale bytes.
+
+  /// Mirrors every fabric row overlapped by [base, base+bytes) onto the
+  /// replica channel (c+1)%channels at the same channel-local row: the
+  /// replica's copy is seeded now (setup, unaccounted) and kept fresh by
+  /// write-through on subsequent fabric writes.  Requires channels > 1.
+  /// Returns rows mirrored.
+  std::size_t mirror_physical_range(dl::dram::PhysAddr base,
+                                    std::uint64_t bytes);
+
+  /// Marks a channel offline (chaos kill): reads of mirrored rows fail
+  /// over to the replica (kFailoverReads), every other access fails with
+  /// granted = false (writes also bump kFailedWrites).
+  void kill_channel(ChannelId c);
+
+  /// Returns a killed channel to service.
+  void restore_channel(ChannelId c);
+
+  /// Degrades/overrides a channel's health rung directly (scenario layer).
+  void set_channel_health(ChannelId c, dl::resilience::ChannelHealth h);
+
   // -- protection API ---------------------------------------------------------
 
   /// Locks the neighbours of every fabric row overlapped by
@@ -333,6 +375,11 @@ class Fabric {
 
   [[nodiscard]] detail::FabricChannel& channel_at(ChannelId c);
   [[nodiscard]] const detail::FabricChannel& channel_at(ChannelId c) const;
+
+  /// Failover target of channel `c` (the next channel, wrapping).
+  [[nodiscard]] ChannelId replica_of(ChannelId c) const {
+    return static_cast<ChannelId>((c + 1) % channels_.size());
+  }
 
   /// Channel-local protect of one channel-local logical row range walk.
   std::size_t protect_local_range(ChannelId c, dl::dram::PhysAddr local_base,

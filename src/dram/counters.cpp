@@ -25,6 +25,10 @@ const char* to_string(Counter c) {
     case Counter::kDegradedLocks:       return "degraded_locks";
     case Counter::kDegradedSwaps:       return "degraded_swaps";
     case Counter::kAutoRefreshes:       return "auto_refreshes";
+    case Counter::kRetiredRows:         return "retired_rows";
+    case Counter::kRemapReads:          return "remap_reads";
+    case Counter::kFailoverReads:       return "failover_reads";
+    case Counter::kFailedWrites:        return "failed_writes";
   }
   return "?";
 }

@@ -52,10 +52,15 @@ enum class Counter : std::uint8_t {
   kDegradedSwaps,       ///< swap operations degraded to targeted refreshes
   // Timed-mode accounting.
   kAutoRefreshes,       ///< scheduled all-bank REFs issued by the TimingModel
+  // Self-healing fabric (resilience layer; see src/resilience/).
+  kRetiredRows,         ///< rows retired onto spares (resilience::RowRetirer)
+  kRemapReads,          ///< physical activations landing in the spare slab
+  kFailoverReads,       ///< mirrored reads rerouted off an offline channel
+  kFailedWrites,        ///< unmirrored writes failed on an offline channel
 };
 
 inline constexpr std::size_t kNumCounters =
-    static_cast<std::size_t>(Counter::kAutoRefreshes) + 1;
+    static_cast<std::size_t>(Counter::kFailedWrites) + 1;
 static_assert(kNumCounters <= 256, "order_ stores uint8_t indices");
 
 /// StatSet key the counter exports under (the legacy string name).

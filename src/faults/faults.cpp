@@ -123,6 +123,27 @@ void FaultInjector::inject_event() {
   }
 }
 
+void FaultInjector::set_period_acts(std::uint64_t period_acts) {
+  DL_REQUIRE(period_acts > 0,
+             "fault injection cadence (period_acts) must be positive");
+  spec_.period_acts = period_acts;
+}
+
+void FaultInjector::add_stuck_cells(std::size_t count) {
+  stuck_.reserve(stuck_.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    StuckCell cell;
+    cell.row = pick_row();
+    cell.byte = static_cast<std::uint32_t>(
+        rng_.next_below(ctrl_.geometry().row_bytes));
+    cell.bit = static_cast<unsigned>(rng_.next_below(8));
+    cell.value = rng_.chance(0.5);
+    stuck_.push_back(cell);
+  }
+  stats_.stuck_cells = stuck_.size();
+  assert_stuck_cells();
+}
+
 void FaultInjector::on_activate(GlobalRowId /*physical_row*/,
                                 Picoseconds /*now*/) {
   if (injecting_) return;  // re-entrancy guard (belt and braces)

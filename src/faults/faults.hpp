@@ -116,6 +116,19 @@ class FaultInjector final : public dl::dram::ActivationListener {
   [[nodiscard]] const FaultSpec& spec() const { return spec_; }
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
 
+  // -- chaos-campaign escalation (scenario::ChaosSpec) -----------------------
+  // Both mutators are called serially between serve rounds (never from
+  // on_activate), in channel order, so the injector stream stays
+  // deterministic for any DL_THREADS value.
+
+  /// Tightens (or relaxes) the injection cadence mid-campaign.
+  void set_period_acts(std::uint64_t period_acts);
+
+  /// Installs `count` additional stuck-at cells, drawn from the injector's
+  /// own RNG stream, and asserts them immediately — the chaos storm's
+  /// permanent-fault accumulation.
+  void add_stuck_cells(std::size_t count);
+
  private:
   struct StuckCell {
     dl::dram::GlobalRowId row = 0;

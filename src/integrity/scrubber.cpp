@@ -86,6 +86,10 @@ void DramScrubber::verify_group(std::size_t row_idx, std::size_t group_in_row,
       ++stats_.checksum_repairs;
       break;
     case Diagnosis::State::kUncorrectable: {
+      // Strike the resilience layer regardless of recovery policy: an
+      // uncorrectable diagnosis is evidence the row is going bad even when
+      // correct-or-zero papers over this instance.
+      if (fault_observer_) fault_observer_(rows_[row_idx], ctrl_.now());
       if (config_.recovery != Recovery::kCorrectOrZero) {
         ++stats_.uncorrectable;
         break;
@@ -149,6 +153,18 @@ void DramScrubber::on_read(PhysAddr addr,
   ++stats_.scrub_reads;
   stats_.scrub_read_bytes += data.size();
   verify_group(it->second, rb.byte / config_.group_size, data);
+}
+
+bool DramScrubber::snapshot_row(GlobalRowId row,
+                                std::vector<std::uint8_t>& out) const {
+  const auto it = row_index_.find(row);
+  if (it == row_index_.end()) return false;
+  const std::uint32_t row_bytes = ctrl_.geometry().row_bytes;
+  out.assign(snapshot_.begin() + static_cast<std::ptrdiff_t>(
+                                     it->second * row_bytes),
+             snapshot_.begin() + static_cast<std::ptrdiff_t>(
+                                     (it->second + 1) * row_bytes));
+  return true;
 }
 
 Audit DramScrubber::audit() const {

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <unordered_map>
@@ -112,6 +113,19 @@ class DramScrubber {
   /// * groups_per_row + group-in-row).
   [[nodiscard]] BlockChecksums& checksums() { return *checksums_; }
 
+  /// Called on every uncorrectable diagnosis with the guarded row's
+  /// *logical* id and the controller clock.  The resilience layer's
+  /// RowRetirer subscribes here to accumulate retirement strikes.
+  using FaultObserver =
+      std::function<void(dl::dram::GlobalRowId logical_row, Picoseconds now)>;
+  void set_fault_observer(FaultObserver fn) { fault_observer_ = std::move(fn); }
+
+  /// Copies the pristine snapshot bytes of logical row `row` into `out`
+  /// (resized to row_bytes).  Returns false when `row` is not guarded —
+  /// the re-materialization source for retired rows.
+  bool snapshot_row(dl::dram::GlobalRowId row,
+                    std::vector<std::uint8_t>& out) const;
+
  private:
   dl::dram::Controller& ctrl_;
   Config config_;
@@ -122,6 +136,7 @@ class DramScrubber {
   std::unique_ptr<BlockChecksums> checksums_;
   std::vector<std::uint8_t> snapshot_;  ///< clean row contents, concatenated
   ScrubStats stats_;
+  FaultObserver fault_observer_;  ///< resilience strike path; may be empty
 
   [[nodiscard]] dl::dram::PhysAddr addr_of(std::size_t row_idx,
                                            std::uint32_t byte) const;

@@ -1,0 +1,101 @@
+#include "resilience/resilience.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dl::resilience {
+
+const char* to_string(ChannelHealth h) {
+  switch (h) {
+    case ChannelHealth::kHealthy:  return "healthy";
+    case ChannelHealth::kDegraded: return "degraded";
+    case ChannelHealth::kOffline:  return "offline";
+  }
+  return "?";
+}
+
+void ResilienceSpec::validate(std::uint64_t total_rows) const {
+  DL_REQUIRE(strike_threshold > 0, "resilience: strike_threshold must be > 0");
+  DL_REQUIRE(spare_rows < total_rows,
+             "resilience: spare slab would consume the whole row space");
+}
+
+RowRetirer::RowRetirer(dram::Controller& ctrl, const ResilienceSpec& spec)
+    : ctrl_(ctrl), spec_(spec) {
+  const std::uint64_t total = ctrl_.geometry().total_rows();
+  spec_.validate(total);
+  spare_base_ = total - spec_.spare_rows;
+  stats_.spares_total = spec_.spare_rows;
+  stats_.spares_remaining = spec_.spare_rows;
+}
+
+void RowRetirer::on_activate(dram::GlobalRowId physical_row,
+                             Picoseconds /*now*/) {
+  // A physical activation inside the slab means a retired row's traffic was
+  // remapped here — including our own re-materialization writes, which are
+  // remap traffic too.
+  if (spec_.enabled() && physical_row >= spare_base_) {
+    ++stats_.remap_reads;
+    ctrl_.counters().add(dram::Counter::kRemapReads);
+  }
+}
+
+bool RowRetirer::note_uncorrectable(dram::GlobalRowId logical_row,
+                                    Picoseconds now) {
+  if (!spec_.enabled() || retiring_) return false;
+  // Spare rows themselves are never retired (no spare-of-a-spare ladder),
+  // and a row is only retired once.
+  if (logical_row >= spare_base_ || retired_.count(logical_row) != 0) {
+    return false;
+  }
+  ++stats_.strikes;
+  auto& window = strikes_[logical_row];
+  window.push_back(now);
+  if (spec_.strike_window > 0) {
+    const Picoseconds horizon =
+        now >= spec_.strike_window ? now - spec_.strike_window : 0;
+    window.erase(std::remove_if(window.begin(), window.end(),
+                                [horizon](Picoseconds t) { return t < horizon; }),
+                 window.end());
+  }
+  if (window.size() < spec_.strike_threshold) return false;
+  if (stats_.spares_remaining == 0) {
+    ++stats_.retires_denied;
+    return false;
+  }
+  retire(logical_row);
+  strikes_.erase(logical_row);
+  return true;
+}
+
+void RowRetirer::retire(dram::GlobalRowId logical_row) {
+  retiring_ = true;
+  // Pull the pristine contents *before* the swap: the snapshot is keyed by
+  // logical row and the swap does not move data, so reading afterwards
+  // would re-materialize from the faulty physical row's current bytes.
+  std::vector<std::uint8_t> pristine;
+  const bool have_snapshot =
+      rematerialize_ && rematerialize_(logical_row, pristine);
+
+  const dram::GlobalRowId spare = spare_base_ + next_spare_;
+  ++next_spare_;
+  --stats_.spares_remaining;
+  ctrl_.indirection().swap_logical(logical_row, spare);
+
+  if (have_snapshot && !pristine.empty()) {
+    // Recovery traffic is defense overhead; can_unlock so a DRAM-Locker
+    // gate treats it like any other defense-issued access.
+    dram::DefenseScope scope(ctrl_);
+    ctrl_.write_bulk(ctrl_.mapper().row_base(logical_row), pristine,
+                     /*can_unlock=*/true);
+    stats_.rematerialized_bytes += pristine.size();
+  }
+
+  retired_.emplace(logical_row, true);
+  ++stats_.retired_rows;
+  ctrl_.counters().add(dram::Counter::kRetiredRows);
+  retiring_ = false;
+}
+
+}  // namespace dl::resilience

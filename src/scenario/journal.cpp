@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 
@@ -53,6 +54,58 @@ dl::integrity::Config integrity_config_from(const Value& v) {
   return c;
 }
 
+Value tenant_to_journal(const dl::traffic::TenantStats& t) {
+  auto tv = Value::object();
+  tv["name"] = t.name;
+  tv["kind"] = static_cast<std::uint8_t>(t.kind);
+  tv["issued"] = t.issued;
+  tv["granted"] = t.granted;
+  tv["denied"] = t.denied;
+  tv["rejected_enqueues"] = t.rejected_enqueues;
+  tv["reads"] = t.reads;
+  tv["writes"] = t.writes;
+  tv["hammer_acts"] = t.hammer_acts;
+  tv["row_hits"] = t.row_hits;
+  tv["data_bytes"] = t.data_bytes;
+  tv["service_time"] = t.service_time;
+  tv["admission"] = t.admission;
+  tv["retried"] = t.retried;
+  tv["shed"] = t.shed;
+  tv["failed"] = t.failed;
+  tv["deadline_misses"] = t.deadline_misses;
+  auto lat = Value::array();
+  for (const Picoseconds p : t.queue_latency) lat.push_back(p);
+  tv["queue_latency"] = std::move(lat);
+  return tv;
+}
+
+dl::traffic::TenantStats tenant_from_journal(const Value& tv) {
+  dl::traffic::TenantStats t;
+  t.name = tv.at("name").as_string();
+  t.kind = static_cast<dl::traffic::StreamKind>(tv.at("kind").as_u64());
+  t.issued = tv.at("issued").as_u64();
+  t.granted = tv.at("granted").as_u64();
+  t.denied = tv.at("denied").as_u64();
+  t.rejected_enqueues = tv.at("rejected_enqueues").as_u64();
+  t.reads = tv.at("reads").as_u64();
+  t.writes = tv.at("writes").as_u64();
+  t.hammer_acts = tv.at("hammer_acts").as_u64();
+  t.row_hits = tv.at("row_hits").as_u64();
+  t.data_bytes = tv.at("data_bytes").as_u64();
+  t.service_time = tv.at("service_time").as_i64();
+  t.admission = tv.at("admission").as_bool();
+  t.retried = tv.at("retried").as_u64();
+  t.shed = tv.at("shed").as_u64();
+  t.failed = tv.at("failed").as_u64();
+  t.deadline_misses = tv.at("deadline_misses").as_u64();
+  const Value& lat = tv.at("queue_latency");
+  t.queue_latency.reserve(lat.size());
+  for (std::size_t j = 0; j < lat.size(); ++j) {
+    t.queue_latency.push_back(lat.item(j).as_i64());
+  }
+  return t;
+}
+
 Value audit_to_journal(const dl::integrity::Audit& a) {
   auto v = Value::object();
   v["corrupt_bytes"] = a.corrupt_bytes;
@@ -65,6 +118,52 @@ dl::integrity::Audit audit_from(const Value& v) {
   a.corrupt_bytes = v.at("corrupt_bytes").as_u64();
   a.missed_bytes = v.at("missed_bytes").as_u64();
   return a;
+}
+
+Value resilience_to_journal(const dl::resilience::ResilienceStats& s) {
+  auto v = Value::object();
+  v["strikes"] = s.strikes;
+  v["retired_rows"] = s.retired_rows;
+  v["spares_total"] = s.spares_total;
+  v["spares_remaining"] = s.spares_remaining;
+  v["remap_reads"] = s.remap_reads;
+  v["rematerialized_bytes"] = s.rematerialized_bytes;
+  v["retires_denied"] = s.retires_denied;
+  return v;
+}
+
+dl::resilience::ResilienceStats resilience_from(const Value& v) {
+  dl::resilience::ResilienceStats s;
+  s.strikes = v.at("strikes").as_u64();
+  s.retired_rows = v.at("retired_rows").as_u64();
+  s.spares_total = v.at("spares_total").as_u64();
+  s.spares_remaining = v.at("spares_remaining").as_u64();
+  s.remap_reads = v.at("remap_reads").as_u64();
+  s.rematerialized_bytes = v.at("rematerialized_bytes").as_u64();
+  s.retires_denied = v.at("retires_denied").as_u64();
+  return s;
+}
+
+Value traffic_report_to_journal(const dl::traffic::TrafficReport& rep) {
+  auto v = Value::object();
+  v["serviced"] = rep.serviced;
+  v["elapsed"] = rep.elapsed;
+  auto tenants = Value::array();
+  for (const auto& t : rep.tenants) tenants.push_back(tenant_to_journal(t));
+  v["tenants"] = std::move(tenants);
+  return v;
+}
+
+dl::traffic::TrafficReport traffic_report_from(const Value& v) {
+  dl::traffic::TrafficReport rep;
+  rep.serviced = v.at("serviced").as_u64();
+  rep.elapsed = v.at("elapsed").as_i64();
+  const Value& tenants = v.at("tenants");
+  rep.tenants.reserve(tenants.size());
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    rep.tenants.push_back(tenant_from_journal(tenants.item(i)));
+  }
+  return rep;
 }
 
 Value hammer_to_journal(const HammerCampaignResult& r) {
@@ -107,25 +206,7 @@ Value hammer_to_journal(const HammerCampaignResult& r) {
   v["defense_time"] = r.defense_time;
   v["elapsed"] = r.elapsed;
   auto tenants = Value::array();
-  for (const auto& t : r.tenants) {
-    auto tv = Value::object();
-    tv["name"] = t.name;
-    tv["kind"] = static_cast<std::uint8_t>(t.kind);
-    tv["issued"] = t.issued;
-    tv["granted"] = t.granted;
-    tv["denied"] = t.denied;
-    tv["rejected_enqueues"] = t.rejected_enqueues;
-    tv["reads"] = t.reads;
-    tv["writes"] = t.writes;
-    tv["hammer_acts"] = t.hammer_acts;
-    tv["row_hits"] = t.row_hits;
-    tv["data_bytes"] = t.data_bytes;
-    tv["service_time"] = t.service_time;
-    auto lat = Value::array();
-    for (const Picoseconds p : t.queue_latency) lat.push_back(p);
-    tv["queue_latency"] = std::move(lat);
-    tenants.push_back(std::move(tv));
-  }
+  for (const auto& t : r.tenants) tenants.push_back(tenant_to_journal(t));
   v["tenants"] = std::move(tenants);
   v["integrity_enabled"] = r.integrity_enabled;
   if (r.integrity_enabled) {
@@ -169,6 +250,10 @@ Value hammer_to_journal(const HammerCampaignResult& r) {
     t["ref_busy_ps"] = r.refresh.ref_busy_ps;
     t["max_ref_slip_ps"] = r.refresh.max_ref_slip_ps;
     v["refresh"] = std::move(t);
+  }
+  v["resilience_enabled"] = r.resilience_enabled;
+  if (r.resilience_enabled) {
+    v["resilience"] = resilience_to_journal(r.resilience);
   }
   v["fabric_channels"] = r.fabric_channels;
   auto channels = Value::array();
@@ -227,26 +312,7 @@ HammerCampaignResult hammer_from_journal(const Value& v) {
   r.elapsed = v.at("elapsed").as_i64();
   const Value& tenants = v.at("tenants");
   for (std::size_t i = 0; i < tenants.size(); ++i) {
-    const Value& tv = tenants.item(i);
-    dl::traffic::TenantStats t;
-    t.name = tv.at("name").as_string();
-    t.kind = static_cast<dl::traffic::StreamKind>(tv.at("kind").as_u64());
-    t.issued = tv.at("issued").as_u64();
-    t.granted = tv.at("granted").as_u64();
-    t.denied = tv.at("denied").as_u64();
-    t.rejected_enqueues = tv.at("rejected_enqueues").as_u64();
-    t.reads = tv.at("reads").as_u64();
-    t.writes = tv.at("writes").as_u64();
-    t.hammer_acts = tv.at("hammer_acts").as_u64();
-    t.row_hits = tv.at("row_hits").as_u64();
-    t.data_bytes = tv.at("data_bytes").as_u64();
-    t.service_time = tv.at("service_time").as_i64();
-    const Value& lat = tv.at("queue_latency");
-    t.queue_latency.reserve(lat.size());
-    for (std::size_t j = 0; j < lat.size(); ++j) {
-      t.queue_latency.push_back(lat.item(j).as_i64());
-    }
-    r.tenants.push_back(std::move(t));
+    r.tenants.push_back(tenant_from_journal(tenants.item(i)));
   }
   r.integrity_enabled = v.at("integrity_enabled").as_bool();
   if (r.integrity_enabled) {
@@ -287,6 +353,10 @@ HammerCampaignResult hammer_from_journal(const Value& v) {
     r.refresh.refs_issued = t.at("refs_issued").as_u64();
     r.refresh.ref_busy_ps = t.at("ref_busy_ps").as_i64();
     r.refresh.max_ref_slip_ps = t.at("max_ref_slip_ps").as_i64();
+  }
+  r.resilience_enabled = v.at("resilience_enabled").as_bool();
+  if (r.resilience_enabled) {
+    r.resilience = resilience_from(v.at("resilience"));
   }
   r.fabric_channels =
       static_cast<std::uint32_t>(v.at("fabric_channels").as_u64());
@@ -377,6 +447,226 @@ BfaCampaignResult bfa_from_journal(const Value& v) {
   return r;
 }
 
+Value serve_to_journal(const ServeCampaignResult& r) {
+  auto v = Value::object();
+  v["kind"] = "serve";
+  v["name"] = r.name;
+  v["status"] = to_string(r.status);
+  v["error"] = r.error;
+  v["fabric_channels"] = r.fabric_channels;
+  v["completed_rounds"] = r.completed_rounds;
+  v["merged"] = traffic_report_to_journal(r.merged);
+  auto per_channel = Value::array();
+  for (const auto& rep : r.per_channel) {
+    per_channel.push_back(traffic_report_to_journal(rep));
+  }
+  v["per_channel"] = std::move(per_channel);
+  auto locker = Value::object();
+  locker["rw_instructions"] = r.locker.rw_instructions;
+  locker["denied"] = r.locker.denied;
+  locker["unlock_swaps"] = r.locker.unlock_swaps;
+  locker["relocks"] = r.locker.relocks;
+  locker["swap_copy_errors"] = r.locker.swap_copy_errors;
+  locker["pool_exhausted_denials"] = r.locker.pool_exhausted_denials;
+  locker["swap_budget_denials"] = r.locker.swap_budget_denials;
+  locker["degraded_locks"] = r.locker.degraded_locks;
+  locker["degraded_swaps"] = r.locker.degraded_swaps;
+  locker["fallback_refreshes"] = r.locker.fallback_refreshes;
+  v["locker"] = std::move(locker);
+  v["locked_rows"] = r.locked_rows;
+  v["defense_time"] = r.defense_time;
+  v["integrity_enabled"] = r.integrity_enabled;
+  if (r.integrity_enabled) {
+    v["integrity_config"] = integrity_config_to_journal(r.integrity_config);
+    auto s = Value::object();
+    s["passes"] = r.integrity.passes;
+    s["scrub_reads"] = r.integrity.scrub_reads;
+    s["scrub_read_bytes"] = r.integrity.scrub_read_bytes;
+    s["denied_accesses"] = r.integrity.denied_accesses;
+    s["correction_writes"] = r.integrity.correction_writes;
+    s["verified_groups"] = r.integrity.verified_groups;
+    s["detections"] = r.integrity.detections;
+    s["corrected_bits"] = r.integrity.corrected_bits;
+    s["zeroed_groups"] = r.integrity.zeroed_groups;
+    s["zeroed_corrupt_bytes"] = r.integrity.zeroed_corrupt_bytes;
+    s["checksum_repairs"] = r.integrity.checksum_repairs;
+    s["uncorrectable"] = r.integrity.uncorrectable;
+    s["unrecoverable_faults"] = r.integrity.unrecoverable_faults;
+    s["first_detection_at"] = r.integrity.first_detection_at;
+    v["integrity"] = std::move(s);
+    v["integrity_audit"] = audit_to_journal(r.integrity_audit);
+  }
+  v["faults_enabled"] = r.faults_enabled;
+  if (r.faults_enabled) {
+    auto f = Value::object();
+    f["events"] = r.faults.events;
+    f["retention_faults"] = r.faults.retention_faults;
+    f["transient_faults"] = r.faults.transient_faults;
+    f["stuck_cells"] = r.faults.stuck_cells;
+    f["stuck_overrides"] = r.faults.stuck_overrides;
+    f["lock_evictions"] = r.faults.lock_evictions;
+    f["remap_faults"] = r.faults.remap_faults;
+    f["checksum_faults"] = r.faults.checksum_faults;
+    v["faults"] = std::move(f);
+  }
+  v["degraded"] = r.degraded;
+  v["timed"] = r.timed;
+  if (r.timed) {
+    auto t = Value::object();
+    t["refs_issued"] = r.refresh.refs_issued;
+    t["ref_busy_ps"] = r.refresh.ref_busy_ps;
+    t["max_ref_slip_ps"] = r.refresh.max_ref_slip_ps;
+    v["refresh"] = std::move(t);
+  }
+  v["resilience_enabled"] = r.resilience_enabled;
+  if (r.resilience_enabled) {
+    v["resilience"] = resilience_to_journal(r.resilience);
+  }
+  auto health = Value::array();
+  for (const dl::resilience::ChannelHealth h : r.channel_health) {
+    health.push_back(static_cast<std::uint8_t>(h));
+  }
+  v["channel_health"] = std::move(health);
+  v["chaos_enabled"] = r.chaos_enabled;
+  if (r.chaos_enabled) {
+    auto av = Value::object();
+    av["offered"] = r.availability.offered;
+    av["served"] = r.availability.served;
+    av["shed"] = r.availability.shed;
+    av["failed"] = r.availability.failed;
+    av["redirected"] = r.availability.redirected;
+    av["time_in_degraded"] = r.availability.time_in_degraded;
+    av["first_fault_at"] = r.availability.first_fault_at;
+    av["restored_at"] = r.availability.restored_at;
+    av["mttr"] = r.availability.mttr;
+    av["restored"] = r.availability.restored;
+    v["availability"] = std::move(av);
+  }
+  return v;
+}
+
+ServeCampaignResult serve_from_journal(const Value& v) {
+  ServeCampaignResult r;
+  r.name = v.at("name").as_string();
+  r.status = status_from(v.at("status").as_string());
+  r.error = v.at("error").as_string();
+  r.fabric_channels =
+      static_cast<std::uint32_t>(v.at("fabric_channels").as_u64());
+  r.completed_rounds = v.at("completed_rounds").as_u64();
+  r.merged = traffic_report_from(v.at("merged"));
+  const Value& per_channel = v.at("per_channel");
+  r.per_channel.reserve(per_channel.size());
+  for (std::size_t i = 0; i < per_channel.size(); ++i) {
+    r.per_channel.push_back(traffic_report_from(per_channel.item(i)));
+  }
+  const Value& locker = v.at("locker");
+  r.locker.rw_instructions = locker.at("rw_instructions").as_u64();
+  r.locker.denied = locker.at("denied").as_u64();
+  r.locker.unlock_swaps = locker.at("unlock_swaps").as_u64();
+  r.locker.relocks = locker.at("relocks").as_u64();
+  r.locker.swap_copy_errors = locker.at("swap_copy_errors").as_u64();
+  r.locker.pool_exhausted_denials =
+      locker.at("pool_exhausted_denials").as_u64();
+  r.locker.swap_budget_denials = locker.at("swap_budget_denials").as_u64();
+  r.locker.degraded_locks = locker.at("degraded_locks").as_u64();
+  r.locker.degraded_swaps = locker.at("degraded_swaps").as_u64();
+  r.locker.fallback_refreshes = locker.at("fallback_refreshes").as_u64();
+  r.locked_rows = static_cast<std::size_t>(v.at("locked_rows").as_u64());
+  r.defense_time = v.at("defense_time").as_i64();
+  r.integrity_enabled = v.at("integrity_enabled").as_bool();
+  if (r.integrity_enabled) {
+    r.integrity_config = integrity_config_from(v.at("integrity_config"));
+    const Value& s = v.at("integrity");
+    r.integrity.passes = s.at("passes").as_u64();
+    r.integrity.scrub_reads = s.at("scrub_reads").as_u64();
+    r.integrity.scrub_read_bytes = s.at("scrub_read_bytes").as_u64();
+    r.integrity.denied_accesses = s.at("denied_accesses").as_u64();
+    r.integrity.correction_writes = s.at("correction_writes").as_u64();
+    r.integrity.verified_groups = s.at("verified_groups").as_u64();
+    r.integrity.detections = s.at("detections").as_u64();
+    r.integrity.corrected_bits = s.at("corrected_bits").as_u64();
+    r.integrity.zeroed_groups = s.at("zeroed_groups").as_u64();
+    r.integrity.zeroed_corrupt_bytes = s.at("zeroed_corrupt_bytes").as_u64();
+    r.integrity.checksum_repairs = s.at("checksum_repairs").as_u64();
+    r.integrity.uncorrectable = s.at("uncorrectable").as_u64();
+    r.integrity.unrecoverable_faults = s.at("unrecoverable_faults").as_u64();
+    r.integrity.first_detection_at = s.at("first_detection_at").as_i64();
+    r.integrity_audit = audit_from(v.at("integrity_audit"));
+  }
+  r.faults_enabled = v.at("faults_enabled").as_bool();
+  if (r.faults_enabled) {
+    const Value& f = v.at("faults");
+    r.faults.events = f.at("events").as_u64();
+    r.faults.retention_faults = f.at("retention_faults").as_u64();
+    r.faults.transient_faults = f.at("transient_faults").as_u64();
+    r.faults.stuck_cells = f.at("stuck_cells").as_u64();
+    r.faults.stuck_overrides = f.at("stuck_overrides").as_u64();
+    r.faults.lock_evictions = f.at("lock_evictions").as_u64();
+    r.faults.remap_faults = f.at("remap_faults").as_u64();
+    r.faults.checksum_faults = f.at("checksum_faults").as_u64();
+  }
+  r.degraded = v.at("degraded").as_bool();
+  r.timed = v.at("timed").as_bool();
+  if (r.timed) {
+    const Value& t = v.at("refresh");
+    r.refresh.refs_issued = t.at("refs_issued").as_u64();
+    r.refresh.ref_busy_ps = t.at("ref_busy_ps").as_i64();
+    r.refresh.max_ref_slip_ps = t.at("max_ref_slip_ps").as_i64();
+  }
+  r.resilience_enabled = v.at("resilience_enabled").as_bool();
+  if (r.resilience_enabled) {
+    r.resilience = resilience_from(v.at("resilience"));
+  }
+  const Value& health = v.at("channel_health");
+  r.channel_health.reserve(health.size());
+  for (std::size_t i = 0; i < health.size(); ++i) {
+    r.channel_health.push_back(
+        static_cast<dl::resilience::ChannelHealth>(health.item(i).as_u64()));
+  }
+  r.chaos_enabled = v.at("chaos_enabled").as_bool();
+  if (r.chaos_enabled) {
+    const Value& av = v.at("availability");
+    r.availability.offered = av.at("offered").as_u64();
+    r.availability.served = av.at("served").as_u64();
+    r.availability.shed = av.at("shed").as_u64();
+    r.availability.failed = av.at("failed").as_u64();
+    r.availability.redirected = av.at("redirected").as_u64();
+    r.availability.time_in_degraded = av.at("time_in_degraded").as_i64();
+    r.availability.first_fault_at = av.at("first_fault_at").as_i64();
+    r.availability.restored_at = av.at("restored_at").as_i64();
+    r.availability.mttr = av.at("mttr").as_i64();
+    r.availability.restored = av.at("restored").as_bool();
+  }
+  return r;
+}
+
+// One journal line = JSON text + "\t#crc32:xxxxxxxx".  The trailer guards
+// against mid-file corruption that still parses as JSON; a missing trailer
+// is a legacy line and falls back to parse-or-skip.
+constexpr const char* kCrcSep = "\t#crc32:";
+
+std::string crc_trailer(const std::string& json) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%s%08x", kCrcSep,
+                dl::crc32(json.data(), json.size()));
+  return buf;
+}
+
+/// Splits `line` into JSON text and verifies its CRC trailer in place.
+/// Returns false on a mismatched trailer (caller warns and skips); lines
+/// without a trailer pass through unchanged for the legacy parse path.
+bool split_and_check_crc(std::string& line) {
+  const std::size_t pos = line.rfind(kCrcSep);
+  if (pos == std::string::npos) return true;  // legacy line, no trailer
+  const std::string hex = line.substr(pos + std::strlen(kCrcSep));
+  line.resize(pos);
+  char* end = nullptr;
+  const unsigned long want = std::strtoul(hex.c_str(), &end, 16);
+  if (hex.size() != 8 || end != hex.c_str() + hex.size()) return false;
+  return dl::crc32(line.data(), line.size()) ==
+         static_cast<std::uint32_t>(want);
+}
+
 }  // namespace
 
 CampaignJournal::CampaignJournal(std::string path) : path_(std::move(path)) {
@@ -387,6 +677,15 @@ CampaignJournal::CampaignJournal(std::string path) : path_(std::move(path)) {
     if (line.empty()) continue;
     // A torn tail line (process killed mid-write) or other unparsable
     // garbage costs exactly that campaign — everything before it survives.
+    // A line with a *mismatched* CRC trailer is different: it parsed as a
+    // line but its payload rotted, so warn before skipping it.
+    if (!split_and_check_crc(line)) {
+      std::fprintf(stderr,
+                   "journal: CRC mismatch in '%s', skipping one line\n",
+                   path_.c_str());
+      ++crc_mismatches_;
+      continue;
+    }
     try {
       const Value v = Value::parse(line);
       const std::string& kind = v.at("kind").as_string();
@@ -396,6 +695,9 @@ CampaignJournal::CampaignJournal(std::string path) : path_(std::move(path)) {
       } else if (kind == "bfa") {
         BfaCampaignResult r = bfa_from_journal(v);
         bfa_.insert_or_assign(r.name, std::move(r));
+      } else if (kind == "serve") {
+        ServeCampaignResult r = serve_from_journal(v);
+        serve_.insert_or_assign(r.name, std::move(r));
       }
       ++loaded_;
     } catch (const std::exception&) {
@@ -424,9 +726,17 @@ const BfaCampaignResult* CampaignJournal::find_bfa(
   return it == bfa_.end() ? nullptr : &it->second;
 }
 
+const ServeCampaignResult* CampaignJournal::find_serve(
+    const std::string& name) const {
+  const auto it = serve_.find(name);
+  return it == serve_.end() ? nullptr : &it->second;
+}
+
 void CampaignJournal::append_line(const std::string& line) {
+  const std::string trailer = crc_trailer(line);
   const std::lock_guard<std::mutex> lock(mu_);
   std::fwrite(line.data(), 1, line.size(), out_);
+  std::fwrite(trailer.data(), 1, trailer.size(), out_);
   std::fputc('\n', out_);
   std::fflush(out_);
 }
@@ -437,6 +747,10 @@ void CampaignJournal::record(const HammerCampaignResult& r) {
 
 void CampaignJournal::record(const BfaCampaignResult& r) {
   append_line(bfa_to_journal(r).dump());
+}
+
+void CampaignJournal::record(const ServeCampaignResult& r) {
+  append_line(serve_to_journal(r).dump());
 }
 
 std::vector<HammerCampaignResult> run_journaled(
@@ -476,6 +790,29 @@ std::vector<BfaCampaignResult> run_bfa_journaled(
     journal.record(results.back());
   }
   victim.qmodel.restore();
+  return results;
+}
+
+std::vector<ServeCampaignResult> run_serve_journaled(
+    const std::vector<ServeCampaign>& campaigns, CampaignJournal& journal) {
+  std::vector<ServeCampaignResult> results(campaigns.size());
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < campaigns.size(); ++i) {
+    if (const auto* cached = journal.find_serve(campaigns[i].name)) {
+      results[i] = *cached;
+    } else {
+      todo.push_back(i);
+    }
+  }
+  dl::parallel::parallel_for(
+      0, todo.size(), 1,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t t = begin; t < end; ++t) {
+          const std::size_t i = todo[t];
+          results[i] = run_serve_isolated(campaigns[i]);
+          journal.record(results[i]);
+        }
+      });
   return results;
 }
 

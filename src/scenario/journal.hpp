@@ -11,14 +11,18 @@
 // run produces a final report byte-identical to an uninterrupted one.
 //
 // Journal format (docs/ARCHITECTURE.md "Failure model & recovery"):
-//   one JSON object per line, {"kind":"hammer"|"bfa","name":...,...}.
-//   Lines are self-contained; a torn tail line (the process died mid-write)
-//   fails to parse and is skipped on load, losing only that campaign.
-//   Duplicate names resolve last-wins, so a re-run that re-records a
-//   campaign simply supersedes the older line.  Failed campaigns are
-//   journaled too: a deterministic failure is not worth re-running, and a
-//   resumed report must list the same "failed" entries as an uninterrupted
-//   one.
+//   one JSON object per line, {"kind":"hammer"|"bfa"|"serve","name":...,...},
+//   followed by a tab-separated CRC32 trailer ("\t#crc32:xxxxxxxx") over the
+//   JSON text.  Lines are self-contained; a torn tail line (the process died
+//   mid-write) fails its CRC or its parse and is skipped on load, losing
+//   only that campaign.  A line whose CRC trailer mismatches (mid-file bit
+//   rot, not just a torn tail) is skipped with a warning on stderr.  Lines
+//   without a trailer (journals from older releases) fall back to
+//   parse-or-skip.  Duplicate names resolve last-wins, so a re-run that
+//   re-records a campaign simply supersedes the older line.  Failed
+//   campaigns are journaled too: a deterministic failure is not worth
+//   re-running, and a resumed report must list the same "failed" entries as
+//   an uninterrupted one.
 //
 // Thread safety: record() is mutex-guarded (run_journaled fans campaigns
 // out over the pool); lookups are read-only after construction.
@@ -47,15 +51,21 @@ class CampaignJournal {
   /// Results restored from disk at construction.
   [[nodiscard]] std::size_t loaded() const { return loaded_; }
 
+  /// Lines whose CRC32 trailer mismatched at load (skipped with a warning).
+  [[nodiscard]] std::size_t crc_mismatches() const { return crc_mismatches_; }
+
   /// Cached result for a campaign name; nullptr when not journaled yet.
   [[nodiscard]] const HammerCampaignResult* find_hammer(
       const std::string& name) const;
   [[nodiscard]] const BfaCampaignResult* find_bfa(
       const std::string& name) const;
+  [[nodiscard]] const ServeCampaignResult* find_serve(
+      const std::string& name) const;
 
-  /// Appends one journal line and flushes it to disk.
+  /// Appends one journal line (JSON + CRC32 trailer) and flushes it to disk.
   void record(const HammerCampaignResult& r);
   void record(const BfaCampaignResult& r);
+  void record(const ServeCampaignResult& r);
 
  private:
   std::string path_;
@@ -63,7 +73,9 @@ class CampaignJournal {
   std::mutex mu_;  ///< serializes appends from pool workers
   std::unordered_map<std::string, HammerCampaignResult> hammer_;
   std::unordered_map<std::string, BfaCampaignResult> bfa_;
+  std::unordered_map<std::string, ServeCampaignResult> serve_;
   std::size_t loaded_ = 0;
+  std::size_t crc_mismatches_ = 0;
 
   void append_line(const std::string& line);
 };
@@ -81,5 +93,12 @@ class CampaignJournal {
 [[nodiscard]] std::vector<BfaCampaignResult> run_bfa_journaled(
     const VictimRef& victim, const std::vector<BfaCampaign>& campaigns,
     CampaignJournal& journal);
+
+/// Serving counterpart of run_journaled: cached serve campaigns replay from
+/// the journal, the rest run error-isolated over the pool.  Chaos campaigns
+/// resume byte-identically — the availability block and channel health are
+/// journaled alongside the traffic reports.
+[[nodiscard]] std::vector<ServeCampaignResult> run_serve_journaled(
+    const std::vector<ServeCampaign>& campaigns, CampaignJournal& journal);
 
 }  // namespace dl::scenario

@@ -262,7 +262,8 @@ void run_traffic_cycle(Controller& ctrl, const HammerCampaign& campaign,
     tenants.back().name = "scrub";
   }
   dl::traffic::TrafficEngine engine(ctrl, std::move(tenants),
-                                    campaign.traffic.scheduler);
+                                    campaign.traffic.scheduler,
+                                    campaign.traffic.admission);
   if (scrubber != nullptr) {
     engine.set_data_sink([&](const dl::traffic::Serviced& s) {
       if (s.req.tenant == scrub_tenant) scrubber->on_read(s.req.addr, s.data);
@@ -415,6 +416,39 @@ void add_to(dl::faults::FaultStats& a, const dl::faults::FaultStats& b) {
   a.checksum_faults += b.checksum_faults;
 }
 
+void add_to(dl::resilience::ResilienceStats& a,
+            const dl::resilience::ResilienceStats& b) {
+  a.strikes += b.strikes;
+  a.retired_rows += b.retired_rows;
+  a.spares_total += b.spares_total;
+  a.spares_remaining += b.spares_remaining;
+  a.remap_reads += b.remap_reads;
+  a.rematerialized_bytes += b.rematerialized_bytes;
+  a.retires_denied += b.retires_denied;
+}
+
+/// Wires a RowRetirer between a channel's scrubber (the strike source and
+/// snapshot provider) and its controller.  Listener registration happens
+/// here so single-channel and fabric paths attach in the same order
+/// (model, defense, retirer, injector).
+std::unique_ptr<dl::resilience::RowRetirer> make_retirer(
+    Controller& ctrl, const dl::resilience::ResilienceSpec& spec,
+    dl::integrity::DramScrubber& scrubber) {
+  spec.validate(ctrl.geometry().total_rows());
+  auto retirer = std::make_unique<dl::resilience::RowRetirer>(ctrl, spec);
+  dl::resilience::RowRetirer* rp = retirer.get();
+  dl::integrity::DramScrubber* sp = &scrubber;
+  scrubber.set_fault_observer([rp](GlobalRowId row, Picoseconds now) {
+    rp->note_uncorrectable(row, now);
+  });
+  retirer->set_rematerializer(
+      [sp](GlobalRowId row, std::vector<std::uint8_t>& out) {
+        return sp->snapshot_row(row, out);
+      });
+  ctrl.add_listener(rp);
+  return retirer;
+}
+
 /// One channel of a sharded campaign: a full single-channel stack
 /// (controller, disturbance, defense, scrubber, fault injector), built in
 /// channel order so RNG sub-streams are reproducible.
@@ -423,6 +457,7 @@ struct ChannelStack {
   std::unique_ptr<dl::rowhammer::DisturbanceModel> model;
   DefenseInstance defense;
   std::unique_ptr<dl::integrity::DramScrubber> scrubber;
+  std::unique_ptr<dl::resilience::RowRetirer> retirer;
   std::unique_ptr<dl::faults::FaultInjector> injector;
 };
 
@@ -491,6 +526,11 @@ std::vector<std::unique_ptr<ChannelStack>> build_channel_stacks(
       seed_scrub_rows(*s->ctrl, scrub_local[c]);
       s->scrubber = std::make_unique<dl::integrity::DramScrubber>(
           *s->ctrl, scrub_local[c], ispec.config);
+    }
+    // Self-healing: the retirer listens between the scrubber (strike
+    // source / snapshot provider) and the injector, per channel.
+    if (env.resilience.enabled() && s->scrubber != nullptr) {
+      s->retirer = make_retirer(*s->ctrl, env.resilience, *s->scrubber);
     }
     // Same attach order as the single-channel path: the injector lands
     // after the scrubber snapshot so weak cells read as corruption.
@@ -698,7 +738,8 @@ HammerCampaignResult run_one_fabric(const HammerCampaign& campaign) {
               ChannelStack& stack = *stacks[c];
               dl::traffic::TrafficEngine engine(*stack.ctrl,
                                                 std::move(rosters[c]),
-                                                campaign.traffic.scheduler);
+                                                campaign.traffic.scheduler,
+                                                campaign.traffic.admission);
               if (stack.scrubber != nullptr) {
                 engine.set_data_sink([&](const dl::traffic::Serviced& s) {
                   if (s.req.tenant == scrub_tenant) {
@@ -769,6 +810,10 @@ HammerCampaignResult run_one_fabric(const HammerCampaign& campaign) {
       add_to(r.integrity, stack.scrubber->stats());
       add_to(r.integrity_audit, stack.scrubber->audit());
     }
+    if (stack.retirer != nullptr) {
+      r.resilience_enabled = true;
+      add_to(r.resilience, stack.retirer->stats());
+    }
     if (stack.injector != nullptr) add_to(r.faults, stack.injector->stats());
     merge_channel_tenants(r.tenants, part.tenants);
     const auto rowclones = static_cast<std::uint64_t>(
@@ -797,9 +842,13 @@ HammerCampaignResult run_one_fabric(const HammerCampaign& campaign) {
   }
   r.faults_enabled = campaign.env.faults.enabled();
   r.timed = campaign.env.timing_spec.enabled;
+  bool spares_dry = false;
+  for (const auto& s : stacks) {
+    spares_dry = spares_dry || (s->retirer != nullptr && s->retirer->exhausted());
+  }
   r.degraded = r.locker.degraded_locks > 0 || r.locker.degraded_swaps > 0 ||
                r.degraded_migrations > 0 ||
-               r.integrity.unrecoverable_faults > 0;
+               r.integrity.unrecoverable_faults > 0 || spares_dry;
   return r;
 }
 
@@ -830,6 +879,13 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
     return scrubber != nullptr && ispec.scrub_interval > 0 &&
            (cycle + 1) % ispec.scrub_interval == 0;
   };
+
+  // Self-healing: the retirer listens between the scrubber (strike source /
+  // snapshot provider) and the injector.
+  std::unique_ptr<dl::resilience::RowRetirer> retirer;
+  if (campaign.env.resilience.enabled() && scrubber != nullptr) {
+    retirer = make_retirer(ctrl, campaign.env.resilience, *scrubber);
+  }
 
   // Fault injection attaches last, after the scrubber snapshot: the
   // stuck-at assertion in the injector's constructor lands *post*-snapshot,
@@ -913,13 +969,18 @@ HammerCampaignResult run_one(const HammerCampaign& campaign) {
     r.integrity = scrubber->stats();
     r.integrity_audit = scrubber->audit();
   }
+  if (retirer != nullptr) {
+    r.resilience_enabled = true;
+    r.resilience = retirer->stats();
+  }
   if (injector != nullptr) {
     r.faults_enabled = true;
     r.faults = injector->stats();
   }
   r.degraded = r.locker.degraded_locks > 0 || r.locker.degraded_swaps > 0 ||
                r.degraded_migrations > 0 ||
-               r.integrity.unrecoverable_faults > 0;
+               r.integrity.unrecoverable_faults > 0 ||
+               (retirer != nullptr && retirer->exhausted());
   r.rowclones = static_cast<std::uint64_t>(
       ctrl.counters().value(dl::dram::Counter::kRowClones));
   r.total_flips = model.total_flips();
@@ -1052,6 +1113,57 @@ ServeCampaignResult run_serve(const ServeCampaign& campaign) {
                                      campaign.protected_rows, scrub_fabric);
   const std::uint32_t n = fs.channels;
 
+  using dl::resilience::ChannelHealth;
+  const ChaosSpec& chaos = campaign.chaos;
+  const bool chaos_on = chaos.enabled();
+  if (chaos.kill_channel >= 0) {
+    DL_REQUIRE(n >= 2, "chaos channel kill needs at least two channels");
+    DL_REQUIRE(static_cast<std::uint32_t>(chaos.kill_channel) < n,
+               "chaos.kill_channel out of range");
+    DL_REQUIRE(fs.interleave == dl::dram::InterleavePolicy::kRowBlocked,
+               "chaos channel kill needs row-blocked interleave (failover "
+               "re-pins tenants onto the replica channel)");
+  }
+  if (chaos.storm_rounds > 0) {
+    DL_REQUIRE(campaign.env.faults.enabled(),
+               "chaos fault storm needs env.faults enabled");
+  }
+
+  const ChannelId kill =
+      chaos.kill_channel >= 0 ? static_cast<ChannelId>(chaos.kill_channel) : 0;
+  const ChannelId replica =
+      chaos.kill_channel >= 0 ? static_cast<ChannelId>((kill + 1) % n) : 0;
+  // Failover mirrors: weight readers pinned to the doomed channel get their
+  // working set copied onto the replica channel (same channel-local rows)
+  // before serving starts.  The copy is setup state — like the scrub-row
+  // seeding — not accounted traffic; primary writes are not forwarded, so
+  // the mirror models a periodically-synced replica.
+  std::vector<std::size_t> failover_tenants;
+  if (chaos.kill_channel >= 0) {
+    std::vector<std::uint8_t> buf(campaign.env.geometry.row_bytes);
+    for (std::size_t i = 0; i < campaign.traffic.tenants.size(); ++i) {
+      const auto& t = campaign.traffic.tenants[i];
+      if (t.kind != dl::traffic::StreamKind::kWeightReader ||
+          t.pin_channel != chaos.kill_channel) {
+        continue;
+      }
+      failover_tenants.push_back(i);
+      Controller& src = *stacks[kill]->ctrl;
+      Controller& dst = *stacks[replica]->ctrl;
+      for (std::uint64_t row = 0; row < t.rows; ++row) {
+        const GlobalRowId local = mapper.local_row(t.base_row + row);
+        src.data().read(src.indirection().to_physical(local), 0, buf);
+        dst.data().write(dst.indirection().to_physical(local), 0, buf);
+      }
+    }
+  }
+
+  std::vector<ChannelHealth> health(n, ChannelHealth::kHealthy);
+  AvailabilityStats av;
+  bool fault_seen = false;
+  Picoseconds cum_time = 0;
+  std::vector<std::uint64_t> storm_period(n, campaign.env.faults.period_acts);
+
   ServeCampaignResult r;
   r.name = campaign.name;
   r.fabric_channels = n;
@@ -1061,10 +1173,63 @@ ServeCampaignResult run_serve(const ServeCampaign& campaign) {
            (round + 1) % ispec.scrub_interval == 0;
   };
 
+  std::vector<dl::traffic::TrafficReport> round_reports(n);
   for (std::uint64_t round = 0; round < campaign.rounds; ++round) {
+    // Chaos mutations run serially between rounds, in channel order, so
+    // reports stay byte-identical for any DL_THREADS value.
+    if (chaos_on) {
+      if (chaos.kill_channel >= 0 && round == chaos.kill_at_round) {
+        health[kill] = ChannelHealth::kOffline;
+        if (!fault_seen) {
+          fault_seen = true;
+          av.first_fault_at = cum_time;
+        }
+      }
+      if (chaos.kill_channel >= 0 && chaos.restore_at_round > 0 &&
+          round == chaos.restore_at_round &&
+          health[kill] == ChannelHealth::kOffline) {
+        health[kill] = stacks[kill]->retirer != nullptr &&
+                               stacks[kill]->retirer->exhausted()
+                           ? ChannelHealth::kDegraded
+                           : ChannelHealth::kHealthy;
+      }
+      if (chaos.storm_rounds > 0 && round >= chaos.storm_start &&
+          round < chaos.storm_start + chaos.storm_rounds) {
+        // Escalating fault storm: the injector cadence tightens and
+        // permanent faults accumulate, per channel in channel order.
+        for (std::uint32_t c = 0; c < n; ++c) {
+          auto* inj = stacks[c]->injector.get();
+          if (inj == nullptr) continue;
+          storm_period[c] = std::max<std::uint64_t>(
+              chaos.min_period_acts,
+              static_cast<std::uint64_t>(
+                  static_cast<double>(storm_period[c]) * chaos.period_ramp));
+          inj->set_period_acts(storm_period[c]);
+          if (chaos.stuck_cells_per_round > 0) {
+            inj->add_stuck_cells(chaos.stuck_cells_per_round);
+          }
+        }
+        if (!fault_seen) {
+          fault_seen = true;
+          av.first_fault_at = cum_time;
+        }
+      }
+    }
+    const bool offline =
+        chaos.kill_channel >= 0 && health[kill] == ChannelHealth::kOffline;
+
     std::vector<dl::traffic::StreamSpec> tenants = campaign.traffic.tenants;
     for (auto& t : tenants) {
       t.seed = dl::substream_seed(t.seed, /*epoch=*/3, round);
+    }
+    if (offline) {
+      // Mirrored weight readers fail over: re-pinned onto the replica at
+      // the same channel-local rows (the mirror copied at setup).
+      for (const std::size_t i : failover_tenants) {
+        auto& t = tenants[i];
+        t.base_row = mapper.fabric_row(replica, mapper.local_row(t.base_row));
+        t.pin_channel = static_cast<std::int32_t>(replica);
+      }
     }
     auto rosters = dl::traffic::shard_tenants(mapper, tenants);
     const std::size_t scrub_tenant = tenants.size();
@@ -1073,13 +1238,28 @@ ServeCampaignResult run_serve(const ServeCampaign& campaign) {
       append_scrub_tenants(rosters, stacks, campaign.env.geometry.row_bytes,
                            due);
     }
+    if (chaos_on) {
+      // Offered load = every request budget sharded this round (scrub
+      // service included); whatever lands on the dead channel is failed
+      // outright — the channel serves nothing while offline.
+      for (const auto& roster : rosters) {
+        for (const auto& spec : roster) av.offered += spec.requests;
+      }
+      if (offline) {
+        for (auto& spec : rosters[kill]) {
+          av.failed += spec.requests;
+          spec.requests = 0;
+        }
+      }
+    }
     dl::parallel::parallel_for(
         0, n, 1, [&](std::size_t begin, std::size_t end, std::size_t) {
           for (std::size_t c = begin; c < end; ++c) {
             ChannelStack& stack = *stacks[c];
             dl::traffic::TrafficEngine engine(*stack.ctrl,
                                               std::move(rosters[c]),
-                                              campaign.traffic.scheduler);
+                                              campaign.traffic.scheduler,
+                                              campaign.traffic.admission);
             if (stack.scrubber != nullptr) {
               engine.set_data_sink([&](const dl::traffic::Serviced& s) {
                 if (s.req.tenant == scrub_tenant) {
@@ -1087,8 +1267,9 @@ ServeCampaignResult run_serve(const ServeCampaign& campaign) {
                 }
               });
             }
-            const auto report = engine.run();
-            if (stack.scrubber != nullptr && due) {
+            auto report = engine.run();
+            if (stack.scrubber != nullptr && due &&
+                !(offline && c == kill)) {
               stack.scrubber->count_pass();
             }
             dl::traffic::TrafficReport& acc = r.per_channel[c];
@@ -1103,8 +1284,61 @@ ServeCampaignResult run_serve(const ServeCampaign& campaign) {
             }
             acc.serviced += report.serviced;
             acc.elapsed += report.elapsed;
+            round_reports[c] = std::move(report);
           }
         });
+    // Serial post-round bookkeeping: availability conservation
+    // (offered == served + shed + failed) and the health ladder.
+    Picoseconds round_elapsed = 0;
+    for (const auto& rep : round_reports) {
+      round_elapsed = std::max(round_elapsed, rep.elapsed);
+    }
+    cum_time = checked_ps_add(cum_time, round_elapsed);
+    if (chaos_on) {
+      for (const auto& rep : round_reports) {
+        for (const auto& t : rep.tenants) {
+          av.served += t.issued;
+          av.shed += t.shed;
+          av.failed += t.failed;
+        }
+      }
+      if (offline) {
+        for (const std::size_t i : failover_tenants) {
+          av.redirected += round_reports[replica].tenants[i].issued;
+        }
+      }
+    }
+    // Spare-pool exhaustion degrades a channel (never un-degrades).
+    for (std::uint32_t c = 0; c < n; ++c) {
+      if (stacks[c]->retirer != nullptr && stacks[c]->retirer->exhausted() &&
+          health[c] == ChannelHealth::kHealthy) {
+        health[c] = ChannelHealth::kDegraded;
+      }
+    }
+    bool any_unhealthy = false;
+    for (const ChannelHealth h : health) {
+      any_unhealthy = any_unhealthy || h != ChannelHealth::kHealthy;
+    }
+    if (any_unhealthy) {
+      av.time_in_degraded = checked_ps_add(av.time_in_degraded, round_elapsed);
+    }
+    if (!fault_seen) {
+      // First uncorrectable strike observed by any retirer marks the
+      // fault clock for MTTR.
+      std::uint64_t strikes = 0;
+      for (const auto& s : stacks) {
+        if (s->retirer != nullptr) strikes += s->retirer->stats().strikes;
+      }
+      if (strikes > 0) {
+        fault_seen = true;
+        av.first_fault_at = cum_time;
+      }
+    }
+    if (fault_seen && !av.restored && !any_unhealthy) {
+      av.restored = true;
+      av.restored_at = cum_time;
+      av.mttr = av.restored_at - av.first_fault_at;
+    }
     ++r.completed_rounds;
   }
 
@@ -1122,6 +1356,10 @@ ServeCampaignResult run_serve(const ServeCampaign& campaign) {
       add_to(r.integrity, stack.scrubber->stats());
       add_to(r.integrity_audit, stack.scrubber->audit());
     }
+    if (stack.retirer != nullptr) {
+      r.resilience_enabled = true;
+      add_to(r.resilience, stack.retirer->stats());
+    }
     if (stack.injector != nullptr) add_to(r.faults, stack.injector->stats());
     r.defense_time += stack.ctrl->defense_time();
     merge_refresh(r.refresh, *stack.ctrl);
@@ -1134,9 +1372,16 @@ ServeCampaignResult run_serve(const ServeCampaign& campaign) {
   }
   r.faults_enabled = campaign.env.faults.enabled();
   r.timed = campaign.env.timing_spec.enabled;
+  r.chaos_enabled = chaos_on;
+  if (chaos_on) r.availability = av;
+  if (r.resilience_enabled || chaos_on) r.channel_health = health;
+  bool any_unhealthy = false;
+  for (const ChannelHealth h : health) {
+    any_unhealthy = any_unhealthy || h != ChannelHealth::kHealthy;
+  }
   r.degraded = r.locker.degraded_locks > 0 || r.locker.degraded_swaps > 0 ||
                harvest.degraded_migrations > 0 ||
-               r.integrity.unrecoverable_faults > 0;
+               r.integrity.unrecoverable_faults > 0 || any_unhealthy;
   return r;
 }
 
@@ -1367,6 +1612,22 @@ void put_timing_block(dl::json::Value& v, const dl::dram::RefreshStats& refresh,
   v["timing"] = std::move(timing);
 }
 
+/// Appends the opt-in "resilience" block (row-retirement outcome).  Emitted
+/// only for campaigns that ran with a spare pool, so pre-resilience reports
+/// stay byte-identical.
+void put_resilience_block(dl::json::Value& v,
+                          const dl::resilience::ResilienceStats& s) {
+  auto res = dl::json::Value::object();
+  res["strikes"] = s.strikes;
+  res["retired_rows"] = s.retired_rows;
+  res["spares_total"] = s.spares_total;
+  res["spares_remaining"] = s.spares_remaining;
+  res["remap_reads"] = s.remap_reads;
+  res["rematerialized_bytes"] = s.rematerialized_bytes;
+  res["retires_denied"] = s.retires_denied;
+  v["resilience"] = std::move(res);
+}
+
 }  // namespace
 
 dl::json::Value to_json(const HammerCampaignResult& r) {
@@ -1472,6 +1733,7 @@ dl::json::Value to_json(const HammerCampaignResult& r) {
     put_timing_block(v, r.refresh, r.elapsed, r.defense_time,
                      r.integrity_enabled ? r.integrity.scrub_read_bytes : 0);
   }
+  if (r.resilience_enabled) put_resilience_block(v, r.resilience);
   return v;
 }
 
@@ -1520,6 +1782,11 @@ dl::json::Value to_json(const ServeCampaignResult& r) {
     ch["channel"] = c;
     ch["serviced"] = rep.serviced;
     ch["elapsed_ps"] = rep.elapsed;
+    if (c < r.channel_health.size()) {
+      // Health rung only for resilience/chaos campaigns, so pre-resilience
+      // reports stay byte-identical.
+      ch["health"] = dl::resilience::to_string(r.channel_health[c]);
+    }
     auto ct = dl::json::Value::array();
     for (const auto& t : rep.tenants) {
       ct.push_back(dl::traffic::to_json(t, rep.elapsed));
@@ -1571,6 +1838,23 @@ dl::json::Value to_json(const ServeCampaignResult& r) {
   if (r.timed) {
     put_timing_block(v, r.refresh, r.merged.elapsed, r.defense_time,
                      r.integrity_enabled ? r.integrity.scrub_read_bytes : 0);
+  }
+  if (r.resilience_enabled) put_resilience_block(v, r.resilience);
+  if (r.chaos_enabled) {
+    const AvailabilityStats& a = r.availability;
+    auto av = dl::json::Value::object();
+    av["offered"] = a.offered;
+    av["served"] = a.served;
+    av["shed"] = a.shed;
+    av["failed"] = a.failed;
+    av["redirected"] = a.redirected;
+    av["availability"] = a.availability();
+    av["time_in_degraded_ps"] = a.time_in_degraded;
+    av["first_fault_ps"] = a.first_fault_at;
+    av["restored"] = a.restored;
+    av["restored_ps"] = a.restored_at;
+    av["mttr_ps"] = a.mttr;
+    v["availability"] = std::move(av);
   }
   return v;
 }

@@ -56,6 +56,7 @@
 #include "integrity/weight_integrity.hpp"
 #include "nn/model.hpp"
 #include "nn/quant.hpp"
+#include "resilience/resilience.hpp"
 #include "rowhammer/attacker.hpp"
 #include "rowhammer/disturbance.hpp"
 #include "traffic/engine.hpp"
@@ -209,6 +210,11 @@ struct DramEnv {
   /// fault seeds from the declared ones via substream epoch 5, so channel 0
   /// of any fabric replays the single-channel campaign bit-for-bit.
   FabricSpec fabric;
+  /// Self-healing row retirement (spare slab per channel, strike policy);
+  /// inactive unless resilience.enabled().  Retirement needs the integrity
+  /// scrubber (the strike source and re-materialization snapshot), so it
+  /// only engages on campaigns with defense.integrity enabled.
+  dl::resilience::ResilienceSpec resilience;
 };
 
 // ----------------------------------------------------------------- attacker
@@ -242,6 +248,10 @@ struct TrafficOp {
 struct TrafficSpec {
   std::vector<dl::traffic::StreamSpec> tenants;
   dl::traffic::SchedulerConfig scheduler;
+  /// Admission control (retry budgets, SLO shedding, deadlines) for the
+  /// engines this mix runs on; disabled by default so existing campaigns
+  /// stay byte-identical.
+  dl::traffic::AdmissionSpec admission;
 
   [[nodiscard]] bool enabled() const { return !tenants.empty(); }
 };
@@ -323,6 +333,10 @@ struct HammerCampaignResult {
   /// the worst slip over channels.
   bool timed = false;
   dl::dram::RefreshStats refresh;
+  /// Row-retirement outcome (env.resilience.enabled() campaigns with
+  /// integrity only; summed over channels).
+  bool resilience_enabled = false;
+  dl::resilience::ResilienceStats resilience;
 };
 
 /// Runs one campaign on the calling thread.  Throws on a malformed spec.
@@ -373,6 +387,58 @@ struct MatrixSpec {
 
 // ------------------------------------------------------------- serving mode
 
+/// Chaos-engineering schedule for a serving campaign: escalating fault
+/// storms and a mid-run channel kill, driven deterministically between
+/// rounds (all mutations happen in the serial merge step, in channel
+/// order, so reports stay byte-identical for any DL_THREADS value).
+struct ChaosSpec {
+  /// Fault storm: starting at round `storm_start`, for `storm_rounds`
+  /// rounds, the injector cadence tightens (period *= period_ramp, floored
+  /// at min_period_acts) and `stuck_cells_per_round` new permanent faults
+  /// accumulate per round.  storm_rounds = 0 disables the storm.
+  std::uint64_t storm_start = 0;
+  std::uint64_t storm_rounds = 0;
+  double period_ramp = 0.5;
+  std::uint64_t min_period_acts = 1;
+  std::size_t stuck_cells_per_round = 0;
+
+  /// Channel kill: channel `kill_channel` goes offline at the start of
+  /// round `kill_at_round` and returns at the start of `restore_at_round`
+  /// (0 = never restored).  While offline, mirrored weight-reader tenants
+  /// pinned to the channel fail over to replica copies on channel
+  /// (kill+1)%N; everything else sharded onto it is failed explicitly.
+  std::int32_t kill_channel = -1;
+  std::uint64_t kill_at_round = 0;
+  std::uint64_t restore_at_round = 0;
+
+  [[nodiscard]] bool enabled() const {
+    return storm_rounds > 0 || kill_channel >= 0;
+  }
+};
+
+/// Availability accounting of a chaos campaign.  Conservation invariant:
+/// offered == served + shed + failed (redirected requests are counted in
+/// `served` — they completed on the replica — and also tallied here).
+struct AvailabilityStats {
+  std::uint64_t offered = 0;     ///< request budgets declared, all rounds
+  std::uint64_t served = 0;      ///< completed through a controller
+  std::uint64_t shed = 0;        ///< admission-shed (SLO breach)
+  std::uint64_t failed = 0;      ///< retry-budget failures + offline losses
+  std::uint64_t redirected = 0;  ///< served via failover replicas
+  /// Protocol time (sum of round makespans) any channel was unhealthy.
+  Picoseconds time_in_degraded = 0;
+  Picoseconds first_fault_at = 0;  ///< 0 = no fault observed
+  Picoseconds restored_at = 0;     ///< 0 = full service never restored
+  Picoseconds mttr = 0;            ///< restored_at - first_fault_at
+  bool restored = false;
+
+  [[nodiscard]] double availability() const {
+    return offered > 0
+               ? static_cast<double>(served) / static_cast<double>(offered)
+               : 1.0;
+  }
+};
+
 /// An always-on serving campaign: a steady-state tenant mix (web front-ends,
 /// filler, weight readers, hammer attackers, scrubbers) streamed through the
 /// fabric for `rounds` scheduling rounds, with per-tenant, per-channel SLO
@@ -392,6 +458,9 @@ struct ServeCampaign {
   /// Scheduling rounds; tenant seeds are re-derived per round (epoch 3) so
   /// synthetic streams decorrelate across rounds.
   std::uint64_t rounds = 1;
+  /// Chaos schedule (fault storms, channel kill/restore); inactive unless
+  /// chaos.enabled().
+  ChaosSpec chaos;
 };
 
 /// Steady-state serving outcome.  `merged` aggregates tenants element-wise
@@ -419,6 +488,16 @@ struct ServeCampaignResult {
   /// HammerCampaignResult::refresh for the merge rules).
   bool timed = false;
   dl::dram::RefreshStats refresh;
+  /// Row-retirement outcome (env.resilience.enabled() campaigns with
+  /// integrity only; summed over channels).
+  bool resilience_enabled = false;
+  dl::resilience::ResilienceStats resilience;
+  /// Final per-channel health rungs (resilience or chaos campaigns only;
+  /// empty otherwise).
+  std::vector<dl::resilience::ChannelHealth> channel_health;
+  /// Chaos availability block (campaign.chaos.enabled() only).
+  bool chaos_enabled = false;
+  AvailabilityStats availability;
 };
 
 /// Runs one serving campaign; channels execute concurrently over the

@@ -47,16 +47,27 @@ void TenantStats::merge(const TenantStats& other) {
   service_time += other.service_time;
   queue_latency.insert(queue_latency.end(), other.queue_latency.begin(),
                        other.queue_latency.end());
+  admission = admission || other.admission;
+  retried += other.retried;
+  shed += other.shed;
+  failed += other.failed;
+  deadline_misses += other.deadline_misses;
 }
 
 TrafficEngine::TrafficEngine(dl::dram::Controller& ctrl,
                              std::vector<StreamSpec> tenants,
-                             const SchedulerConfig& scheduler)
-    : ctrl_(ctrl), scheduler_(ctrl, scheduler) {
+                             const SchedulerConfig& scheduler,
+                             const AdmissionSpec& admission)
+    : ctrl_(ctrl), scheduler_(ctrl, scheduler), admission_(admission) {
   DL_REQUIRE(!tenants.empty(), "traffic engine needs at least one tenant");
   DL_REQUIRE(tenants.size() <= 0xFFFF, "too many tenants");
   streams_.reserve(tenants.size());
   stats_.resize(tenants.size());
+  retry_count_.resize(tenants.size(), 0);
+  deadline_.resize(tenants.size(), 0);
+  slo_p99_.resize(tenants.size(), 0);
+  cached_p99_.resize(tenants.size(), 0);
+  p99_samples_.resize(tenants.size(), 0);
   for (std::size_t i = 0; i < tenants.size(); ++i) {
     if (tenants[i].name.empty()) {
       // Built with append rather than operator+ chains: GCC 12's -Wrestrict
@@ -70,6 +81,9 @@ TrafficEngine::TrafficEngine(dl::dram::Controller& ctrl,
     streams_.emplace_back(tenants[i], static_cast<std::uint16_t>(i), ctrl_);
     stats_[i].name = tenants[i].name;
     stats_[i].kind = tenants[i].kind;
+    stats_[i].admission = admission_.enabled;
+    deadline_[i] = tenants[i].deadline;
+    slo_p99_[i] = tenants[i].slo_p99;
     // Every declared request is eventually serviced and records one
     // latency sample; reserving up front keeps the drain loop free of
     // reallocation growth.
@@ -97,8 +111,27 @@ void TrafficEngine::record(const Serviced& s) {
   }
   t.service_time += s.result.latency;
   t.queue_latency.push_back(s.completed_at - s.req.enqueued_at);
+  if (admission_.enabled && deadline_[s.req.tenant] > 0 &&
+      s.completed_at - s.req.enqueued_at > deadline_[s.req.tenant]) {
+    ++t.deadline_misses;
+  }
   ++serviced_;
   if (data_sink_ && !s.data.empty()) data_sink_(s);
+}
+
+bool TrafficEngine::should_shed(std::size_t i) {
+  if (!admission_.enabled || slo_p99_[i] == 0) return false;
+  TenantStats& t = stats_[i];
+  if (t.queue_latency.size() < admission_.min_latency_samples) return false;
+  // Re-sorting the whole sample set per injection would dominate the loop;
+  // the cached p99 advances every kP99Stride completions, which is fresh
+  // enough for load shedding (an SLO breach persists across strides).
+  if (t.queue_latency.size() - p99_samples_[i] >= kP99Stride ||
+      p99_samples_[i] == 0) {
+    cached_p99_[i] = t.latency_quantile(0.99);
+    p99_samples_[i] = t.queue_latency.size();
+  }
+  return cached_p99_[i] > slo_p99_[i];
 }
 
 TrafficReport TrafficEngine::run() {
@@ -109,19 +142,44 @@ TrafficReport TrafficEngine::run() {
     work = false;
     // Injection phase: fixed tenant order; a full bank queue stalls that
     // tenant for the rest of the round (head-of-line, like a real per-core
-    // request buffer) but never drops the request.
+    // request buffer).  Without admission control the request is never
+    // dropped; with it, shedding and retry budgets pop requests under
+    // explicit accounting so nothing is ever lost silently
+    // (spec.requests == issued + shed + failed).
     for (std::size_t i = 0; i < streams_.size(); ++i) {
       Stream& stream = streams_[i];
       for (std::uint32_t b = 0; b < stream.spec().burst; ++b) {
         auto req = stream.peek();
         if (!req.has_value()) break;
+        if (should_shed(i)) {
+          // SLO breach: shed at admission instead of deepening the queue.
+          ++stats_[i].shed;
+          retry_count_[i] = 0;
+          stream.pop();
+          work = true;
+          continue;
+        }
         req->seq = next_seq_;
         if (!scheduler_.try_enqueue(*req)) {
           ++stats_[i].rejected_enqueues;
-          break;
+          if (!admission_.enabled) break;
+          if (++retry_count_[i] > admission_.retry_budget) {
+            // Retry budget exhausted: fail the request explicitly.
+            ++stats_[i].failed;
+            retry_count_[i] = 0;
+            stream.pop();
+            work = true;
+            continue;
+          }
+          ++stats_[i].retried;
+          if (admission_.retry_backoff > 0) {
+            ctrl_.advance_time(admission_.retry_backoff);
+          }
+          break;  // back-pressure: stall the tenant for this round
         }
         ++next_seq_;
         ++stats_[i].issued;
+        retry_count_[i] = 0;
         stream.pop();
         work = true;
       }
@@ -170,6 +228,16 @@ dl::json::Value to_json(const TenantStats& t, Picoseconds elapsed) {
     const double secs = to_seconds(elapsed);
     v["scrub_bandwidth_bytes_per_sec"] =
         secs > 0.0 ? static_cast<double>(t.data_bytes) / secs : 0.0;
+  }
+  if (t.admission) {
+    // Emitted only for admission-controlled runs so reports without the
+    // feature stay byte-identical to earlier releases.
+    auto a = dl::json::Value::object();
+    a["retried"] = t.retried;
+    a["shed"] = t.shed;
+    a["failed"] = t.failed;
+    a["deadline_misses"] = t.deadline_misses;
+    v["admission"] = std::move(a);
   }
   return v;
 }

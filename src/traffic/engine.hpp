@@ -25,6 +25,23 @@
 
 namespace dl::traffic {
 
+/// Admission-control policy for one engine run (scenario::TrafficSpec
+/// carries it into serve campaigns).  Disabled (the default) reproduces
+/// the pre-admission engine byte-for-byte: rejected enqueues stall the
+/// tenant head-of-line and retry forever, nothing is shed or failed.
+struct AdmissionSpec {
+  bool enabled = false;
+  /// Consecutive enqueue rejections tolerated per request before the
+  /// request is failed (popped with explicit accounting, never silently).
+  std::uint32_t retry_budget = 8;
+  /// Simulated protocol time charged per rejected enqueue before the
+  /// retry — deterministic backoff on the controller clock.
+  Picoseconds retry_backoff = 0;
+  /// Latency samples required before a tenant's p99 is trusted for
+  /// SLO-based shedding (cold-start guard).
+  std::uint32_t min_latency_samples = 16;
+};
+
 /// Per-tenant outcome statistics.  Plain value type: safe to copy across
 /// threads once a run completes; merge() is the only mutator campaigns
 /// use (cycle accumulation, always on the owning thread).
@@ -35,7 +52,8 @@ struct TenantStats {
   std::uint64_t granted = 0;
   std::uint64_t denied = 0;       ///< blocked by the access gate
   /// Enqueue attempts refused on a full bank ring (back-pressure stalls;
-  /// the request is retried next round, never dropped).
+  /// without admission control the request is retried next round, never
+  /// dropped; with it, each rejection consumes retry budget).
   std::uint64_t rejected_enqueues = 0;
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
@@ -46,6 +64,14 @@ struct TenantStats {
   /// Queue latency (enqueue -> completion, simulated time) per request;
   /// kept raw so merged stats across cycles still yield exact percentiles.
   std::vector<Picoseconds> queue_latency;
+
+  // Admission-control outcomes (all zero — and the report block absent —
+  // unless the engine ran with AdmissionSpec::enabled).
+  bool admission = false;            ///< engine ran with admission control
+  std::uint64_t retried = 0;         ///< enqueues retried after rejection
+  std::uint64_t shed = 0;            ///< requests load-shed at injection
+  std::uint64_t failed = 0;          ///< requests failed (retry budget dry)
+  std::uint64_t deadline_misses = 0; ///< completions past spec.deadline
 
   [[nodiscard]] double row_hit_rate() const;
   /// Nearest-rank latency percentile over the recorded samples (q in
@@ -86,7 +112,8 @@ class TrafficEngine {
   /// Tenant ids are positions in `tenants`; empty spec names default to
   /// "t<i>/<kind>".
   TrafficEngine(dl::dram::Controller& ctrl, std::vector<StreamSpec> tenants,
-                const SchedulerConfig& scheduler = {});
+                const SchedulerConfig& scheduler = {},
+                const AdmissionSpec& admission = {});
 
   /// Installs the single data-read observer (empty function clears it).
   /// The sink may issue its own controller traffic (e.g. recovery writes)
@@ -101,11 +128,26 @@ class TrafficEngine {
   FrFcfsScheduler scheduler_;
   std::vector<Stream> streams_;
   std::vector<TenantStats> stats_;
+  AdmissionSpec admission_;
   DataSink data_sink_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t serviced_ = 0;
+  /// Consecutive rejections of the current head request, per tenant.
+  std::vector<std::uint32_t> retry_count_;
+  /// Per-tenant deadline / SLO copied from the spec (stats stay pure
+  /// outcome counters).
+  std::vector<Picoseconds> deadline_;
+  std::vector<Picoseconds> slo_p99_;
+  /// Cached p99 per tenant, recomputed every kP99Stride new samples so
+  /// SLO checks stay off the sort-per-injection path.
+  std::vector<Picoseconds> cached_p99_;
+  std::vector<std::size_t> p99_samples_;
+
+  static constexpr std::size_t kP99Stride = 32;
 
   void record(const Serviced& s);
+  /// True when admission control should shed tenant `i`'s next request.
+  [[nodiscard]] bool should_shed(std::size_t i);
 };
 
 }  // namespace dl::traffic

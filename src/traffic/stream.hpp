@@ -117,6 +117,15 @@ struct StreamSpec {
   /// the field.
   std::int32_t pin_channel = -1;
 
+  // Admission-control SLOs (active only when the engine's AdmissionSpec is
+  // enabled; see traffic/engine.hpp).
+  /// Queue-latency p99 SLO: once the tenant's observed p99 exceeds this,
+  /// new requests are load-shed at injection.  0 = no shedding.
+  Picoseconds slo_p99 = 0;
+  /// Per-request completion deadline; requests finishing later count as
+  /// deadline misses in the tenant's admission stats.  0 = no deadline.
+  Picoseconds deadline = 0;
+
   static StreamSpec weight_reader(dl::dram::GlobalRowId base_row,
                                   std::uint64_t rows, std::uint64_t requests,
                                   std::uint32_t burst = 4,

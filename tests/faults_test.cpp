@@ -11,6 +11,7 @@
 #include "dram/controller.hpp"
 #include "faults/faults.hpp"
 #include "integrity/checksum.hpp"
+#include "scenario/scenario.hpp"
 
 namespace {
 
@@ -230,6 +231,86 @@ TEST(FaultInjector, ChecksumFaultCorruptsAttachedStorage) {
     }
   }
   EXPECT_EQ(corrupt_groups, 1u);
+}
+
+// -------------------------------------------------------- chaos mutators
+
+TEST(FaultInjector, SetPeriodActsTightensTheCadence) {
+  Controller ctrl(small_geometry(), dram::ddr4_2400());
+  FaultSpec spec;
+  spec.period_acts = 64;
+  spec.transient_rate = 1.0;
+  FaultInjector injector(ctrl, spec);
+  fire_acts(injector, 16);
+  EXPECT_EQ(injector.stats().events, 0u);
+  injector.set_period_acts(4);  // chaos storm ramp
+  fire_acts(injector, 16);
+  EXPECT_GT(injector.stats().events, 0u);
+  EXPECT_THROW(injector.set_period_acts(0), dl::Error);
+}
+
+TEST(FaultInjector, AddStuckCellsAssertsImmediately) {
+  Controller ctrl(small_geometry(), dram::ddr4_2400());
+  FaultSpec spec;
+  spec.period_acts = 8;
+  spec.transient_rate = 0.1;
+  spec.target_base = 4;
+  spec.target_rows = 8;
+  FaultInjector injector(ctrl, spec);
+  const std::uint64_t before = injector.stats().stuck_cells;
+  injector.add_stuck_cells(3);
+  EXPECT_EQ(injector.stats().stuck_cells, before + 3);
+}
+
+// --------------------------------------------- timing-model independence
+
+TEST(FaultInjector, DrawSequenceIsIdenticalWithTimingOnAndOff) {
+  // The injector consumes its own private RNG stream in ACT order, so the
+  // cycle-approximate timing engine must not change which faults are
+  // drawn.  The workload stays shorter than tREFI (7.8 us): a scheduled
+  // REF would legitimately shift protocol *time*, and this test pins the
+  // draw *sequence*, not the clock.
+  scenario::HammerCampaign base;
+  base.name = "faults-timing";
+  base.env.geometry.channels = 1;
+  base.env.geometry.ranks = 1;
+  base.env.geometry.banks = 2;
+  base.env.geometry.subarrays_per_bank = 4;
+  base.env.geometry.rows_per_subarray = 128;
+  base.env.geometry.row_bytes = 4096;
+  base.env.disturbance.t_rh = 1000;
+  base.env.faults.period_acts = 8;
+  base.env.faults.transient_rate = 0.5;
+  base.env.faults.retention_rate = 0.5;
+  base.env.faults.stuck_cells = 2;
+  base.env.faults.target_base = 16;
+  base.env.faults.target_rows = 16;
+  base.attack.victim_row = 20;
+  base.attack.act_budget = 96;  // ~4.4 us of ACTs: under one tREFI
+  base.cycles = 1;
+
+  scenario::HammerCampaign timed = base;
+  timed.env.timing_spec.enabled = true;
+
+  const auto analytic = scenario::run_one(base);
+  const auto cycle_approx = scenario::run_one(timed);
+  ASSERT_EQ(analytic.status, scenario::CampaignStatus::kOk);
+  ASSERT_EQ(cycle_approx.status, scenario::CampaignStatus::kOk);
+  EXPECT_TRUE(cycle_approx.timed);
+
+  EXPECT_EQ(analytic.faults.events, cycle_approx.faults.events);
+  EXPECT_EQ(analytic.faults.retention_faults,
+            cycle_approx.faults.retention_faults);
+  EXPECT_EQ(analytic.faults.transient_faults,
+            cycle_approx.faults.transient_faults);
+  EXPECT_EQ(analytic.faults.stuck_cells, cycle_approx.faults.stuck_cells);
+  EXPECT_EQ(analytic.faults.stuck_overrides,
+            cycle_approx.faults.stuck_overrides);
+  EXPECT_EQ(analytic.faults.lock_evictions,
+            cycle_approx.faults.lock_evictions);
+  EXPECT_EQ(analytic.faults.remap_faults, cycle_approx.faults.remap_faults);
+  EXPECT_EQ(analytic.faults.checksum_faults,
+            cycle_approx.faults.checksum_faults);
 }
 
 }  // namespace

@@ -191,6 +191,128 @@ TEST(Journal, DuplicateEntriesResolveLastWins) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------------ CRC trailer
+
+TEST(Journal, CorruptedLineIsSkippedWithWarning) {
+  const auto campaigns = journal_campaigns();
+  const std::string path = journal_path("crc");
+  {
+    CampaignJournal journal(path);
+    (void)scenario::run_journaled(campaigns, journal);
+  }
+  // Flip one payload byte of the first line.  The line still parses as
+  // JSON (a digit changed inside a number), so only the CRC trailer can
+  // tell the loader the campaign result rotted on disk.
+  std::string text;
+  {
+    std::ifstream in(path);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const std::size_t digit = text.find_first_of("0123456789");
+  ASSERT_NE(digit, std::string::npos);
+  text[digit] = text[digit] == '9' ? '8' : static_cast<char>(text[digit] + 1);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+  CampaignJournal journal(path);
+  EXPECT_EQ(journal.crc_mismatches(), 1u);
+  EXPECT_EQ(journal.loaded(), campaigns.size() - 1);  // corrupt line dropped
+  // The dropped campaign simply re-runs; the resumed report still matches
+  // an uninterrupted one byte for byte.
+  const auto resumed = scenario::run_journaled(campaigns, journal);
+  EXPECT_EQ(scenario::report_json(resumed).dump(2),
+            scenario::report_json(scenario::run(campaigns)).dump(2));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, LegacyLineWithoutTrailerStillLoads) {
+  const auto campaigns = journal_campaigns();
+  const std::string path = journal_path("legacy");
+  const auto direct = scenario::run(campaigns);
+  {
+    CampaignJournal journal(path);
+    journal.record(direct[0]);
+  }
+  // Strip the CRC trailer, as a journal written before the trailer existed.
+  std::string line;
+  {
+    std::ifstream in(path);
+    std::getline(in, line);
+  }
+  const std::size_t tab = line.rfind('\t');
+  ASSERT_NE(tab, std::string::npos);
+  line.resize(tab);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << line << '\n';
+  }
+  CampaignJournal journal(path);
+  EXPECT_EQ(journal.crc_mismatches(), 0u);
+  EXPECT_EQ(journal.loaded(), 1u);
+  EXPECT_NE(journal.find_hammer(direct[0].name), nullptr);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ serve journal
+
+TEST(Journal, ServeResumeIsByteIdentical) {
+  // A plain serve campaign and a chaos one (resilience + admission + a
+  // mid-run channel kill): the chaos result exercises every serve journal
+  // field — availability block, channel health, resilience counters, and
+  // per-tenant admission stats.
+  scenario::ServeCampaign plain;
+  plain.name = "serve/plain";
+  plain.env = small_env();
+  plain.defense = DefenseSpec::none().with_integrity({});
+  plain.defense.integrity.enabled = true;
+  plain.traffic.tenants = {
+      dl::traffic::StreamSpec::weight_reader(16, 8, 400),
+      dl::traffic::StreamSpec::synthetic(64, 32, 200, 0.4, 0.2, 1),
+  };
+  plain.rounds = 2;
+
+  scenario::ServeCampaign chaos = plain;
+  chaos.name = "serve/chaos";
+  chaos.env.fabric.channels = 2;
+  chaos.env.resilience.spare_rows = 4;
+  chaos.traffic.admission.enabled = true;
+  chaos.traffic.admission.retry_budget = 2;
+  const auto rows_per_channel = chaos.env.geometry.total_rows();
+  dl::traffic::StreamSpec pinned =
+      dl::traffic::StreamSpec::weight_reader(rows_per_channel + 16, 8, 300);
+  pinned.pin_channel = 1;
+  chaos.traffic.tenants.push_back(pinned);
+  chaos.rounds = 3;
+  chaos.chaos.kill_channel = 1;
+  chaos.chaos.kill_at_round = 1;
+  chaos.chaos.restore_at_round = 2;
+  const std::vector<scenario::ServeCampaign> campaigns = {plain, chaos};
+
+  std::vector<scenario::ServeCampaignResult> direct;
+  for (const auto& c : campaigns) {
+    direct.push_back(scenario::run_serve_isolated(c));
+  }
+  const std::string expected = scenario::report_json({}, {}, direct).dump(2);
+
+  const std::string path = journal_path("serve");
+  {
+    CampaignJournal journal(path);
+    const auto first = scenario::run_serve_journaled(campaigns, journal);
+    EXPECT_EQ(scenario::report_json({}, {}, first).dump(2), expected);
+  }
+  CampaignJournal journal(path);
+  EXPECT_EQ(journal.loaded(), campaigns.size());
+  const auto* cached = journal.find_serve("serve/chaos");
+  ASSERT_NE(cached, nullptr);
+  EXPECT_TRUE(cached->chaos_enabled);
+  EXPECT_GT(cached->availability.offered, 0u);
+  const auto resumed = scenario::run_serve_journaled(campaigns, journal);
+  EXPECT_EQ(scenario::report_json({}, {}, resumed).dump(2), expected);
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------------ BFA journal
 
 TEST(Journal, BfaResumeIsByteIdentical) {

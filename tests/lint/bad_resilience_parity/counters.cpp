@@ -1,0 +1,18 @@
+// EXPECT-LINT-FILE: counter-parity x2
+//   (kFailoverReads has no to_string case, kFailedWrites exports as "?")
+#include "counters.hpp"
+
+namespace corpus_resilience {
+
+const char* to_string(Counter c) {
+  switch (c) {
+    case Counter::kReads:        return "reads";
+    case Counter::kWrites:       return "writes";
+    case Counter::kRetiredRows:  return "retired_rows";
+    case Counter::kRemapReads:   return "remap_reads";
+    case Counter::kFailedWrites: return "?";
+  }
+  return "?";
+}
+
+}  // namespace corpus_resilience

@@ -1,0 +1,26 @@
+// Corpus counters mirroring the resilience additions (not built): the
+// enum grew four rungs at the end and kNumCounters tracks the new last
+// enumerator correctly — the breaks live entirely in counters.cpp:
+//   - kFailoverReads never got a to_string case;
+//   - kFailedWrites was stubbed with the placeholder key "?".
+#pragma once
+
+#include <cstddef>
+
+namespace corpus_resilience {
+
+enum class Counter : unsigned char {
+  kReads,
+  kWrites,
+  kRetiredRows,
+  kRemapReads,
+  kFailoverReads,
+  kFailedWrites,
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kFailedWrites) + 1;
+
+const char* to_string(Counter c);
+
+}  // namespace corpus_resilience

@@ -274,6 +274,56 @@ TEST(RaceStress, TimedServeFanoutByteIdentical) {
   EXPECT_NE(serial.find("\"timing\""), std::string::npos);
 }
 
+TEST(RaceStress, ChaosServeFanoutByteIdentical) {
+  // Chaos + retirement under the TSan lane: the fault storm mutates the
+  // injectors and the retirer rewrites rows between rounds (serial
+  // sections), while scheduled REF windows tick inside each channel's
+  // parallel drain — the combination must stay race-free and
+  // byte-deterministic, REFs never overlapping retirement writes.
+  scenario::ServeCampaign c;
+  c.name = "chaos-serve-race";
+  c.env = small_env();
+  c.env.timing_spec = {.enabled = true, .scheduled_refresh = true};
+  c.env.fabric.channels = 2;
+  c.env.resilience.spare_rows = 4;
+  c.env.resilience.strike_threshold = 1;
+  c.env.faults.period_acts = 64;
+  c.env.faults.transient_rate = 0.5;
+  c.env.faults.retention_rate = 0.5;
+  c.env.faults.target_base = 16;
+  c.env.faults.target_rows = 16;
+  c.defense = DefenseSpec::none().with_integrity({});
+  c.defense.integrity.enabled = true;
+  c.traffic.admission.enabled = true;
+  c.traffic.tenants = {
+      traffic::StreamSpec::weight_reader(/*base_row=*/16, /*rows=*/8,
+                                         /*requests=*/1500),
+      traffic::StreamSpec::synthetic(/*base_row=*/256, /*rows=*/64,
+                                     /*requests=*/1500, /*locality=*/0.4,
+                                     /*write_fraction=*/0.3, /*seed=*/11),
+  };
+  traffic::StreamSpec pinned = traffic::StreamSpec::weight_reader(
+      /*base_row=*/c.env.geometry.total_rows() + 16, /*rows=*/8,
+      /*requests=*/1000);
+  pinned.pin_channel = 1;
+  c.traffic.tenants.push_back(pinned);
+  c.rounds = 3;
+  c.chaos.storm_start = 0;
+  c.chaos.storm_rounds = 2;
+  c.chaos.min_period_acts = 8;
+  c.chaos.stuck_cells_per_round = 2;
+  c.chaos.kill_channel = 1;
+  c.chaos.kill_at_round = 1;
+  c.chaos.restore_at_round = 2;
+  parallel::set_threads(1);
+  const std::string serial = scenario::to_json(scenario::run_serve(c)).dump();
+  parallel::set_threads(8);
+  const std::string fanned = scenario::to_json(scenario::run_serve(c)).dump();
+  parallel::set_threads(0);
+  EXPECT_EQ(serial, fanned);
+  EXPECT_NE(serial.find("\"availability\""), std::string::npos);
+}
+
 // --- journaled runs --------------------------------------------------------
 
 TEST(RaceStress, JournaledFanoutAppendsAreAtomic) {
